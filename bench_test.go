@@ -1,0 +1,184 @@
+// Benchmarks regenerating every figure of the paper's evaluation at
+// reduced scale (one harness iteration per b.N step), plus micro-benchmarks
+// of the hot substrate paths. Run the full-scale figures with cmd/raa-bench;
+// run these with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/hybridmem"
+	"repro/internal/mesh"
+	"repro/internal/nas"
+	"repro/internal/parsecsim"
+	"repro/internal/runtime"
+	"repro/internal/simexec"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/tdg"
+	"repro/internal/vector"
+	"repro/internal/vsort"
+)
+
+// --- One benchmark per paper artefact ---------------------------------------
+
+// BenchmarkFig1HybridMemory runs the Figure-1 comparison (hybrid vs
+// cache-only) for one representative kernel on a 16-core machine.
+func BenchmarkFig1HybridMemory(b *testing.B) {
+	cfg := hybridmem.DefaultConfig()
+	mc := cfg.Mesh
+	mc.Width, mc.Height = 4, 4
+	cfg.Mesh = mc
+	cfg.NCores = 16
+	cfg.MemControllerTiles = []int{0, 3, 12, 15}
+	k := nas.MG(nas.ClassTest)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hybridmem.Compare(cfg, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2CriticalityDVFS runs the §3.1 three-variant study.
+func BenchmarkFig2CriticalityDVFS(b *testing.B) {
+	cfg := simexec.DefaultFig2Config()
+	cfg.Blocks = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := simexec.RunFig2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3VectorSort runs the Figure-3 sweep at reduced key count.
+func BenchmarkFig3VectorSort(b *testing.B) {
+	cfg := vsort.DefaultFig3Config()
+	cfg.N = 1 << 13
+	for i := 0; i < b.N; i++ {
+		if _, err := vsort.RunFig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4ResilientCG runs the five-scheme Figure-4 experiment.
+func BenchmarkFig4ResilientCG(b *testing.B) {
+	cfg := solver.DefaultFig4Config()
+	cfg.Grid = 48
+	cfg.Solver.TraceStride = 16
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.RunFig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5OmpSsVsPthreads runs the Figure-5 scalability sweep.
+func BenchmarkFig5OmpSsVsPthreads(b *testing.B) {
+	threads := []int{1, 4, 16}
+	for i := 0; i < b.N; i++ {
+		if _, err := parsecsim.RunFig5(threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ----------------------------------------------
+
+// BenchmarkTaskSubmit measures dependence tracking + scheduling throughput
+// of the runtime (one inout chain: worst-case tracker pressure).
+func BenchmarkTaskSubmit(b *testing.B) {
+	rt := runtime.New(runtime.Config{Workers: 4, Scheduler: runtime.WorkSteal})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Submit("t", 1, func() {}, runtime.InOut("k"))
+	}
+	rt.Wait()
+}
+
+// BenchmarkWorkStealingFanOut measures end-to-end execution of independent
+// tasks across the pool.
+func BenchmarkWorkStealingFanOut(b *testing.B) {
+	rt := runtime.New(runtime.Config{Workers: 4, Scheduler: runtime.WorkSteal})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Submit("t", 1, func() {})
+	}
+	rt.Wait()
+}
+
+// BenchmarkCacheAccess measures the L1 model's hit path.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.L1Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint64(i%512) * 64)
+	}
+}
+
+// BenchmarkMeshSend measures NoC message accounting.
+func BenchmarkMeshSend(b *testing.B) {
+	m := mesh.New(mesh.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(i%64, (i*17)%64, 72)
+	}
+}
+
+// BenchmarkSpMV measures the sparse matrix-vector kernel.
+func BenchmarkSpMV(b *testing.B) {
+	a := sparse.Laplacian2D(128, 128)
+	x := sparse.Ones(a.N)
+	y := make([]float64, a.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}
+
+// BenchmarkVSRSortPass measures VSR sort end to end on the vector machine.
+func BenchmarkVSRSortPass(b *testing.B) {
+	keys := vsort.RandomKeys(1<<13, 1)
+	m := vector.New(vector.DefaultConfig())
+	buf := make([]uint32, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		vsort.VSRSort{}.Sort(m, buf)
+	}
+}
+
+// BenchmarkCriticalPath measures TDG bottom-level analysis on a Cholesky
+// graph (the scheduler's preprocessing step).
+func BenchmarkCriticalPath(b *testing.B) {
+	g := tdg.Cholesky(16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.CriticalPath(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkListScheduler measures the simulated executor on a mid-size
+// graph.
+func BenchmarkListScheduler(b *testing.B) {
+	g := tdg.Cholesky(12, 2e6)
+	cfg := simexec.DefaultFig2Config()
+	_ = cfg
+	for i := 0; i < b.N; i++ {
+		rows, err := simexec.RunFig2(simexec.Fig2Config{
+			Cores: 16, Blocks: 8, UnitCostCycles: 2e6, CritSlack: 0.12,
+		})
+		if err != nil || len(rows) == 0 {
+			b.Fatal(err)
+		}
+	}
+	_ = g
+}

@@ -1,0 +1,50 @@
+// Command raa-bench regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the paper-style table (and ASCII
+// figure where the paper uses a plot) plus the paper's reference numbers.
+//
+// Usage:
+//
+//	raa-bench -exp all          # everything, full scale
+//	raa-bench -exp fig1         # one experiment
+//	raa-bench -exp fig4 -quick  # reduced problem scale
+//	raa-bench -list             # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig1..fig5, loc, rsu, all)")
+	quick := flag.Bool("quick", false, "reduced problem scale for smoke runs")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-5s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+	if *exp == "all" {
+		if err := core.RunAll(os.Stdout, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "raa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, err := core.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raa-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("==> %s — %s\n\n", e.Name, e.Paper)
+	if err := e.Run(os.Stdout, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "raa-bench:", err)
+		os.Exit(1)
+	}
+}

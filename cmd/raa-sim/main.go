@@ -1,0 +1,103 @@
+// Command raa-sim runs one NAS-class kernel on the simulated manycore in a
+// chosen memory-hierarchy mode and prints the detailed counters — the
+// "drive the machine yourself" companion to raa-bench.
+//
+// Usage:
+//
+//	raa-sim -kernel MG -mode hybrid
+//	raa-sim -kernel CG -mode cache-only -cores 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/hybridmem"
+	"repro/internal/nas"
+)
+
+func main() {
+	kernel := flag.String("kernel", "MG", "NAS kernel: CG EP FT IS MG SP")
+	mode := flag.String("mode", "hybrid", "memory mode: hybrid | cache-only")
+	cores := flag.Int("cores", 64, "core count: 16 or 64")
+	bench := flag.Bool("bench", true, "bench-class problem size (false = test class)")
+	flag.Parse()
+
+	class := nas.ClassBench
+	if !*bench {
+		class = nas.ClassTest
+	}
+	k, err := nas.ByName(*kernel, class)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raa-sim:", err)
+		os.Exit(1)
+	}
+
+	cfg := hybridmem.DefaultConfig()
+	switch *cores {
+	case 64:
+	case 16:
+		mc := cfg.Mesh
+		mc.Width, mc.Height = 4, 4
+		cfg.Mesh = mc
+		cfg.NCores = 16
+		cfg.MemControllerTiles = []int{0, 3, 12, 15}
+	default:
+		fmt.Fprintln(os.Stderr, "raa-sim: -cores must be 16 or 64")
+		os.Exit(1)
+	}
+
+	var m hybridmem.Mode
+	switch *mode {
+	case "hybrid":
+		m = hybridmem.Hybrid
+	case "cache-only":
+		m = hybridmem.CacheOnly
+	default:
+		fmt.Fprintln(os.Stderr, "raa-sim: -mode must be hybrid or cache-only")
+		os.Exit(1)
+	}
+
+	machine, err := hybridmem.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raa-sim:", err)
+		os.Exit(1)
+	}
+	res, err := machine.RunKernel(k, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raa-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("kernel %s on %d cores, %s mode\n", res.Kernel, cfg.NCores, res.Mode)
+	fmt.Printf("  cycles        %d\n", res.Cycles)
+	fmt.Printf("  energy        %.3e pJ\n", res.EnergyPJ)
+	fmt.Printf("  noc traffic   %d flit-hops\n", res.NoCFlitHops)
+	fmt.Printf("  L1  %d accesses, %.1f%% miss\n", res.L1.Accesses(), 100*res.L1.MissRate())
+	fmt.Printf("  L2  %d accesses, %.1f%% miss\n", res.L2.Accesses(), 100*res.L2.MissRate())
+	fmt.Printf("  SPM %d accesses, %d DMA transfers (%d bytes)\n",
+		res.SPMStats.Accesses, res.SPMStats.DMATransfers, res.SPMStats.DMABytes)
+	fmt.Printf("  DRAM %d accesses, %d bytes\n", res.DRAMStats.Accesses, res.DRAMStats.Bytes)
+	if len(res.Resolutions) > 0 {
+		fmt.Println("  unknown-alias resolutions:")
+		var keys []string
+		for k := range res.Resolutions {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("    %-22s %d\n", k, res.Resolutions[k])
+		}
+	}
+	fmt.Println("  energy breakdown (pJ):")
+	var comps []string
+	for c := range res.Breakdown {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		fmt.Printf("    %-6s %.3e\n", c, res.Breakdown[c])
+	}
+}

@@ -1,0 +1,59 @@
+// Command vsr-sort sorts random keys with a chosen algorithm on a chosen
+// vector-machine configuration and prints cycles and CPT — a playground for
+// the Section-3.2 design space.
+//
+// Usage:
+//
+//	vsr-sort -algo vsr-sort -mvl 64 -lanes 4 -n 1000000
+//	vsr-sort -algo vquicksort -mvl 16 -lanes 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/vector"
+	"repro/internal/vsort"
+)
+
+func main() {
+	algo := flag.String("algo", vsort.NameVSR,
+		"algorithm: vsr-sort | vquicksort | vbitonic | vradix-classic | scalar")
+	mvl := flag.Int("mvl", 64, "maximum vector length")
+	lanes := flag.Int("lanes", 4, "parallel lanes")
+	n := flag.Int("n", 1<<20, "number of keys")
+	seed := flag.Int64("seed", 42, "key-stream seed")
+	flag.Parse()
+
+	s, err := vsort.ByName(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsr-sort:", err)
+		os.Exit(1)
+	}
+	cfg := vector.DefaultConfig()
+	cfg.MVL = *mvl
+	cfg.Lanes = *lanes
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "vsr-sort:", err)
+		os.Exit(1)
+	}
+	m := vector.New(cfg)
+	keys := vsort.RandomKeys(*n, *seed)
+	s.Sort(m, keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			fmt.Fprintln(os.Stderr, "vsr-sort: output not sorted — simulator bug")
+			os.Exit(1)
+		}
+	}
+	st := m.Stats()
+	fmt.Printf("%s sorted %d keys on MVL=%d lanes=%d\n", s.Name(), *n, *mvl, *lanes)
+	fmt.Printf("  cycles            %.0f\n", m.Cycles())
+	fmt.Printf("  cycles per tuple  %.2f\n", m.Cycles()/float64(*n))
+	fmt.Printf("  vector instrs     %d (%d elements)\n", st.VectorInstrs, st.VectorElems)
+	fmt.Printf("  gather elements   %d\n", st.GatherElems)
+	fmt.Printf("  scalar ops / mem  %d / %d\n", st.ScalarOps, st.ScalarMemOps)
+	scalar := vsort.ScalarCycles(vsort.RandomKeys(*n, *seed))
+	fmt.Printf("  speedup vs scalar %.1fx\n", scalar/m.Cycles())
+}

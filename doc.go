@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Runtime-aware
+// Architectures: A Second Approach" (Valero et al., Barcelona
+// Supercomputing Center): an OmpSs-like task runtime plus the architectural
+// simulators for each of the paper's co-design studies — the hybrid
+// scratchpad/cache hierarchy (Figure 1), criticality-aware DVFS with the
+// Runtime Support Unit (Figure 2), the VSR vector-sort ISA extensions
+// (Figure 3), exact forward recovery for resilient CG (Figure 4), and the
+// PARSEC task-vs-threads programmability study (Figure 5).
+//
+// The root package carries the cross-cutting benchmark suite in
+// bench_test.go; the implementation lives under internal/ (see DESIGN.md
+// for the system inventory) and the runnable entry points are
+// cmd/raa-bench, cmd/raa-sim, cmd/vsr-sort and the examples/ directory.
+package repro

@@ -1,0 +1,282 @@
+// Package cache implements the set-associative cache models used by the
+// manycore memory-hierarchy simulator: private L1 data caches and the
+// distributed shared L2 of the Figure-1 machine.
+//
+// The model is functional at the tag level (it tracks which lines are
+// resident, their dirty state and LRU order) and cost-based at the timing
+// level (hit/miss latencies and per-access energies are configuration
+// constants). Coherence state beyond dirty/valid is handled by the directory
+// in package coherence; this package deliberately stays a plain cache.
+package cache
+
+import "fmt"
+
+// Config describes one cache's geometry and cost constants.
+type Config struct {
+	// Name labels the cache in statistics output (e.g. "L1", "L2").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the cache-line size.
+	LineBytes int
+	// Ways is the set associativity.
+	Ways int
+	// HitCycles is the access latency on a hit.
+	HitCycles int
+	// AccessEnergyPJ is the energy per lookup (tag + data) in picojoules.
+	AccessEnergyPJ float64
+	// LeakageMWPerKB approximates static power; unused by current
+	// experiments but kept so machine configs are complete.
+	LeakageMWPerKB float64
+}
+
+// L1Default returns the 32 KiB, 8-way, 64 B-line private L1 used by the
+// Figure-1 tiles.
+func L1Default() Config {
+	return Config{
+		Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8,
+		HitCycles: 3, AccessEnergyPJ: 40, LeakageMWPerKB: 0.02,
+	}
+}
+
+// L2SliceDefault returns one 512 KiB slice of the distributed shared L2.
+func L2SliceDefault() Config {
+	return Config{
+		Name: "L2", SizeBytes: 512 << 10, LineBytes: 64, Ways: 16,
+		HitCycles: 12, AccessEnergyPJ: 120, LeakageMWPerKB: 0.015,
+	}
+}
+
+// Stats holds the counters of one cache instance.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	ReadMiss   uint64
+	WriteMiss  uint64
+	Evictions  uint64
+	WriteBacks uint64 // evictions of dirty lines
+	EnergyPJ   float64
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Misses returns total misses.
+func (s Stats) Misses() uint64 { return s.ReadMiss + s.WriteMiss }
+
+// MissRate returns misses/accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(a)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse is the LRU timestamp (monotone per cache).
+	lastUse uint64
+}
+
+// Cache is one set-associative, write-back, write-allocate cache.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	nsets int
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache from cfg, validating the geometry.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %q: invalid geometry %+v", cfg.Name, cfg))
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	nsets := lines / cfg.Ways
+	if nsets == 0 {
+		nsets = 1
+	}
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// lineAddr returns (set index, tag) for an address.
+func (c *Cache) lineAddr(addr uint64) (int, uint64) {
+	lineNo := addr / uint64(c.cfg.LineBytes)
+	return int(lineNo % uint64(c.nsets)), lineNo / uint64(c.nsets)
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit bool
+	// Evicted reports whether a victim line had to be evicted to make room.
+	Evicted bool
+	// WriteBack reports whether the victim was dirty and must be written
+	// downstream.
+	WriteBack bool
+	// VictimAddr is the base address of the written-back line, valid only
+	// when WriteBack is true.
+	VictimAddr uint64
+	// Cycles is the latency charged at this level (hit latency; the miss
+	// path downstream is charged by the caller).
+	Cycles int
+}
+
+// Read performs a read access for addr, allocating the line on a miss.
+func (c *Cache) Read(addr uint64) AccessResult {
+	return c.access(addr, false, false)
+}
+
+// Write performs a write access for addr (write-allocate, write-back).
+func (c *Cache) Write(addr uint64) AccessResult {
+	return c.access(addr, true, false)
+}
+
+// ReadLowPri is Read with thrash-resistant insertion: on a miss the line is
+// filled at LRU position, so streaming data flows through one way of the set
+// instead of evicting the reusable working set. This models the DRRIP-class
+// insertion policies of modern last-level caches and is used for
+// compiler-identified streaming (strided) references.
+func (c *Cache) ReadLowPri(addr uint64) AccessResult {
+	return c.access(addr, false, true)
+}
+
+// WriteLowPri is Write with thrash-resistant insertion (see ReadLowPri).
+func (c *Cache) WriteLowPri(addr uint64) AccessResult {
+	return c.access(addr, true, true)
+}
+
+func (c *Cache) access(addr uint64, write, lowPri bool) AccessResult {
+	c.tick++
+	c.stats.EnergyPJ += c.cfg.AccessEnergyPJ
+	set, tag := c.lineAddr(addr)
+	res := AccessResult{Cycles: c.cfg.HitCycles}
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lastUse = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			res.Hit = true
+			return res
+		}
+	}
+	// Miss: find victim (invalid first, else LRU).
+	if write {
+		c.stats.WriteMiss++
+	} else {
+		c.stats.ReadMiss++
+	}
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			goto fill
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	res.Evicted = true
+	c.stats.Evictions++
+	if ways[victim].dirty {
+		res.WriteBack = true
+		c.stats.WriteBacks++
+		res.VictimAddr = c.victimAddr(set, ways[victim].tag)
+	}
+fill:
+	use := c.tick
+	if lowPri {
+		// Insert at LRU: the line is the set's next victim unless it is
+		// re-referenced (which promotes it via the hit path).
+		use = 1
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lastUse: use}
+	return res
+}
+
+// victimAddr reconstructs the base address of a line from (set, tag).
+func (c *Cache) victimAddr(set int, tag uint64) uint64 {
+	lineNo := tag*uint64(c.nsets) + uint64(set)
+	return lineNo * uint64(c.cfg.LineBytes)
+}
+
+// Contains reports whether addr's line is resident (no state change, no
+// energy charge); used by directories to probe.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.lineAddr(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr's line if resident, returning whether it was dirty
+// (the caller must then write it back). Models a coherence invalidation.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.lineAddr(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			present, dirty = true, ways[i].dirty
+			ways[i] = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// ResidentLines returns how many valid lines the cache currently holds;
+// used by capacity-invariant tests.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MaxLines returns the line capacity of the cache.
+func (c *Cache) MaxLines() int { return c.nsets * c.cfg.Ways }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line, returning the number of dirty lines dropped.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid && c.sets[si][wi].dirty {
+				dirty++
+			}
+			c.sets[si][wi] = line{}
+		}
+	}
+	return dirty
+}

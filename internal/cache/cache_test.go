@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() *Cache {
+	// 4 sets × 2 ways × 64B lines = 512B cache: easy to reason about.
+	return New(Config{Name: "t", SizeBytes: 512, LineBytes: 64, Ways: 2, HitCycles: 2, AccessEnergyPJ: 10})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := tiny()
+	r := c.Read(0)
+	if r.Hit {
+		t.Fatalf("cold read must miss")
+	}
+	r = c.Read(0)
+	if !r.Hit {
+		t.Fatalf("second read must hit")
+	}
+	if r.Cycles != 2 {
+		t.Fatalf("hit cycles = %d", r.Cycles)
+	}
+	st := c.Stats()
+	if st.Reads != 2 || st.ReadMiss != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSameLineDifferentOffsets(t *testing.T) {
+	c := tiny()
+	c.Read(0)
+	if !c.Read(63).Hit {
+		t.Fatalf("same 64B line must hit")
+	}
+	if c.Read(64).Hit {
+		t.Fatalf("next line must miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny()         // 4 sets, 2 ways; lines mapping to set 0: 0, 256, 512, ...
+	c.Read(0)           // set0 way A
+	c.Read(64 * 4)      // 256: set0 way B
+	c.Read(0)           // touch 0: now 256 is LRU
+	r := c.Read(64 * 8) // 512: evicts 256
+	if !r.Evicted {
+		t.Fatalf("expected eviction")
+	}
+	if !c.Contains(0) {
+		t.Fatalf("MRU line 0 must survive")
+	}
+	if c.Contains(64 * 4) {
+		t.Fatalf("LRU line 256 must be evicted")
+	}
+}
+
+func TestWriteBackOnDirtyEviction(t *testing.T) {
+	c := tiny()
+	c.Write(0) // dirty line in set 0
+	c.Read(256)
+	r := c.Read(512) // evicts LRU = line 0 (dirty)
+	if !r.WriteBack {
+		t.Fatalf("dirty eviction must write back")
+	}
+	if r.VictimAddr != 0 {
+		t.Fatalf("victim addr = %d, want 0", r.VictimAddr)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Fatalf("writeback count = %d", c.Stats().WriteBacks)
+	}
+}
+
+func TestVictimAddrReconstruction(t *testing.T) {
+	c := tiny()
+	// Fill set 1 (addresses 64 and 64+256) then force an eviction and
+	// check the reconstructed victim address matches what we wrote.
+	c.Write(64)
+	c.Write(64 + 256)
+	r := c.Write(64 + 512)
+	if !r.WriteBack {
+		t.Fatalf("expected dirty writeback")
+	}
+	if r.VictimAddr != 64 {
+		t.Fatalf("victim addr = %d, want 64", r.VictimAddr)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := tiny()
+	c.Write(128)
+	present, dirty := c.Invalidate(128)
+	if !present || !dirty {
+		t.Fatalf("invalidate dirty line: present=%v dirty=%v", present, dirty)
+	}
+	if c.Contains(128) {
+		t.Fatalf("line must be gone")
+	}
+	present, _ = c.Invalidate(128)
+	if present {
+		t.Fatalf("second invalidate must miss")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := tiny()
+	c.Write(0)
+	c.Write(64)
+	c.Read(128)
+	if got := c.Flush(); got != 2 {
+		t.Fatalf("Flush dirty count = %d, want 2", got)
+	}
+	if c.ResidentLines() != 0 {
+		t.Fatalf("flush must empty the cache")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	c := tiny()
+	c.Read(0)
+	c.Write(0)
+	if got := c.Stats().EnergyPJ; got != 20 {
+		t.Fatalf("energy = %v, want 20", got)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatalf("empty miss rate")
+	}
+	s = Stats{Reads: 8, Writes: 2, ReadMiss: 4, WriteMiss: 1}
+	if s.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", s.MissRate())
+	}
+}
+
+func TestDefaultsGeometry(t *testing.T) {
+	l1 := New(L1Default())
+	if l1.MaxLines() != (32<<10)/64 {
+		t.Fatalf("L1 lines = %d", l1.MaxLines())
+	}
+	l2 := New(L2SliceDefault())
+	if l2.MaxLines() != (512<<10)/64 {
+		t.Fatalf("L2 lines = %d", l2.MaxLines())
+	}
+}
+
+// Property: resident lines never exceed capacity, and an access to a line
+// just accessed always hits.
+func TestQuickCapacityAndRehit(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := tiny()
+		for _, a := range addrs {
+			addr := uint64(a % 8192)
+			c.Read(addr)
+			if c.ResidentLines() > c.MaxLines() {
+				return false
+			}
+			if !c.Read(addr).Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a working set of at most Ways distinct lines per set, there
+// are no capacity evictions after the cold pass (LRU stack property).
+func TestQuickNoThrashWithinWays(t *testing.T) {
+	f := func(seed uint8, n uint8) bool {
+		c := tiny()
+		// Two lines per set at most: use lines 0 and 256 of set 0.
+		lines := []uint64{0, 256}
+		for i := 0; i < int(n); i++ {
+			c.Read(lines[(int(seed)+i)%2])
+		}
+		return c.Stats().Evictions == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

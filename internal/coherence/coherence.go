@@ -1,0 +1,297 @@
+// Package coherence implements the hardware half of the paper's Section-2
+// co-design (Alvarez et al., ISCA'15): the set of directories and filters
+// that let memory accesses with unknown aliasing hazards be served by
+// whichever memory — scratchpad or cache — holds the valid copy of the data.
+//
+// Structure:
+//
+//   - A distributed SPM directory, interleaved across tiles at page
+//     granularity, records which tile's scratchpad currently maps each page.
+//   - A per-tile filter holds a conservative Bloom-filter summary of *all*
+//     globally SPM-mapped pages. An unknown-alias access first consults its
+//     local filter: a negative answer proves the address is not in any SPM,
+//     so the access proceeds down the cache hierarchy with zero protocol
+//     traffic — the common case that makes the design cheap. A positive
+//     answer forces a directory lookup at the page's home tile.
+//
+// Filters admit false positives (wasted directory lookups, never wrong
+// answers) and are rebuilt by broadcast when mappings change, which the
+// paper's compiler arranges to happen only at tile boundaries.
+package coherence
+
+import "fmt"
+
+// PageBits is log2 of the tracking granularity. 4 KiB pages match the
+// mapping granularity of the compiler's tiling software caches.
+const PageBits = 12
+
+// PageOf returns the page number of an address.
+func PageOf(addr uint64) uint64 { return addr >> PageBits }
+
+// Directory is the distributed page-to-owner map. Entries are interleaved
+// across nTiles home tiles by page number.
+type Directory struct {
+	nTiles int
+	owner  map[uint64]int // page -> owning tile
+	stats  DirStats
+}
+
+// DirStats counts directory activity.
+type DirStats struct {
+	Lookups   uint64
+	Hits      uint64 // lookups that found an SPM owner
+	Registers uint64
+	Removes   uint64
+}
+
+// NewDirectory creates a directory for a machine with nTiles tiles.
+func NewDirectory(nTiles int) *Directory {
+	if nTiles <= 0 {
+		panic("coherence: non-positive tile count")
+	}
+	return &Directory{nTiles: nTiles, owner: make(map[uint64]int)}
+}
+
+// HomeTile returns the tile whose directory slice owns the page's entry.
+func (d *Directory) HomeTile(page uint64) int { return int(page % uint64(d.nTiles)) }
+
+// Register records that tile's SPM now maps [base, base+size). Returns the
+// pages registered (callers charge filter-update broadcast traffic per page).
+func (d *Directory) Register(tile int, base uint64, size int) []uint64 {
+	if size <= 0 {
+		return nil
+	}
+	first := PageOf(base)
+	last := PageOf(base + uint64(size) - 1)
+	pages := make([]uint64, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		d.owner[p] = tile
+		pages = append(pages, p)
+	}
+	d.stats.Registers += uint64(len(pages))
+	return pages
+}
+
+// Remove erases the mapping of [base, base+size). Returns the pages removed.
+func (d *Directory) Remove(base uint64, size int) []uint64 {
+	if size <= 0 {
+		return nil
+	}
+	first := PageOf(base)
+	last := PageOf(base + uint64(size) - 1)
+	pages := make([]uint64, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		if _, ok := d.owner[p]; ok {
+			delete(d.owner, p)
+			pages = append(pages, p)
+		}
+	}
+	d.stats.Removes += uint64(len(pages))
+	return pages
+}
+
+// Lookup consults the directory for addr and returns the owning tile, if the
+// page is SPM-mapped anywhere.
+func (d *Directory) Lookup(addr uint64) (tile int, mapped bool) {
+	d.stats.Lookups++
+	t, ok := d.owner[PageOf(addr)]
+	if ok {
+		d.stats.Hits++
+	}
+	return t, ok
+}
+
+// Stats returns the directory counters.
+func (d *Directory) Stats() DirStats { return d.stats }
+
+// MappedPages returns the number of pages currently registered.
+func (d *Directory) MappedPages() int { return len(d.owner) }
+
+// Filter is one tile's Bloom-filter summary of globally mapped pages. A
+// query answers "definitely not mapped" or "maybe mapped".
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	stats FilterStats
+}
+
+// FilterStats counts filter activity; FalsePositives is filled by the caller
+// when a directory lookup disproves a maybe.
+type FilterStats struct {
+	Queries        uint64
+	Negative       uint64 // proved not mapped: zero-cost fast path
+	Maybe          uint64
+	FalsePositives uint64
+}
+
+// NewFilter creates a filter with the given number of bits (rounded up to a
+// multiple of 64). 4096 bits track thousands of pages with a low
+// false-positive rate.
+func NewFilter(nbits int) *Filter {
+	if nbits < 64 {
+		nbits = 64
+	}
+	words := (nbits + 63) / 64
+	return &Filter{bits: make([]uint64, words), nbits: uint64(words * 64)}
+}
+
+// hash2 derives two independent bit positions from a page number.
+func (f *Filter) hash2(page uint64) (uint64, uint64) {
+	h1 := page * 0x9e3779b97f4a7c15
+	h1 ^= h1 >> 29
+	h2 := page * 0xc2b2ae3d27d4eb4f
+	h2 ^= h2 >> 31
+	return h1 % f.nbits, h2 % f.nbits
+}
+
+// Insert marks a page as possibly mapped.
+func (f *Filter) Insert(page uint64) {
+	b1, b2 := f.hash2(page)
+	f.bits[b1/64] |= 1 << (b1 % 64)
+	f.bits[b2/64] |= 1 << (b2 % 64)
+}
+
+// MayBeMapped queries the filter. False means *definitely* not mapped.
+func (f *Filter) MayBeMapped(addr uint64) bool {
+	f.stats.Queries++
+	b1, b2 := f.hash2(PageOf(addr))
+	hit := f.bits[b1/64]&(1<<(b1%64)) != 0 && f.bits[b2/64]&(1<<(b2%64)) != 0
+	if hit {
+		f.stats.Maybe++
+	} else {
+		f.stats.Negative++
+	}
+	return hit
+}
+
+// NoteFalsePositive records that a maybe was disproved by the directory.
+func (f *Filter) NoteFalsePositive() { f.stats.FalsePositives++ }
+
+// Clear empties the filter (mapping-change rebuild).
+func (f *Filter) Clear() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+}
+
+// Stats returns the filter counters.
+func (f *Filter) Stats() FilterStats { return f.stats }
+
+// Fabric bundles the directory with every tile's filter and keeps them
+// consistent; it is the single object the machine simulator talks to.
+type Fabric struct {
+	dir     *Directory
+	filters []*Filter
+}
+
+// NewFabric creates the coherence fabric for nTiles tiles.
+func NewFabric(nTiles, filterBits int) *Fabric {
+	f := &Fabric{dir: NewDirectory(nTiles), filters: make([]*Filter, nTiles)}
+	for i := range f.filters {
+		f.filters[i] = NewFilter(filterBits)
+	}
+	return f
+}
+
+// Directory exposes the underlying directory.
+func (fb *Fabric) Directory() *Directory { return fb.dir }
+
+// Filter returns tile's filter.
+func (fb *Fabric) Filter(tile int) *Filter { return fb.filters[tile] }
+
+// Map registers an SPM mapping on tile and updates every filter (the
+// broadcast the protocol performs at tile-mapping time). It returns the
+// number of pages touched, which the caller converts into NoC traffic.
+func (fb *Fabric) Map(tile int, base uint64, size int) int {
+	pages := fb.dir.Register(tile, base, size)
+	for _, p := range pages {
+		for _, flt := range fb.filters {
+			flt.Insert(p)
+		}
+	}
+	return len(pages)
+}
+
+// Unmap removes a mapping. Bloom filters cannot delete, so filters are
+// rebuilt from the directory's surviving pages — exactly the periodic
+// rebuild the hardware performs lazily. Returns pages removed.
+func (fb *Fabric) Unmap(base uint64, size int) int {
+	pages := fb.dir.Remove(base, size)
+	if len(pages) == 0 {
+		return 0
+	}
+	for _, flt := range fb.filters {
+		flt.Clear()
+	}
+	for p := range fb.dir.owner {
+		for _, flt := range fb.filters {
+			flt.Insert(p)
+		}
+	}
+	return len(pages)
+}
+
+// Clear drops every mapping and empties all filters at once. The machine
+// simulator calls it at phase boundaries, where the compiler unmaps all
+// tiles anyway; it avoids the per-region rebuild cost of Unmap.
+func (fb *Fabric) Clear() {
+	for p := range fb.dir.owner {
+		delete(fb.dir.owner, p)
+	}
+	for _, flt := range fb.filters {
+		flt.Clear()
+	}
+}
+
+// Resolution is the outcome of resolving an unknown-alias access.
+type Resolution int
+
+const (
+	// ResolvedCacheFast: the local filter proved the address unmapped; the
+	// access proceeds to the cache with no protocol traffic.
+	ResolvedCacheFast Resolution = iota
+	// ResolvedCacheDir: the filter said maybe, the directory said no; the
+	// access pays one directory round trip, then uses the cache.
+	ResolvedCacheDir
+	// ResolvedLocalSPM: the data is mapped in the requesting tile's SPM.
+	ResolvedLocalSPM
+	// ResolvedRemoteSPM: the data is mapped in another tile's SPM; the
+	// access is forwarded there.
+	ResolvedRemoteSPM
+)
+
+// String implements fmt.Stringer.
+func (r Resolution) String() string {
+	switch r {
+	case ResolvedCacheFast:
+		return "cache-fast"
+	case ResolvedCacheDir:
+		return "cache-after-directory"
+	case ResolvedLocalSPM:
+		return "local-spm"
+	case ResolvedRemoteSPM:
+		return "remote-spm"
+	default:
+		return fmt.Sprintf("Resolution(%d)", int(r))
+	}
+}
+
+// Resolve answers, for an unknown-alias access issued by tile at addr, which
+// memory must serve it. owner is meaningful for ResolvedRemoteSPM; homeTile
+// is where the directory entry lives (callers charge NoC traffic to it for
+// the directory round trip cases).
+func (fb *Fabric) Resolve(tile int, addr uint64) (res Resolution, owner, homeTile int) {
+	homeTile = fb.dir.HomeTile(PageOf(addr))
+	if !fb.filters[tile].MayBeMapped(addr) {
+		return ResolvedCacheFast, -1, homeTile
+	}
+	o, mapped := fb.dir.Lookup(addr)
+	if !mapped {
+		fb.filters[tile].NoteFalsePositive()
+		return ResolvedCacheDir, -1, homeTile
+	}
+	if o == tile {
+		return ResolvedLocalSPM, o, homeTile
+	}
+	return ResolvedRemoteSPM, o, homeTile
+}

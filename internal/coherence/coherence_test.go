@@ -1,0 +1,219 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Fatalf("PageOf boundaries wrong")
+	}
+}
+
+func TestDirectoryRegisterLookup(t *testing.T) {
+	d := NewDirectory(64)
+	pages := d.Register(7, 8192, 8192) // pages 2 and 3
+	if len(pages) != 2 {
+		t.Fatalf("registered %d pages, want 2", len(pages))
+	}
+	if tile, ok := d.Lookup(8192 + 100); !ok || tile != 7 {
+		t.Fatalf("lookup = %d,%v", tile, ok)
+	}
+	if _, ok := d.Lookup(0); ok {
+		t.Fatalf("unmapped page must miss")
+	}
+	if d.MappedPages() != 2 {
+		t.Fatalf("MappedPages = %d", d.MappedPages())
+	}
+}
+
+func TestDirectoryPartialPages(t *testing.T) {
+	d := NewDirectory(4)
+	// A 1-byte mapping still owns its whole page (conservative).
+	d.Register(1, 4096*5+17, 1)
+	if tile, ok := d.Lookup(4096 * 5); !ok || tile != 1 {
+		t.Fatalf("page-granular ownership expected")
+	}
+}
+
+func TestDirectoryRemove(t *testing.T) {
+	d := NewDirectory(8)
+	d.Register(3, 0, 4096*4)
+	removed := d.Remove(4096, 4096*2) // pages 1,2
+	if len(removed) != 2 {
+		t.Fatalf("removed %d", len(removed))
+	}
+	if _, ok := d.Lookup(4096); ok {
+		t.Fatalf("removed page still mapped")
+	}
+	if _, ok := d.Lookup(0); !ok {
+		t.Fatalf("untouched page lost")
+	}
+}
+
+func TestHomeTileInterleave(t *testing.T) {
+	d := NewDirectory(64)
+	if d.HomeTile(0) != 0 || d.HomeTile(63) != 63 || d.HomeTile(64) != 0 {
+		t.Fatalf("interleave wrong: %d %d %d", d.HomeTile(0), d.HomeTile(63), d.HomeTile(64))
+	}
+}
+
+func TestFilterNegativeIsDefinite(t *testing.T) {
+	f := NewFilter(4096)
+	// Nothing inserted: every query must be a definite negative.
+	for a := uint64(0); a < 100*4096; a += 4096 {
+		if f.MayBeMapped(a) {
+			t.Fatalf("empty filter returned maybe for %d", a)
+		}
+	}
+	st := f.Stats()
+	if st.Negative != 100 || st.Maybe != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f := NewFilter(1024)
+	for p := uint64(0); p < 200; p++ {
+		f.Insert(p)
+	}
+	for p := uint64(0); p < 200; p++ {
+		if !f.MayBeMapped(p << PageBits) {
+			t.Fatalf("inserted page %d reported unmapped (false negative)", p)
+		}
+	}
+}
+
+func TestFilterClear(t *testing.T) {
+	f := NewFilter(256)
+	f.Insert(42)
+	f.Clear()
+	if f.MayBeMapped(42 << PageBits) {
+		t.Fatalf("cleared filter must be empty")
+	}
+}
+
+func TestFabricResolveFourWays(t *testing.T) {
+	fb := NewFabric(16, 4096)
+	// Tile 2 maps page 10; tile 5 issues unknown-alias accesses.
+	fb.Map(2, 10<<PageBits, 4096)
+
+	res, owner, _ := fb.Resolve(5, 10<<PageBits)
+	if res != ResolvedRemoteSPM || owner != 2 {
+		t.Fatalf("remote spm: %v %d", res, owner)
+	}
+	res, owner, _ = fb.Resolve(2, 10<<PageBits)
+	if res != ResolvedLocalSPM || owner != 2 {
+		t.Fatalf("local spm: %v %d", res, owner)
+	}
+	// A far-away page: overwhelmingly likely a definite negative.
+	res, _, _ = fb.Resolve(5, 9999<<PageBits)
+	if res != ResolvedCacheFast && res != ResolvedCacheDir {
+		t.Fatalf("unmapped page must go to cache, got %v", res)
+	}
+}
+
+func TestFabricUnmapRebuildsFilters(t *testing.T) {
+	fb := NewFabric(4, 4096)
+	fb.Map(0, 0, 4096)     // page 0
+	fb.Map(1, 1<<20, 4096) // page 256
+	fb.Unmap(0, 4096)      // remove page 0
+	// Page 256 must still be findable after the rebuild.
+	res, owner, _ := fb.Resolve(3, 1<<20)
+	if res != ResolvedRemoteSPM || owner != 1 {
+		t.Fatalf("surviving mapping lost by rebuild: %v %d", res, owner)
+	}
+	// Page 0 must now resolve to a cache path.
+	res, _, _ = fb.Resolve(3, 0)
+	if res == ResolvedLocalSPM || res == ResolvedRemoteSPM {
+		t.Fatalf("unmapped page resolved to SPM: %v", res)
+	}
+}
+
+func TestFalsePositiveAccounting(t *testing.T) {
+	fb := NewFabric(2, 64) // tiny filter: false positives likely
+	for p := uint64(0); p < 64; p++ {
+		fb.Map(0, p<<PageBits, 1)
+	}
+	// Query many unmapped pages; any maybe must be disproved by the
+	// directory and counted as a false positive, never mis-served.
+	for p := uint64(1000); p < 1300; p++ {
+		res, _, _ := fb.Resolve(1, p<<PageBits)
+		if res == ResolvedLocalSPM || res == ResolvedRemoteSPM {
+			t.Fatalf("unmapped page served from SPM")
+		}
+	}
+	st := fb.Filter(1).Stats()
+	if st.Maybe != st.FalsePositives {
+		t.Fatalf("all maybes on unmapped pages must be false positives: %+v", st)
+	}
+}
+
+func TestResolutionString(t *testing.T) {
+	for _, r := range []Resolution{ResolvedCacheFast, ResolvedCacheDir, ResolvedLocalSPM, ResolvedRemoteSPM, Resolution(99)} {
+		if r.String() == "" {
+			t.Fatalf("empty string for %d", int(r))
+		}
+	}
+}
+
+// Property: the protocol never gives a wrong answer — an address mapped by
+// tile T always resolves to T's SPM; an unmapped address never resolves to
+// an SPM. This is the correctness claim of the ISCA'15 protocol.
+func TestQuickResolveCorrectness(t *testing.T) {
+	f := func(mappings []uint16, queries []uint16) bool {
+		const nTiles = 8
+		fb := NewFabric(nTiles, 2048)
+		owned := map[uint64]int{}
+		for _, m := range mappings {
+			tile := int(m) % nTiles
+			page := uint64(m % 512)
+			fb.Map(tile, page<<PageBits, 4096)
+			owned[page] = tile
+		}
+		for _, q := range queries {
+			tile := int(q>>8) % nTiles
+			page := uint64(q % 1024)
+			res, owner, _ := fb.Resolve(tile, page<<PageBits)
+			want, mapped := owned[page]
+			switch res {
+			case ResolvedLocalSPM:
+				if !mapped || want != tile || owner != want {
+					return false
+				}
+			case ResolvedRemoteSPM:
+				if !mapped || want == tile || owner != want {
+					return false
+				}
+			default:
+				if mapped {
+					return false // mapped page must never fall to cache
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: directory register/remove round-trips leave no residue.
+func TestQuickDirectoryRoundTrip(t *testing.T) {
+	f := func(bases []uint16) bool {
+		d := NewDirectory(16)
+		for _, b := range bases {
+			base := uint64(b) << PageBits
+			d.Register(int(b)%16, base, 4096*3)
+		}
+		for _, b := range bases {
+			base := uint64(b) << PageBits
+			d.Remove(base, 4096*3)
+		}
+		return d.MappedPages() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

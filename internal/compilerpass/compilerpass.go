@@ -1,0 +1,212 @@
+// Package compilerpass implements the software half of the paper's Section-2
+// co-design: the compiler analysis that classifies every memory reference of
+// a kernel into one of three categories and plans the scratchpad tiling for
+// the strided ones.
+//
+// The three categories, verbatim from the paper:
+//
+//  1. strided references — transformed to map to the SPMs using tiling
+//     software caches;
+//  2. random references that provably do not alias strided ones — served by
+//     the cache hierarchy with ordinary memory instructions;
+//  3. random references with unknown aliasing hazards — emitted as a special
+//     memory instruction that lets the *hardware* (the coherence filter +
+//     directory of package coherence) decide which memory serves them.
+//
+// A real compiler derives category 3 from failed alias analysis; our kernel
+// IR carries that verdict in Ref.MayAliasStrided, and this package
+// additionally upgrades it with a simple whole-program overlap check: if a
+// random reference's array demonstrably overlaps a strided array in the
+// same phase, it is unknown-alias regardless of the flag.
+package compilerpass
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Class is the category the compiler assigns to a reference.
+type Class int
+
+const (
+	// ClassSPM: strided, mapped to the scratchpad through a tiling
+	// software cache.
+	ClassSPM Class = iota
+	// ClassCache: random, provably no alias with SPM-mapped data; plain
+	// cached memory instruction.
+	ClassCache
+	// ClassUnknown: random with unknown aliasing hazards; the special
+	// instruction consults the coherence filter at run time.
+	ClassUnknown
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassSPM:
+		return "spm"
+	case ClassCache:
+		return "cache"
+	case ClassUnknown:
+		return "unknown-alias"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ClassifiedRef pairs a reference with its class and, for SPM references,
+// its tiling plan.
+type ClassifiedRef struct {
+	trace.Ref
+	Class Class
+	// TileElems is the software-cache tile size in elements (SPM refs).
+	TileElems int
+	// DoubleBuffered records whether the DMA of the next tile overlaps the
+	// compute on the current one.
+	DoubleBuffered bool
+}
+
+// ClassifiedPhase is a phase whose references have been classified.
+type ClassifiedPhase struct {
+	trace.Phase
+	Refs []ClassifiedRef
+}
+
+// ClassifiedKernel is the compiler's output for a whole kernel.
+type ClassifiedKernel struct {
+	trace.Kernel
+	Phases []ClassifiedPhase
+}
+
+// Options tunes the classification/tiling pass.
+type Options struct {
+	// SPMBytes is the per-tile scratchpad capacity the tiling must fit in.
+	SPMBytes int
+	// DoubleBuffer halves tile sizes to overlap DMA with compute.
+	DoubleBuffer bool
+	// MinTileElems below which SPM mapping is not worth the DMA setup; the
+	// pass demotes such references to the cache class.
+	MinTileElems int
+}
+
+// DefaultOptions matches the Figure-1 machine's 32 KiB SPMs.
+func DefaultOptions() Options {
+	return Options{SPMBytes: 32 << 10, DoubleBuffer: true, MinTileElems: 32}
+}
+
+// Classify runs the pass over a kernel.
+func Classify(k trace.Kernel, opt Options) (ClassifiedKernel, error) {
+	if err := k.Validate(); err != nil {
+		return ClassifiedKernel{}, err
+	}
+	if opt.SPMBytes <= 0 {
+		return ClassifiedKernel{}, fmt.Errorf("compilerpass: non-positive SPM capacity")
+	}
+	out := ClassifiedKernel{Kernel: k}
+	for _, p := range k.Phases {
+		cp, err := classifyPhase(p, opt)
+		if err != nil {
+			return ClassifiedKernel{}, fmt.Errorf("compilerpass: kernel %s: %w", k.Name, err)
+		}
+		out.Phases = append(out.Phases, cp)
+	}
+	return out, nil
+}
+
+func classifyPhase(p trace.Phase, opt Options) (ClassifiedPhase, error) {
+	cp := ClassifiedPhase{Phase: p}
+	// First pass: provisional classes.
+	var strided []trace.Ref
+	for _, r := range p.Refs {
+		if r.Pattern == trace.Strided {
+			strided = append(strided, r)
+		}
+	}
+	for _, r := range p.Refs {
+		cr := ClassifiedRef{Ref: r}
+		switch {
+		case r.Pattern == trace.Strided:
+			cr.Class = ClassSPM
+		case r.MayAliasStrided || overlapsAny(r, strided):
+			// Either the front end could not disambiguate, or the arrays
+			// demonstrably overlap: hardware must decide.
+			cr.Class = ClassUnknown
+		default:
+			cr.Class = ClassCache
+		}
+		cp.Refs = append(cp.Refs, cr)
+	}
+	// Second pass: tile the SPM references. Capacity is divided evenly
+	// among them; double buffering needs two tiles resident per ref.
+	nspm := 0
+	for _, cr := range cp.Refs {
+		if cr.Class == ClassSPM {
+			nspm++
+		}
+	}
+	if nspm == 0 {
+		return cp, nil
+	}
+	buffers := 1
+	if opt.DoubleBuffer {
+		buffers = 2
+	}
+	bytesPerRef := opt.SPMBytes / (nspm * buffers)
+	for i := range cp.Refs {
+		cr := &cp.Refs[i]
+		if cr.Class != ClassSPM {
+			continue
+		}
+		tile := bytesPerRef / cr.ElemBytes
+		if tile > cr.Elems {
+			tile = cr.Elems
+		}
+		// The compiler knows the loop trip count: a tile larger than the
+		// iterations that will consume it is pure DMA overfetch.
+		if tile > p.ItersPerCore {
+			tile = p.ItersPerCore
+		}
+		if tile < opt.MinTileElems {
+			// Not worth a DMA: keep it in the cache hierarchy. This is the
+			// profitability heuristic real SPM compilers apply.
+			cr.Class = ClassCache
+			continue
+		}
+		cr.TileElems = tile
+		cr.DoubleBuffered = opt.DoubleBuffer
+	}
+	return cp, nil
+}
+
+func overlapsAny(r trace.Ref, strided []trace.Ref) bool {
+	for _, s := range strided {
+		if r.Overlaps(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary counts references per class, the headline statistic of the pass.
+type Summary struct {
+	SPM, Cache, Unknown int
+}
+
+// Summarize tallies the classes across all phases.
+func (ck ClassifiedKernel) Summarize() Summary {
+	var s Summary
+	for _, p := range ck.Phases {
+		for _, r := range p.Refs {
+			switch r.Class {
+			case ClassSPM:
+				s.SPM++
+			case ClassCache:
+				s.Cache++
+			case ClassUnknown:
+				s.Unknown++
+			}
+		}
+	}
+	return s
+}

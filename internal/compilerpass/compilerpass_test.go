@@ -1,0 +1,201 @@
+package compilerpass
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func kernelWith(refs ...trace.Ref) trace.Kernel {
+	return trace.Kernel{
+		Name:    "k",
+		Repeats: 1,
+		Phases: []trace.Phase{{
+			Name: "p", ItersPerCore: 100, Refs: refs, ComputeOpsPerIter: 1,
+		}},
+	}
+}
+
+func strided(name string, base uint64, elems int) trace.Ref {
+	return trace.Ref{Array: name, Base: base, ElemBytes: 8, Elems: elems, Pattern: trace.Strided, Stride: 1}
+}
+
+func random(name string, base uint64, elems int, mayAlias bool) trace.Ref {
+	return trace.Ref{Array: name, Base: base, ElemBytes: 8, Elems: elems, Pattern: trace.Random, MayAliasStrided: mayAlias}
+}
+
+func TestThreeWayClassification(t *testing.T) {
+	k := kernelWith(
+		strided("a", 0, 1<<16),
+		random("x", 1<<24, 1<<12, false),
+		random("y", 1<<25, 1<<12, true),
+	)
+	ck, err := Classify(k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := ck.Phases[0].Refs
+	if refs[0].Class != ClassSPM {
+		t.Fatalf("strided -> %v", refs[0].Class)
+	}
+	if refs[1].Class != ClassCache {
+		t.Fatalf("random non-alias -> %v", refs[1].Class)
+	}
+	if refs[2].Class != ClassUnknown {
+		t.Fatalf("may-alias -> %v", refs[2].Class)
+	}
+	s := ck.Summarize()
+	if s.SPM != 1 || s.Cache != 1 || s.Unknown != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestOverlapForcesUnknown(t *testing.T) {
+	// Random ref whose array overlaps the strided array: even with the
+	// front-end flag clear, the pass must notice and classify unknown.
+	k := kernelWith(
+		strided("a", 0, 1024),
+		random("a_alias", 512*8, 1024, false), // overlaps a's second half
+	)
+	ck, err := Classify(k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ck.Phases[0].Refs[1].Class; got != ClassUnknown {
+		t.Fatalf("overlapping random ref -> %v, want unknown", got)
+	}
+}
+
+func TestTilingFitsSPM(t *testing.T) {
+	opt := DefaultOptions()
+	k := kernelWith(
+		strided("a", 0, 1<<20),
+		strided("b", 1<<30, 1<<20),
+	)
+	ck, err := Classify(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range ck.Phases[0].Refs {
+		if r.Class != ClassSPM {
+			t.Fatalf("expected SPM class, got %v", r.Class)
+		}
+		if !r.DoubleBuffered {
+			t.Fatalf("expected double buffering")
+		}
+		total += r.TileElems * r.ElemBytes * 2 // two buffers each
+	}
+	if total > opt.SPMBytes {
+		t.Fatalf("tiles (%dB) exceed SPM (%dB)", total, opt.SPMBytes)
+	}
+}
+
+func TestSmallArrayTileClamped(t *testing.T) {
+	k := kernelWith(strided("small", 0, 64))
+	ck, err := Classify(k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ck.Phases[0].Refs[0]
+	if r.Class != ClassSPM {
+		t.Fatalf("class = %v", r.Class)
+	}
+	if r.TileElems != 64 {
+		t.Fatalf("tile must clamp to array size, got %d", r.TileElems)
+	}
+}
+
+func TestTinyTilesDemotedToCache(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MinTileElems = 1 << 20 // absurd threshold: nothing qualifies
+	k := kernelWith(strided("a", 0, 1<<16))
+	ck, err := Classify(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ck.Phases[0].Refs[0].Class; got != ClassCache {
+		t.Fatalf("tiny tile should demote to cache, got %v", got)
+	}
+}
+
+func TestClassifyRejectsBadInput(t *testing.T) {
+	if _, err := Classify(trace.Kernel{}, DefaultOptions()); err == nil {
+		t.Fatalf("invalid kernel must be rejected")
+	}
+	k := kernelWith(strided("a", 0, 1024))
+	if _, err := Classify(k, Options{SPMBytes: 0}); err == nil {
+		t.Fatalf("zero SPM capacity must be rejected")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassSPM.String() != "spm" || ClassCache.String() != "cache" || ClassUnknown.String() != "unknown-alias" {
+		t.Fatalf("class strings wrong")
+	}
+	if Class(42).String() == "" {
+		t.Fatalf("unknown class must format")
+	}
+}
+
+// Property: tiling never overflows the SPM, for any mix of strided refs.
+func TestQuickTilingNeverOverflows(t *testing.T) {
+	opt := DefaultOptions()
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 12 {
+			return true
+		}
+		var refs []trace.Ref
+		for i, s := range sizes {
+			elems := int(s) + 1
+			refs = append(refs, trace.Ref{
+				Array: string(rune('a' + i)), Base: uint64(i) << 32,
+				ElemBytes: 8, Elems: elems, Pattern: trace.Strided, Stride: 1,
+			})
+		}
+		ck, err := Classify(kernelWith(refs...), opt)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, r := range ck.Phases[0].Refs {
+			if r.Class == ClassSPM {
+				bufs := 1
+				if r.DoubleBuffered {
+					bufs = 2
+				}
+				total += r.TileElems * r.ElemBytes * bufs
+			}
+		}
+		return total <= opt.SPMBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: classification is stable — classifying twice yields identical
+// classes (the pass is a pure function).
+func TestQuickClassifyDeterministic(t *testing.T) {
+	f := func(alias bool, elems uint16) bool {
+		k := kernelWith(
+			strided("a", 0, int(elems)+64),
+			random("x", 1<<24, int(elems)+64, alias),
+		)
+		a, err1 := Classify(k, DefaultOptions())
+		b, err2 := Classify(k, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a.Phases[0].Refs {
+			if a.Phases[0].Refs[i].Class != b.Phases[0].Refs[i].Class {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

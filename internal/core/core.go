@@ -1,0 +1,217 @@
+// Package core is the front door of the runtime-aware-architecture (RAA)
+// reproduction: it names every experiment of the paper's evaluation, knows
+// how to run each one end-to-end, and renders the paper-style tables and
+// figures. The cmd/raa-bench binary and the root benchmark suite are thin
+// wrappers around this package.
+//
+// Experiments (see DESIGN.md for the full index):
+//
+//	fig1  hybrid SPM+cache hierarchy vs cache-only (64-core machine)
+//	fig2  criticality-aware DVFS with the RSU vs static (32 cores)
+//	fig3  VSR sort vs vectorised sorts vs scalar baseline
+//	fig4  resilient CG: checkpoint / restart / FEIR / AFEIR
+//	fig5  OmpSs vs Pthreads scalability on PARSEC-class pipelines
+//	loc   Section-5 lines-of-code study
+//	rsu   RSU vs software reconfiguration scaling sweep
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/hybridmem"
+	"repro/internal/nas"
+	"repro/internal/parsecsim"
+	"repro/internal/simexec"
+	"repro/internal/solver"
+	"repro/internal/vsort"
+)
+
+// Experiment is one runnable reproduction target.
+type Experiment struct {
+	// Name is the CLI identifier (fig1 … fig5, loc, rsu).
+	Name string
+	// Paper describes what the experiment reproduces.
+	Paper string
+	// Run executes the experiment and writes its report to w. quick
+	// selects a reduced problem scale for smoke runs.
+	Run func(w io.Writer, quick bool) error
+}
+
+// Experiments returns the registry in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			Name:  "fig1",
+			Paper: "Figure 1: hybrid memory hierarchy speedups (time/energy/NoC) on 64 cores",
+			Run:   runFig1,
+		},
+		{
+			Name:  "fig2",
+			Paper: "Figure 2 / §3.1: criticality-aware DVFS, RSU vs software, 32 cores",
+			Run:   runFig2,
+		},
+		{
+			Name:  "fig3",
+			Paper: "Figure 3: VSR sort speedups over scalar baseline across MVL and lanes",
+			Run:   runFig3,
+		},
+		{
+			Name:  "fig4",
+			Paper: "Figure 4: CG convergence under one DUE for five recovery schemes",
+			Run:   runFig4,
+		},
+		{
+			Name:  "fig5",
+			Paper: "Figure 5: OmpSs vs Pthreads scalability (bodytrack, facesim)",
+			Run:   runFig5,
+		},
+		{
+			Name:  "loc",
+			Paper: "§5: lines-of-code comparison of the PARSEC ports",
+			Run:   runLoC,
+		},
+		{
+			Name:  "rsu",
+			Paper: "§3.1: RSU vs software reconfiguration overhead across machine sizes",
+			Run:   runRSUScaling,
+		},
+	}
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range Experiments() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q (have %v and \"all\")", name, names)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, quick bool) error {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "==> %s — %s\n\n", e.Name, e.Paper)
+		if err := e.Run(w, quick); err != nil {
+			return fmt.Errorf("core: %s: %w", e.Name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runFig1(w io.Writer, quick bool) error {
+	cfg := hybridmem.DefaultConfig()
+	class := nas.ClassBench
+	if quick {
+		class = nas.ClassTest
+		mc := cfg.Mesh
+		mc.Width, mc.Height = 4, 4
+		cfg.Mesh = mc
+		cfg.NCores = 16
+		cfg.MemControllerTiles = []int{0, 3, 12, 15}
+	}
+	cs, err := hybridmem.CompareSuite(cfg, nas.Suite(class))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, hybridmem.Table(cs))
+	fmt.Fprintf(w, "paper: AVG time +14.7%%, energy +18.5%%, NoC traffic +31.2%%\n")
+	return nil
+}
+
+func runFig2(w io.Writer, quick bool) error {
+	cfg := simexec.DefaultFig2Config()
+	if quick {
+		cfg.Blocks = 10
+	}
+	rows, err := simexec.RunFig2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, simexec.Fig2Table(rows))
+	if !quick {
+		sweep, err := simexec.RunFig2Sweep(cfg.Cores)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, simexec.Fig2SweepTable(sweep))
+	}
+	fmt.Fprintf(w, "paper: improvements over static reach 6.6%% (perf) and 20.0%% (EDP)\n")
+	return nil
+}
+
+func runFig3(w io.Writer, quick bool) error {
+	cfg := vsort.DefaultFig3Config()
+	if quick {
+		cfg.N = 1 << 14
+	}
+	pts, err := vsort.RunFig3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, vsort.Fig3Table(pts, cfg.Lanes))
+	s := vsort.Summarize(pts, cfg.Lanes[len(cfg.Lanes)-1])
+	fmt.Fprintf(w, "VSR best 1-lane %.1f× (paper 7.9–11.7×), best %d-lane %.1f× (paper 14.9–20.6×), vs next best %.2f× (paper 3.4×)\n",
+		s.VSRBest1Lane, cfg.Lanes[len(cfg.Lanes)-1], s.VSRBestMaxLane, s.VSRvsNextBest)
+	return nil
+}
+
+func runFig4(w io.Writer, quick bool) error {
+	cfg := solver.DefaultFig4Config()
+	if quick {
+		cfg.Grid = 64
+	}
+	fr, err := solver.RunFig4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, fr.Table())
+	fmt.Fprintln(w, fr.Plot())
+	fmt.Fprintf(w, "paper: FEIR close to ideal; AFEIR smaller still; ckpt pays rollback; restart pays convergence\n")
+	return nil
+}
+
+func runFig5(w io.Writer, quick bool) error {
+	threads := parsecsim.DefaultThreads()
+	if quick {
+		threads = []int{1, 4, 16}
+	}
+	pts, err := parsecsim.RunFig5(threads)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, parsecsim.Fig5Table(pts))
+	for _, p := range parsecsim.Fig5Plots(pts) {
+		fmt.Fprintln(w, p)
+	}
+	fmt.Fprintf(w, "paper: bodytrack and facesim reach ~12× and ~10× at 16 threads with tasks\n")
+	return nil
+}
+
+func runLoC(w io.Writer, _ bool) error {
+	fmt.Fprintln(w, parsecsim.LoCTable())
+	return nil
+}
+
+func runRSUScaling(w io.Writer, quick bool) error {
+	cores := []int{16, 32, 64, 128}
+	blocks := 16
+	if quick {
+		cores = []int{16, 32}
+		blocks = 10
+	}
+	rows, err := simexec.RunRSUScaling(cores, blocks, 2e6)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, simexec.RSUScalingTable(rows))
+	return nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "loc", "rsu"}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("registry size %d", len(exps))
+	}
+	for i, e := range exps {
+		if e.Name != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.Name, want[i])
+		}
+		if e.Paper == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	e, err := ByName("fig3")
+	if err != nil || e.Name != "fig3" {
+		t.Fatalf("ByName: %v %v", e.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatalf("unknown experiment must error")
+	}
+}
+
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, true); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+			continue
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", e.Name)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig1", "Figure 3", "Figure 4", "bodytrack", "rsu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package dram models the off-chip memory controllers of the simulated
+// manycore. Each access pays an unloaded service latency (row activation +
+// column access + transfer) plus a congestion delay derived from the
+// controller's recent bandwidth utilisation, M/M/1-style:
+//
+//	delay ≈ AccessCycles · ρ/(1−ρ),  ρ = demand / capacity  (capped)
+//
+// The simulator reports wall-clock progress through EndRound; utilisation is
+// an exponential moving average over rounds, so the model is closed-loop:
+// saturated controllers slow the cores down, which lowers demand per cycle.
+package dram
+
+// Config holds the controller's cost constants.
+type Config struct {
+	// AccessCycles is the unloaded latency of one line fetch (row
+	// activation + column access), in core cycles.
+	AccessCycles int
+	// BytesPerCycle is the sustained pin bandwidth in bytes per core cycle.
+	BytesPerCycle float64
+	// AccessEnergyPJ is the energy of transferring one cache line
+	// (I/O + DRAM core), in picojoules.
+	AccessEnergyPJ float64
+	// LineBytes is the transfer granularity.
+	LineBytes int
+	// MaxQueueFactor caps the congestion delay at MaxQueueFactor ×
+	// AccessCycles (a saturated controller cannot delay forever because
+	// upstream buffers throttle the cores).
+	MaxQueueFactor float64
+}
+
+// DefaultConfig returns constants for a DDR-class controller feeding a
+// 64-core chip: 200-cycle unloaded latency, 16 B/cycle, 640 pJ per line.
+func DefaultConfig() Config {
+	return Config{
+		AccessCycles:   200,
+		BytesPerCycle:  24,
+		AccessEnergyPJ: 640,
+		LineBytes:      64,
+		MaxQueueFactor: 3,
+	}
+}
+
+// Stats holds accumulated controller counters.
+type Stats struct {
+	Accesses  uint64
+	Bytes     uint64
+	EnergyPJ  float64
+	QueueingC uint64 // total congestion cycles charged on top of service
+}
+
+// Controller is one memory controller instance.
+type Controller struct {
+	cfg Config
+	// roundBytes accumulates demand since the last EndRound.
+	roundBytes float64
+	// util is the EMA of bandwidth utilisation in [0, utilCap].
+	util  float64
+	stats Stats
+}
+
+// utilCap keeps ρ/(1−ρ) finite.
+const utilCap = 0.96
+
+// emaWeight is the weight of the newest round in the utilisation EMA.
+const emaWeight = 0.5
+
+// New creates a controller.
+func New(cfg Config) *Controller {
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.BytesPerCycle <= 0 {
+		cfg.BytesPerCycle = 16
+	}
+	if cfg.MaxQueueFactor <= 0 {
+		cfg.MaxQueueFactor = 8
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Utilization returns the current bandwidth-utilisation estimate in [0,1).
+func (c *Controller) Utilization() float64 { return c.util }
+
+// UnloadedLatency returns the congestion-free latency for a transfer of the
+// given bytes (rounded up to lines).
+func (c *Controller) UnloadedLatency(bytes int) int {
+	lines := c.lines(bytes)
+	transfer := int(float64(lines*c.cfg.LineBytes) / c.cfg.BytesPerCycle)
+	return c.cfg.AccessCycles + transfer
+}
+
+func (c *Controller) lines(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + c.cfg.LineBytes - 1) / c.cfg.LineBytes
+}
+
+// Access models one transfer of the given bytes and returns its latency in
+// cycles, including the congestion delay implied by the current utilisation
+// estimate.
+func (c *Controller) Access(bytes int) int {
+	lines := c.lines(bytes)
+	sz := lines * c.cfg.LineBytes
+	c.roundBytes += float64(sz)
+	c.stats.Accesses++
+	c.stats.Bytes += uint64(sz)
+	c.stats.EnergyPJ += float64(lines) * c.cfg.AccessEnergyPJ
+	queue := c.queueDelay()
+	c.stats.QueueingC += uint64(queue)
+	return c.UnloadedLatency(bytes) + queue
+}
+
+// queueDelay converts utilisation into waiting cycles.
+func (c *Controller) queueDelay() int {
+	u := c.util
+	if u <= 0 {
+		return 0
+	}
+	d := float64(c.cfg.AccessCycles) * u / (1 - u)
+	maxD := c.cfg.MaxQueueFactor * float64(c.cfg.AccessCycles)
+	if d > maxD {
+		d = maxD
+	}
+	return int(d)
+}
+
+// EndRound informs the controller that roundCycles of wall-clock time
+// elapsed while the demand accumulated since the previous call arrived.
+// It updates the utilisation estimate and resets the demand window.
+func (c *Controller) EndRound(roundCycles int) {
+	if roundCycles <= 0 {
+		return
+	}
+	inst := c.roundBytes / (float64(roundCycles) * c.cfg.BytesPerCycle)
+	if inst > utilCap {
+		inst = utilCap
+	}
+	c.util = (1-emaWeight)*c.util + emaWeight*inst
+	c.roundBytes = 0
+}
+
+// Reset zeroes counters, demand and utilisation.
+func (c *Controller) Reset() {
+	c.roundBytes = 0
+	c.util = 0
+	c.stats = Stats{}
+}

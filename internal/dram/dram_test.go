@@ -1,0 +1,146 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessLatencyUnloaded(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	lat := c.Access(64)
+	want := cfg.AccessCycles + int(64/cfg.BytesPerCycle)
+	if lat != want {
+		t.Fatalf("latency = %d, want %d", lat, want)
+	}
+	if lat != c.UnloadedLatency(64) {
+		t.Fatalf("idle Access must equal UnloadedLatency")
+	}
+}
+
+func TestRoundUpToLines(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(1)
+	if got := c.Stats().Bytes; got != 64 {
+		t.Fatalf("bytes = %d, want 64 (rounded to a line)", got)
+	}
+	c.Access(65)
+	if got := c.Stats().Bytes; got != 64+128 {
+		t.Fatalf("bytes = %d, want 192", got)
+	}
+}
+
+func TestZeroBytesMeansOneLine(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(0)
+	if got := c.Stats().Bytes; got != 64 {
+		t.Fatalf("bytes = %d", got)
+	}
+}
+
+func TestUtilizationRaisesLatency(t *testing.T) {
+	c := New(DefaultConfig())
+	idle := c.Access(64)
+	// Saturate: huge demand over a short round.
+	c.Access(1 << 20)
+	c.EndRound(100)
+	loaded := c.Access(64)
+	if loaded <= idle {
+		t.Fatalf("saturated controller must be slower: %d vs %d", loaded, idle)
+	}
+	if got := c.Utilization(); got <= 0.4 {
+		t.Fatalf("utilisation should be high, got %v", got)
+	}
+}
+
+func TestUtilizationDecays(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(1 << 20)
+	c.EndRound(100)
+	high := c.Utilization()
+	// Several idle rounds decay the EMA.
+	for i := 0; i < 10; i++ {
+		c.EndRound(10000)
+	}
+	if got := c.Utilization(); got >= high/10 {
+		t.Fatalf("utilisation should decay: %v -> %v", high, got)
+	}
+}
+
+func TestQueueDelayCapped(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Pin utilisation at the cap via repeated saturated rounds.
+	for i := 0; i < 20; i++ {
+		c.Access(1 << 24)
+		c.EndRound(10)
+	}
+	lat := c.Access(64)
+	maxLat := c.UnloadedLatency(64) + int(cfg.MaxQueueFactor*float64(cfg.AccessCycles))
+	if lat > maxLat {
+		t.Fatalf("latency %d exceeds cap %d", lat, maxLat)
+	}
+}
+
+func TestEnergyPerLine(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(128) // 2 lines
+	if got := c.Stats().EnergyPJ; got != 2*640 {
+		t.Fatalf("energy = %v", got)
+	}
+}
+
+func TestEndRoundIgnoresNonPositive(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(1 << 20)
+	c.EndRound(0)
+	c.EndRound(-5)
+	if c.Utilization() != 0 {
+		t.Fatalf("non-positive rounds must not update utilisation")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(64)
+	c.EndRound(1)
+	c.Reset()
+	if c.Stats().Accesses != 0 || c.Utilization() != 0 {
+		t.Fatalf("reset failed: %+v util=%v", c.Stats(), c.Utilization())
+	}
+}
+
+// Property: latency is monotone non-decreasing in utilisation.
+func TestQuickLatencyMonotoneInUtil(t *testing.T) {
+	f := func(demand uint32, round uint16) bool {
+		c1 := New(DefaultConfig())
+		c2 := New(DefaultConfig())
+		r := int(round%1000) + 1
+		c1.Access(int(demand % (1 << 22)))
+		c1.EndRound(r)
+		c2.Access(int(demand%(1<<22)) * 2)
+		c2.EndRound(r)
+		return c2.Access(64) >= c1.Access(64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilisation stays in [0, 1).
+func TestQuickUtilBounded(t *testing.T) {
+	f := func(ops []uint32) bool {
+		c := New(DefaultConfig())
+		for _, op := range ops {
+			c.Access(int(op % (1 << 20)))
+			c.EndRound(int(op%512) + 1)
+			if u := c.Utilization(); u < 0 || u >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package fault models Detected-and-Uncorrected Errors (DUEs): the error
+// class the paper's Section 4 targets. Commodity hardware (ECC, parity)
+// *detects* these errors and reports which memory region died, but cannot
+// correct them; recovering the data is the software's problem — which is
+// exactly what the FEIR/AFEIR schemes in package solver do.
+package fault
+
+import "fmt"
+
+// Injector fires one DUE at a configured simulated time, destroying a block
+// of a protected vector. It is deterministic: given the same configuration
+// and time stream, the same fault fires at the same place.
+type Injector struct {
+	// TimeS is the simulated time at which the DUE strikes.
+	TimeS float64
+	// BlockStartFrac and BlockFrac locate the lost block as fractions of
+	// the protected vector: [start, start+size).
+	BlockStartFrac float64
+	BlockFrac      float64
+	fired          bool
+}
+
+// NewInjector builds an injector for one DUE at timeS destroying a block of
+// blockFrac of the vector starting at startFrac.
+func NewInjector(timeS, startFrac, blockFrac float64) *Injector {
+	return &Injector{TimeS: timeS, BlockStartFrac: startFrac, BlockFrac: blockFrac}
+}
+
+// Check reports whether the DUE fires at simulated time now for a vector of
+// length n, returning the lost index range [lo, hi). It fires at most once.
+func (in *Injector) Check(now float64, n int) (lo, hi int, fired bool) {
+	if in == nil || in.fired || now < in.TimeS {
+		return 0, 0, false
+	}
+	in.fired = true
+	lo = int(in.BlockStartFrac * float64(n))
+	hi = lo + int(in.BlockFrac*float64(n))
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= n {
+		lo, hi = n-1, n
+	}
+	return lo, hi, true
+}
+
+// Fired reports whether the DUE has already struck.
+func (in *Injector) Fired() bool { return in != nil && in.fired }
+
+// Reset re-arms the injector.
+func (in *Injector) Reset() { in.fired = false }
+
+// Corrupt overwrites the lost block with a poison pattern, as a DUE leaves
+// unreadable data behind. The solver must not rely on the old values.
+func Corrupt(v []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v[i] = poisonValue
+	}
+}
+
+// poisonValue is deliberately absurd so accidental use of dead data shows.
+const poisonValue = 1e300
+
+// String implements fmt.Stringer.
+func (in *Injector) String() string {
+	return fmt.Sprintf("DUE@%.2fs block[%.0f%%,%.0f%%)", in.TimeS,
+		in.BlockStartFrac*100, (in.BlockStartFrac+in.BlockFrac)*100)
+}

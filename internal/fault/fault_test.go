@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFiresOnceAtTime(t *testing.T) {
+	in := NewInjector(10, 0.25, 0.1)
+	if _, _, fired := in.Check(9.99, 100); fired {
+		t.Fatalf("must not fire early")
+	}
+	lo, hi, fired := in.Check(10, 100)
+	if !fired || lo != 25 || hi != 35 {
+		t.Fatalf("fired=%v block=[%d,%d)", fired, lo, hi)
+	}
+	if _, _, again := in.Check(11, 100); again {
+		t.Fatalf("must fire at most once")
+	}
+	if !in.Fired() {
+		t.Fatalf("Fired() wrong")
+	}
+	in.Reset()
+	if in.Fired() {
+		t.Fatalf("Reset failed")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if _, _, fired := in.Check(1e9, 10); fired {
+		t.Fatalf("nil injector fired")
+	}
+}
+
+func TestBlockClamped(t *testing.T) {
+	in := NewInjector(0, 0.99, 0.5)
+	lo, hi, fired := in.Check(0, 10)
+	if !fired || hi > 10 || lo >= hi {
+		t.Fatalf("block [%d,%d) out of range", lo, hi)
+	}
+	in2 := NewInjector(0, 0.5, 0)
+	lo, hi, _ = in2.Check(0, 10)
+	if hi-lo < 1 {
+		t.Fatalf("zero-size block must clamp to one element")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	Corrupt(v, 1, 3)
+	if v[0] != 1 || v[3] != 4 {
+		t.Fatalf("corruption leaked outside block")
+	}
+	if v[1] == 2 || v[2] == 3 {
+		t.Fatalf("block not corrupted: %v", v)
+	}
+}
+
+func TestString(t *testing.T) {
+	if !strings.Contains(NewInjector(30, 0.25, 0.02).String(), "DUE@30.00s") {
+		t.Fatalf("String: %s", NewInjector(30, 0.25, 0.02).String())
+	}
+}
+
+// Property: the returned block is always a valid, non-empty range.
+func TestQuickBlockValid(t *testing.T) {
+	f := func(timeRaw, startRaw, fracRaw uint8, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		in := NewInjector(float64(timeRaw), float64(startRaw)/255, float64(fracRaw)/255)
+		lo, hi, fired := in.Check(float64(timeRaw), n)
+		if !fired {
+			return false // now >= TimeS always fires the first time
+		}
+		return lo >= 0 && lo < hi && hi <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package hybridmem
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Comparison holds the paper's Figure-1 metrics for one kernel: speedups of
+// the hybrid hierarchy over the cache-only baseline in execution time,
+// energy and NoC traffic (values > 1 mean the hybrid wins).
+type Comparison struct {
+	Kernel       string
+	TimeSpeedup  float64
+	EnergySpeed  float64
+	TrafficSpeed float64
+	Baseline     Result
+	HybridRes    Result
+}
+
+// Compare runs one kernel in both modes on freshly-reset machines and
+// returns the three Figure-1 speedups.
+func Compare(cfg Config, k trace.Kernel) (Comparison, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	base, err := m.RunKernel(k, CacheOnly)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("hybridmem: %s cache-only: %w", k.Name, err)
+	}
+	hyb, err := m.RunKernel(k, Hybrid)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("hybridmem: %s hybrid: %w", k.Name, err)
+	}
+	return Comparison{
+		Kernel:       k.Name,
+		TimeSpeedup:  stats.Speedup(float64(base.Cycles), float64(hyb.Cycles)),
+		EnergySpeed:  stats.Speedup(base.EnergyPJ, hyb.EnergyPJ),
+		TrafficSpeed: stats.Speedup(float64(base.NoCFlitHops), float64(hyb.NoCFlitHops)),
+		Baseline:     base,
+		HybridRes:    hyb,
+	}, nil
+}
+
+// CompareSuite runs Compare over a whole kernel suite and appends the
+// average row (arithmetic mean of speedups, matching the paper's "AVG").
+func CompareSuite(cfg Config, kernels []trace.Kernel) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(kernels)+1)
+	var ts, es, ns []float64
+	for _, k := range kernels {
+		c, err := Compare(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		ts = append(ts, c.TimeSpeedup)
+		es = append(es, c.EnergySpeed)
+		ns = append(ns, c.TrafficSpeed)
+	}
+	out = append(out, Comparison{
+		Kernel:       "AVG",
+		TimeSpeedup:  stats.Mean(ts),
+		EnergySpeed:  stats.Mean(es),
+		TrafficSpeed: stats.Mean(ns),
+	})
+	return out, nil
+}
+
+// Table renders comparisons as the Figure-1 table.
+func Table(cs []Comparison) *stats.Table {
+	t := stats.NewTable(
+		"Figure 1 — hybrid memory hierarchy vs cache-only (speedup, ×)",
+		"bench", "time", "energy", "noc-traffic")
+	for _, c := range cs {
+		t.AddRowF(c.Kernel, "%.3f", c.TimeSpeedup, c.EnergySpeed, c.TrafficSpeed)
+	}
+	return t
+}

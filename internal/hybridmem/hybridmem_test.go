@@ -1,0 +1,253 @@
+package hybridmem
+
+import (
+	"testing"
+
+	"repro/internal/compilerpass"
+	"repro/internal/mesh"
+	"repro/internal/nas"
+	"repro/internal/trace"
+)
+
+// smallConfig builds a 16-core machine for fast tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	mc := cfg.Mesh
+	mc.Width, mc.Height = 4, 4
+	cfg.Mesh = mc
+	cfg.NCores = 16
+	cfg.MemControllerTiles = []int{0, 3, 12, 15}
+	return cfg
+}
+
+func streamKernel(iters int) trace.Kernel {
+	return trace.Kernel{
+		Name:    "stream",
+		Repeats: 1,
+		Phases: []trace.Phase{{
+			Name:         "copy",
+			ItersPerCore: iters,
+			Refs: []trace.Ref{
+				{Array: "a", Base: 1 << 28, ElemBytes: 8, Elems: 1 << 20, Pattern: trace.Strided, Stride: 1},
+				{Array: "b", Base: 2 << 28, ElemBytes: 8, Elems: 1 << 20, Pattern: trace.Strided, Stride: 1, Write: true},
+			},
+			ComputeOpsPerIter: 1,
+		}},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := smallConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.NCores = 7
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("mismatched core count must fail")
+	}
+	bad = cfg
+	bad.MemControllerTiles = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("no controllers must fail")
+	}
+	bad = cfg
+	bad.MemControllerTiles = []int{99}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("out-of-range controller must fail")
+	}
+	bad = cfg
+	bad.BlockIters = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("zero block must fail")
+	}
+}
+
+func TestDefaultConfigIs64Cores(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NCores != 64 {
+		t.Fatalf("paper machine is 64 cores, got %d", cfg.NCores)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if CacheOnly.String() != "cache-only" || Hybrid.String() != "hybrid" {
+		t.Fatalf("mode strings wrong")
+	}
+}
+
+func TestStreamRunsBothModes(t *testing.T) {
+	m, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := streamKernel(24000)
+	base, err := m.RunKernel(k, CacheOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := m.RunKernel(k, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles == 0 || hyb.Cycles == 0 {
+		t.Fatalf("zero cycles: base=%d hyb=%d", base.Cycles, hyb.Cycles)
+	}
+	if base.EnergyPJ <= 0 || hyb.EnergyPJ <= 0 {
+		t.Fatalf("non-positive energy")
+	}
+	// A pure streaming kernel is the hybrid hierarchy's best case: it must
+	// win on all three Figure-1 metrics.
+	if hyb.Cycles >= base.Cycles {
+		t.Errorf("hybrid must be faster on streams: %d vs %d", hyb.Cycles, base.Cycles)
+	}
+	if hyb.EnergyPJ >= base.EnergyPJ {
+		t.Errorf("hybrid must save energy on streams: %.3g vs %.3g", hyb.EnergyPJ, base.EnergyPJ)
+	}
+	if hyb.NoCFlitHops >= base.NoCFlitHops {
+		t.Errorf("hybrid must cut NoC traffic on streams: %d vs %d", hyb.NoCFlitHops, base.NoCFlitHops)
+	}
+}
+
+func TestCacheOnlyUsesNoSPM(t *testing.T) {
+	m, _ := New(smallConfig())
+	res, err := m.RunKernel(streamKernel(512), CacheOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SPMStats.Accesses != 0 || res.SPMStats.DMATransfers != 0 {
+		t.Fatalf("cache-only mode must not touch SPMs: %+v", res.SPMStats)
+	}
+	if len(res.Resolutions) != 0 {
+		t.Fatalf("cache-only mode must not resolve unknown accesses: %v", res.Resolutions)
+	}
+}
+
+func TestHybridUsesSPMOnStreams(t *testing.T) {
+	m, _ := New(smallConfig())
+	res, err := m.RunKernel(streamKernel(512), Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SPMStats.Accesses == 0 {
+		t.Fatalf("hybrid mode must serve strided refs from SPM")
+	}
+	if res.SPMStats.DMATransfers == 0 {
+		t.Fatalf("tiling must trigger DMA transfers")
+	}
+	// Strided refs bypass L1 in hybrid mode, so L1 sees (almost) nothing.
+	if res.L1.Accesses() > res.SPMStats.Accesses/10 {
+		t.Errorf("L1 should be nearly idle on pure streams: l1=%d spm=%d",
+			res.L1.Accesses(), res.SPMStats.Accesses)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	m1, _ := New(cfg)
+	m2, _ := New(cfg)
+	k := nas.CG(nas.ClassTest)
+	r1, err := m1.RunKernel(k, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.RunKernel(k, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.EnergyPJ != r2.EnergyPJ || r1.NoCFlitHops != r2.NoCFlitHops {
+		t.Fatalf("simulation must be deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestMachineReusableAcrossRuns(t *testing.T) {
+	m, _ := New(smallConfig())
+	k := streamKernel(512)
+	first, _ := m.RunKernel(k, Hybrid)
+	second, _ := m.RunKernel(k, Hybrid)
+	if first.Cycles != second.Cycles || first.NoCFlitHops != second.NoCFlitHops {
+		t.Fatalf("state leak between runs: %d/%d vs %d/%d",
+			first.Cycles, first.NoCFlitHops, second.Cycles, second.NoCFlitHops)
+	}
+}
+
+func TestUnknownAliasResolutions(t *testing.T) {
+	// CG's symmetric-SpMV scatter hits SPM-mapped data: the run must
+	// exercise the SPM resolutions of the protocol.
+	m, _ := New(smallConfig())
+	res, err := m.RunKernel(nas.CG(nas.ClassTest), Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spmHits := res.Resolutions["local-spm"] + res.Resolutions["remote-spm"]
+	if spmHits == 0 {
+		t.Fatalf("CG must resolve some unknown accesses to SPMs: %v", res.Resolutions)
+	}
+	if res.Resolutions["cache-fast"] == 0 {
+		t.Fatalf("the x gather must mostly take the filter fast path: %v", res.Resolutions)
+	}
+}
+
+func TestEPUnaffectedByHybrid(t *testing.T) {
+	// The paper: "Even for benchmarks with minimal accesses to the SPM (as
+	// in the case of EP), performance, energy consumption and NoC traffic
+	// are not degraded."
+	c, err := Compare(smallConfig(), nas.EP(nas.ClassTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]float64{
+		"time": c.TimeSpeedup, "energy": c.EnergySpeed, "noc": c.TrafficSpeed,
+	} {
+		if s < 0.97 {
+			t.Errorf("EP %s degraded by hybrid mode: %.3f", name, s)
+		}
+	}
+}
+
+func TestCompareSuiteShapes(t *testing.T) {
+	cs, err := CompareSuite(smallConfig(), nas.Suite(nas.ClassTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 7 || cs[6].Kernel != "AVG" {
+		t.Fatalf("expected 6 kernels + AVG, got %d rows", len(cs))
+	}
+	avg := cs[6]
+	// Figure 1's qualitative claims: the hybrid hierarchy wins on average
+	// on all three metrics, and traffic is the biggest win.
+	if avg.TimeSpeedup <= 1.0 {
+		t.Errorf("average time speedup must exceed 1: %.3f", avg.TimeSpeedup)
+	}
+	if avg.EnergySpeed <= 1.0 {
+		t.Errorf("average energy speedup must exceed 1: %.3f", avg.EnergySpeed)
+	}
+	if avg.TrafficSpeed <= avg.TimeSpeedup {
+		t.Errorf("NoC traffic should be the largest gain (paper: 31.2%% vs 14.7%%): traffic %.3f vs time %.3f",
+			avg.TrafficSpeed, avg.TimeSpeedup)
+	}
+	tbl := Table(cs)
+	if tbl.String() == "" {
+		t.Fatalf("empty table")
+	}
+}
+
+func TestClassifierIntegration(t *testing.T) {
+	// The machine must honour classifier demotions: with a huge minimum
+	// tile, everything runs through the caches even in hybrid mode.
+	cfg := smallConfig()
+	cfg.Compiler.MinTileElems = 1 << 30
+	m, _ := New(cfg)
+	res, err := m.RunKernel(streamKernel(256), Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SPMStats.Accesses != 0 {
+		t.Fatalf("demoted refs must not use the SPM")
+	}
+	_ = compilerpass.DefaultOptions()
+	_ = mesh.DefaultConfig()
+}

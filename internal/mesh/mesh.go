@@ -1,0 +1,225 @@
+// Package mesh models the 2D-mesh network-on-chip interconnecting the tiles
+// of the simulated manycore. It provides dimension-ordered (XY) routing, hop
+// accounting, per-link utilisation counters, a simple contention delay model
+// and per-flit-hop energy — the terms the paper's Figure 1 "NoC traffic"
+// metric is made of.
+//
+// The model is intentionally first-order: a message of S bytes is F =
+// ceil(S/FlitBytes) flits; its traffic contribution is F × hops flit-hops;
+// its latency is router latency per hop plus serialisation plus a congestion
+// term derived from the current utilisation of the links it crosses.
+package mesh
+
+import "fmt"
+
+// Coord is a tile position in the mesh.
+type Coord struct {
+	X, Y int
+}
+
+// String implements fmt.Stringer.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Config describes the mesh geometry and per-hop cost constants.
+type Config struct {
+	// Width and Height are the mesh dimensions in tiles.
+	Width, Height int
+	// FlitBytes is the flit payload size in bytes.
+	FlitBytes int
+	// RouterCycles is the pipeline latency of one router traversal.
+	RouterCycles int
+	// LinkCycles is the wire latency of one hop.
+	LinkCycles int
+	// FlitHopEnergyPJ is the energy of moving one flit across one hop
+	// (router + link), in picojoules.
+	FlitHopEnergyPJ float64
+	// CongestionFactor scales the utilisation-derived queueing delay;
+	// 0 disables contention modelling.
+	CongestionFactor float64
+}
+
+// DefaultConfig returns the 8×8 mesh used by the 64-core Figure-1 machine.
+func DefaultConfig() Config {
+	return Config{
+		Width: 8, Height: 8,
+		FlitBytes:        32,
+		RouterCycles:     2,
+		LinkCycles:       1,
+		FlitHopEnergyPJ:  6.0,
+		CongestionFactor: 0.15,
+	}
+}
+
+// Mesh is the NoC state: geometry plus per-link traffic counters.
+type Mesh struct {
+	cfg Config
+	// linkFlits counts flits sent over each directed link. Links are
+	// indexed by (tile, direction).
+	linkFlits [][4]uint64
+	totalHops uint64
+	totalMsgs uint64
+	totalFlit uint64
+	energyPJ  float64
+}
+
+// Directions of the four mesh links out of a tile.
+const (
+	DirEast = iota
+	DirWest
+	DirNorth
+	DirSouth
+)
+
+// New creates a mesh with the given configuration.
+func New(cfg Config) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("mesh: non-positive dimensions")
+	}
+	if cfg.FlitBytes <= 0 {
+		cfg.FlitBytes = 16
+	}
+	return &Mesh{
+		cfg:       cfg,
+		linkFlits: make([][4]uint64, cfg.Width*cfg.Height),
+	}
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Tiles returns the number of tiles in the mesh.
+func (m *Mesh) Tiles() int { return m.cfg.Width * m.cfg.Height }
+
+// CoordOf maps a flat tile id to its mesh coordinate (row-major).
+func (m *Mesh) CoordOf(tile int) Coord {
+	return Coord{X: tile % m.cfg.Width, Y: tile / m.cfg.Width}
+}
+
+// TileOf maps a coordinate to the flat tile id.
+func (m *Mesh) TileOf(c Coord) int { return c.Y*m.cfg.Width + c.X }
+
+// Hops returns the XY-routed hop count between two tiles.
+func (m *Mesh) Hops(src, dst int) int {
+	a, b := m.CoordOf(src), m.CoordOf(dst)
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// Flits returns the number of flits needed for a payload of the given bytes.
+// Every message carries at least one (head) flit.
+func (m *Mesh) Flits(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + m.cfg.FlitBytes - 1) / m.cfg.FlitBytes
+}
+
+// Send models one message from src to dst carrying the given payload bytes.
+// It updates traffic and energy counters and returns the message latency in
+// cycles, including congestion delay on the links crossed.
+func (m *Mesh) Send(src, dst, bytes int) int {
+	flits := m.Flits(bytes)
+	m.totalMsgs++
+	if src == dst {
+		// Local delivery: no link crossed; charge router ingress only.
+		m.totalFlit += uint64(flits)
+		return m.cfg.RouterCycles
+	}
+	hops := 0
+	congested := 0
+	cur := m.CoordOf(src)
+	dstC := m.CoordOf(dst)
+	// XY routing: resolve X first, then Y, charging each directed link.
+	for cur.X != dstC.X {
+		dir := DirEast
+		next := Coord{cur.X + 1, cur.Y}
+		if dstC.X < cur.X {
+			dir = DirWest
+			next = Coord{cur.X - 1, cur.Y}
+		}
+		congested += m.chargeLink(cur, dir, flits)
+		cur = next
+		hops++
+	}
+	for cur.Y != dstC.Y {
+		dir := DirSouth
+		next := Coord{cur.X, cur.Y + 1}
+		if dstC.Y < cur.Y {
+			dir = DirNorth
+			next = Coord{cur.X, cur.Y - 1}
+		}
+		congested += m.chargeLink(cur, dir, flits)
+		cur = next
+		hops++
+	}
+	m.totalHops += uint64(hops)
+	m.totalFlit += uint64(flits)
+	m.energyPJ += float64(flits*hops) * m.cfg.FlitHopEnergyPJ
+	perHop := m.cfg.RouterCycles + m.cfg.LinkCycles
+	// Latency = head flit pipeline + serialisation of the body flits +
+	// accumulated congestion penalty.
+	return hops*perHop + (flits - 1) + congested
+}
+
+// chargeLink records flits on the directed link (c, dir) and returns the
+// congestion penalty in cycles derived from that link's historical load.
+func (m *Mesh) chargeLink(c Coord, dir, flits int) int {
+	tile := m.TileOf(c)
+	load := m.linkFlits[tile][dir]
+	m.linkFlits[tile][dir] = load + uint64(flits)
+	if m.cfg.CongestionFactor == 0 {
+		return 0
+	}
+	// Saturating heuristic: links loaded past ~1M flits behave as busy and
+	// add up to CongestionFactor × 20 cycles. Keeps the model monotone in
+	// load without tracking cycle-accurate occupancy.
+	const satFlits = 1 << 20
+	frac := float64(load) / satFlits
+	if frac > 1 {
+		frac = 1
+	}
+	return int(m.cfg.CongestionFactor * frac * 20)
+}
+
+// Stats is a snapshot of mesh counters.
+type Stats struct {
+	Messages uint64
+	Flits    uint64
+	FlitHops uint64
+	EnergyPJ float64
+}
+
+// Stats returns the accumulated counters. FlitHops is the paper's "NoC
+// traffic" metric.
+func (m *Mesh) Stats() Stats {
+	// FlitHops is derived exactly from per-link charges.
+	var fh uint64
+	for _, links := range m.linkFlits {
+		for _, f := range links {
+			fh += f
+		}
+	}
+	return Stats{
+		Messages: m.totalMsgs,
+		Flits:    m.totalFlit,
+		FlitHops: fh,
+		EnergyPJ: m.energyPJ,
+	}
+}
+
+// LinkLoad returns the flits sent on the directed link leaving tile in dir.
+func (m *Mesh) LinkLoad(tile, dir int) uint64 { return m.linkFlits[tile][dir] }
+
+// Reset zeroes all counters, keeping the geometry.
+func (m *Mesh) Reset() {
+	for i := range m.linkFlits {
+		m.linkFlits[i] = [4]uint64{}
+	}
+	m.totalHops, m.totalMsgs, m.totalFlit, m.energyPJ = 0, 0, 0, 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,169 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestMesh() *Mesh {
+	cfg := DefaultConfig()
+	cfg.CongestionFactor = 0 // deterministic latencies for unit tests
+	cfg.FlitBytes = 16       // pin so flit arithmetic below stays exact
+	return New(cfg)
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	m := newTestMesh()
+	for tile := 0; tile < m.Tiles(); tile++ {
+		if got := m.TileOf(m.CoordOf(tile)); got != tile {
+			t.Fatalf("round trip %d -> %v -> %d", tile, m.CoordOf(tile), got)
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m := newTestMesh()
+	cases := []struct {
+		src, dst, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 8, 1},   // one row down in an 8-wide mesh
+		{0, 9, 2},   // diagonal neighbour
+		{0, 63, 14}, // opposite corner of 8x8
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestFlits(t *testing.T) {
+	m := newTestMesh()
+	if m.Flits(0) != 1 {
+		t.Fatalf("control message must be 1 flit")
+	}
+	if m.Flits(16) != 1 || m.Flits(17) != 2 || m.Flits(64) != 4 {
+		t.Fatalf("flit rounding wrong: %d %d %d", m.Flits(16), m.Flits(17), m.Flits(64))
+	}
+}
+
+func TestSendCounters(t *testing.T) {
+	m := newTestMesh()
+	lat := m.Send(0, 9, 64) // 2 hops, 4 flits
+	st := m.Stats()
+	if st.Messages != 1 {
+		t.Fatalf("Messages = %d", st.Messages)
+	}
+	if st.Flits != 4 {
+		t.Fatalf("Flits = %d", st.Flits)
+	}
+	if st.FlitHops != 8 {
+		t.Fatalf("FlitHops = %d, want 2 hops * 4 flits", st.FlitHops)
+	}
+	cfg := m.Config()
+	wantLat := 2*(cfg.RouterCycles+cfg.LinkCycles) + 3
+	if lat != wantLat {
+		t.Fatalf("latency = %d, want %d", lat, wantLat)
+	}
+	if st.EnergyPJ != 8*cfg.FlitHopEnergyPJ {
+		t.Fatalf("energy = %v", st.EnergyPJ)
+	}
+}
+
+func TestLocalSend(t *testing.T) {
+	m := newTestMesh()
+	lat := m.Send(5, 5, 64)
+	st := m.Stats()
+	if st.FlitHops != 0 {
+		t.Fatalf("local send must add no flit-hops, got %d", st.FlitHops)
+	}
+	if lat != m.Config().RouterCycles {
+		t.Fatalf("local latency = %d", lat)
+	}
+	if st.EnergyPJ != 0 {
+		t.Fatalf("local send costs no NoC energy, got %v", st.EnergyPJ)
+	}
+}
+
+func TestXYRoutingChargesCorrectLinks(t *testing.T) {
+	m := newTestMesh()
+	// Route 0 -> 2 (east twice along row 0).
+	m.Send(0, 2, 16)
+	if m.LinkLoad(0, DirEast) != 1 || m.LinkLoad(1, DirEast) != 1 {
+		t.Fatalf("east links not charged: %d %d", m.LinkLoad(0, DirEast), m.LinkLoad(1, DirEast))
+	}
+	if m.LinkLoad(0, DirSouth) != 0 {
+		t.Fatalf("south link should be idle")
+	}
+	// Route 16 -> 0 (north twice along column 0).
+	m.Send(16, 0, 16)
+	if m.LinkLoad(16, DirNorth) != 1 || m.LinkLoad(8, DirNorth) != 1 {
+		t.Fatalf("north links not charged")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := newTestMesh()
+	m.Send(0, 63, 256)
+	m.Reset()
+	st := m.Stats()
+	if st.Messages != 0 || st.Flits != 0 || st.FlitHops != 0 || st.EnergyPJ != 0 {
+		t.Fatalf("Reset left counters: %+v", st)
+	}
+}
+
+func TestCongestionMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CongestionFactor = 1.0
+	m := New(cfg)
+	// Saturate a link, then verify latency does not decrease.
+	first := m.Send(0, 1, 16)
+	for i := 0; i < 300000; i++ {
+		m.Send(0, 1, 1<<10)
+	}
+	later := m.Send(0, 1, 16)
+	if later < first {
+		t.Fatalf("latency decreased under load: %d -> %d", first, later)
+	}
+}
+
+// Property: hop count is symmetric and satisfies the triangle inequality.
+func TestQuickHopsMetric(t *testing.T) {
+	m := newTestMesh()
+	n := m.Tiles()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		if m.Hops(x, y) != m.Hops(y, x) {
+			return false
+		}
+		if m.Hops(x, x) != 0 {
+			return false
+		}
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FlitHops accumulated by Send equals flits × hops summed over
+// messages (with congestion disabled).
+func TestQuickTrafficAccounting(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		m := newTestMesh()
+		var want uint64
+		for _, pr := range pairs {
+			src := int(pr>>8) % m.Tiles()
+			dst := int(pr&0xff) % m.Tiles()
+			bytes := int(pr%5) * 16
+			m.Send(src, dst, bytes)
+			want += uint64(m.Flits(bytes) * m.Hops(src, dst))
+		}
+		return m.Stats().FlitHops == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package nas provides synthetic stand-ins for the six NAS Parallel
+// Benchmarks the paper's Figure 1 evaluates (CG, EP, FT, IS, MG, SP),
+// expressed in the loop-nest IR of package trace.
+//
+// We cannot run the Fortran/C NAS suite inside this reproduction, so each
+// generator encodes the *memory-reference structure* that determines how the
+// hybrid hierarchy behaves on the real benchmark:
+//
+//	CG  sparse conjugate gradient: streaming matrix data (strided) plus a
+//	    data-dependent gather of x whose aliasing the compiler cannot prove
+//	    (x is also written by strided AXPY phases) — the paper's category 3.
+//	EP  embarrassingly parallel: virtually all compute, a tiny resident
+//	    table; nothing for the SPM to win (paper: "not degraded").
+//	FT  3-D FFT: long unit-stride sweeps plus large-stride transpose
+//	    passes that thrash caches but tile perfectly into SPMs.
+//	IS  integer sort: strided key reads feeding random histogram updates
+//	    to a disjoint (provably no-alias) bucket array.
+//	MG  multigrid: stencil sweeps over several grid levels, strided with
+//	    mixed strides; strong SPM locality.
+//	SP  scalar pentadiagonal: many long strided sweeps over solution and
+//	    coefficient arrays; the most memory-streaming of the six.
+//
+// Sizes are scaled so per-core working sets exceed L1 but tile into the SPM,
+// matching the class-B-on-64-cores regime of the paper's experiment.
+package nas
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Class scales problem sizes: ClassTest keeps unit tests fast; ClassBench is
+// the default for figure regeneration.
+type Class int
+
+const (
+	ClassTest Class = iota
+	ClassBench
+)
+
+// iters returns phase iteration counts for the class: the test class runs
+// an eighth of the bench iterations.
+func (c Class) iters(bench int) int {
+	if c == ClassTest {
+		n := bench / 2
+		if n < 64 {
+			n = 64
+		}
+		return n
+	}
+	return bench
+}
+
+// Base addresses: each array lives in its own 256 MiB window so arrays never
+// accidentally overlap (except where a kernel deliberately reuses one).
+const window = 1 << 28
+
+func base(i int) uint64 { return uint64(i+1) * window }
+
+const (
+	f64 = 8
+	i32 = 4
+)
+
+// CG builds the conjugate-gradient stand-in.
+func CG(c Class) trace.Kernel {
+	n := c.iters(20000)
+	xElems := 1 << 17 // the shared solution vector
+	x := trace.Ref{Array: "x", Base: base(0), ElemBytes: f64, Elems: xElems}
+	return trace.Kernel{
+		Name:    "CG",
+		Repeats: 2,
+		Phases: []trace.Phase{
+			{
+				// q = A*p with symmetric storage: stream the matrix
+				// (values+colidx strided), gather x through colidx
+				// (random, unknown alias: x is updated stridedly in the
+				// AXPY phase below) and scatter the transpose half into q,
+				// which *is* SPM-mapped in this phase — the access the
+				// co-designed protocol exists to serve.
+				Name:         "spmv",
+				ItersPerCore: n,
+				Refs: []trace.Ref{
+					{Array: "aval", Base: base(1), ElemBytes: f64, Elems: 1 << 21, Pattern: trace.Strided, Stride: 1},
+					{Array: "acol", Base: base(2), ElemBytes: i32, Elems: 1 << 21, Pattern: trace.Strided, Stride: 1},
+					{Array: x.Array, Base: x.Base, ElemBytes: f64, Elems: xElems, Pattern: trace.Random, MayAliasStrided: true},
+					{Array: "q", Base: base(3), ElemBytes: f64, Elems: xElems, Pattern: trace.Strided, Stride: 1, Write: true},
+					{Array: "q", Base: base(3), ElemBytes: f64, Elems: xElems, Pattern: trace.Random, Write: true, MayAliasStrided: true},
+				},
+				ComputeOpsPerIter: 10, // FMAs plus index arithmetic per nonzero
+			},
+			{
+				// AXPY updates of x and p: pure streams.
+				Name:         "axpy",
+				ItersPerCore: n / 4,
+				Refs: []trace.Ref{
+					{Array: x.Array, Base: x.Base, ElemBytes: f64, Elems: xElems, Pattern: trace.Strided, Stride: 1, Write: true},
+					{Array: "p", Base: base(4), ElemBytes: f64, Elems: xElems, Pattern: trace.Strided, Stride: 1},
+					{Array: "r", Base: base(5), ElemBytes: f64, Elems: xElems, Pattern: trace.Strided, Stride: 1, Write: true},
+				},
+				ComputeOpsPerIter: 4,
+			},
+		},
+	}
+}
+
+// EP builds the embarrassingly-parallel stand-in: enormous compute per
+// memory access, a small resident scratch table.
+func EP(c Class) trace.Kernel {
+	n := c.iters(4000)
+	return trace.Kernel{
+		Name:    "EP",
+		Repeats: 2,
+		Phases: []trace.Phase{{
+			Name:         "pairs",
+			ItersPerCore: n,
+			Refs: []trace.Ref{
+				// Small per-core accumulation table, cache-resident.
+				{Array: "hist", Base: base(0), ElemBytes: f64, Elems: 4096, Pattern: trace.Random},
+			},
+			ComputeOpsPerIter: 220, // ~dozens of flops per random pair
+		}},
+	}
+}
+
+// FT builds the 3-D FFT stand-in: unit-stride butterfly sweeps plus a
+// large-stride transpose phase.
+func FT(c Class) trace.Kernel {
+	n := c.iters(16000)
+	grid := 1 << 21 // complex grid as float64 pairs
+	return trace.Kernel{
+		Name:    "FT",
+		Repeats: 2,
+		Phases: []trace.Phase{
+			{
+				Name:         "fft-z",
+				ItersPerCore: n,
+				Refs: []trace.Ref{
+					{Array: "u", Base: base(0), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1},
+					{Array: "u", Base: base(0), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1, Write: true},
+					{Array: "tw", Base: base(1), ElemBytes: f64, Elems: 1 << 14, Pattern: trace.Strided, Stride: 1},
+				},
+				ComputeOpsPerIter: 12,
+			},
+			{
+				// Transpose: stride of a full plane — pathological for the
+				// cache, trivial for DMA tiling.
+				Name:         "transpose",
+				ItersPerCore: n / 8,
+				Refs: []trace.Ref{
+					{Array: "u", Base: base(0), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1024},
+					{Array: "ut", Base: base(2), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1, Write: true},
+				},
+				ComputeOpsPerIter: 6,
+			},
+		},
+	}
+}
+
+// IS builds the integer-sort stand-in: strided key stream, random histogram
+// increments into a provably disjoint bucket array.
+func IS(c Class) trace.Kernel {
+	n := c.iters(16000)
+	return trace.Kernel{
+		Name:    "IS",
+		Repeats: 2,
+		Phases: []trace.Phase{
+			{
+				Name:         "rank",
+				ItersPerCore: n,
+				Refs: []trace.Ref{
+					{Array: "keys", Base: base(0), ElemBytes: i32, Elems: 1 << 22, Pattern: trace.Strided, Stride: 1},
+					// Bucket increment: read-modify-write, random, no alias
+					// with keys (category 2: plain cached access).
+					{Array: "bucket", Base: base(1), ElemBytes: i32, Elems: 1 << 15, Pattern: trace.Random},
+					{Array: "bucket", Base: base(1), ElemBytes: i32, Elems: 1 << 15, Pattern: trace.Random, Write: true},
+				},
+				ComputeOpsPerIter: 2,
+			},
+		},
+	}
+}
+
+// MG builds the multigrid stand-in: stencil sweeps on two grid levels.
+func MG(c Class) trace.Kernel {
+	n := c.iters(16000)
+	fine := 1 << 21
+	coarse := fine / 8
+	return trace.Kernel{
+		Name:    "MG",
+		Repeats: 2,
+		Phases: []trace.Phase{
+			{
+				Name:         "smooth-fine",
+				ItersPerCore: n,
+				Refs: []trace.Ref{
+					{Array: "vf", Base: base(0), ElemBytes: f64, Elems: fine, Pattern: trace.Strided, Stride: 1},
+					{Array: "rf", Base: base(1), ElemBytes: f64, Elems: fine, Pattern: trace.Strided, Stride: 1},
+					{Array: "vf2", Base: base(2), ElemBytes: f64, Elems: fine, Pattern: trace.Strided, Stride: 1, Write: true},
+				},
+				ComputeOpsPerIter: 16, // 27-point stencil
+			},
+			{
+				Name:         "restrict",
+				ItersPerCore: n / 4,
+				Refs: []trace.Ref{
+					{Array: "rf", Base: base(1), ElemBytes: f64, Elems: fine, Pattern: trace.Strided, Stride: 2},
+					{Array: "rc", Base: base(3), ElemBytes: f64, Elems: coarse, Pattern: trace.Strided, Stride: 1, Write: true},
+				},
+				ComputeOpsPerIter: 8,
+			},
+		},
+	}
+}
+
+// SP builds the scalar-pentadiagonal stand-in: long coefficient and solution
+// streams in forward and backward sweeps.
+func SP(c Class) trace.Kernel {
+	n := c.iters(14000)
+	grid := 1 << 21
+	return trace.Kernel{
+		Name:    "SP",
+		Repeats: 2,
+		Phases: []trace.Phase{
+			{
+				Name:         "x-solve",
+				ItersPerCore: n,
+				Refs: []trace.Ref{
+					{Array: "lhs", Base: base(0), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1},
+					{Array: "rhs", Base: base(1), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1, Write: true},
+					{Array: "u", Base: base(2), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1},
+				},
+				ComputeOpsPerIter: 14,
+			},
+			{
+				Name:         "y-solve",
+				ItersPerCore: n,
+				Refs: []trace.Ref{
+					{Array: "lhsy", Base: base(3), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1},
+					{Array: "rhs", Base: base(1), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1, Write: true},
+					{Array: "u", Base: base(2), ElemBytes: f64, Elems: grid, Pattern: trace.Strided, Stride: 1},
+				},
+				ComputeOpsPerIter: 14,
+			},
+		},
+	}
+}
+
+// Suite returns all six kernels in the paper's Figure-1 order.
+func Suite(c Class) []trace.Kernel {
+	return []trace.Kernel{CG(c), EP(c), FT(c), IS(c), MG(c), SP(c)}
+}
+
+// ByName returns the kernel with the given (upper-case) name.
+func ByName(name string, c Class) (trace.Kernel, error) {
+	for _, k := range Suite(c) {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return trace.Kernel{}, fmt.Errorf("nas: unknown kernel %q (have %v)", name, Names())
+}
+
+// Names lists the suite's kernel names in order.
+func Names() []string {
+	names := []string{"CG", "EP", "FT", "IS", "MG", "SP"}
+	sort.Strings(names) // already sorted; keeps the contract explicit
+	return names
+}

@@ -1,0 +1,138 @@
+package nas
+
+import (
+	"testing"
+
+	"repro/internal/compilerpass"
+	"repro/internal/trace"
+)
+
+func TestSuiteValidates(t *testing.T) {
+	for _, c := range []Class{ClassTest, ClassBench} {
+		for _, k := range Suite(c) {
+			if err := k.Validate(); err != nil {
+				t.Errorf("%s (class %d): %v", k.Name, c, err)
+			}
+		}
+	}
+}
+
+func TestSuiteOrderMatchesFigure1(t *testing.T) {
+	want := []string{"CG", "EP", "FT", "IS", "MG", "SP"}
+	ks := Suite(ClassTest)
+	if len(ks) != len(want) {
+		t.Fatalf("suite size = %d", len(ks))
+	}
+	for i, k := range ks {
+		if k.Name != want[i] {
+			t.Errorf("kernel %d = %s, want %s", i, k.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("MG", ClassTest)
+	if err != nil || k.Name != "MG" {
+		t.Fatalf("ByName(MG) = %v, %v", k.Name, err)
+	}
+	if _, err := ByName("ZZ", ClassTest); err == nil {
+		t.Fatalf("unknown kernel must error")
+	}
+}
+
+func TestTestClassSmallerThanBench(t *testing.T) {
+	for i, kt := range Suite(ClassTest) {
+		kb := Suite(ClassBench)[i]
+		if kt.TotalAccesses(64) >= kb.TotalAccesses(64) {
+			t.Errorf("%s: test class (%d) not smaller than bench (%d)",
+				kt.Name, kt.TotalAccesses(64), kb.TotalAccesses(64))
+		}
+	}
+}
+
+func TestCGHasUnknownAliasGather(t *testing.T) {
+	// The defining feature of CG for this paper: a random gather the
+	// compiler must classify as unknown-alias (category 3).
+	ck, err := compilerpass.Classify(CG(ClassTest), compilerpass.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ck.Summarize(); s.Unknown == 0 {
+		t.Fatalf("CG must contain unknown-alias refs, summary %+v", s)
+	}
+}
+
+func TestISBucketsAreProvablyCacheClass(t *testing.T) {
+	ck, err := compilerpass.Classify(IS(ClassTest), compilerpass.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ck.Summarize()
+	if s.Unknown != 0 {
+		t.Fatalf("IS buckets are disjoint from keys; no unknown refs expected, got %+v", s)
+	}
+	if s.Cache == 0 {
+		t.Fatalf("IS must have cache-class refs, got %+v", s)
+	}
+}
+
+func TestEPIsComputeBound(t *testing.T) {
+	k := EP(ClassTest)
+	for _, p := range k.Phases {
+		if p.ComputeOpsPerIter < 100 {
+			t.Fatalf("EP compute per iter = %d; must dwarf its single memory ref", p.ComputeOpsPerIter)
+		}
+		if len(p.Refs) > 1 {
+			t.Fatalf("EP should touch almost no memory")
+		}
+	}
+}
+
+func TestStreamingKernelsAreMostlyStrided(t *testing.T) {
+	for _, name := range []string{"FT", "MG", "SP"} {
+		k, _ := ByName(name, ClassTest)
+		strided, total := 0, 0
+		for _, p := range k.Phases {
+			for _, r := range p.Refs {
+				total++
+				if r.Pattern == trace.Strided {
+					strided++
+				}
+			}
+		}
+		if strided*2 < total*2-1 { // all refs strided
+			t.Errorf("%s: %d/%d strided; expected a streaming kernel", name, strided, total)
+		}
+	}
+}
+
+func TestArraysUseDisjointWindows(t *testing.T) {
+	// Within a kernel, differently-named arrays must not overlap; same-name
+	// refs must refer to the identical array.
+	for _, k := range Suite(ClassTest) {
+		byName := map[string]trace.Ref{}
+		for _, p := range k.Phases {
+			for _, r := range p.Refs {
+				if prev, seen := byName[r.Array]; seen {
+					if prev.Base != r.Base || prev.Elems != r.Elems {
+						t.Errorf("%s: array %s redefined (%d/%d vs %d/%d)",
+							k.Name, r.Array, prev.Base, prev.Elems, r.Base, r.Elems)
+					}
+					continue
+				}
+				for name, other := range byName {
+					if r.Overlaps(other) {
+						t.Errorf("%s: arrays %s and %s overlap", k.Name, r.Array, name)
+					}
+				}
+				byName[r.Array] = r
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if len(Names()) != 6 {
+		t.Fatalf("Names() = %v", Names())
+	}
+}

@@ -1,0 +1,135 @@
+package parsecsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSerialAndPthreadsConsistency(t *testing.T) {
+	for _, app := range Apps() {
+		if got := app.PthreadsTime(1); got != app.SerialTime() {
+			t.Errorf("%s: 1-thread pthreads time %v != serial %v", app.Name, got, app.SerialTime())
+		}
+		// More threads never hurt the barrier model.
+		if app.PthreadsTime(16) > app.PthreadsTime(8) {
+			t.Errorf("%s: pthreads time grew with threads", app.Name)
+		}
+	}
+}
+
+func TestTaskGraphShape(t *testing.T) {
+	app := Bodytrack()
+	g := app.TaskGraph()
+	want := app.Frames * (2 + app.Chunks)
+	if g.Len() != want {
+		t.Fatalf("graph size %d, want %d", g.Len(), want)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	// One root: io(0).
+	roots := g.Roots()
+	if len(roots) != 1 || g.Node(roots[0]).Name != "io(0)" {
+		t.Fatalf("roots = %v", roots)
+	}
+}
+
+func TestOmpSsSerialMatches(t *testing.T) {
+	app := Bodytrack()
+	om, err := app.OmpSsTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := om / app.SerialTime()
+	if rel < 0.999 || rel > 1.001 {
+		t.Fatalf("1-core task time %v != serial %v", om, app.SerialTime())
+	}
+}
+
+func TestFig5PaperShape(t *testing.T) {
+	pts, err := RunFig5([]int{1, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(app string, p int) Fig5Point {
+		for _, pt := range pts {
+			if pt.App == app && pt.Threads == p {
+				return pt
+			}
+		}
+		t.Fatalf("missing point %s/%d", app, p)
+		return Fig5Point{}
+	}
+	// Paper: bodytrack reaches ~12x and facesim ~10x with tasks at 16
+	// threads, both clearly above the original versions.
+	bt := at("bodytrack", 16)
+	if bt.OmpSsSpeedup < 11 || bt.OmpSsSpeedup > 14 {
+		t.Errorf("bodytrack OmpSs at 16 = %.2f, paper ~12", bt.OmpSsSpeedup)
+	}
+	if bt.OmpSsSpeedup <= bt.PthreadsSpeedup*1.3 {
+		t.Errorf("bodytrack tasks must clearly beat pthreads: %.2f vs %.2f",
+			bt.OmpSsSpeedup, bt.PthreadsSpeedup)
+	}
+	fs := at("facesim", 16)
+	if fs.OmpSsSpeedup < 9 || fs.OmpSsSpeedup > 12 {
+		t.Errorf("facesim OmpSs at 16 = %.2f, paper ~10", fs.OmpSsSpeedup)
+	}
+	// Do-all codes gain ~nothing from tasks (paper's negative result).
+	sc := at("streamcluster", 16)
+	if sc.OmpSsSpeedup > sc.PthreadsSpeedup*1.15 {
+		t.Errorf("streamcluster should not benefit from tasks: %.2f vs %.2f",
+			sc.OmpSsSpeedup, sc.PthreadsSpeedup)
+	}
+	if Fig5Table(pts).String() == "" {
+		t.Fatalf("empty table")
+	}
+	if plots := Fig5Plots(pts); len(plots) != 3 {
+		t.Fatalf("expected one plot per app")
+	}
+}
+
+func TestLoCStudyShape(t *testing.T) {
+	rows := LoCStudy()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.App == "streamcluster" {
+			continue // do-all: no meaningful reduction
+		}
+		if r.OmpSsLines >= r.PthreadsLines {
+			t.Errorf("%s: task port should be less verbose", r.App)
+		}
+		if r.ParallelInfraO >= r.ParallelInfraP {
+			t.Errorf("%s: dataflow must replace queue/thread plumbing", r.App)
+		}
+	}
+	if LoCTable().String() == "" {
+		t.Fatalf("empty table")
+	}
+}
+
+// Property: OmpSs is never slower than the pthreads structure (it strictly
+// relaxes the barrier constraints), and both are bounded by ideal scaling.
+func TestQuickOmpSsDominatesPthreads(t *testing.T) {
+	f := func(appSel, pRaw uint8) bool {
+		app := Apps()[int(appSel)%len(Apps())]
+		p := int(pRaw)%16 + 1
+		om, err := app.OmpSsTime(p)
+		if err != nil {
+			return false
+		}
+		pt := app.PthreadsTime(p)
+		if om > pt*1.001 {
+			return false
+		}
+		// Ideal scaling bound.
+		if om < app.SerialTime()/float64(p)*0.999 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

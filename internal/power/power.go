@@ -1,0 +1,196 @@
+// Package power models dynamic voltage and frequency scaling (DVFS) and the
+// first-order energy accounting used throughout the simulators.
+//
+// The model follows the standard CMOS approximations the paper's Section 3
+// relies on:
+//
+//	dynamic power  P_dyn  = C_eff · V² · f        (per core, while busy)
+//	static power   P_stat = k_leak · V            (per core, always)
+//	energy         E      = ∫ P dt
+//
+// Frequencies are expressed in abstract "cycles per microsecond" units and
+// voltages in volts; only ratios matter for the reproduced figures, so the
+// constants are chosen to land in a plausible embedded-manycore regime.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OperatingPoint is a single DVFS (voltage, frequency) pair a core may run at.
+type OperatingPoint struct {
+	// Name is a human-readable label such as "low", "nominal", "turbo".
+	Name string
+	// FreqMHz is the core clock in MHz.
+	FreqMHz float64
+	// VoltageV is the supply voltage in volts at this frequency.
+	VoltageV float64
+}
+
+// CyclesPerSec returns the clock rate in cycles per second.
+func (op OperatingPoint) CyclesPerSec() float64 { return op.FreqMHz * 1e6 }
+
+// String implements fmt.Stringer.
+func (op OperatingPoint) String() string {
+	return fmt.Sprintf("%s(%gMHz@%gV)", op.Name, op.FreqMHz, op.VoltageV)
+}
+
+// DVFSTable is the ordered menu of operating points available to a chip,
+// slowest first.
+type DVFSTable struct {
+	points []OperatingPoint
+}
+
+// NewDVFSTable builds a table from the given points, sorting them by
+// ascending frequency.
+func NewDVFSTable(points ...OperatingPoint) *DVFSTable {
+	ps := append([]OperatingPoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].FreqMHz < ps[j].FreqMHz })
+	return &DVFSTable{points: ps}
+}
+
+// DefaultTable returns the three-point table (low / nominal / turbo) used by
+// the criticality experiments, mirroring the paper's "slow cores vs
+// accelerated cores" setup of Section 3.1.
+func DefaultTable() *DVFSTable {
+	return NewDVFSTable(
+		OperatingPoint{Name: "low", FreqMHz: 1000, VoltageV: 0.70},
+		OperatingPoint{Name: "nominal", FreqMHz: 2000, VoltageV: 0.90},
+		OperatingPoint{Name: "turbo", FreqMHz: 3000, VoltageV: 1.10},
+	)
+}
+
+// Len returns the number of operating points.
+func (t *DVFSTable) Len() int { return len(t.points) }
+
+// Point returns the i-th slowest operating point.
+func (t *DVFSTable) Point(i int) OperatingPoint { return t.points[i] }
+
+// Slowest returns the lowest-frequency point.
+func (t *DVFSTable) Slowest() OperatingPoint { return t.points[0] }
+
+// Fastest returns the highest-frequency point.
+func (t *DVFSTable) Fastest() OperatingPoint { return t.points[len(t.points)-1] }
+
+// ByName looks an operating point up by label.
+func (t *DVFSTable) ByName(name string) (OperatingPoint, bool) {
+	for _, p := range t.points {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return OperatingPoint{}, false
+}
+
+// Model holds the technology constants of the energy model.
+type Model struct {
+	// EffCapacitance is C_eff in nF-equivalent units: dynamic power (W) =
+	// EffCapacitance * V^2 * f(MHz) * 1e-3.
+	EffCapacitance float64
+	// LeakCoeff is k_leak: static power (W) = LeakCoeff * V.
+	LeakCoeff float64
+}
+
+// DefaultModel returns constants giving ~1 W dynamic per core at nominal,
+// ~0.1 W leakage — a plausible low-power manycore tile.
+func DefaultModel() Model {
+	return Model{EffCapacitance: 0.62, LeakCoeff: 0.60}
+}
+
+// DynPower returns dynamic power in watts for a core running at op.
+func (m Model) DynPower(op OperatingPoint) float64 {
+	return m.EffCapacitance * op.VoltageV * op.VoltageV * op.FreqMHz * 1e-3
+}
+
+// StatPower returns static (leakage) power in watts at op's voltage.
+func (m Model) StatPower(op OperatingPoint) float64 {
+	return m.LeakCoeff * op.VoltageV
+}
+
+// BusyEnergy returns the energy in joules consumed by a core executing for
+// the given number of cycles at op (dynamic + static).
+func (m Model) BusyEnergy(op OperatingPoint, cycles float64) float64 {
+	secs := cycles / op.CyclesPerSec()
+	return (m.DynPower(op) + m.StatPower(op)) * secs
+}
+
+// IdleEnergy returns leakage-only energy for a core idling for the given
+// wall-clock seconds at op's voltage.
+func (m Model) IdleEnergy(op OperatingPoint, secs float64) float64 {
+	return m.StatPower(op) * secs
+}
+
+// EDP returns the energy-delay product for a run consuming energy (J) over
+// time (s). Lower is better; the paper reports EDP improvements of 20.0 %.
+func EDP(energyJ, timeS float64) float64 { return energyJ * timeS }
+
+// ED2P returns the energy-delay² product, the voltage-scaling-neutral metric.
+func ED2P(energyJ, timeS float64) float64 { return energyJ * timeS * timeS }
+
+// Budget models a chip-level power budget in watts, the constraint under
+// which the RSU arbitrates per-core frequencies.
+type Budget struct {
+	WattsCap float64
+}
+
+// FitsWithin reports whether the summed power draw fits under the cap.
+func (b Budget) FitsWithin(draws []float64) bool {
+	var s float64
+	for _, d := range draws {
+		s += d
+	}
+	return s <= b.WattsCap+1e-9
+}
+
+// Headroom returns the remaining watts under the cap given the draws so far,
+// clamped at zero.
+func (b Budget) Headroom(draws []float64) float64 {
+	var s float64
+	for _, d := range draws {
+		s += d
+	}
+	return math.Max(0, b.WattsCap-s)
+}
+
+// Accountant accumulates per-component energy over a simulation run. It is
+// the single place every simulator in the repository reports joules to, so
+// experiment harnesses can print a consistent breakdown.
+type Accountant struct {
+	byComponent map[string]float64
+	total       float64
+}
+
+// NewAccountant returns an empty accountant.
+func NewAccountant() *Accountant {
+	return &Accountant{byComponent: make(map[string]float64)}
+}
+
+// Deposit adds energy (J) attributed to a named component.
+func (a *Accountant) Deposit(component string, joules float64) {
+	a.byComponent[component] += joules
+	a.total += joules
+}
+
+// Total returns the summed energy in joules.
+func (a *Accountant) Total() float64 { return a.total }
+
+// Component returns the energy attributed to one component.
+func (a *Accountant) Component(name string) float64 { return a.byComponent[name] }
+
+// Components returns the component names in sorted order.
+func (a *Accountant) Components() []string {
+	names := make([]string, 0, len(a.byComponent))
+	for n := range a.byComponent {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes the accountant.
+func (a *Accountant) Reset() {
+	a.byComponent = make(map[string]float64)
+	a.total = 0
+}

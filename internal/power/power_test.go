@@ -1,0 +1,179 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDVFSTableOrdering(t *testing.T) {
+	tbl := NewDVFSTable(
+		OperatingPoint{Name: "b", FreqMHz: 3000, VoltageV: 1.1},
+		OperatingPoint{Name: "a", FreqMHz: 1000, VoltageV: 0.7},
+		OperatingPoint{Name: "m", FreqMHz: 2000, VoltageV: 0.9},
+	)
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if tbl.Slowest().Name != "a" || tbl.Fastest().Name != "b" {
+		t.Fatalf("sort order wrong: slowest=%v fastest=%v", tbl.Slowest(), tbl.Fastest())
+	}
+	if tbl.Point(1).Name != "m" {
+		t.Fatalf("middle point = %v", tbl.Point(1))
+	}
+	if p, ok := tbl.ByName("m"); !ok || p.FreqMHz != 2000 {
+		t.Fatalf("ByName failed: %v %v", p, ok)
+	}
+	if _, ok := tbl.ByName("zzz"); ok {
+		t.Fatalf("ByName should miss")
+	}
+}
+
+func TestDefaultTable(t *testing.T) {
+	tbl := DefaultTable()
+	if tbl.Len() != 3 {
+		t.Fatalf("default table size = %d", tbl.Len())
+	}
+	if tbl.Fastest().FreqMHz <= tbl.Slowest().FreqMHz {
+		t.Fatalf("fastest must beat slowest")
+	}
+	// Voltage must rise with frequency (physical plausibility).
+	for i := 1; i < tbl.Len(); i++ {
+		if tbl.Point(i).VoltageV <= tbl.Point(i-1).VoltageV {
+			t.Fatalf("voltage not monotone at %d", i)
+		}
+	}
+}
+
+func TestPowerScaling(t *testing.T) {
+	m := DefaultModel()
+	tbl := DefaultTable()
+	low, hi := tbl.Slowest(), tbl.Fastest()
+	if m.DynPower(hi) <= m.DynPower(low) {
+		t.Fatalf("dyn power must increase with V,f")
+	}
+	// Dynamic power should scale superlinearly with frequency because V
+	// rises too: P_hi/P_lo > f_hi/f_lo.
+	if m.DynPower(hi)/m.DynPower(low) <= hi.FreqMHz/low.FreqMHz {
+		t.Fatalf("dyn power not superlinear in f: %v vs %v",
+			m.DynPower(hi)/m.DynPower(low), hi.FreqMHz/low.FreqMHz)
+	}
+	if m.StatPower(hi) <= m.StatPower(low) {
+		t.Fatalf("static power must increase with V")
+	}
+}
+
+func TestBusyEnergyRaceToIdle(t *testing.T) {
+	// For a fixed amount of work (cycles), higher frequency burns more
+	// energy per cycle but finishes sooner. Check both directions.
+	m := DefaultModel()
+	tbl := DefaultTable()
+	low, hi := tbl.Slowest(), tbl.Fastest()
+	const work = 1e9 // cycles
+	eLow := m.BusyEnergy(low, work)
+	eHi := m.BusyEnergy(hi, work)
+	if eHi <= eLow {
+		t.Fatalf("same work at higher V·f must cost more energy: %v vs %v", eHi, eLow)
+	}
+	tLow := work / low.CyclesPerSec()
+	tHi := work / hi.CyclesPerSec()
+	if tHi >= tLow {
+		t.Fatalf("higher f must be faster")
+	}
+	// EDP crossover exists: at low enough leakage, running slow wins EDP.
+	if EDP(eLow, tLow) <= 0 || EDP(eHi, tHi) <= 0 {
+		t.Fatalf("EDP must be positive")
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	m := DefaultModel()
+	op := DefaultTable().Slowest()
+	if got := m.IdleEnergy(op, 2); !closeTo(got, 2*m.StatPower(op), 1e-12) {
+		t.Fatalf("IdleEnergy = %v", got)
+	}
+}
+
+func TestEDPandED2P(t *testing.T) {
+	if EDP(2, 3) != 6 {
+		t.Fatalf("EDP")
+	}
+	if ED2P(2, 3) != 18 {
+		t.Fatalf("ED2P")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := Budget{WattsCap: 10}
+	if !b.FitsWithin([]float64{3, 3, 4}) {
+		t.Fatalf("should fit exactly")
+	}
+	if b.FitsWithin([]float64{6, 6}) {
+		t.Fatalf("should not fit")
+	}
+	if got := b.Headroom([]float64{4}); got != 6 {
+		t.Fatalf("Headroom = %v", got)
+	}
+	if got := b.Headroom([]float64{40}); got != 0 {
+		t.Fatalf("Headroom clamp = %v", got)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a := NewAccountant()
+	a.Deposit("cache", 1.5)
+	a.Deposit("noc", 0.5)
+	a.Deposit("cache", 0.5)
+	if a.Total() != 2.5 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	if a.Component("cache") != 2.0 {
+		t.Fatalf("cache = %v", a.Component("cache"))
+	}
+	comps := a.Components()
+	if len(comps) != 2 || comps[0] != "cache" || comps[1] != "noc" {
+		t.Fatalf("Components = %v", comps)
+	}
+	a.Reset()
+	if a.Total() != 0 || a.Component("cache") != 0 {
+		t.Fatalf("Reset failed")
+	}
+}
+
+func closeTo(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Property: energy for k× the cycles is exactly k× the energy (linearity).
+func TestQuickBusyEnergyLinear(t *testing.T) {
+	m := DefaultModel()
+	op := DefaultTable().Point(1)
+	f := func(cRaw uint32, kRaw uint8) bool {
+		cycles := float64(cRaw%1_000_000) + 1
+		k := float64(kRaw%7) + 1
+		e1 := m.BusyEnergy(op, cycles)
+		ek := m.BusyEnergy(op, k*cycles)
+		return closeTo(ek, k*e1, 1e-9*math.Max(1, ek))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a budget always fits a draw list whose sum is its own headroom.
+func TestQuickBudgetHeadroomConsistent(t *testing.T) {
+	f := func(capRaw uint16, drawsRaw []uint8) bool {
+		b := Budget{WattsCap: float64(capRaw%1000) + 1}
+		draws := make([]float64, len(drawsRaw))
+		for i, d := range drawsRaw {
+			draws[i] = float64(d) / 16
+		}
+		head := b.Headroom(draws)
+		if head > 0 {
+			withHead := append(append([]float64(nil), draws...), head)
+			return b.FitsWithin(withHead)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package rsu models the Runtime Support Unit of the paper's Figure 2: a
+// small hardware block that receives task-criticality notifications from the
+// runtime system and sets each core's DVFS operating point under a chip
+// power budget — a criticality-aware turbo-boost arbiter.
+//
+// The package also models the software-only alternative the paper argues
+// against: per-core frequency changes through a kernel/driver path guarded
+// by a global lock, whose cost "rises with the number of cores due to locks
+// contention and reconfiguration overhead" (Section 3.1). Both implement
+// Reconfigurator, so the simulated executor (package simexec) can be run
+// with either and the gap measured.
+package rsu
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+)
+
+// Reconfigurator arbitrates per-core frequency requests.
+type Reconfigurator interface {
+	// Request asks to run core at the desired operating point starting at
+	// simulated time now (seconds). It returns the granted point (possibly
+	// lower, to respect the power budget) and the overhead in seconds the
+	// requesting core stalls before the change takes effect.
+	Request(core int, desired power.OperatingPoint, now float64) (granted power.OperatingPoint, overhead float64)
+	// Release tells the arbiter the core is idle again (its power draw
+	// drops to the idle estimate).
+	Release(core int, now float64)
+	// Name labels the mechanism in reports.
+	Name() string
+	// TotalOverhead returns the accumulated reconfiguration stall seconds.
+	TotalOverhead() float64
+}
+
+// common holds the budget bookkeeping shared by both implementations.
+type common struct {
+	table    *power.DVFSTable
+	model    power.Model
+	budget   power.Budget
+	current  []power.OperatingPoint
+	running  []bool
+	overhead float64
+}
+
+func newCommon(cores int, table *power.DVFSTable, model power.Model, budget power.Budget) common {
+	cur := make([]power.OperatingPoint, cores)
+	for i := range cur {
+		cur[i] = table.Slowest()
+	}
+	return common{
+		table:   table,
+		model:   model,
+		budget:  budget,
+		current: cur,
+		running: make([]bool, cores),
+	}
+}
+
+// draw returns the present per-core power draws, assuming running cores burn
+// dynamic+static and idle cores static only.
+func (c *common) draw(exclude int) []float64 {
+	out := make([]float64, 0, len(c.current))
+	for i, op := range c.current {
+		if i == exclude {
+			continue
+		}
+		if c.running[i] {
+			out = append(out, c.model.DynPower(op)+c.model.StatPower(op))
+		} else {
+			out = append(out, c.model.StatPower(op))
+		}
+	}
+	return out
+}
+
+// grant finds the highest operating point ≤ desired whose *boost* above the
+// floor fits the boost pool. Every core permanently reserves the floor
+// (busy-at-slowest) power, so as long as the budget covers all cores at the
+// floor, the arbitration can never overshoot — the wait-free invariant a
+// hardware arbiter needs.
+func (c *common) grant(core int, desired power.OperatingPoint) power.OperatingPoint {
+	slow := c.table.Slowest()
+	floorP := c.model.DynPower(slow) + c.model.StatPower(slow)
+	var boosts float64
+	for i, op := range c.current {
+		if i == core || !c.running[i] {
+			continue
+		}
+		boosts += c.model.DynPower(op) + c.model.StatPower(op) - floorP
+	}
+	pool := c.budget.WattsCap - floorP*float64(len(c.current)) - boosts
+	granted := slow
+	for i := 0; i < c.table.Len(); i++ {
+		op := c.table.Point(i)
+		if op.FreqMHz > desired.FreqMHz {
+			break
+		}
+		boost := c.model.DynPower(op) + c.model.StatPower(op) - floorP
+		if boost <= pool+1e-12 {
+			granted = op
+		}
+	}
+	c.current[core] = granted
+	c.running[core] = true
+	return granted
+}
+
+// release marks a core idle and drops it to the floor point (deep idle
+// lowers the voltage, returning the boost to the pool).
+func (c *common) release(core int) {
+	c.running[core] = false
+	c.current[core] = c.table.Slowest()
+}
+
+// RSU is the hardware arbiter: requests are handled in a few cycles by a
+// dedicated unit that already holds the power state of every core, so the
+// overhead is constant and tiny regardless of core count.
+type RSU struct {
+	common
+	// DecisionSeconds is the fixed arbitration latency (a handful of
+	// cycles through the on-chip network to the unit and back).
+	DecisionSeconds float64
+}
+
+// NewRSU builds the hardware arbiter for the given core count.
+func NewRSU(cores int, table *power.DVFSTable, model power.Model, budget power.Budget) *RSU {
+	return &RSU{
+		common:          newCommon(cores, table, model, budget),
+		DecisionSeconds: 50e-9, // ~100 cycles at 2 GHz
+	}
+}
+
+// Request implements Reconfigurator.
+func (r *RSU) Request(core int, desired power.OperatingPoint, _ float64) (power.OperatingPoint, float64) {
+	granted := r.grant(core, desired)
+	r.overhead += r.DecisionSeconds
+	return granted, r.DecisionSeconds
+}
+
+// Release implements Reconfigurator.
+func (r *RSU) Release(core int, _ float64) { r.release(core) }
+
+// Name implements Reconfigurator.
+func (r *RSU) Name() string { return "rsu" }
+
+// TotalOverhead implements Reconfigurator.
+func (r *RSU) TotalOverhead() float64 { return r.overhead }
+
+// SoftwareDVFS is the software-only path: a global lock serialises requests
+// and each reconfiguration costs a driver transition. With many cores the
+// lock becomes the bottleneck — the effect the RSU removes.
+type SoftwareDVFS struct {
+	common
+	// PerRequestSeconds is the driver/voltage-regulator transition cost.
+	PerRequestSeconds float64
+	// lockFreeAt is the simulated time at which the global lock next
+	// becomes available.
+	lockFreeAt float64
+}
+
+// NewSoftwareDVFS builds the software reconfigurator.
+func NewSoftwareDVFS(cores int, table *power.DVFSTable, model power.Model, budget power.Budget) *SoftwareDVFS {
+	return &SoftwareDVFS{
+		common:            newCommon(cores, table, model, budget),
+		PerRequestSeconds: 8e-6, // ~8 µs: driver + regulator settle
+	}
+}
+
+// Request implements Reconfigurator: the caller queues on the global lock,
+// then pays the transition cost.
+func (s *SoftwareDVFS) Request(core int, desired power.OperatingPoint, now float64) (power.OperatingPoint, float64) {
+	start := now
+	if s.lockFreeAt > start {
+		start = s.lockFreeAt
+	}
+	end := start + s.PerRequestSeconds
+	s.lockFreeAt = end
+	granted := s.grant(core, desired)
+	overhead := end - now
+	s.overhead += overhead
+	return granted, overhead
+}
+
+// Release implements Reconfigurator.
+func (s *SoftwareDVFS) Release(core int, _ float64) { s.release(core) }
+
+// Name implements Reconfigurator.
+func (s *SoftwareDVFS) Name() string { return "software-dvfs" }
+
+// TotalOverhead implements Reconfigurator.
+func (s *SoftwareDVFS) TotalOverhead() float64 { return s.overhead }
+
+// Fixed is a degenerate reconfigurator that pins every core at one point
+// and never changes it — the static baseline of Section 3.1.
+type Fixed struct {
+	op power.OperatingPoint
+}
+
+// NewFixed pins all cores at op.
+func NewFixed(op power.OperatingPoint) *Fixed { return &Fixed{op: op} }
+
+// Request implements Reconfigurator (ignores the desired point).
+func (f *Fixed) Request(int, power.OperatingPoint, float64) (power.OperatingPoint, float64) {
+	return f.op, 0
+}
+
+// Release implements Reconfigurator.
+func (f *Fixed) Release(int, float64) {}
+
+// Name implements Reconfigurator.
+func (f *Fixed) Name() string { return fmt.Sprintf("fixed-%s", f.op.Name) }
+
+// TotalOverhead implements Reconfigurator.
+func (f *Fixed) TotalOverhead() float64 { return 0 }

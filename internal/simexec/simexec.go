@@ -1,0 +1,247 @@
+// Package simexec executes a task dependency graph on a modelled manycore
+// with per-core DVFS — the experimental vehicle for the paper's Section 3.1:
+// criticality-aware frequency scaling with hardware (RSU) or software
+// reconfiguration, against a static all-nominal baseline.
+//
+// The executor is a deterministic event-driven list scheduler: ready tasks
+// are assigned to idle cores in criticality order; each assignment asks the
+// Reconfigurator for an operating point (critical tasks want turbo,
+// non-critical ones settle for the low point so their power funds the
+// boost); task duration is work ÷ granted frequency plus the
+// reconfiguration stall; energy integrates busy and idle power.
+package simexec
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/rsu"
+	"repro/internal/tdg"
+)
+
+// Policy selects how desired operating points are chosen per task.
+type Policy int
+
+const (
+	// Static runs every task at the nominal point (the baseline).
+	Static Policy = iota
+	// CriticalityAware runs critical-path tasks at turbo and the rest at
+	// the low point (Section 3.1).
+	CriticalityAware
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == CriticalityAware {
+		return "criticality-aware"
+	}
+	return "static"
+}
+
+// Config parameterises one simulated execution.
+type Config struct {
+	// Cores is the machine width.
+	Cores int
+	// Table is the DVFS menu; Model the energy model.
+	Table *power.DVFSTable
+	Model power.Model
+	// Recon arbitrates frequency requests (rsu.RSU, rsu.SoftwareDVFS or
+	// rsu.Fixed).
+	Recon rsu.Reconfigurator
+	// Policy picks desired points.
+	Policy Policy
+	// CritSlack widens the critical set: tasks whose through-path is
+	// within CritSlack of the critical path also count as critical.
+	CritSlack float64
+	// LowFrac is the deep-slack threshold: a non-critical task whose
+	// through-path is below LowFrac × critical-path may run at the low
+	// point without endangering the makespan even when stretched 2×.
+	// 0 disables the low tier.
+	LowFrac float64
+}
+
+// Result summarises one run.
+type Result struct {
+	// MakespanS is the parallel execution time in seconds.
+	MakespanS float64
+	// EnergyJ is total energy (busy + reconfiguration stalls + idle).
+	EnergyJ float64
+	// EDP is the energy-delay product.
+	EDP float64
+	// ReconOverheadS is the summed reconfiguration stall time.
+	ReconOverheadS float64
+	// TurboTasks and LowTasks count tasks granted the fastest/slowest
+	// points (diagnostics for calibration).
+	TurboTasks, LowTasks int
+}
+
+// readyItem orders the ready queue by criticality (bottom level desc).
+type readyItem struct {
+	id tdg.NodeID
+	bl float64
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].bl != h[j].bl {
+		return h[i].bl > h[j].bl
+	}
+	return h[i].id < h[j].id
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type completion struct {
+	at   float64
+	core int
+	id   tdg.NodeID
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].core < h[j].core
+}
+func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// Run executes g under cfg.
+func Run(g *tdg.Graph, cfg Config) (Result, error) {
+	if cfg.Cores <= 0 {
+		return Result{}, fmt.Errorf("simexec: non-positive core count")
+	}
+	if g.Len() == 0 {
+		return Result{}, nil
+	}
+	bl, err := g.BottomLevels()
+	if err != nil {
+		return Result{}, err
+	}
+	crit, err := g.MarkCritical(cfg.CritSlack)
+	if err != nil {
+		return Result{}, err
+	}
+	through, err := g.ThroughPaths()
+	if err != nil {
+		return Result{}, err
+	}
+	_, cpCost, err := g.CriticalPath()
+	if err != nil {
+		return Result{}, err
+	}
+
+	indeg := make([]int, g.Len())
+	for _, n := range g.Nodes() {
+		indeg[n.ID] = len(n.Preds())
+	}
+	var ready readyHeap
+	for _, n := range g.Nodes() {
+		if indeg[n.ID] == 0 {
+			heap.Push(&ready, readyItem{n.ID, bl[n.ID]})
+		}
+	}
+
+	idle := make([]int, 0, cfg.Cores)
+	for c := cfg.Cores - 1; c >= 0; c-- {
+		idle = append(idle, c) // pop from the back → lowest id first
+	}
+	var events completionHeap
+	res := Result{}
+	var busyEnergy float64
+	var busyTime float64
+	now := 0.0
+	remaining := g.Len()
+
+	nominal := cfg.Table.Point(cfg.Table.Len() / 2)
+	assign := func() {
+		for len(idle) > 0 && ready.Len() > 0 {
+			// Underloaded: the ready queue cannot fill the idle cores, so
+			// the machine is latency-bound and the critical path is the
+			// bottleneck. That is when boosting it pays — and when the
+			// boost pool has headroom (idle cores hold no boost).
+			underloaded := ready.Len() < len(idle)
+			it := heap.Pop(&ready).(readyItem)
+			core := idle[len(idle)-1]
+			idle = idle[:len(idle)-1]
+			desired := nominal
+			if cfg.Policy == CriticalityAware {
+				switch {
+				case crit[it.id] && underloaded:
+					desired = cfg.Table.Fastest()
+				case cfg.LowFrac > 0 && through[it.id]+2*g.Node(it.id).Cost < cfg.LowFrac*cpCost:
+					// Deep slack: even doubled in length (low point is half
+					// the nominal frequency), the task's longest
+					// through-path stays safely under the critical path.
+					desired = cfg.Table.Slowest()
+				default:
+					desired = nominal
+				}
+			}
+			op, overhead := cfg.Recon.Request(core, desired, now)
+			switch op {
+			case cfg.Table.Fastest():
+				res.TurboTasks++
+			case cfg.Table.Slowest():
+				res.LowTasks++
+			}
+			cost := g.Node(it.id).Cost
+			dur := overhead + cost/op.CyclesPerSec()
+			// Busy energy: the stall burns power at the granted point too
+			// (the core waits voltage-stable, not power-gated).
+			busyEnergy += cfg.Model.BusyEnergy(op, cost)
+			busyEnergy += (cfg.Model.DynPower(op) + cfg.Model.StatPower(op)) * overhead
+			busyTime += dur
+			res.ReconOverheadS += overhead
+			heap.Push(&events, completion{at: now + dur, core: core, id: it.id})
+		}
+	}
+
+	assign()
+	for remaining > 0 {
+		if events.Len() == 0 {
+			return Result{}, fmt.Errorf("simexec: deadlock with %d tasks remaining (cyclic graph?)", remaining)
+		}
+		ev := heap.Pop(&events).(completion)
+		now = ev.at
+		cfg.Recon.Release(ev.core, now)
+		idle = append(idle, ev.core)
+		remaining--
+		for _, s := range g.Node(ev.id).Succs() {
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(&ready, readyItem{s, bl[s]})
+			}
+		}
+		assign()
+	}
+
+	res.MakespanS = now
+	idleTime := float64(cfg.Cores)*res.MakespanS - busyTime
+	if idleTime < 0 {
+		idleTime = 0
+	}
+	res.EnergyJ = busyEnergy + cfg.Model.IdleEnergy(cfg.Table.Slowest(), idleTime)
+	res.EDP = power.EDP(res.EnergyJ, res.MakespanS)
+	return res, nil
+}

@@ -1,0 +1,246 @@
+package simexec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/rsu"
+	"repro/internal/tdg"
+)
+
+func baseConfig(cores int) Config {
+	table := power.DefaultTable()
+	nominal, _ := table.ByName("nominal")
+	return Config{
+		Cores: cores, Table: table, Model: power.DefaultModel(),
+		Recon: rsu.NewFixed(nominal), Policy: Static,
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Run(tdg.New(), baseConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanS != 0 || res.EnergyJ != 0 {
+		t.Fatalf("empty graph result %+v", res)
+	}
+}
+
+func TestRejectsBadCores(t *testing.T) {
+	if _, err := Run(tdg.Chain(3, 1e6), Config{Cores: 0}); err == nil {
+		t.Fatalf("zero cores must fail")
+	}
+}
+
+func TestChainMakespanExact(t *testing.T) {
+	// A chain of n tasks at nominal frequency runs in exactly n·cost/f.
+	cfg := baseConfig(4)
+	g := tdg.Chain(5, 2e6)
+	res, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, _ := cfg.Table.ByName("nominal")
+	want := 5 * 2e6 / nominal.CyclesPerSec()
+	if !close(res.MakespanS, want, 1e-12) {
+		t.Fatalf("makespan = %v, want %v", res.MakespanS, want)
+	}
+}
+
+func TestEmbarrassingScalesWithCores(t *testing.T) {
+	g := tdg.Embarrassing(64, 2e6)
+	r1, err := Run(g, baseConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := Run(g, baseConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := r1.MakespanS / r16.MakespanS
+	if sp < 15.9 || sp > 16.1 {
+		t.Fatalf("embarrassing graph should scale 16x, got %.3f", sp)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Makespan is never below work/cores nor below the critical path.
+	g := tdg.Cholesky(8, 1e6)
+	cfg := baseConfig(8)
+	res, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, _ := cfg.Table.ByName("nominal")
+	_, cp, _ := g.CriticalPath()
+	minBound := cp / nominal.CyclesPerSec()
+	if wb := g.TotalCost() / nominal.CyclesPerSec() / 8; wb > minBound {
+		minBound = wb
+	}
+	if res.MakespanS < minBound-1e-12 {
+		t.Fatalf("makespan %v below lower bound %v", res.MakespanS, minBound)
+	}
+}
+
+func TestCriticalityBeatsStaticWhenLatencyBound(t *testing.T) {
+	// A small Cholesky on many cores is critical-path dominated: the
+	// criticality policy with an RSU must beat the static baseline.
+	g := tdg.Cholesky(8, 2e6)
+	table := power.DefaultTable()
+	model := power.DefaultModel()
+	nominal, _ := table.ByName("nominal")
+	static, err := Run(g, baseConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomBusy := model.DynPower(nominal) + model.StatPower(nominal)
+	r := rsu.NewRSU(32, table, model, power.Budget{WattsCap: nomBusy * 32})
+	cats, err := Run(g, Config{
+		Cores: 32, Table: table, Model: model, Recon: r,
+		Policy: CriticalityAware, CritSlack: 0.12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cats.MakespanS >= static.MakespanS {
+		t.Fatalf("criticality policy must win when latency-bound: %v vs %v",
+			cats.MakespanS, static.MakespanS)
+	}
+	if cats.TurboTasks == 0 {
+		t.Fatalf("no tasks ran at turbo")
+	}
+}
+
+func TestFig2PaperShape(t *testing.T) {
+	rows, err := RunFig2(DefaultFig2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 variants, got %d", len(rows))
+	}
+	rsuRow := rows[2]
+	// Paper §3.1: improvements over static reach 6.6% (performance).
+	if rsuRow.Speedup < 1.02 {
+		t.Errorf("RSU variant should clearly beat static at the default size: %.3f", rsuRow.Speedup)
+	}
+	if rsuRow.Speedup > 1.25 {
+		t.Errorf("speedup implausibly high vs paper's 6.6%%: %.3f", rsuRow.Speedup)
+	}
+	// RSU overhead must be orders of magnitude below software DVFS.
+	if rows[2].ReconOverheadS*10 > rows[1].ReconOverheadS {
+		t.Errorf("RSU overhead %.6f not ≪ software %.6f",
+			rows[2].ReconOverheadS, rows[1].ReconOverheadS)
+	}
+	if Fig2Table(rows).String() == "" {
+		t.Fatalf("empty table")
+	}
+}
+
+func TestFig2SweepReachesPaperEDP(t *testing.T) {
+	sweep, err := RunFig2Sweep(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxEDP, maxSp float64
+	for _, s := range sweep {
+		if v := s.Rows[2].EDPImprovement; v > maxEDP {
+			maxEDP = v
+		}
+		if v := s.Rows[2].Speedup; v > maxSp {
+			maxSp = v
+		}
+	}
+	// Paper: improvements reach 6.6% (perf) and 20.0% (EDP).
+	if maxSp < 1.05 {
+		t.Errorf("peak speedup %.3f below the paper's reach of 1.066", maxSp)
+	}
+	if maxEDP < 1.12 {
+		t.Errorf("peak EDP improvement %.3f too far below the paper's 1.20", maxEDP)
+	}
+	if Fig2SweepTable(sweep).String() == "" {
+		t.Fatalf("empty sweep table")
+	}
+}
+
+func TestRSUScalingShape(t *testing.T) {
+	rows, err := RunRSUScaling([]int{16, 64}, 12, 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Software overhead grows with cores; RSU overhead stays flat.
+	if rows[1].SoftwareOverhead <= rows[0].SoftwareOverhead {
+		t.Errorf("software overhead should grow with cores: %v -> %v",
+			rows[0].SoftwareOverhead, rows[1].SoftwareOverhead)
+	}
+	if rows[1].RSUOverhead != rows[0].RSUOverhead {
+		t.Errorf("RSU overhead should be constant: %v vs %v",
+			rows[0].RSUOverhead, rows[1].RSUOverhead)
+	}
+	if RSUScalingTable(rows).String() == "" {
+		t.Fatalf("empty table")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Static.String() != "static" || CriticalityAware.String() != "criticality-aware" {
+		t.Fatalf("policy strings")
+	}
+}
+
+func close(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Property: for random DAGs, the simulated makespan respects both lower
+// bounds (critical path, work/cores) and the serial upper bound.
+func TestQuickMakespanBounds(t *testing.T) {
+	f := func(seed int64, coresRaw uint8) bool {
+		cores := int(coresRaw%8) + 1
+		g := tdg.RandomDAG(4, 5, seed)
+		cfg := baseConfig(cores)
+		res, err := Run(g, cfg)
+		if err != nil {
+			return false
+		}
+		nominal, _ := cfg.Table.ByName("nominal")
+		f := nominal.CyclesPerSec()
+		_, cp, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		lower := cp / f
+		if wb := g.TotalCost() / f / float64(cores); wb > lower {
+			lower = wb
+		}
+		upper := g.TotalCost() / f
+		return res.MakespanS >= lower-1e-9 && res.MakespanS <= upper+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy is positive and EDP = energy × makespan.
+func TestQuickEnergyConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := tdg.RandomDAG(3, 4, seed)
+		res, err := Run(g, baseConfig(4))
+		if err != nil {
+			return false
+		}
+		if g.Len() > 0 && res.EnergyJ <= 0 {
+			return false
+		}
+		return close(res.EDP, res.EnergyJ*res.MakespanS, 1e-9*res.EDP+1e-15)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

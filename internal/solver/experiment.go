@@ -1,0 +1,97 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+// Fig4Config parameterises the Figure-4 experiment.
+type Fig4Config struct {
+	// Grid is the Laplacian size (Grid×Grid), the thermal2 stand-in.
+	Grid int
+	// FaultFrac places the DUE at this fraction of the ideal solve time
+	// (the paper's figure shows ~30 s of ~70 s).
+	FaultFrac float64
+	// BlockFrac is the share of x destroyed by the DUE.
+	BlockFrac float64
+	// Solver carries the base CG configuration.
+	Solver Config
+}
+
+// DefaultFig4Config matches the figure: one DUE at ~40 % of the solve, a
+// 2 % block of the solution vector lost.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		Grid:      160,
+		FaultFrac: 0.42,
+		BlockFrac: 0.02,
+		Solver:    DefaultConfig(),
+	}
+}
+
+// Fig4Result bundles the five curves plus headline overheads.
+type Fig4Result struct {
+	Results []Result
+	// IdealTimeS is the fault-free convergence time.
+	IdealTimeS float64
+}
+
+// RunFig4 executes the five schemes on the same problem with the same DUE.
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	a := sparse.Laplacian2D(cfg.Grid, cfg.Grid)
+	x := sparse.Ones(a.N)
+	b := make([]float64, a.N)
+	a.MulVec(b, x) // known solution: all ones
+
+	// Calibrate the fault time against the ideal run.
+	idealCfg := cfg.Solver
+	idealCfg.Scheme = Ideal
+	ideal, err := Solve(a, b, idealCfg)
+	if err != nil {
+		return nil, err
+	}
+	faultAt := ideal.TimeS * cfg.FaultFrac
+
+	out := &Fig4Result{IdealTimeS: ideal.TimeS}
+	out.Results = append(out.Results, ideal)
+	for _, sch := range []Scheme{Checkpoint, LossyRestart, FEIR, AFEIR} {
+		c := cfg.Solver
+		c.Scheme = sch
+		c.Injector = fault.NewInjector(faultAt, 0.25, cfg.BlockFrac)
+		r, err := Solve(a, b, c)
+		if err != nil {
+			return nil, fmt.Errorf("solver: %s: %w", sch, err)
+		}
+		out.Results = append(out.Results, r)
+	}
+	return out, nil
+}
+
+// Table renders convergence times and overheads versus the ideal run.
+func (fr *Fig4Result) Table() *stats.Table {
+	t := stats.NewTable(
+		"Figure 4 — CG with one DUE: time to convergence per recovery scheme",
+		"scheme", "time-s", "overhead-vs-ideal-s", "recovery-s", "iters", "converged")
+	for _, r := range fr.Results {
+		t.AddRow(r.Scheme.String(),
+			fmt.Sprintf("%.2f", r.TimeS),
+			fmt.Sprintf("%.2f", r.TimeS-fr.IdealTimeS),
+			fmt.Sprintf("%.3f", r.RecoveryS),
+			fmt.Sprintf("%d", r.Iters),
+			fmt.Sprintf("%v", r.Converged))
+	}
+	return t
+}
+
+// Plot renders the log-residual-vs-time figure.
+func (fr *Fig4Result) Plot() *stats.Plot {
+	p := stats.NewPlot("Figure 4 — CG convergence under one DUE", "time (s)", "relative residual")
+	p.LogY = true
+	for i := range fr.Results {
+		p.AddSeries(&fr.Results[i].Trace)
+	}
+	return p
+}

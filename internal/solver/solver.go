@@ -1,0 +1,335 @@
+// Package solver implements the resilient conjugate-gradient study of the
+// paper's Section 4 / Figure 4: a CG solver on a simulated time axis, one
+// injected DUE, and five ways of living through it:
+//
+//	Ideal         no fault (the red reference curve)
+//	Checkpoint    periodic state snapshots; on a DUE, roll back and redo
+//	LossyRestart  zero the lost block and restart the Krylov space —
+//	              cheap, but the solver pays in convergence afterwards
+//	FEIR          Forward Exact Interpolation Recovery (Jaulmes et al.):
+//	              solve the local block system A_ll·x_l = b_l − A_lo·x_o −
+//	              r_l, recovering the lost block *exactly*; convergence is
+//	              unharmed, only the recovery time is lost
+//	AFEIR         asynchronous FEIR: the task runtime executes the
+//	              recovery off the critical path, overlapping it with the
+//	              solver's remaining work, so the wall-clock overhead
+//	              almost vanishes
+//
+// The solver runs real floating-point CG (convergence curves are genuine);
+// only the time axis is modelled (flops ÷ simulated machine throughput), so
+// the figure's x-axis is reproducible on any host.
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+// Scheme selects a resilience mechanism.
+type Scheme int
+
+const (
+	// Ideal runs without any fault or protection.
+	Ideal Scheme = iota
+	// Checkpoint snapshots state every CheckpointInterval iterations.
+	Checkpoint
+	// LossyRestart zeroes the lost block and restarts CG.
+	LossyRestart
+	// FEIR recovers the block exactly via the local system.
+	FEIR
+	// AFEIR is FEIR with the recovery overlapped by the task runtime.
+	AFEIR
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Ideal:
+		return "ideal"
+	case Checkpoint:
+		return "checkpoint"
+	case LossyRestart:
+		return "lossy-restart"
+	case FEIR:
+		return "feir"
+	case AFEIR:
+		return "afeir"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Config parameterises one solve.
+type Config struct {
+	// Tol is the relative-residual convergence target.
+	Tol float64
+	// MaxIters bounds the iteration count.
+	MaxIters int
+	// FlopsPerSec sets the simulated machine speed (the paper's Figure-4
+	// time axis spans ~70 s for the whole solve).
+	FlopsPerSec float64
+	// MemBytesPerSec sets checkpoint/restore copy speed.
+	MemBytesPerSec float64
+	// Scheme is the resilience mechanism.
+	Scheme Scheme
+	// CheckpointInterval is the snapshot period in iterations.
+	CheckpointInterval int
+	// Injector provides the DUE (nil for none; Ideal ignores it).
+	Injector *fault.Injector
+	// AsyncOverlap is the fraction of FEIR's recovery time hidden by the
+	// runtime when the recovery runs as out-of-critical-path tasks.
+	AsyncOverlap float64
+	// TraceStride records one residual sample every this many iterations.
+	TraceStride int
+}
+
+// DefaultConfig returns the Figure-4 setup.
+func DefaultConfig() Config {
+	return Config{
+		Tol:                1e-10,
+		MaxIters:           20000,
+		FlopsPerSec:        4e6, // scales the solve to the figure's ~70 s
+		MemBytesPerSec:     4e7,
+		CheckpointInterval: 200,
+		AsyncOverlap:       0.85,
+		TraceStride:        4,
+	}
+}
+
+// Result is one solve's outcome.
+type Result struct {
+	Scheme     Scheme
+	Converged  bool
+	Iters      int
+	FinalRel   float64
+	TimeS      float64
+	RecoveryS  float64 // critical-path time spent on recovery/rollback
+	Trace      stats.Series
+	FaultTimeS float64 // when the DUE struck (0 if never)
+}
+
+// Solve runs CG on A·x = b from x0 = 0 under cfg.
+func Solve(a *sparse.CSR, b []float64, cfg Config) (Result, error) {
+	n := a.N
+	if len(b) != n {
+		return Result{}, fmt.Errorf("solver: b length %d != N %d", len(b), n)
+	}
+	if cfg.TraceStride <= 0 {
+		cfg.TraceStride = 1
+	}
+	res := Result{Scheme: cfg.Scheme}
+	res.Trace.Name = cfg.Scheme.String()
+
+	x := make([]float64, n)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	copy(r, b) // r = b - A·0
+	copy(p, r)
+	rr := sparse.Dot(r, r)
+	bnorm := math.Sqrt(sparse.Dot(b, b))
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	// Simulated time accounting.
+	flopsPerIter := float64(2*a.NNZ() + 10*n)
+	tIter := flopsPerIter / cfg.FlopsPerSec
+	now := 0.0
+
+	// Checkpoint state.
+	var ckX, ckR, ckP []float64
+	var ckRR float64
+	ckIter := 0
+	snapshotCost := float64(3*8*n) / cfg.MemBytesPerSec
+	takeCkpt := func(iter int) {
+		if ckX == nil {
+			ckX = make([]float64, n)
+			ckR = make([]float64, n)
+			ckP = make([]float64, n)
+		}
+		copy(ckX, x)
+		copy(ckR, r)
+		copy(ckP, p)
+		ckRR = rr
+		ckIter = iter
+		now += snapshotCost
+	}
+	if cfg.Scheme == Checkpoint {
+		takeCkpt(0)
+	}
+
+	record := func(iter int) {
+		if iter%cfg.TraceStride == 0 {
+			res.Trace.Add(now, math.Sqrt(rr)/bnorm)
+		}
+	}
+	record(0)
+
+	for k := 0; k < cfg.MaxIters; k++ {
+		// DUE check at iteration boundaries (detection is immediate:
+		// the ECC hardware reports the dead block synchronously).
+		if cfg.Scheme != Ideal && cfg.Injector != nil {
+			if lo, hi, fired := cfg.Injector.Check(now, n); fired {
+				res.FaultTimeS = now
+				fault.Corrupt(x, lo, hi)
+				rec := recover_(a, b, x, r, p, &rr, lo, hi, cfg, &ckRecovery{
+					ckX: ckX, ckR: ckR, ckP: ckP, ckRR: ckRR, ckIter: ckIter,
+				}, &k)
+				now += rec
+				res.RecoveryS += rec
+				res.Trace.Add(now, math.Sqrt(rr)/bnorm)
+			}
+		}
+
+		rel := math.Sqrt(rr) / bnorm
+		if rel < cfg.Tol {
+			res.Converged = true
+			res.Iters = k
+			break
+		}
+		// Standard CG step.
+		a.MulVec(q, p)
+		alpha := rr / sparse.Dot(p, q)
+		sparse.Axpy(alpha, p, x)
+		sparse.Axpy(-alpha, q, r)
+		rrNew := sparse.Dot(r, r)
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+		now += tIter
+		res.Iters = k + 1
+		record(k + 1)
+
+		if cfg.Scheme == Checkpoint && (k+1)%cfg.CheckpointInterval == 0 {
+			takeCkpt(k + 1)
+		}
+	}
+	res.FinalRel = math.Sqrt(rr) / bnorm
+	if res.FinalRel < cfg.Tol {
+		res.Converged = true
+	}
+	res.TimeS = now
+	res.Trace.Add(now, res.FinalRel)
+	return res, nil
+}
+
+// ckRecovery carries checkpoint state into the recovery dispatcher.
+type ckRecovery struct {
+	ckX, ckR, ckP []float64
+	ckRR          float64
+	ckIter        int
+}
+
+// recover_ applies the configured scheme after a DUE killed x[lo:hi];
+// returns the critical-path seconds the recovery consumed and rewinds the
+// iteration counter when the scheme rolls back.
+func recover_(a *sparse.CSR, b, x, r, p []float64, rr *float64, lo, hi int,
+	cfg Config, ck *ckRecovery, k *int) float64 {
+	n := a.N
+	switch cfg.Scheme {
+	case Checkpoint:
+		// Roll back to the snapshot; the redone iterations cost real time
+		// as the solver recomputes them (charged naturally by the main
+		// loop — here only the restore copy is charged).
+		copy(x, ck.ckX)
+		copy(r, ck.ckR)
+		copy(p, ck.ckP)
+		*rr = ck.ckRR
+		*k = ck.ckIter
+		return float64(3*8*n) / cfg.MemBytesPerSec
+
+	case LossyRestart:
+		// Cheap repair: zero the block, recompute the true residual and
+		// restart the Krylov space. The lost search history is the price.
+		for i := lo; i < hi; i++ {
+			x[i] = 0
+		}
+		q := make([]float64, n)
+		a.MulVec(q, x)
+		for i := range r {
+			r[i] = b[i] - q[i]
+		}
+		copy(p, r)
+		*rr = sparse.Dot(r, r)
+		return float64(2*a.NNZ()+4*n) / cfg.FlopsPerSec
+
+	case FEIR, AFEIR:
+		// Exact interpolation: x_l = A_ll⁻¹ (b_l − A_lo·x_o − r_l).
+		// r and p are intact, and the recovered x_l equals the pre-fault
+		// values up to the inner tolerance, so CG resumes unharmed.
+		flops := feirRecover(a, b, x, r, lo, hi)
+		t := flops / cfg.FlopsPerSec
+		if cfg.Scheme == AFEIR {
+			// The runtime schedules the interpolation as tasks outside
+			// the solver's critical path (Section 4): only the residual
+			// fraction hits the wall clock.
+			t *= 1 - cfg.AsyncOverlap
+		}
+		return t
+
+	default:
+		return 0
+	}
+}
+
+// feirRecover solves the local system with an inner CG and writes the
+// recovered block into x; returns the flops consumed.
+func feirRecover(a *sparse.CSR, b, x, r []float64, lo, hi int) float64 {
+	nb := hi - lo
+	// rhs = b_l − A_l·x (with the lost block zeroed) − r_l; note A_l·x
+	// with x_l = 0 is exactly A_lo·x_o.
+	for i := lo; i < hi; i++ {
+		x[i] = 0
+	}
+	t := make([]float64, nb)
+	a.MulRows(t, x, lo, hi)
+	rhs := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		rhs[i] = b[lo+i] - t[i] - r[lo+i]
+	}
+	all := a.Submatrix(lo, hi)
+	sol := make([]float64, nb)
+	iters := innerCG(all, rhs, sol, 1e-13, 4*nb+200)
+	copy(x[lo:hi], sol)
+	// Flops: the boundary product + inner iterations on the block.
+	return float64(2*a.NNZ()) + float64(iters)*float64(2*all.NNZ()+10*nb)
+}
+
+// innerCG solves sub·y = rhs to the given relative tolerance, returning the
+// iterations used.
+func innerCG(sub *sparse.CSR, rhs, y []float64, tol float64, maxIt int) int {
+	n := sub.N
+	r := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	copy(r, rhs)
+	copy(p, r)
+	rr := sparse.Dot(r, r)
+	bn := math.Sqrt(sparse.Dot(rhs, rhs))
+	if bn == 0 {
+		return 0
+	}
+	for k := 0; k < maxIt; k++ {
+		if math.Sqrt(rr)/bn < tol {
+			return k
+		}
+		sub.MulVec(q, p)
+		alpha := rr / sparse.Dot(p, q)
+		sparse.Axpy(alpha, p, y)
+		sparse.Axpy(-alpha, q, r)
+		rrNew := sparse.Dot(r, r)
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+	}
+	return maxIt
+}

@@ -1,0 +1,241 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/sparse"
+)
+
+func smallProblem(grid int) (*sparse.CSR, []float64) {
+	a := sparse.Laplacian2D(grid, grid)
+	b := make([]float64, a.N)
+	a.MulVec(b, sparse.Ones(a.N))
+	return a, b
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TraceStride = 10
+	return cfg
+}
+
+func TestIdealConverges(t *testing.T) {
+	a, b := smallProblem(40)
+	cfg := testConfig()
+	cfg.Scheme = Ideal
+	res, err := Solve(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG failed to converge: %+v", res.FinalRel)
+	}
+	if res.TimeS <= 0 || len(res.Trace.Points) == 0 {
+		t.Fatalf("missing time/trace")
+	}
+	// Residual trace must be broadly decreasing (CG is not monotone in
+	// the 2-norm, but first vs last must fall by orders of magnitude).
+	first := res.Trace.Points[0].Y
+	last := res.Trace.Points[len(res.Trace.Points)-1].Y
+	if last > first*1e-8 {
+		t.Fatalf("residual barely fell: %v -> %v", first, last)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	a, _ := smallProblem(4)
+	if _, err := Solve(a, make([]float64, 3), testConfig()); err == nil {
+		t.Fatalf("length mismatch must fail")
+	}
+}
+
+func TestFEIRRecoversExactly(t *testing.T) {
+	// The core claim of Section 4: after FEIR recovery the solver state
+	// equals the pre-fault state, so convergence (iteration count) is
+	// identical to the ideal run.
+	a, b := smallProblem(40)
+	ideal := testConfig()
+	ideal.Scheme = Ideal
+	ref, _ := Solve(a, b, ideal)
+
+	cfg := testConfig()
+	cfg.Scheme = FEIR
+	cfg.Injector = fault.NewInjector(ref.TimeS*0.4, 0.3, 0.05)
+	res, err := Solve(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("FEIR run did not converge")
+	}
+	if res.Iters != ref.Iters {
+		t.Fatalf("FEIR must not change the iteration count: %d vs %d", res.Iters, ref.Iters)
+	}
+	if res.RecoveryS <= 0 {
+		t.Fatalf("recovery must cost time")
+	}
+}
+
+func TestAFEIRCheaperThanFEIR(t *testing.T) {
+	a, b := smallProblem(40)
+	base := testConfig()
+	ideal := base
+	ideal.Scheme = Ideal
+	ref, _ := Solve(a, b, ideal)
+	run := func(s Scheme) Result {
+		cfg := base
+		cfg.Scheme = s
+		cfg.Injector = fault.NewInjector(ref.TimeS*0.4, 0.3, 0.05)
+		r, err := Solve(a, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	feir := run(FEIR)
+	afeir := run(AFEIR)
+	if afeir.RecoveryS >= feir.RecoveryS {
+		t.Fatalf("async recovery must be cheaper on the critical path: %v vs %v",
+			afeir.RecoveryS, feir.RecoveryS)
+	}
+	if afeir.Iters != feir.Iters {
+		t.Fatalf("both exact recoveries must keep the trajectory: %d vs %d", afeir.Iters, feir.Iters)
+	}
+}
+
+func TestLossyRestartConvergesButSlower(t *testing.T) {
+	a, b := smallProblem(40)
+	ideal := testConfig()
+	ideal.Scheme = Ideal
+	ref, _ := Solve(a, b, ideal)
+
+	cfg := testConfig()
+	cfg.Scheme = LossyRestart
+	cfg.Injector = fault.NewInjector(ref.TimeS*0.4, 0.3, 0.05)
+	res, err := Solve(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("restart run must still converge")
+	}
+	if res.Iters <= ref.Iters {
+		t.Fatalf("restart must pay in iterations: %d vs %d", res.Iters, ref.Iters)
+	}
+}
+
+func TestCheckpointRollsBack(t *testing.T) {
+	a, b := smallProblem(40)
+	ideal := testConfig()
+	ideal.Scheme = Ideal
+	ref, _ := Solve(a, b, ideal)
+
+	cfg := testConfig()
+	cfg.Scheme = Checkpoint
+	cfg.CheckpointInterval = 50
+	cfg.Injector = fault.NewInjector(ref.TimeS*0.5, 0.3, 0.05)
+	res, err := Solve(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("checkpoint run must converge")
+	}
+	if res.TimeS <= ref.TimeS {
+		t.Fatalf("rollback must cost wall time: %v vs %v", res.TimeS, ref.TimeS)
+	}
+}
+
+func TestFig4PaperShape(t *testing.T) {
+	cfg := DefaultFig4Config()
+	cfg.Grid = 48 // fast test scale
+	cfg.Solver.TraceStride = 10
+	fr, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[Scheme]Result{}
+	for _, r := range fr.Results {
+		byScheme[r.Scheme] = r
+		if !r.Converged {
+			t.Fatalf("%s did not converge", r.Scheme)
+		}
+	}
+	ideal := byScheme[Ideal].TimeS
+	feir := byScheme[FEIR].TimeS
+	afeir := byScheme[AFEIR].TimeS
+	ckpt := byScheme[Checkpoint].TimeS
+	restart := byScheme[LossyRestart].TimeS
+	// The figure's ordering: ideal ≤ afeir ≤ feir < checkpoint, restart.
+	if !(afeir <= feir) {
+		t.Errorf("AFEIR (%v) must beat FEIR (%v)", afeir, feir)
+	}
+	if !(feir < ckpt && feir < restart) {
+		t.Errorf("FEIR (%v) must beat checkpoint (%v) and restart (%v)", feir, ckpt, restart)
+	}
+	if feir-ideal > 0.1*ideal {
+		t.Errorf("FEIR overhead should be small: %v vs ideal %v", feir, ideal)
+	}
+	if fr.Table().String() == "" || fr.Plot().String() == "" {
+		t.Fatalf("missing renderings")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range []Scheme{Ideal, Checkpoint, LossyRestart, FEIR, AFEIR, Scheme(9)} {
+		if s.String() == "" {
+			t.Fatalf("empty string for %d", int(s))
+		}
+	}
+}
+
+// Property: FEIR's recovered block matches the pre-fault solution within
+// the inner tolerance, for arbitrary fault location/size — the exactness
+// property that distinguishes it from lossy schemes.
+func TestQuickFEIRExactness(t *testing.T) {
+	a, b := smallProblem(24)
+	n := a.N
+	f := func(startRaw, sizeRaw uint8, itersRaw uint8) bool {
+		// Run some CG iterations to get a mid-solve state.
+		iters := int(itersRaw)%40 + 5
+		x := make([]float64, n)
+		r := make([]float64, n)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		copy(r, b)
+		copy(p, r)
+		rr := sparse.Dot(r, r)
+		for k := 0; k < iters; k++ {
+			a.MulVec(q, p)
+			alpha := rr / sparse.Dot(p, q)
+			sparse.Axpy(alpha, p, x)
+			sparse.Axpy(-alpha, q, r)
+			rrN := sparse.Dot(r, r)
+			beta := rrN / rr
+			for i := range p {
+				p[i] = r[i] + beta*p[i]
+			}
+			rr = rrN
+		}
+		pre := append([]float64(nil), x...)
+		lo := int(startRaw) % (n - 2)
+		hi := lo + 1 + int(sizeRaw)%(n/4)
+		if hi > n {
+			hi = n
+		}
+		fault.Corrupt(x, lo, hi)
+		feirRecover(a, b, x, r, lo, hi)
+		for i := lo; i < hi; i++ {
+			if math.Abs(x[i]-pre[i]) > 1e-7*(1+math.Abs(pre[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

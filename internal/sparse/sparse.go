@@ -1,0 +1,156 @@
+// Package sparse provides the compressed-sparse-row matrices and dense
+// vector kernels the resilient conjugate-gradient study (the paper's
+// Figure 4) is built on, plus generators for SPD test problems standing in
+// for the paper's thermal2 matrix (SuiteSparse is not available offline;
+// a 2-D Laplacian is the same SPD problem class CG targets).
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a square sparse matrix in compressed-sparse-row form.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the stored non-zero count.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Validate checks structural invariants.
+func (a *CSR) Validate() error {
+	if a.N < 0 || len(a.RowPtr) != a.N+1 {
+		return fmt.Errorf("sparse: RowPtr length %d != N+1 (%d)", len(a.RowPtr), a.N+1)
+	}
+	if a.RowPtr[0] != 0 || a.RowPtr[a.N] != len(a.Val) || len(a.Col) != len(a.Val) {
+		return fmt.Errorf("sparse: inconsistent CSR arrays")
+	}
+	for i := 0; i < a.N; i++ {
+		if a.RowPtr[i] > a.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.Col[k] < 0 || a.Col[k] >= a.N {
+				return fmt.Errorf("sparse: column %d out of range in row %d", a.Col[k], i)
+			}
+		}
+	}
+	return nil
+}
+
+// MulVec computes y = A·x.
+func (a *CSR) MulVec(y, x []float64) {
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulRows computes y[i] = (A·x)[i] for i in [r0, r1) only; y is indexed
+// from r0 (len r1-r0). Used by the FEIR recovery, which needs A_l· x on
+// the lost block's rows.
+func (a *CSR) MulRows(y, x []float64, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[i-r0] = s
+	}
+}
+
+// Submatrix extracts the principal submatrix A[r0:r1, r0:r1] (the A_ll
+// block of the recovery system). Principal submatrices of SPD matrices are
+// SPD, so the inner solve is well posed.
+func (a *CSR) Submatrix(r0, r1 int) *CSR {
+	n := r1 - r0
+	sub := &CSR{N: n, RowPtr: make([]int, 1, n+1)}
+	for i := r0; i < r1; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := a.Col[k]
+			if c >= r0 && c < r1 {
+				sub.Col = append(sub.Col, c-r0)
+				sub.Val = append(sub.Val, a.Val[k])
+			}
+		}
+		sub.RowPtr = append(sub.RowPtr, len(sub.Val))
+	}
+	return sub
+}
+
+// Laplacian2D builds the 5-point finite-difference Laplacian on an nx×ny
+// grid with Dirichlet boundaries: SPD, condition growing with the grid —
+// the classic CG benchmark and our thermal2 stand-in.
+func Laplacian2D(nx, ny int) *CSR {
+	n := nx * ny
+	a := &CSR{N: n, RowPtr: make([]int, 1, n+1)}
+	idx := func(i, j int) int { return j*nx + i }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			add := func(c int, v float64) {
+				a.Col = append(a.Col, c)
+				a.Val = append(a.Val, v)
+			}
+			if j > 0 {
+				add(idx(i, j-1), -1)
+			}
+			if i > 0 {
+				add(idx(i-1, j), -1)
+			}
+			add(idx(i, j), 4)
+			if i < nx-1 {
+				add(idx(i+1, j), -1)
+			}
+			if j < ny-1 {
+				add(idx(i, j+1), -1)
+			}
+			a.RowPtr = append(a.RowPtr, len(a.Val))
+		}
+	}
+	return a
+}
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha·x.
+func Axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale computes x *= alpha.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Copy copies src into dst.
+func Copy(dst, src []float64) { copy(dst, src) }
+
+// Ones returns a vector of ones.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

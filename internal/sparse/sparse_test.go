@@ -1,0 +1,198 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplacianStructure(t *testing.T) {
+	a := Laplacian2D(4, 3)
+	if a.N != 12 {
+		t.Fatalf("N = %d", a.N)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior point has 5 entries; corner has 3.
+	row := func(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+	if row(0) != 3 {
+		t.Fatalf("corner row nnz = %d", row(0))
+	}
+	if row(5) != 5 { // (1,1) is interior of 4x3
+		t.Fatalf("interior row nnz = %d", row(5))
+	}
+}
+
+func TestLaplacianSymmetricDiagonallyDominant(t *testing.T) {
+	a := Laplacian2D(5, 5)
+	// Build dense copy to check symmetry.
+	dense := make([][]float64, a.N)
+	for i := range dense {
+		dense[i] = make([]float64, a.N)
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			dense[i][a.Col[k]] = a.Val[k]
+		}
+	}
+	for i := 0; i < a.N; i++ {
+		var off float64
+		for j := 0; j < a.N; j++ {
+			if dense[i][j] != dense[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+			if i != j {
+				off += math.Abs(dense[i][j])
+			}
+		}
+		if dense[i][i] < off {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	// Laplacian of the constant vector: interior rows give 0, boundaries
+	// positive (Dirichlet).
+	a := Laplacian2D(3, 3)
+	y := make([]float64, a.N)
+	a.MulVec(y, Ones(a.N))
+	if y[4] != 0 { // centre of 3x3
+		t.Fatalf("interior row of A*1 = %v, want 0", y[4])
+	}
+	if y[0] != 2 { // corner: 4 - 2 neighbours
+		t.Fatalf("corner row = %v, want 2", y[0])
+	}
+}
+
+func TestMulRowsMatchesMulVec(t *testing.T) {
+	a := Laplacian2D(6, 5)
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	full := make([]float64, a.N)
+	a.MulVec(full, x)
+	part := make([]float64, 10)
+	a.MulRows(part, x, 5, 15)
+	for i := 0; i < 10; i++ {
+		if part[i] != full[5+i] {
+			t.Fatalf("MulRows mismatch at %d", i)
+		}
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	a := Laplacian2D(4, 4)
+	sub := a.Submatrix(4, 12)
+	if sub.N != 8 {
+		t.Fatalf("sub N = %d", sub.N)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Principal submatrix keeps the diagonal.
+	for i := 0; i < sub.N; i++ {
+		found := false
+		for k := sub.RowPtr[i]; k < sub.RowPtr[i+1]; k++ {
+			if sub.Col[k] == i && sub.Val[k] == 4 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("diagonal lost in row %d", i)
+		}
+	}
+}
+
+func TestVectorKernels(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("dot")
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[2] != 12 {
+		t.Fatalf("axpy %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3 {
+		t.Fatalf("scale %v", y)
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatalf("norm")
+	}
+	dst := make([]float64, 3)
+	Copy(dst, x)
+	if dst[1] != 2 {
+		t.Fatalf("copy")
+	}
+	if len(Ones(4)) != 4 || Ones(4)[3] != 1 {
+		t.Fatalf("ones")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	a := Laplacian2D(3, 3)
+	a.Col[0] = 99
+	if err := a.Validate(); err == nil {
+		t.Fatalf("bad column must fail validation")
+	}
+}
+
+// Property: MulVec is linear: A(αx + y) = αAx + Ay.
+func TestQuickMulVecLinear(t *testing.T) {
+	a := Laplacian2D(6, 6)
+	f := func(seedX, seedY uint32, alphaRaw uint8) bool {
+		n := a.N
+		alpha := float64(alphaRaw)/16 - 8
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64((int(seedX)+i*7)%13) - 6
+			y[i] = float64((int(seedY)+i*5)%11) - 5
+		}
+		combo := make([]float64, n)
+		for i := range combo {
+			combo[i] = alpha*x[i] + y[i]
+		}
+		ax := make([]float64, n)
+		ay := make([]float64, n)
+		acombo := make([]float64, n)
+		a.MulVec(ax, x)
+		a.MulVec(ay, y)
+		a.MulVec(acombo, combo)
+		for i := range acombo {
+			if math.Abs(acombo[i]-(alpha*ax[i]+ay[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Laplacian is positive definite: xᵀAx > 0 for x ≠ 0.
+func TestQuickPositiveDefinite(t *testing.T) {
+	a := Laplacian2D(5, 4)
+	f := func(seed uint32) bool {
+		x := make([]float64, a.N)
+		nonzero := false
+		for i := range x {
+			x[i] = float64((int(seed)+i*13)%9) - 4
+			if x[i] != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			return true
+		}
+		ax := make([]float64, a.N)
+		a.MulVec(ax, x)
+		return Dot(x, ax) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package spm models the per-tile ScratchPad Memories and their DMA engines
+// that, together with the caches, form the hybrid memory hierarchy of the
+// paper's Section 2 (Alvarez et al., ISCA'15).
+//
+// An SPM is software-managed storage: the compiler (package compilerpass)
+// maps strided references to it through tiling software caches, and a DMA
+// engine moves tiles between DRAM and the SPM in bulk. SPM accesses are
+// cheaper than cache accesses — no tag array, no TLB, no coherence — which
+// is where the energy advantage of Figure 1 comes from, while DMA bulk
+// transfers cut the per-line request/reply message overhead on the NoC,
+// which is where the traffic advantage comes from.
+package spm
+
+import "fmt"
+
+// Config describes one scratchpad and its DMA engine.
+type Config struct {
+	// SizeBytes is the SPM capacity (per tile).
+	SizeBytes int
+	// AccessCycles is the load/store latency to the SPM array.
+	AccessCycles int
+	// AccessEnergyPJ is the per-access energy; lower than a same-size cache
+	// because there is no tag+TLB lookup (the paper's premise).
+	AccessEnergyPJ float64
+	// DMASetupCycles is the fixed cost of programming one DMA transfer.
+	DMASetupCycles int
+	// DMABytesPerCycle is the DMA streaming bandwidth.
+	DMABytesPerCycle float64
+	// DMAEnergyPJPerByte is DMA transfer energy per byte moved (on-chip
+	// share only; DRAM energy is charged by package dram).
+	DMAEnergyPJPerByte float64
+}
+
+// DefaultConfig returns the 32 KiB SPM with a streaming DMA engine used by
+// the Figure-1 tiles, sized to match the L1 it sits beside.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:          32 << 10,
+		AccessCycles:       2,  // vs 3 for the tagged L1
+		AccessEnergyPJ:     12, // vs 40 for the tagged L1
+		DMASetupCycles:     24,
+		DMABytesPerCycle:   8,
+		DMAEnergyPJPerByte: 0.35,
+	}
+}
+
+// Region is a mapped address range inside an SPM.
+type Region struct {
+	Base uint64 // DRAM base address the region mirrors
+	Size int    // bytes
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+uint64(r.Size)
+}
+
+// Stats holds SPM + DMA counters for one tile.
+type Stats struct {
+	Accesses     uint64
+	EnergyPJ     float64
+	DMATransfers uint64
+	DMABytes     uint64
+	DMACycles    uint64
+	DMAEnergyPJ  float64
+}
+
+// SPM is one tile's scratchpad with its current software mapping.
+type SPM struct {
+	cfg     Config
+	used    int
+	regions []Region
+	stats   Stats
+}
+
+// New creates an SPM.
+func New(cfg Config) *SPM {
+	if cfg.SizeBytes <= 0 {
+		panic("spm: non-positive size")
+	}
+	return &SPM{cfg: cfg}
+}
+
+// Config returns the SPM configuration.
+func (s *SPM) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the counters.
+func (s *SPM) Stats() Stats { return s.stats }
+
+// Free returns the unmapped capacity in bytes.
+func (s *SPM) Free() int { return s.cfg.SizeBytes - s.used }
+
+// Map reserves size bytes mirroring the DRAM range starting at base, as the
+// compiler-generated tiling software cache does at tile entry. It fails if
+// capacity is exhausted.
+func (s *SPM) Map(base uint64, size int) (Region, error) {
+	if size <= 0 {
+		return Region{}, fmt.Errorf("spm: non-positive mapping size %d", size)
+	}
+	if size > s.Free() {
+		return Region{}, fmt.Errorf("spm: mapping %dB exceeds free %dB", size, s.Free())
+	}
+	r := Region{Base: base, Size: size}
+	s.regions = append(s.regions, r)
+	s.used += size
+	return r, nil
+}
+
+// Unmap releases a region previously returned by Map.
+func (s *SPM) Unmap(r Region) {
+	for i, q := range s.regions {
+		if q == r {
+			s.regions = append(s.regions[:i], s.regions[i+1:]...)
+			s.used -= r.Size
+			return
+		}
+	}
+}
+
+// UnmapAll releases every mapping (tile exit).
+func (s *SPM) UnmapAll() {
+	s.regions = s.regions[:0]
+	s.used = 0
+}
+
+// Lookup reports whether addr is currently mapped to this SPM. This is the
+// question the coherence filter of package coherence asks on every
+// unknown-alias access.
+func (s *SPM) Lookup(addr uint64) (Region, bool) {
+	for _, r := range s.regions {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Regions returns the current mappings (read-only use).
+func (s *SPM) Regions() []Region { return s.regions }
+
+// Access models one load/store served by the SPM array and returns its
+// latency in cycles.
+func (s *SPM) Access() int {
+	s.stats.Accesses++
+	s.stats.EnergyPJ += s.cfg.AccessEnergyPJ
+	return s.cfg.AccessCycles
+}
+
+// DMA models one bulk transfer of size bytes between DRAM and the SPM and
+// returns the cycles the engine occupies. The DRAM-side latency/energy is
+// charged separately by the caller via the dram controller; double buffering
+// means the caller usually overlaps this cost with compute.
+func (s *SPM) DMA(size int) int {
+	if size <= 0 {
+		return 0
+	}
+	cycles := s.cfg.DMASetupCycles + int(float64(size)/s.cfg.DMABytesPerCycle)
+	s.stats.DMATransfers++
+	s.stats.DMABytes += uint64(size)
+	s.stats.DMACycles += uint64(cycles)
+	s.stats.DMAEnergyPJ += float64(size) * s.cfg.DMAEnergyPJPerByte
+	return cycles
+}
+
+// Reset zeroes counters and mappings.
+func (s *SPM) Reset() {
+	s.UnmapAll()
+	s.stats = Stats{}
+}

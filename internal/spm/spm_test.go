@@ -1,0 +1,161 @@
+package spm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapUnmap(t *testing.T) {
+	s := New(DefaultConfig())
+	r, err := s.Map(0x1000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Free() != s.Config().SizeBytes-1024 {
+		t.Fatalf("Free = %d", s.Free())
+	}
+	if _, ok := s.Lookup(0x1000 + 512); !ok {
+		t.Fatalf("mapped address must be found")
+	}
+	if _, ok := s.Lookup(0x1000 + 1024); ok {
+		t.Fatalf("end is exclusive")
+	}
+	s.Unmap(r)
+	if s.Free() != s.Config().SizeBytes {
+		t.Fatalf("Unmap must release capacity")
+	}
+	if _, ok := s.Lookup(0x1200); ok {
+		t.Fatalf("lookup after unmap must miss")
+	}
+}
+
+func TestMapOverCapacity(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Map(0, s.Config().SizeBytes+1); err == nil {
+		t.Fatalf("oversized mapping must fail")
+	}
+	if _, err := s.Map(0, s.Config().SizeBytes); err != nil {
+		t.Fatalf("exact-fit mapping must work: %v", err)
+	}
+	if _, err := s.Map(1<<20, 1); err == nil {
+		t.Fatalf("no room left, must fail")
+	}
+}
+
+func TestMapRejectsNonPositive(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Map(0, 0); err == nil {
+		t.Fatalf("zero-size mapping must fail")
+	}
+	if _, err := s.Map(0, -5); err == nil {
+		t.Fatalf("negative mapping must fail")
+	}
+}
+
+func TestAccessCosts(t *testing.T) {
+	s := New(DefaultConfig())
+	lat := s.Access()
+	if lat != s.Config().AccessCycles {
+		t.Fatalf("latency = %d", lat)
+	}
+	if s.Stats().Accesses != 1 || s.Stats().EnergyPJ != s.Config().AccessEnergyPJ {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+}
+
+func TestSPMCheaperThanCacheDefaults(t *testing.T) {
+	// The premise of the hybrid hierarchy: an SPM access is cheaper in both
+	// time and energy than a same-size L1 access (no tags, no TLB).
+	cfg := DefaultConfig()
+	if cfg.AccessCycles >= 3 {
+		t.Fatalf("SPM latency must undercut L1's 3 cycles, got %d", cfg.AccessCycles)
+	}
+	if cfg.AccessEnergyPJ >= 25 {
+		t.Fatalf("SPM energy must undercut L1's 25 pJ, got %v", cfg.AccessEnergyPJ)
+	}
+}
+
+func TestDMACosts(t *testing.T) {
+	s := New(DefaultConfig())
+	cyc := s.DMA(4096)
+	want := s.Config().DMASetupCycles + int(4096/s.Config().DMABytesPerCycle)
+	if cyc != want {
+		t.Fatalf("DMA cycles = %d, want %d", cyc, want)
+	}
+	st := s.Stats()
+	if st.DMATransfers != 1 || st.DMABytes != 4096 {
+		t.Fatalf("stats %+v", st)
+	}
+	if s.DMA(0) != 0 {
+		t.Fatalf("zero DMA is free")
+	}
+}
+
+func TestDMABulkAmortisation(t *testing.T) {
+	// One 4 KiB DMA must be cheaper than 64 per-line (64B) transfers — the
+	// effect that reduces NoC/DRAM overhead in Figure 1.
+	s := New(DefaultConfig())
+	bulk := s.DMA(4096)
+	perLine := 0
+	for i := 0; i < 64; i++ {
+		perLine += s.DMA(64)
+	}
+	if bulk >= perLine {
+		t.Fatalf("bulk DMA (%d) must beat 64 line DMAs (%d)", bulk, perLine)
+	}
+}
+
+func TestUnmapAllAndReset(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Map(0, 128)
+	s.Map(4096, 128)
+	s.UnmapAll()
+	if s.Free() != s.Config().SizeBytes || len(s.Regions()) != 0 {
+		t.Fatalf("UnmapAll failed")
+	}
+	s.Access()
+	s.Reset()
+	if s.Stats().Accesses != 0 {
+		t.Fatalf("Reset failed")
+	}
+}
+
+// Property: capacity accounting is exact under any interleaving of maps and
+// unmaps, and Lookup agrees with the region list.
+func TestQuickCapacityAccounting(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New(Config{SizeBytes: 4096, AccessCycles: 1, AccessEnergyPJ: 1,
+			DMASetupCycles: 1, DMABytesPerCycle: 8, DMAEnergyPJPerByte: 0.1})
+		var live []Region
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				size := int(op%512) + 1
+				base := uint64(op) * 8192
+				r, err := s.Map(base, size)
+				if err == nil {
+					live = append(live, r)
+				}
+			} else {
+				r := live[int(op)%len(live)]
+				s.Unmap(r)
+				for i, q := range live {
+					if q == r {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+			sum := 0
+			for _, r := range live {
+				sum += r.Size
+			}
+			if s.Free() != 4096-sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

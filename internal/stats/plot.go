@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders one or more series as an ASCII line chart, the terminal
+// equivalent of a paper figure. Each series gets a distinct marker; axes are
+// linear. Width and height are the interior cell dimensions.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []*Series
+	// LogY plots log10 of Y values (used for residual-norm convergence
+	// figures such as the paper's Fig. 4).
+	LogY bool
+}
+
+// NewPlot creates a plot with sensible terminal dimensions.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// AddSeries appends a series to the plot.
+func (p *Plot) AddSeries(s *Series) { p.Series = append(p.Series, s) }
+
+var plotMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	w, h := p.Width, p.Height
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tf := func(y float64) float64 {
+		if p.LogY {
+			if y <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			y := tf(pt.Y)
+			if math.IsInf(y, -1) || math.IsNaN(y) {
+				continue
+			}
+			if pt.X < xmin {
+				xmin = pt.X
+			}
+			if pt.X > xmax {
+				xmax = pt.X
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return p.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		marker := plotMarkers[si%len(plotMarkers)]
+		var prevC, prevR = -1, -1
+		for _, pt := range s.Points {
+			y := tf(pt.Y)
+			if math.IsInf(y, -1) || math.IsNaN(y) {
+				continue
+			}
+			c := int(math.Round((pt.X - xmin) / (xmax - xmin) * float64(w-1)))
+			r := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			if c < 0 || c >= w || r < 0 || r >= h {
+				continue
+			}
+			// Draw a crude connecting segment so sparse series read as lines.
+			if prevC >= 0 {
+				steps := maxInt(absInt(c-prevC), absInt(r-prevR))
+				for k := 1; k < steps; k++ {
+					ic := prevC + (c-prevC)*k/steps
+					ir := prevR + (r-prevR)*k/steps
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[r][c] = marker
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	ylab := p.YLabel
+	if p.LogY {
+		ylab = "log10(" + ylab + ")"
+	}
+	fmt.Fprintf(&b, "%s\n", ylab)
+	for i, row := range grid {
+		yv := ymax - (ymax-ymin)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g   (%s)\n", "", w/2, xmin, w-w/2, xmax, p.XLabel)
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "  %c %s\n", plotMarkers[si%len(plotMarkers)], s.Name)
+	}
+	return b.String()
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

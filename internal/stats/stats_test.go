@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	// Non-positive entries are skipped.
+	if got := GeoMean([]float64{-5, 0, 8, 2}); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Fatalf("GeoMean of non-positives = %v, want 0", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be modified.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatalf("Percentile modified input: %v", ys)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 9 {
+		t.Fatalf("Min/Max/Sum = %v/%v/%v", Min(xs), Max(xs), Sum(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatalf("empty Min/Max should be infinities")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 5); got != 2 {
+		t.Fatalf("Speedup = %v, want 2", got)
+	}
+	if got := Speedup(10, 0); got != 0 {
+		t.Fatalf("Speedup by zero = %v, want 0", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "a"
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if len(s.Points) != 2 {
+		t.Fatalf("len = %d", len(s.Points))
+	}
+	if xs := s.Xs(); xs[0] != 1 || xs[1] != 2 {
+		t.Fatalf("Xs = %v", xs)
+	}
+	if ys := s.Ys(); ys[0] != 10 || ys[1] != 20 {
+		t.Fatalf("Ys = %v", ys)
+	}
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Fatalf("YAt(2) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Fatalf("YAt(3) should be missing")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("T", "name", "v")
+	tb.AddRow("alpha", "1.0")
+	tb.AddRowF("beta", "%.2f", 2.5)
+	out := tb.String()
+	for _, want := range []string{"T", "name", "alpha", "beta", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `he said "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"he said ""hi"""`) {
+		t.Fatalf("CSV escaping wrong:\n%s", csv)
+	}
+}
+
+func TestPlotRenders(t *testing.T) {
+	p := NewPlot("fig", "x", "y")
+	s := &Series{Name: "line"}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	p.AddSeries(s)
+	out := p.String()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "line") {
+		t.Fatalf("plot output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("plot output has no markers:\n%s", out)
+	}
+}
+
+func TestPlotLogY(t *testing.T) {
+	p := NewPlot("conv", "t", "residual")
+	p.LogY = true
+	s := &Series{Name: "cg"}
+	s.Add(0, 1)
+	s.Add(1, 1e-3)
+	s.Add(2, 1e-6)
+	s.Add(3, 0) // must be skipped, not crash
+	p.AddSeries(s)
+	out := p.String()
+	if !strings.Contains(out, "log10(residual)") {
+		t.Fatalf("log plot label missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty", "x", "y")
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot should say so:\n%s", out)
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-6 && m <= Max(clean)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: geometric mean of positives is bounded by min and max and is
+// scale-equivariant: GeoMean(c*xs) == c*GeoMean(xs).
+func TestQuickGeoMeanScale(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1 // positive
+		}
+		g := GeoMean(xs)
+		if g < Min(xs)-1e-9 || g > Max(xs)+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = 3 * xs[i]
+		}
+		return almostEq(GeoMean(scaled), 3*g, 1e-6*g+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		pa := float64(a) / 255 * 100
+		pb := float64(b) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package tdg implements the Task Dependency Graph, the central data
+// structure of the runtime-aware architecture: the paper's premise is that a
+// task-based program is to the runtime what the instruction window is to a
+// superscalar core, with the TDG playing the role of the dependence graph.
+//
+// The package provides construction, validation, topological traversal,
+// critical-path analysis and the bottom-level criticality metric used by the
+// criticality-aware scheduler of Section 3.1 (critical tasks → fast cores).
+package tdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a task within one graph.
+type NodeID int
+
+// Node is one task in the graph.
+type Node struct {
+	ID NodeID
+	// Name is a human-readable label (kernel name, loop indices…).
+	Name string
+	// Cost is the task's execution weight in abstract work units (cycles
+	// at nominal frequency for the simulated executor).
+	Cost float64
+	// Priority is an optional programmer-provided criticality hint, as
+	// OmpSs' priority clause provides.
+	Priority int
+
+	succs []NodeID
+	preds []NodeID
+}
+
+// Succs returns the IDs of the node's successors.
+func (n *Node) Succs() []NodeID { return n.succs }
+
+// Preds returns the IDs of the node's predecessors.
+func (n *Node) Preds() []NodeID { return n.preds }
+
+// Graph is a directed acyclic graph of tasks.
+type Graph struct {
+	nodes []*Node
+}
+
+// New creates an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode appends a task and returns its ID.
+func (g *Graph) AddNode(name string, cost float64) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, &Node{ID: id, Name: name, Cost: cost})
+	return id
+}
+
+// AddEdge records that task to depends on task from (from → to).
+// Duplicate edges are ignored.
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("tdg: edge %d->%d references unknown node", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("tdg: self edge on node %d", from)
+	}
+	for _, s := range g.nodes[from].succs {
+		if s == to {
+			return nil
+		}
+	}
+	g.nodes[from].succs = append(g.nodes[from].succs, to)
+	g.nodes[to].preds = append(g.nodes[to].preds, from)
+	return nil
+}
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Roots returns the IDs of nodes without predecessors.
+func (g *Graph) Roots() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if len(n.preds) == 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns a topological ordering, or an error if the graph has a
+// cycle (which means dependence construction was buggy).
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	indeg := make([]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n.ID] = len(n.preds)
+	}
+	queue := g.Roots()
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range g.nodes[id].succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("tdg: graph has a cycle (%d of %d nodes ordered)", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+// BottomLevels returns, for every node, the length of the longest cost path
+// from the node to any sink, including the node's own cost. This is the
+// classic "bottom level" criticality metric: the higher, the more critical.
+func (g *Graph) BottomLevels() ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	bl := make([]float64, len(g.nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := g.nodes[order[i]]
+		var maxSucc float64
+		for _, s := range n.succs {
+			if bl[s] > maxSucc {
+				maxSucc = bl[s]
+			}
+		}
+		bl[n.ID] = n.Cost + maxSucc
+	}
+	return bl, nil
+}
+
+// CriticalPath returns the node sequence of one longest path and its total
+// cost. Ties are broken toward lower node IDs for determinism.
+func (g *Graph) CriticalPath() ([]NodeID, float64, error) {
+	bl, err := g.BottomLevels()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Start at the root (or any node) with the maximal bottom level.
+	best := NodeID(-1)
+	var bestBL float64
+	for _, n := range g.nodes {
+		if best == -1 || bl[n.ID] > bestBL {
+			best, bestBL = n.ID, bl[n.ID]
+		}
+	}
+	if best == -1 {
+		return nil, 0, nil
+	}
+	var path []NodeID
+	cur := best
+	for {
+		path = append(path, cur)
+		next := NodeID(-1)
+		var nextBL float64
+		for _, s := range g.nodes[cur].succs {
+			if next == -1 || bl[s] > nextBL {
+				next, nextBL = s, bl[s]
+			}
+		}
+		if next == -1 {
+			break
+		}
+		cur = next
+	}
+	return path, bestBL, nil
+}
+
+// TotalCost returns the sum of node costs (the serial execution time).
+func (g *Graph) TotalCost() float64 {
+	var s float64
+	for _, n := range g.nodes {
+		s += n.Cost
+	}
+	return s
+}
+
+// MaxParallelism returns TotalCost / CriticalPath cost, the average width of
+// the graph — an upper bound on useful cores.
+func (g *Graph) MaxParallelism() (float64, error) {
+	_, cp, err := g.CriticalPath()
+	if err != nil {
+		return 0, err
+	}
+	if cp == 0 {
+		return 0, nil
+	}
+	return g.TotalCost() / cp, nil
+}
+
+// MarkCritical returns a boolean per node: true if the node lies on a path
+// whose length is within (1-slack) of the critical path. slack 0 marks only
+// exact critical-path nodes; slack 0.1 also marks near-critical tasks,
+// which is what the criticality-aware scheduler accelerates.
+func (g *Graph) MarkCritical(slack float64) ([]bool, error) {
+	bl, err := g.BottomLevels()
+	if err != nil {
+		return nil, err
+	}
+	tl, err := g.topLevels()
+	if err != nil {
+		return nil, err
+	}
+	_, cp, err := g.CriticalPath()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(g.nodes))
+	// The epsilon absorbs float summation-order noise so exact critical
+	// nodes are never dropped by a rounding ulp.
+	threshold := cp*(1-slack) - 1e-9*(1+cp)
+	for i := range g.nodes {
+		// A node's longest through-path = top level + bottom level.
+		if tl[i]+bl[i] >= threshold {
+			out[i] = true
+		}
+	}
+	return out, nil
+}
+
+// ThroughPaths returns, per node, the length of the longest path passing
+// through it (top level + bottom level). Nodes whose through-path is far
+// below the critical path have slack: they can be slowed without delaying
+// the computation — the basis of the DVFS tiering in package simexec.
+func (g *Graph) ThroughPaths() ([]float64, error) {
+	bl, err := g.BottomLevels()
+	if err != nil {
+		return nil, err
+	}
+	tl, err := g.topLevels()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(g.nodes))
+	for i := range out {
+		out[i] = tl[i] + bl[i]
+	}
+	return out, nil
+}
+
+// topLevels returns the longest cost path from any root to each node,
+// excluding the node's own cost.
+func (g *Graph) topLevels() ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	tl := make([]float64, len(g.nodes))
+	for _, id := range order {
+		n := g.nodes[id]
+		for _, s := range n.succs {
+			if v := tl[id] + n.Cost; v > tl[s] {
+				tl[s] = v
+			}
+		}
+	}
+	return tl, nil
+}
+
+// DOT renders the graph in Graphviz format, critical-path nodes filled.
+func (g *Graph) DOT(name string) string {
+	critical, err := g.MarkCritical(0)
+	if err != nil {
+		critical = make([]bool, len(g.nodes))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for _, n := range g.nodes {
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s\\n%.0f", n.Name, n.Cost))
+		if critical[n.ID] {
+			attrs += ", style=filled, fillcolor=lightcoral"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attrs)
+	}
+	for _, n := range g.nodes {
+		succs := append([]NodeID(nil), n.succs...)
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+		for _, s := range succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", n.ID, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

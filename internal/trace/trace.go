@@ -1,0 +1,208 @@
+// Package trace defines the loop-nest workload representation consumed by
+// the memory-hierarchy simulator: kernels made of phases, each phase a
+// parallel loop in which every core executes a fixed set of memory
+// references per iteration plus some compute.
+//
+// This is the level at which the paper's Section 2 compiler operates: it
+// sees *references* (an array accessed with a stride, or through an
+// unanalysable subscript) rather than individual addresses. Package
+// compilerpass classifies these references; package hybridmem executes them
+// against a modelled machine.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pattern is the static access pattern of a reference.
+type Pattern int
+
+const (
+	// Strided references have a compile-time-affine subscript; the
+	// compiler can tile them into the scratchpads.
+	Strided Pattern = iota
+	// Random references use data-dependent subscripts (x[col[j]]); they
+	// are served by the cache hierarchy.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Ref is one static memory reference inside a phase's loop body. Each core
+// issues one access for the reference per loop iteration.
+type Ref struct {
+	// Array names the referenced array (for reports and alias sets).
+	Array string
+	// Base is the array's base address in the simulated address space.
+	Base uint64
+	// ElemBytes is the element size.
+	ElemBytes int
+	// Elems is the array length in elements.
+	Elems int
+	// Pattern is the access pattern.
+	Pattern Pattern
+	// Stride is the affine stride in elements (Strided only).
+	Stride int
+	// Write marks stores; everything else is a load.
+	Write bool
+	// MayAliasStrided marks Random references the compiler cannot prove
+	// disjoint from the strided (SPM-mapped) data — the "unknown aliasing
+	// hazards" of Section 2 that the co-designed protocol exists to serve.
+	MayAliasStrided bool
+}
+
+// FootprintBytes returns the array's size in bytes.
+func (r Ref) FootprintBytes() int { return r.Elems * r.ElemBytes }
+
+// End returns the first address past the array.
+func (r Ref) End() uint64 { return r.Base + uint64(r.FootprintBytes()) }
+
+// Overlaps reports whether two references' arrays overlap in memory.
+func (r Ref) Overlaps(o Ref) bool {
+	return r.Base < o.End() && o.Base < r.End()
+}
+
+// Phase is one parallel loop: all cores run ItersPerCore iterations, each
+// iteration touching every Ref once and burning ComputeOpsPerIter ALU ops.
+// Phases end with a barrier.
+type Phase struct {
+	Name              string
+	ItersPerCore      int
+	Refs              []Ref
+	ComputeOpsPerIter int
+}
+
+// AccessesPerCore returns the number of memory accesses one core issues in
+// this phase.
+func (p Phase) AccessesPerCore() int { return p.ItersPerCore * len(p.Refs) }
+
+// Kernel is a named workload: a list of phases repeated Repeats times
+// (the outer time-step loop of iterative codes).
+type Kernel struct {
+	Name    string
+	Phases  []Phase
+	Repeats int
+}
+
+// Validate checks structural sanity of the kernel description.
+func (k Kernel) Validate() error {
+	if k.Name == "" {
+		return errors.New("trace: kernel has no name")
+	}
+	if k.Repeats <= 0 {
+		return fmt.Errorf("trace: kernel %s: Repeats must be positive, got %d", k.Name, k.Repeats)
+	}
+	if len(k.Phases) == 0 {
+		return fmt.Errorf("trace: kernel %s has no phases", k.Name)
+	}
+	for pi, p := range k.Phases {
+		if p.ItersPerCore <= 0 {
+			return fmt.Errorf("trace: kernel %s phase %d (%s): non-positive iterations", k.Name, pi, p.Name)
+		}
+		if len(p.Refs) == 0 {
+			return fmt.Errorf("trace: kernel %s phase %d (%s): no references", k.Name, pi, p.Name)
+		}
+		for ri, r := range p.Refs {
+			if r.ElemBytes <= 0 || r.Elems <= 0 {
+				return fmt.Errorf("trace: kernel %s phase %s ref %d (%s): bad geometry", k.Name, p.Name, ri, r.Array)
+			}
+			if r.Pattern == Strided && r.Stride == 0 {
+				return fmt.Errorf("trace: kernel %s phase %s ref %d (%s): strided ref needs a stride", k.Name, p.Name, ri, r.Array)
+			}
+			if r.Pattern == Strided && r.MayAliasStrided {
+				return fmt.Errorf("trace: kernel %s phase %s ref %d (%s): MayAliasStrided only applies to random refs", k.Name, p.Name, ri, r.Array)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalAccesses returns the number of accesses the kernel issues across all
+// cores, phases and repeats.
+func (k Kernel) TotalAccesses(ncores int) int {
+	total := 0
+	for _, p := range k.Phases {
+		total += p.AccessesPerCore()
+	}
+	return total * ncores * k.Repeats
+}
+
+// AddressGen produces the deterministic per-core address streams for a
+// reference. Strided references partition the array across cores (the usual
+// OpenMP-static decomposition); random references draw uniformly from the
+// whole array with a per-(ref,core) xorshift generator, so cores genuinely
+// share data.
+type AddressGen struct {
+	ref    Ref
+	core   int
+	ncores int
+	// chunk geometry for strided partitioning
+	chunkStart, chunkElems int
+	rngState               uint64
+}
+
+// NewAddressGen creates the generator for ref as seen by core (of ncores).
+// seed decorrelates different refs and kernels.
+func NewAddressGen(ref Ref, core, ncores int, seed uint64) *AddressGen {
+	g := &AddressGen{ref: ref, core: core, ncores: ncores}
+	chunk := ref.Elems / ncores
+	if chunk == 0 {
+		chunk = 1
+	}
+	g.chunkStart = (core * chunk) % ref.Elems
+	g.chunkElems = chunk
+	// SplitMix-style seeding keeps distinct (seed, core) streams apart.
+	s := seed ^ (uint64(core)+1)*0x9e3779b97f4a7c15
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	s ^= s >> 31
+	if s == 0 {
+		s = 1
+	}
+	g.rngState = s
+	return g
+}
+
+// At returns the address the reference touches on loop iteration i.
+func (g *AddressGen) At(i int) uint64 {
+	switch g.ref.Pattern {
+	case Strided:
+		idx := g.chunkStart + (i*g.ref.Stride)%g.chunkElems
+		return g.ref.Base + uint64(idx)*uint64(g.ref.ElemBytes)
+	default:
+		idx := int(g.nextRand() % uint64(g.ref.Elems))
+		return g.ref.Base + uint64(idx)*uint64(g.ref.ElemBytes)
+	}
+}
+
+// nextRand is xorshift64*: fast, deterministic, good enough for address
+// streams.
+func (g *AddressGen) nextRand() uint64 {
+	x := g.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	g.rngState = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// ChunkRegion returns the [base, size) byte region of the core's strided
+// partition — the region the compiler maps to the SPM tile by tile.
+func (g *AddressGen) ChunkRegion() (base uint64, size int) {
+	base = g.ref.Base + uint64(g.chunkStart)*uint64(g.ref.ElemBytes)
+	size = g.chunkElems * g.ref.ElemBytes
+	return base, size
+}

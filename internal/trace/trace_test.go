@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func validKernel() Kernel {
+	return Kernel{
+		Name:    "k",
+		Repeats: 2,
+		Phases: []Phase{{
+			Name:         "p",
+			ItersPerCore: 10,
+			Refs: []Ref{
+				{Array: "a", Base: 0, ElemBytes: 8, Elems: 1024, Pattern: Strided, Stride: 1},
+				{Array: "x", Base: 1 << 20, ElemBytes: 8, Elems: 512, Pattern: Random},
+			},
+			ComputeOpsPerIter: 4,
+		}},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validKernel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Kernel)
+	}{
+		{"no name", func(k *Kernel) { k.Name = "" }},
+		{"zero repeats", func(k *Kernel) { k.Repeats = 0 }},
+		{"no phases", func(k *Kernel) { k.Phases = nil }},
+		{"zero iters", func(k *Kernel) { k.Phases[0].ItersPerCore = 0 }},
+		{"no refs", func(k *Kernel) { k.Phases[0].Refs = nil }},
+		{"bad elem", func(k *Kernel) { k.Phases[0].Refs[0].ElemBytes = 0 }},
+		{"no stride", func(k *Kernel) { k.Phases[0].Refs[0].Stride = 0 }},
+		{"alias on strided", func(k *Kernel) { k.Phases[0].Refs[0].MayAliasStrided = true }},
+	}
+	for _, c := range cases {
+		k := validKernel()
+		c.mutate(&k)
+		if err := k.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestTotalAccesses(t *testing.T) {
+	k := validKernel()
+	// 10 iters * 2 refs * 4 cores * 2 repeats = 160
+	if got := k.TotalAccesses(4); got != 160 {
+		t.Fatalf("TotalAccesses = %d", got)
+	}
+}
+
+func TestRefGeometry(t *testing.T) {
+	r := Ref{Base: 100, ElemBytes: 8, Elems: 10}
+	if r.FootprintBytes() != 80 || r.End() != 180 {
+		t.Fatalf("geometry wrong: %d %d", r.FootprintBytes(), r.End())
+	}
+	o := Ref{Base: 179, ElemBytes: 1, Elems: 1}
+	if !r.Overlaps(o) {
+		t.Fatalf("should overlap")
+	}
+	o.Base = 180
+	if r.Overlaps(o) {
+		t.Fatalf("should not overlap (end exclusive)")
+	}
+}
+
+func TestStridedAddressesStayInPartition(t *testing.T) {
+	ref := Ref{Array: "a", Base: 0, ElemBytes: 8, Elems: 1000, Pattern: Strided, Stride: 1}
+	const ncores = 4
+	for core := 0; core < ncores; core++ {
+		g := NewAddressGen(ref, core, ncores, 1)
+		base, size := g.ChunkRegion()
+		for i := 0; i < 600; i++ {
+			a := g.At(i)
+			if a < base || a >= base+uint64(size) {
+				t.Fatalf("core %d iter %d: addr %d outside partition [%d,%d)", core, i, a, base, base+uint64(size))
+			}
+		}
+	}
+}
+
+func TestStridedPartitionsDisjoint(t *testing.T) {
+	ref := Ref{Array: "a", Base: 4096, ElemBytes: 8, Elems: 1024, Pattern: Strided, Stride: 1}
+	const ncores = 8
+	seen := map[uint64]int{}
+	for core := 0; core < ncores; core++ {
+		g := NewAddressGen(ref, core, ncores, 1)
+		base, size := g.ChunkRegion()
+		for a := base; a < base+uint64(size); a += 8 {
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("addr %d in partitions of cores %d and %d", a, prev, core)
+			}
+			seen[a] = core
+		}
+	}
+}
+
+func TestStridedSequential(t *testing.T) {
+	ref := Ref{Array: "a", Base: 0, ElemBytes: 8, Elems: 1024, Pattern: Strided, Stride: 1}
+	g := NewAddressGen(ref, 0, 1, 0)
+	for i := 0; i < 10; i++ {
+		if got := g.At(i); got != uint64(i*8) {
+			t.Fatalf("At(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestRandomAddressesInBounds(t *testing.T) {
+	ref := Ref{Array: "x", Base: 1 << 16, ElemBytes: 8, Elems: 100, Pattern: Random}
+	g := NewAddressGen(ref, 3, 8, 42)
+	for i := 0; i < 1000; i++ {
+		a := g.At(i)
+		if a < ref.Base || a >= ref.End() {
+			t.Fatalf("random addr %d out of array bounds", a)
+		}
+	}
+}
+
+func TestRandomStreamsDeterministic(t *testing.T) {
+	ref := Ref{Array: "x", Base: 0, ElemBytes: 8, Elems: 1000, Pattern: Random}
+	g1 := NewAddressGen(ref, 2, 8, 7)
+	g2 := NewAddressGen(ref, 2, 8, 7)
+	for i := 0; i < 100; i++ {
+		if g1.At(i) != g2.At(i) {
+			t.Fatalf("same seed/core must give same stream at %d", i)
+		}
+	}
+	g3 := NewAddressGen(ref, 3, 8, 7)
+	same := true
+	g1b := NewAddressGen(ref, 2, 8, 7)
+	for i := 0; i < 100; i++ {
+		if g1b.At(i) != g3.At(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different cores must give different streams")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Strided.String() != "strided" || Random.String() != "random" {
+		t.Fatalf("Pattern strings wrong")
+	}
+	if Pattern(9).String() == "" {
+		t.Fatalf("unknown pattern must still format")
+	}
+}
+
+// Property: every generated address falls inside the array, for any pattern,
+// core count and seed.
+func TestQuickAddressesInBounds(t *testing.T) {
+	f := func(elems uint16, coreRaw, ncRaw uint8, seed uint64, pat bool, iters uint8) bool {
+		e := int(elems%5000) + 1
+		nc := int(ncRaw%16) + 1
+		core := int(coreRaw) % nc
+		ref := Ref{Array: "a", Base: 64, ElemBytes: 8, Elems: e, Stride: 1}
+		if pat {
+			ref.Pattern = Random
+		}
+		g := NewAddressGen(ref, core, nc, seed)
+		for i := 0; i < int(iters); i++ {
+			a := g.At(i)
+			if a < ref.Base || a >= ref.End() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

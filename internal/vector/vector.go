@@ -1,0 +1,403 @@
+// Package vector implements an ISA-level vector-machine simulator in the
+// style of the paper's Section 3.2 (Hayes et al., HPCA'15): a configurable
+// maximum vector length (MVL), a configurable number of parallel lanes, and
+// the two novel instructions that enable VSR sort:
+//
+//	VPI (vector prior instances): out[i] = #{ j < i : in[j] == in[i] }
+//	VLU (vector last unique):     mask[i] = (no j > i has in[j] == in[i])
+//
+// The simulator is functional (operations compute real results on Go
+// slices) and timed (every operation charges cycles according to a simple
+// startup + elements/lanes model, with memory operations distinguishing
+// unit-stride streams from indexed gather/scatter). Sorting algorithms in
+// package vsort are written against this API, so their measured cycle
+// counts reproduce the shape of the paper's Figure 3.
+package vector
+
+import "fmt"
+
+// Config describes one vector machine.
+//
+// Timing model: the machine chains aggressively, as the HPCA'15 design
+// does. Vector instructions stream through three parallel pipes — the
+// memory unit, the integer ALU lanes and the VPI/VLU CAM — plus a 1-instr/
+// cycle issue stage; total vector time is the *maximum* pipe occupancy, and
+// scalar work adds serially on top:
+//
+//	cycles = scalar + max(memPipe, aluPipe, camPipe, issue)
+type Config struct {
+	// MVL is the maximum vector length in elements.
+	MVL int
+	// Lanes is the number of parallel execution lanes (ALU throughput is
+	// Lanes elements per cycle).
+	Lanes int
+	// MemPorts bounds indexed-access throughput: gathers/scatters retire
+	// at min(Lanes, MemPorts) addresses per cycle at best.
+	MemPorts int
+	// IssueCycles is the issue/decode slot cost per vector instruction.
+	IssueCycles float64
+	// DeadTimeCycles is the unchained dead time a pipe pays between
+	// consecutive vector instructions (chime turnaround). It is what makes
+	// longer vectors win: the cost amortises over MVL elements.
+	DeadTimeCycles float64
+	// UnitStrideElemsPerCycle is the memory-pipe throughput for contiguous
+	// vector loads/stores, in elements per cycle (per machine, not lane).
+	UnitStrideElemsPerCycle float64
+	// GatherCyclesPerElem is the per-element cost of indexed memory
+	// accesses before dividing by the effective ports (bank conflicts keep
+	// it >1).
+	GatherCyclesPerElem float64
+	// VPIParallel selects the parallel VPI/VLU hardware variant (scales
+	// with lanes); the serial variant processes one element per cycle.
+	VPIParallel bool
+	// ScalarOpCycles is the cost of one scalar ALU op (baseline code).
+	ScalarOpCycles float64
+	// ScalarMemCycles is the average cost of one scalar memory access.
+	ScalarMemCycles float64
+	// BranchMissCycles is the pipeline refill cost of one mispredicted
+	// branch — the dominant cost of scalar sorting on random data.
+	BranchMissCycles float64
+}
+
+// DefaultConfig returns a machine matching the paper's central design point:
+// MVL 64, 4 lanes, parallel VPI/VLU.
+func DefaultConfig() Config {
+	return Config{
+		MVL:                     64,
+		Lanes:                   4,
+		MemPorts:                2,
+		IssueCycles:             1,
+		DeadTimeCycles:          4,
+		UnitStrideElemsPerCycle: 8,
+		GatherCyclesPerElem:     2.0,
+		VPIParallel:             true,
+		ScalarOpCycles:          1,
+		ScalarMemCycles:         2.0,
+		BranchMissCycles:        14,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MVL <= 0 {
+		return fmt.Errorf("vector: MVL must be positive, got %d", c.MVL)
+	}
+	if c.Lanes <= 0 {
+		return fmt.Errorf("vector: Lanes must be positive, got %d", c.Lanes)
+	}
+	if c.MVL < c.Lanes {
+		return fmt.Errorf("vector: MVL %d below lane count %d", c.MVL, c.Lanes)
+	}
+	return nil
+}
+
+// Stats counts retired operations by class.
+type Stats struct {
+	VectorInstrs  uint64
+	VectorElems   uint64
+	ScalarOps     uint64
+	ScalarMemOps  uint64
+	GatherElems   uint64
+	UnitStrideEls uint64
+}
+
+// Machine is one simulated vector core.
+type Machine struct {
+	cfg    Config
+	scalar float64 // serial scalar cycles
+	mem    float64 // memory-pipe occupancy
+	alu    float64 // ALU-lane occupancy
+	cam    float64 // VPI/VLU CAM occupancy
+	issue  float64 // issue-stage occupancy
+	stats  Stats
+}
+
+// New builds a machine, panicking on invalid configuration (construction is
+// programmer error territory).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.MemPorts <= 0 {
+		cfg.MemPorts = 1
+	}
+	if cfg.IssueCycles <= 0 {
+		cfg.IssueCycles = 1
+	}
+	return &Machine{cfg: cfg}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cycles returns the accumulated cycle count: serial scalar work plus the
+// occupancy of the busiest chained vector pipe.
+func (m *Machine) Cycles() float64 {
+	v := m.mem
+	if m.alu > v {
+		v = m.alu
+	}
+	if m.cam > v {
+		v = m.cam
+	}
+	if m.issue > v {
+		v = m.issue
+	}
+	return m.scalar + v
+}
+
+// Stats returns the retired-operation counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Reset zeroes cycles and counters.
+func (m *Machine) Reset() {
+	m.scalar, m.mem, m.alu, m.cam, m.issue = 0, 0, 0, 0, 0
+	m.stats = Stats{}
+}
+
+// checkVL validates a vector length against the MVL.
+func (m *Machine) checkVL(vl int) {
+	if vl < 0 || vl > m.cfg.MVL {
+		panic(fmt.Sprintf("vector: VL %d outside [0,%d]", vl, m.cfg.MVL))
+	}
+}
+
+// chargeALU charges one vector ALU instruction of length vl.
+func (m *Machine) chargeALU(vl int) {
+	m.stats.VectorInstrs++
+	m.stats.VectorElems += uint64(vl)
+	m.issue += m.cfg.IssueCycles
+	m.alu += m.cfg.DeadTimeCycles + ceilDiv(vl, m.cfg.Lanes)
+}
+
+func ceilDiv(a, b int) float64 { return float64((a + b - 1) / b) }
+
+// --- Vector ALU operations -------------------------------------------------
+
+// VOp applies fn element-wise to src into dst (one vector ALU instruction).
+func (m *Machine) VOp(dst, src []uint32, fn func(uint32) uint32) {
+	m.checkVL(len(src))
+	for i, v := range src {
+		dst[i] = fn(v)
+	}
+	m.chargeALU(len(src))
+}
+
+// VOp2 applies fn element-wise over two sources.
+func (m *Machine) VOp2(dst, a, b []uint32, fn func(x, y uint32) uint32) {
+	m.checkVL(len(a))
+	for i := range a {
+		dst[i] = fn(a[i], b[i])
+	}
+	m.chargeALU(len(a))
+}
+
+// VAddScalar adds a scalar to each element.
+func (m *Machine) VAddScalar(dst, src []uint32, s uint32) {
+	m.VOp(dst, src, func(v uint32) uint32 { return v + s })
+}
+
+// VCmpLT produces mask[i] = a[i] < b[i] (one vector compare).
+func (m *Machine) VCmpLT(mask []bool, a, b []uint32) {
+	m.checkVL(len(a))
+	for i := range a {
+		mask[i] = a[i] < b[i]
+	}
+	m.chargeALU(len(a))
+}
+
+// VCmpLTScalar produces mask[i] = a[i] < s.
+func (m *Machine) VCmpLTScalar(mask []bool, a []uint32, s uint32) {
+	m.checkVL(len(a))
+	for i := range a {
+		mask[i] = a[i] < s
+	}
+	m.chargeALU(len(a))
+}
+
+// VMinMax writes per-element min into lo and max into hi (two chained ALU
+// instructions — the bitonic compare-exchange).
+func (m *Machine) VMinMax(lo, hi, a, b []uint32) {
+	m.checkVL(len(a))
+	for i := range a {
+		x, y := a[i], b[i]
+		if x > y {
+			x, y = y, x
+		}
+		lo[i], hi[i] = x, y
+	}
+	m.chargeALU(len(a))
+	m.chargeALU(len(a))
+}
+
+// VCompress packs the elements of src whose mask bit is set into dst,
+// returning the count (the classic vector compress instruction).
+func (m *Machine) VCompress(dst, src []uint32, mask []bool) int {
+	m.checkVL(len(src))
+	n := 0
+	for i, v := range src {
+		if mask[i] {
+			dst[n] = v
+			n++
+		}
+	}
+	m.chargeALU(len(src))
+	return n
+}
+
+// VReduceSum returns the sum of src (log-depth tree charged as one
+// instruction plus log2(lanes) extra cycles, folded into startup).
+func (m *Machine) VReduceSum(src []uint32) uint64 {
+	m.checkVL(len(src))
+	var s uint64
+	for _, v := range src {
+		s += uint64(v)
+	}
+	m.chargeALU(len(src))
+	return s
+}
+
+// VIota writes 0,1,2,... into dst.
+func (m *Machine) VIota(dst []uint32) {
+	m.checkVL(len(dst))
+	for i := range dst {
+		dst[i] = uint32(i)
+	}
+	m.chargeALU(len(dst))
+}
+
+// --- The two new instructions (Section 3.2) --------------------------------
+
+// VPI — vector prior instances. out[i] counts how many earlier elements of
+// in equal in[i]. The serial hardware variant costs one cycle per element;
+// the parallel variant uses a lane-interleaved CAM and costs ~2 passes of
+// VL/lanes.
+func (m *Machine) VPI(out, in []uint32) {
+	m.checkVL(len(in))
+	counts := make(map[uint32]uint32, len(in))
+	for i, v := range in {
+		out[i] = counts[v]
+		counts[v]++
+	}
+	m.chargeCAM(len(in))
+}
+
+// VLU — vector last unique. mask[i] is true iff no later element equals
+// in[i]; exactly one lane per distinct value survives, which lets a scatter
+// update shared state without conflicts. Costs like VPI.
+func (m *Machine) VLU(mask []bool, in []uint32) {
+	m.checkVL(len(in))
+	seen := make(map[uint32]bool, len(in))
+	for i := len(in) - 1; i >= 0; i-- {
+		if seen[in[i]] {
+			mask[i] = false
+		} else {
+			mask[i] = true
+			seen[in[i]] = true
+		}
+	}
+	m.chargeCAM(len(in))
+}
+
+// chargeCAM charges one VPI/VLU instruction on the CAM pipe.
+func (m *Machine) chargeCAM(vl int) {
+	m.stats.VectorInstrs++
+	m.stats.VectorElems += uint64(vl)
+	m.issue += m.cfg.IssueCycles
+	if m.cfg.VPIParallel {
+		m.cam += m.cfg.DeadTimeCycles + ceilDiv(vl, m.cfg.Lanes)
+	} else {
+		m.cam += m.cfg.DeadTimeCycles + float64(vl)
+	}
+}
+
+// ChargeVector charges `instrs` modelled vector ALU instructions of length
+// vl without computing anything — used by algorithms for operations the
+// functional API does not expose individually (register shuffles, in-
+// register scans) whose results the caller computes directly.
+func (m *Machine) ChargeVector(instrs, vl int) {
+	m.checkVL(vl)
+	for i := 0; i < instrs; i++ {
+		m.chargeALU(vl)
+	}
+}
+
+// --- Memory operations ------------------------------------------------------
+
+// VLoad loads len(dst) contiguous elements from src[off:] (unit stride).
+func (m *Machine) VLoad(dst []uint32, src []uint32, off int) {
+	m.checkVL(len(dst))
+	copy(dst, src[off:off+len(dst)])
+	m.chargeUnitStride(len(dst))
+}
+
+// VStore stores vals into dst[off:] (unit stride).
+func (m *Machine) VStore(dst []uint32, off int, vals []uint32) {
+	m.checkVL(len(vals))
+	copy(dst[off:off+len(vals)], vals)
+	m.chargeUnitStride(len(vals))
+}
+
+func (m *Machine) chargeUnitStride(vl int) {
+	m.stats.VectorInstrs++
+	m.stats.VectorElems += uint64(vl)
+	m.stats.UnitStrideEls += uint64(vl)
+	m.issue += m.cfg.IssueCycles
+	m.mem += m.cfg.DeadTimeCycles + float64(vl)/m.cfg.UnitStrideElemsPerCycle
+}
+
+// VGather performs dst[i] = base[idx[i]] (indexed load).
+func (m *Machine) VGather(dst []uint32, base []uint32, idx []uint32) {
+	m.checkVL(len(dst))
+	for i := range dst {
+		dst[i] = base[idx[i]]
+	}
+	m.chargeGather(len(dst))
+}
+
+// VScatter performs base[idx[i]] = vals[i] for every set mask bit (indexed
+// store). A nil mask scatters every element; duplicate indices with a nil
+// mask are a programming error the hardware does not detect — VSR sort
+// avoids them via VLU.
+func (m *Machine) VScatter(base []uint32, idx []uint32, vals []uint32, mask []bool) {
+	m.checkVL(len(vals))
+	for i := range vals {
+		if mask == nil || mask[i] {
+			base[idx[i]] = vals[i]
+		}
+	}
+	m.chargeGather(len(vals))
+}
+
+func (m *Machine) chargeGather(vl int) {
+	m.stats.VectorInstrs++
+	m.stats.VectorElems += uint64(vl)
+	m.stats.GatherElems += uint64(vl)
+	m.issue += m.cfg.IssueCycles
+	ports := m.cfg.Lanes
+	if m.cfg.MemPorts < ports {
+		ports = m.cfg.MemPorts
+	}
+	m.mem += m.cfg.DeadTimeCycles + float64(vl)*m.cfg.GatherCyclesPerElem/float64(ports)
+}
+
+// --- Scalar baseline --------------------------------------------------------
+
+// ScalarOps charges n scalar ALU operations (for baseline algorithms and
+// the scalar glue between vector blocks).
+func (m *Machine) ScalarOps(n int) {
+	m.stats.ScalarOps += uint64(n)
+	m.scalar += float64(n) * m.cfg.ScalarOpCycles
+}
+
+// ScalarMem charges n scalar memory accesses.
+func (m *Machine) ScalarMem(n int) {
+	m.stats.ScalarMemOps += uint64(n)
+	m.scalar += float64(n) * m.cfg.ScalarMemCycles
+}
+
+// ScalarBranchMisses charges n mispredicted branches.
+func (m *Machine) ScalarBranchMisses(n int) {
+	m.stats.ScalarOps += uint64(n)
+	m.scalar += float64(n) * m.cfg.BranchMissCycles
+}

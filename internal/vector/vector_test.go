@@ -1,0 +1,324 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testMachine(mvl, lanes int) *Machine {
+	cfg := DefaultConfig()
+	cfg.MVL = mvl
+	cfg.Lanes = lanes
+	return New(cfg)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.MVL = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("zero MVL must fail")
+	}
+	bad = good
+	bad.Lanes = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("zero lanes must fail")
+	}
+	bad = good
+	bad.MVL = 2
+	bad.Lanes = 4
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("MVL < lanes must fail")
+	}
+}
+
+func TestVOpAndCycles(t *testing.T) {
+	m := testMachine(8, 2)
+	src := []uint32{1, 2, 3, 4}
+	dst := make([]uint32, 4)
+	m.VOp(dst, src, func(v uint32) uint32 { return v * 10 })
+	if dst[0] != 10 || dst[3] != 40 {
+		t.Fatalf("VOp result %v", dst)
+	}
+	// One ALU instruction: dead time + ceil(4/2) on the ALU pipe, which is
+	// the busiest pipe of this run.
+	want := m.Config().DeadTimeCycles + 2
+	if m.Cycles() != want {
+		t.Fatalf("cycles = %v, want %v", m.Cycles(), want)
+	}
+}
+
+func TestLanesSpeedALU(t *testing.T) {
+	one := testMachine(64, 1)
+	four := testMachine(64, 4)
+	src := make([]uint32, 64)
+	dst := make([]uint32, 64)
+	one.VOp(dst, src, func(v uint32) uint32 { return v })
+	four.VOp(dst, src, func(v uint32) uint32 { return v })
+	if four.Cycles() >= one.Cycles() {
+		t.Fatalf("4 lanes must beat 1: %v vs %v", four.Cycles(), one.Cycles())
+	}
+}
+
+func TestVPISemantics(t *testing.T) {
+	m := testMachine(8, 2)
+	in := []uint32{5, 3, 5, 5, 3, 9}
+	out := make([]uint32, 6)
+	m.VPI(out, in)
+	want := []uint32{0, 0, 1, 2, 1, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("VPI = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestVLUSemantics(t *testing.T) {
+	m := testMachine(8, 2)
+	in := []uint32{5, 3, 5, 5, 3, 9}
+	mask := make([]bool, 6)
+	m.VLU(mask, in)
+	want := []bool{false, false, false, true, true, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("VLU = %v, want %v", mask, want)
+		}
+	}
+}
+
+func TestVPISerialVsParallelTiming(t *testing.T) {
+	serial := DefaultConfig()
+	serial.MVL, serial.Lanes, serial.VPIParallel = 64, 4, false
+	par := serial
+	par.VPIParallel = true
+	ms, mp := New(serial), New(par)
+	in := make([]uint32, 64)
+	out := make([]uint32, 64)
+	ms.VPI(out, in)
+	mp.VPI(out, in)
+	if mp.Cycles() >= ms.Cycles() {
+		t.Fatalf("parallel VPI must be faster with 4 lanes: %v vs %v", mp.Cycles(), ms.Cycles())
+	}
+}
+
+func TestCompress(t *testing.T) {
+	m := testMachine(8, 2)
+	src := []uint32{1, 2, 3, 4, 5}
+	mask := []bool{true, false, true, false, true}
+	dst := make([]uint32, 5)
+	n := m.VCompress(dst, src, mask)
+	if n != 3 || dst[0] != 1 || dst[1] != 3 || dst[2] != 5 {
+		t.Fatalf("compress -> %d %v", n, dst[:n])
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	m := testMachine(8, 2)
+	a := []uint32{5, 1, 7}
+	b := []uint32{3, 9, 7}
+	lo := make([]uint32, 3)
+	hi := make([]uint32, 3)
+	m.VMinMax(lo, hi, a, b)
+	if lo[0] != 3 || hi[0] != 5 || lo[1] != 1 || hi[1] != 9 || lo[2] != 7 || hi[2] != 7 {
+		t.Fatalf("minmax %v %v", lo, hi)
+	}
+}
+
+func TestLoadStoreGatherScatter(t *testing.T) {
+	m := testMachine(8, 2)
+	mem := []uint32{10, 20, 30, 40, 50, 60}
+	v := make([]uint32, 4)
+	m.VLoad(v, mem, 1)
+	if v[0] != 20 || v[3] != 50 {
+		t.Fatalf("load %v", v)
+	}
+	m.VStore(mem, 0, []uint32{7, 8})
+	if mem[0] != 7 || mem[1] != 8 {
+		t.Fatalf("store %v", mem)
+	}
+	g := make([]uint32, 3)
+	m.VGather(g, mem, []uint32{5, 0, 3})
+	if g[0] != 60 || g[1] != 7 || g[2] != 40 {
+		t.Fatalf("gather %v", g)
+	}
+	m.VScatter(mem, []uint32{2, 4}, []uint32{111, 222}, nil)
+	if mem[2] != 111 || mem[4] != 222 {
+		t.Fatalf("scatter %v", mem)
+	}
+	m.VScatter(mem, []uint32{2, 4}, []uint32{9, 9}, []bool{false, true})
+	if mem[2] != 111 || mem[4] != 9 {
+		t.Fatalf("masked scatter %v", mem)
+	}
+}
+
+func TestGatherCostDependsOnLanes(t *testing.T) {
+	one := testMachine(64, 1)
+	four := testMachine(64, 4)
+	mem := make([]uint32, 64)
+	idx := make([]uint32, 64)
+	dst := make([]uint32, 64)
+	one.VGather(dst, mem, idx)
+	four.VGather(dst, mem, idx)
+	if four.Cycles() >= one.Cycles() {
+		t.Fatalf("gather must scale with lanes")
+	}
+}
+
+func TestScalarCharges(t *testing.T) {
+	m := testMachine(8, 1)
+	m.ScalarOps(10)
+	m.ScalarMem(5)
+	m.ScalarBranchMisses(2)
+	cfg := m.Config()
+	want := 10*cfg.ScalarOpCycles + 5*cfg.ScalarMemCycles + 2*cfg.BranchMissCycles
+	if m.Cycles() != want {
+		t.Fatalf("scalar cycles %v want %v", m.Cycles(), want)
+	}
+	st := m.Stats()
+	if st.ScalarOps != 12 || st.ScalarMemOps != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPipesOverlap(t *testing.T) {
+	// Chained pipes: ALU work in the shadow of a dominant memory stream
+	// must not increase total cycles.
+	m := testMachine(64, 4)
+	mem := make([]uint32, 64)
+	idx := make([]uint32, 64)
+	dst := make([]uint32, 64)
+	for i := 0; i < 20; i++ {
+		m.VGather(dst, mem, idx)
+	}
+	before := m.Cycles()
+	m.VOp(dst, dst, func(v uint32) uint32 { return v + 1 })
+	if m.Cycles() != before {
+		t.Fatalf("one ALU op under a 20-gather shadow must be hidden: %v -> %v", before, m.Cycles())
+	}
+}
+
+func TestDeadTimeFavorsLongVectors(t *testing.T) {
+	// Same element count, shorter vectors: more instructions, more dead
+	// time, more cycles — the reason Figure 3 improves with MVL.
+	short := testMachine(8, 4)
+	long := testMachine(64, 4)
+	data := make([]uint32, 64)
+	buf := make([]uint32, 64)
+	for base := 0; base < 64; base += 8 {
+		short.VOp(buf[:8], data[base:base+8], func(v uint32) uint32 { return v })
+	}
+	long.VOp(buf, data, func(v uint32) uint32 { return v })
+	if long.Cycles() >= short.Cycles() {
+		t.Fatalf("long vectors must amortise dead time: %v vs %v", long.Cycles(), short.Cycles())
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := testMachine(8, 1)
+	m.ScalarOps(3)
+	m.Reset()
+	if m.Cycles() != 0 || m.Stats().ScalarOps != 0 {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestVLBoundsPanic(t *testing.T) {
+	m := testMachine(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("oversized VL must panic")
+		}
+	}()
+	m.VOp(make([]uint32, 8), make([]uint32, 8), func(v uint32) uint32 { return v })
+}
+
+// Property: VPI and VLU agree with their scalar specifications on random
+// vectors, and VPI(v)==count-1 exactly at positions where VLU is true for
+// values occurring k times.
+func TestQuickVPIVLUSpec(t *testing.T) {
+	m := testMachine(64, 4)
+	f := func(raw []uint8) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]uint32, len(raw))
+		for i, r := range raw {
+			in[i] = uint32(r % 8) // force duplicates
+		}
+		out := make([]uint32, len(in))
+		mask := make([]bool, len(in))
+		m.VPI(out, in)
+		m.VLU(mask, in)
+		counts := map[uint32]uint32{}
+		for i, v := range in {
+			if out[i] != counts[v] {
+				return false
+			}
+			counts[v]++
+		}
+		// VLU true exactly at the final instance of each value.
+		last := map[uint32]int{}
+		for i, v := range in {
+			last[v] = i
+		}
+		for i, v := range in {
+			if mask[i] != (last[v] == i) {
+				return false
+			}
+		}
+		// At a VLU-true position, VPI equals total occurrences - 1.
+		for i, v := range in {
+			if mask[i] && out[i] != counts[v]-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gather(scatter(x)) round-trips when indices are a permutation.
+func TestQuickScatterGatherRoundTrip(t *testing.T) {
+	m := testMachine(64, 2)
+	f := func(seed uint8, raw []uint8) bool {
+		n := len(raw)
+		if n == 0 || n > 64 {
+			return true
+		}
+		vals := make([]uint32, n)
+		for i, r := range raw {
+			vals[i] = uint32(r)
+		}
+		// Deterministic permutation from the seed.
+		idx := make([]uint32, n)
+		for i := range idx {
+			idx[i] = uint32(i)
+		}
+		s := int(seed) + 1
+		for i := n - 1; i > 0; i-- {
+			j := (i*s + 7) % (i + 1)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		mem := make([]uint32, n)
+		m.VScatter(mem, idx, vals, nil)
+		back := make([]uint32, n)
+		m.VGather(back, mem, idx)
+		for i := range vals {
+			if back[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

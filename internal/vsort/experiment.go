@@ -1,0 +1,183 @@
+package vsort
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+// Fig3Point is one bar of the paper's Figure 3: an algorithm's speedup over
+// the scalar baseline at a given MVL and lane count.
+type Fig3Point struct {
+	Algo    string
+	MVL     int
+	Lanes   int
+	Speedup float64
+	// CPT is cycles per tuple, the paper's secondary metric.
+	CPT float64
+}
+
+// Fig3Config parameterises the experiment.
+type Fig3Config struct {
+	// N is the number of keys (the paper sorts large uniform arrays).
+	N int
+	// MVLs and Lanes are the sweep axes.
+	MVLs  []int
+	Lanes []int
+	// Seed makes the key stream reproducible.
+	Seed int64
+}
+
+// DefaultFig3Config matches the paper's sweep: MVL 8–64, lanes 1/2/4.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		N:     1 << 20,
+		MVLs:  []int{8, 16, 32, 64},
+		Lanes: []int{1, 2, 4},
+		Seed:  42,
+	}
+}
+
+// RandomKeys generates n uniform 32-bit keys.
+func RandomKeys(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	return keys
+}
+
+// ScalarCycles measures the scalar baseline on a copy of keys.
+func ScalarCycles(keys []uint32) float64 {
+	cfg := vector.DefaultConfig()
+	m := vector.New(cfg)
+	cp := append([]uint32(nil), keys...)
+	ScalarSort{}.Sort(m, cp)
+	return m.Cycles()
+}
+
+// RunFig3 sweeps every algorithm over the MVL × lanes grid and returns the
+// speedups over the scalar baseline.
+func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("vsort: non-positive N")
+	}
+	keys := RandomKeys(cfg.N, cfg.Seed)
+	scalar := ScalarCycles(keys)
+	var out []Fig3Point
+	for _, algo := range All() {
+		for _, mvl := range cfg.MVLs {
+			for _, lanes := range cfg.Lanes {
+				if lanes > mvl {
+					continue
+				}
+				mcfg := vector.DefaultConfig()
+				mcfg.MVL = mvl
+				mcfg.Lanes = lanes
+				m := vector.New(mcfg)
+				cp := append([]uint32(nil), keys...)
+				algo.Sort(m, cp)
+				if !sortedAsc(cp) {
+					return nil, fmt.Errorf("vsort: %s at MVL=%d lanes=%d produced unsorted output", algo.Name(), mvl, lanes)
+				}
+				out = append(out, Fig3Point{
+					Algo:    algo.Name(),
+					MVL:     mvl,
+					Lanes:   lanes,
+					Speedup: scalar / m.Cycles(),
+					CPT:     m.Cycles() / float64(cfg.N),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func sortedAsc(s []uint32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fig3Table renders the sweep as the Figure-3 table (one row per algorithm
+// and MVL, one column per lane count).
+func Fig3Table(points []Fig3Point, lanes []int) *stats.Table {
+	headers := []string{"algo", "mvl"}
+	for _, l := range lanes {
+		headers = append(headers, fmt.Sprintf("%d-lane", l))
+	}
+	t := stats.NewTable("Figure 3 — speedup over scalar baseline (×)", headers...)
+	type key struct {
+		algo string
+		mvl  int
+	}
+	cells := map[key]map[int]float64{}
+	var order []key
+	for _, p := range points {
+		k := key{p.Algo, p.MVL}
+		if cells[k] == nil {
+			cells[k] = map[int]float64{}
+			order = append(order, k)
+		}
+		cells[k][p.Lanes] = p.Speedup
+	}
+	for _, k := range order {
+		row := []string{k.algo, fmt.Sprintf("%d", k.mvl)}
+		for _, l := range lanes {
+			if v, ok := cells[k][l]; ok {
+				row = append(row, fmt.Sprintf("%.1f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Summary extracts the paper's headline numbers from a sweep: VSR's best
+// speedup at 1 lane and at the maximum lane count, and the average ratio of
+// VSR to the best other vectorised algorithm at matched configurations.
+type Summary struct {
+	VSRBest1Lane   float64
+	VSRBestMaxLane float64
+	VSRvsNextBest  float64
+}
+
+// Summarize computes the headline numbers.
+func Summarize(points []Fig3Point, maxLanes int) Summary {
+	var s Summary
+	var ratios []float64
+	type cfgKey struct{ mvl, lanes int }
+	best := map[cfgKey]float64{}
+	vsr := map[cfgKey]float64{}
+	for _, p := range points {
+		k := cfgKey{p.MVL, p.Lanes}
+		if p.Algo == NameVSR {
+			vsr[k] = p.Speedup
+			if p.Lanes == 1 && p.Speedup > s.VSRBest1Lane {
+				s.VSRBest1Lane = p.Speedup
+			}
+			if p.Lanes == maxLanes && p.Speedup > s.VSRBestMaxLane {
+				s.VSRBestMaxLane = p.Speedup
+			}
+			continue
+		}
+		if p.Speedup > best[k] {
+			best[k] = p.Speedup
+		}
+	}
+	for k, v := range vsr {
+		if b := best[k]; b > 0 {
+			ratios = append(ratios, v/b)
+		}
+	}
+	s.VSRvsNextBest = stats.Mean(ratios)
+	return s
+}

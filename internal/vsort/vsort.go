@@ -1,0 +1,540 @@
+// Package vsort implements the sorting algorithms of the paper's Figure 3
+// on the simulated vector machine of package vector:
+//
+//	VSR sort          the paper's contribution: a vectorised radix sort
+//	                  whose histogram and permutation phases resolve
+//	                  duplicate digits with the VPI/VLU instructions
+//	VQuicksort        vectorised quicksort (compress-based partitioning)
+//	VBitonic          vectorised bitonic mergesort
+//	VRadixClassic     the previously proposed vectorised radix sort with
+//	                  per-position replicated buckets (no VPI/VLU); the
+//	                  replication shrinks the usable radix and adds passes
+//	ScalarSort        the scalar baseline (LSD radix with scalar cost
+//	                  model, the "scalar baseline" of Figure 3)
+//
+// Every algorithm really sorts its input (tests verify it) while the
+// machine accumulates cycles, so speedups and the paper's CPT
+// (cycles-per-tuple) metric fall out of the same run.
+package vsort
+
+import (
+	"fmt"
+
+	"repro/internal/vector"
+)
+
+// Algorithm names, used as figure series labels.
+const (
+	NameVSR     = "vsr-sort"
+	NameQuick   = "vquicksort"
+	NameBitonic = "vbitonic"
+	NameRadix   = "vradix-classic"
+	NameScalar  = "scalar"
+)
+
+// Sorter is one algorithm bound to a machine.
+type Sorter interface {
+	// Name returns the figure label.
+	Name() string
+	// Sort sorts keys ascending in place (or via internal buffers),
+	// charging cycles to the machine.
+	Sort(m *vector.Machine, keys []uint32)
+}
+
+// ByName returns the sorter with the given label.
+func ByName(name string) (Sorter, error) {
+	switch name {
+	case NameVSR:
+		return VSRSort{}, nil
+	case NameQuick:
+		return VQuicksort{}, nil
+	case NameBitonic:
+		return VBitonic{}, nil
+	case NameRadix:
+		return VRadixClassic{}, nil
+	case NameScalar:
+		return ScalarSort{}, nil
+	default:
+		return nil, fmt.Errorf("vsort: unknown algorithm %q", name)
+	}
+}
+
+// All returns the vectorised algorithms in the paper's comparison order.
+func All() []Sorter {
+	return []Sorter{VSRSort{}, VQuicksort{}, VBitonic{}, VRadixClassic{}}
+}
+
+// --- VSR sort ---------------------------------------------------------------
+
+// VSRSort is the paper's algorithm. Radix 2^bits LSD passes; within each
+// vector of keys the digit histogram is updated with a gather / add-VPI /
+// masked-scatter(VLU) sequence that handles duplicates entirely in vector
+// registers — the behaviour the two new instructions exist for. Its
+// bookkeeping is one histogram (not replicated per lane/position), so the
+// digit can be wide and the pass count low.
+type VSRSort struct{}
+
+// Name implements Sorter.
+func (VSRSort) Name() string { return NameVSR }
+
+// vsrDigitBits picks VSR's radix width from the input size. Because VSR
+// does not replicate its bookkeeping per vector position, the histogram can
+// be large: for big inputs, 16-bit digits give just 2 passes over 32-bit
+// keys — half the classic scheme's best case and the source of its
+// constant-factor advantage. Small inputs cannot amortise a 64K-entry
+// histogram, so they fall back to 8-bit digits, as tuned radix sorts do.
+func vsrDigitBits(n int) int {
+	if n >= 1<<17 {
+		return 16
+	}
+	return 8
+}
+
+// Sort implements Sorter.
+func (VSRSort) Sort(m *vector.Machine, keys []uint32) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	mvl := m.Config().MVL
+	bits := vsrDigitBits(n)
+	buckets := 1 << bits
+	src := keys
+	dst := make([]uint32, n)
+	hist := make([]uint32, buckets)
+	offsets := make([]uint32, buckets)
+
+	vKeys := make([]uint32, mvl)
+	vDigit := make([]uint32, mvl)
+	vCount := make([]uint32, mvl)
+	vPrior := make([]uint32, mvl)
+	vMask := make([]bool, mvl)
+
+	passes := (32 + bits - 1) / bits
+	for p := 0; p < passes; p++ {
+		shift := uint32(p * bits)
+		mask := uint32(buckets - 1)
+		// Histogram clear: vector fill through the store pipe.
+		for i := range hist {
+			hist[i] = 0
+		}
+		for base := 0; base < buckets; base += mvl {
+			m.ChargeVector(1, min(mvl, buckets-base))
+		}
+
+		// Histogram phase.
+		for base := 0; base < n; base += mvl {
+			vl := min(mvl, n-base)
+			m.VLoad(vKeys[:vl], src, base)
+			m.VOp(vDigit[:vl], vKeys[:vl], func(v uint32) uint32 { return (v >> shift) & mask })
+			// counts = hist[digit]; counts += VPI(digit)+1; VLU-masked
+			// scatter writes each distinct digit's final count once.
+			m.VGather(vCount[:vl], hist, vDigit[:vl])
+			m.VPI(vPrior[:vl], vDigit[:vl])
+			m.VOp2(vCount[:vl], vCount[:vl], vPrior[:vl], func(c, q uint32) uint32 { return c + q + 1 })
+			m.VLU(vMask[:vl], vDigit[:vl])
+			m.VScatter(hist, vDigit[:vl], vCount[:vl], vMask[:vl])
+		}
+
+		// Exclusive prefix sum of the histogram: strip-mined vector scan
+		// (load, log2(MVL) shifted adds, store, scalar carry per strip).
+		var run uint32
+		for b := 0; b < buckets; b++ {
+			offsets[b] = run
+			run += hist[b]
+		}
+		log2 := 0
+		for v := mvl; v > 1; v >>= 1 {
+			log2++
+		}
+		for base := 0; base < buckets; base += mvl {
+			vl := min(mvl, buckets-base)
+			m.ChargeVector(2+log2, vl) // load + scan stages + store
+			m.ScalarOps(1)             // carry across strips
+		}
+
+		// Permutation phase: offs = offsets[digit] + VPI(digit); scatter
+		// keys; VLU-masked scatter updates offsets once per digit.
+		for base := 0; base < n; base += mvl {
+			vl := min(mvl, n-base)
+			m.VLoad(vKeys[:vl], src, base)
+			m.VOp(vDigit[:vl], vKeys[:vl], func(v uint32) uint32 { return (v >> shift) & mask })
+			m.VGather(vCount[:vl], offsets, vDigit[:vl])
+			m.VPI(vPrior[:vl], vDigit[:vl])
+			m.VOp2(vPrior[:vl], vCount[:vl], vPrior[:vl], func(o, q uint32) uint32 { return o + q })
+			m.VScatter(dst, vPrior[:vl], vKeys[:vl], nil)
+			// Bump offsets by the per-digit instance counts.
+			m.VOp2(vCount[:vl], vPrior[:vl], vDigit[:vl], func(pos, _ uint32) uint32 { return pos + 1 })
+			m.VLU(vMask[:vl], vDigit[:vl])
+			m.VScatter(offsets, vDigit[:vl], vCount[:vl], vMask[:vl])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		// Odd number of passes: copy back through the vector pipe.
+		for base := 0; base < n; base += mvl {
+			vl := min(mvl, n-base)
+			m.VLoad(vKeys[:vl], src, base)
+			m.VStore(keys, base, vKeys[:vl])
+		}
+	}
+}
+
+// --- Vectorised quicksort ----------------------------------------------------
+
+// VQuicksort partitions with vector compare + compress (two compress ops per
+// vector: below-pivot and not-below), recursing scalar; small partitions
+// fall back to a scalar insertion sort, as real implementations do.
+type VQuicksort struct{}
+
+// Name implements Sorter.
+func (VQuicksort) Name() string { return NameQuick }
+
+// Sort implements Sorter.
+func (q VQuicksort) Sort(m *vector.Machine, keys []uint32) {
+	buf := make([]uint32, len(keys))
+	q.sortRange(m, keys, buf, 0, len(keys))
+}
+
+func (q VQuicksort) sortRange(m *vector.Machine, keys, buf []uint32, lo, hi int) {
+	n := hi - lo
+	if n <= 16 {
+		scalarInsertion(m, keys[lo:hi])
+		return
+	}
+	mvl := m.Config().MVL
+	// Median-of-three pivot (scalar).
+	pivot := median3(keys[lo], keys[lo+n/2], keys[hi-1])
+	m.ScalarOps(6)
+
+	vKeys := make([]uint32, mvl)
+	vMask := make([]bool, mvl)
+	vTmp := make([]uint32, mvl)
+	left := lo
+	right := hi
+	for base := lo; base < hi; base += mvl {
+		vl := min(mvl, hi-base)
+		m.VLoad(vKeys[:vl], keys, base)
+		m.VCmpLTScalar(vMask[:vl], vKeys[:vl], pivot)
+		nl := m.VCompress(vTmp[:vl], vKeys[:vl], vMask[:vl])
+		m.VStore(buf, left, vTmp[:nl])
+		left += nl
+		for i := 0; i < vl; i++ {
+			vMask[i] = !vMask[i]
+		}
+		m.ScalarOps(1) // mask negation is one vector-mask op
+		nr := m.VCompress(vTmp[:vl], vKeys[:vl], vMask[:vl])
+		right -= nr
+		m.VStore(buf, right, vTmp[:nr])
+	}
+	copy(keys[lo:hi], buf[lo:hi])
+	m.ScalarMem((hi - lo) / 8) // block copy, wide moves
+	if left == lo || left == hi {
+		// Degenerate pivot (all elements equal side): fall back scalar to
+		// guarantee progress.
+		scalarInsertion(m, keys[lo:hi])
+		return
+	}
+	q.sortRange(m, keys, buf, lo, left)
+	q.sortRange(m, keys, buf, left, hi)
+}
+
+func median3(a, b, c uint32) uint32 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+func scalarInsertion(m *vector.Machine, s []uint32) {
+	ops := 0
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+			ops++
+		}
+		s[j+1] = v
+		ops += 2
+	}
+	m.ScalarOps(ops)
+	m.ScalarMem(ops)
+}
+
+// --- Vectorised bitonic mergesort ---------------------------------------------
+
+// VBitonic runs the classic bitonic sorting network with vector min/max and
+// gathers for the butterfly exchanges at sub-vector distances. O(n log² n)
+// comparisons, fully data-parallel — but the comparison count dooms its CPT
+// as n grows, which is the paper's point.
+type VBitonic struct{}
+
+// Name implements Sorter.
+func (VBitonic) Name() string { return NameBitonic }
+
+// Sort implements Sorter.
+func (VBitonic) Sort(m *vector.Machine, keys []uint32) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	// Pad to the next power of two with max values.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	work := make([]uint32, size)
+	copy(work, keys)
+	for i := n; i < size; i++ {
+		work[i] = ^uint32(0)
+	}
+	m.ScalarMem((size - n) / 8)
+
+	mvl := m.Config().MVL
+	a := make([]uint32, mvl)
+	b := make([]uint32, mvl)
+	lo := make([]uint32, mvl)
+	hi := make([]uint32, mvl)
+
+	for k := 2; k <= size; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			if 2*j <= mvl {
+				// All remaining sub-stages of this k fit inside one vector
+				// register: fuse them. Each chunk is loaded once, exchanged
+				// in-register through log2(2j·…) stages of min/max +
+				// element permutes, and stored once — how real vector
+				// bitonic codes avoid memory round trips.
+				for base := 0; base < size; base += mvl {
+					vl := min(mvl, size-base)
+					m.VLoad(a[:vl], work, base)
+					stages := 0
+					for jj := j; jj > 0; jj >>= 1 {
+						for x := 0; x < vl; x++ {
+							gi := base + x
+							partner := gi ^ jj
+							if partner > gi && partner < base+vl {
+								asc := gi&k == 0
+								p, q := a[gi-base], a[partner-base]
+								if (p > q) == asc {
+									a[gi-base], a[partner-base] = q, p
+								}
+							}
+						}
+						stages++
+					}
+					// Each fused stage is a min/max plus a shuffle.
+					for s := 0; s < 2*stages; s++ {
+						m.VOp(b[:vl], a[:vl], func(v uint32) uint32 { return v })
+					}
+					m.VStore(work, base, a[:vl])
+				}
+				break // sub-stages for this k are all done
+			}
+			// Distant partners: classic two-stream exchange through memory.
+			for i := 0; i < size; i += 2 * j {
+				for off := 0; off < j; off += mvl {
+					vl := min(mvl, j-off)
+					base := i + off
+					m.VLoad(a[:vl], work, base)
+					m.VLoad(b[:vl], work, base+j)
+					m.VMinMax(lo[:vl], hi[:vl], a[:vl], b[:vl])
+					asc := i&k == 0
+					if asc {
+						m.VStore(work, base, lo[:vl])
+						m.VStore(work, base+j, hi[:vl])
+					} else {
+						m.VStore(work, base, hi[:vl])
+						m.VStore(work, base+j, lo[:vl])
+					}
+				}
+			}
+		}
+	}
+	copy(keys, work[:n])
+	m.ScalarMem(n / 8)
+}
+
+// --- Classic vectorised radix sort ---------------------------------------------
+
+// VRadixClassic is the pre-VSR vectorised radix sort: duplicate digits
+// within a vector are handled by replicating the bucket table once per
+// vector position, so scatters never conflict. The replication multiplies
+// bookkeeping storage by MVL, which forces a narrow digit (the paper:
+// "replicates its internal bookkeeping structures which consequently
+// [prevents] them [from being] larger and [increases] the number of
+// necessary passes").
+type VRadixClassic struct{}
+
+// Name implements Sorter.
+func (VRadixClassic) Name() string { return NameRadix }
+
+// classicDigitBits keeps the replicated tables affordable: 4 bits → 8
+// passes over 32-bit keys (vs VSR's 4).
+const classicDigitBits = 4
+
+// Sort implements Sorter. Following Zagha & Blelloch, each vector position
+// owns one contiguous *segment* of the array (virtual-processor layout), so
+// the bucket-major / position-minor / in-segment-sequential order of the
+// replicated offsets reproduces array order — keeping the LSD passes
+// stable. Loads become stride-seg gathers, another cost the replication
+// scheme pays that VSR does not.
+func (VRadixClassic) Sort(m *vector.Machine, keys []uint32) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	mvl := m.Config().MVL
+	buckets := 1 << classicDigitBits
+	// Pad to a multiple of MVL with max keys so every position owns a
+	// full segment; pads sort to the top and are dropped at the end.
+	seg := (n + mvl - 1) / mvl
+	size := seg * mvl
+	src := make([]uint32, size)
+	copy(src, keys)
+	for i := n; i < size; i++ {
+		src[i] = ^uint32(0)
+	}
+	m.ScalarMem((size - n + 7) / 8)
+	dst := make([]uint32, size)
+	// Replicated histograms: one row per vector position.
+	hist := make([]uint32, buckets*mvl)
+	offs := make([]uint32, buckets*mvl)
+
+	vKeys := make([]uint32, mvl)
+	vDigit := make([]uint32, mvl)
+	vIdx := make([]uint32, mvl)
+	vAddr := make([]uint32, mvl)
+	vCount := make([]uint32, mvl)
+	vOne := make([]uint32, mvl)
+	for i := range vOne {
+		vOne[i] = 1
+	}
+
+	passes := (32 + classicDigitBits - 1) / classicDigitBits
+	for p := 0; p < passes; p++ {
+		shift := uint32(p * classicDigitBits)
+		dmask := uint32(buckets - 1)
+		for i := range hist {
+			hist[i] = 0
+		}
+		m.ScalarMem(buckets * mvl / 8)
+
+		// Histogram phase: position i walks segment i; row (digit, i) is
+		// private to position i — no conflicts, no VPI needed.
+		for k := 0; k < seg; k++ {
+			// Strided load: element k of every segment.
+			m.VIota(vAddr)
+			m.VOp(vAddr, vAddr, func(i uint32) uint32 { return i*uint32(seg) + uint32(k) })
+			m.VGather(vKeys, src, vAddr)
+			m.VOp(vDigit, vKeys, func(v uint32) uint32 { return (v >> shift) & dmask })
+			m.VIota(vIdx)
+			m.VOp2(vIdx, vDigit, vIdx, func(d, i uint32) uint32 { return d*uint32(mvl) + i })
+			m.VGather(vCount, hist, vIdx)
+			m.VOp2(vCount, vCount, vOne, func(c, o uint32) uint32 { return c + o })
+			m.VScatter(hist, vIdx, vCount, nil)
+		}
+
+		// Prefix sum in bucket-major, position-minor order = array order
+		// within each bucket (segments ascend with position).
+		var run uint32
+		for b := 0; b < buckets; b++ {
+			for i := 0; i < mvl; i++ {
+				offs[uint32(b)*uint32(mvl)+uint32(i)] = run
+				run += hist[uint32(b)*uint32(mvl)+uint32(i)]
+			}
+		}
+		m.ScalarOps(buckets * mvl)
+		m.ScalarMem(buckets * mvl / 4)
+
+		// Permutation phase, same segment walk.
+		for k := 0; k < seg; k++ {
+			m.VIota(vAddr)
+			m.VOp(vAddr, vAddr, func(i uint32) uint32 { return i*uint32(seg) + uint32(k) })
+			m.VGather(vKeys, src, vAddr)
+			m.VOp(vDigit, vKeys, func(v uint32) uint32 { return (v >> shift) & dmask })
+			m.VIota(vIdx)
+			m.VOp2(vIdx, vDigit, vIdx, func(d, i uint32) uint32 { return d*uint32(mvl) + i })
+			m.VGather(vCount, offs, vIdx)
+			m.VScatter(dst, vCount, vKeys, nil)
+			m.VOp2(vCount, vCount, vOne, func(c, o uint32) uint32 { return c + o })
+			m.VScatter(offs, vIdx, vCount, nil)
+		}
+		src, dst = dst, src
+	}
+	copy(keys, src[:n])
+	m.ScalarMem(n / 8)
+}
+
+// --- Scalar baseline -------------------------------------------------------------
+
+// ScalarSort is the scalar baseline of Figure 3: an introsort-class
+// quicksort (std::sort in the paper's experiments). Each partition
+// comparison costs a compare, a load/store and — on random data — a
+// mispredicted branch roughly half the time; that branch-miss tax is what
+// data-parallel sorting escapes.
+type ScalarSort struct{}
+
+// Name implements Sorter.
+func (ScalarSort) Name() string { return NameScalar }
+
+// Sort implements Sorter.
+func (s ScalarSort) Sort(m *vector.Machine, keys []uint32) {
+	s.quick(m, keys)
+}
+
+func (s ScalarSort) quick(m *vector.Machine, a []uint32) {
+	n := len(a)
+	if n <= 16 {
+		scalarInsertion(m, a)
+		return
+	}
+	pivot := median3(a[0], a[n/2], a[n-1])
+	m.ScalarOps(6)
+	i, j := 0, n-1
+	comparisons := 0
+	swaps := 0
+	for i <= j {
+		for a[i] < pivot {
+			i++
+			comparisons++
+		}
+		for a[j] > pivot {
+			j--
+			comparisons++
+		}
+		comparisons += 2
+		if i <= j {
+			a[i], a[j] = a[j], a[i]
+			swaps++
+			i++
+			j--
+		}
+	}
+	// Per comparison: compare op + key load; roughly half the branches on
+	// random data are mispredicted. Swaps add two loads + two stores.
+	m.ScalarOps(comparisons)
+	m.ScalarMem(comparisons)
+	m.ScalarBranchMisses(comparisons / 2)
+	m.ScalarMem(4 * swaps)
+	if j > 0 {
+		s.quick(m, a[:j+1])
+	}
+	if i < n-1 {
+		s.quick(m, a[i:])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+package vsort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vector"
+)
+
+func machine(mvl, lanes int) *vector.Machine {
+	cfg := vector.DefaultConfig()
+	cfg.MVL = mvl
+	cfg.Lanes = lanes
+	return vector.New(cfg)
+}
+
+func sortedCopy(keys []uint32) []uint32 {
+	cp := append([]uint32(nil), keys...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllAlgorithmsSortCorrectly(t *testing.T) {
+	keys := RandomKeys(5000, 7)
+	want := sortedCopy(keys)
+	algos := append(All(), ScalarSort{})
+	for _, algo := range algos {
+		for _, mvl := range []int{8, 64} {
+			m := machine(mvl, 2)
+			cp := append([]uint32(nil), keys...)
+			algo.Sort(m, cp)
+			if !equalU32(cp, want) {
+				t.Errorf("%s (MVL %d) did not sort correctly", algo.Name(), mvl)
+			}
+			if m.Cycles() <= 0 {
+				t.Errorf("%s charged no cycles", algo.Name())
+			}
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	algos := append(All(), ScalarSort{})
+	cases := [][]uint32{
+		{},
+		{42},
+		{2, 1},
+		{7, 7, 7, 7, 7, 7, 7, 7, 7}, // all duplicates: VPI/VLU stress
+		{5, 4, 3, 2, 1, 0},          // reverse sorted
+		{0, ^uint32(0), 0, ^uint32(0)},
+	}
+	for _, algo := range algos {
+		for ci, c := range cases {
+			m := machine(16, 2)
+			cp := append([]uint32(nil), c...)
+			algo.Sort(m, cp)
+			if !equalU32(cp, sortedCopy(c)) {
+				t.Errorf("%s failed on case %d: %v", algo.Name(), ci, cp)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{NameVSR, NameQuick, NameBitonic, NameRadix, NameScalar} {
+		s, err := ByName(name)
+		if err != nil || s.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatalf("unknown name must error")
+	}
+}
+
+func TestVSRFasterThanScalar(t *testing.T) {
+	keys := RandomKeys(1<<14, 3)
+	scalar := ScalarCycles(keys)
+	m := machine(64, 4)
+	cp := append([]uint32(nil), keys...)
+	VSRSort{}.Sort(m, cp)
+	if m.Cycles() >= scalar {
+		t.Fatalf("VSR (%v cycles) must beat scalar (%v)", m.Cycles(), scalar)
+	}
+}
+
+func TestVSRScalesWithLanes(t *testing.T) {
+	keys := RandomKeys(1<<14, 3)
+	var prev float64
+	for i, lanes := range []int{1, 2, 4} {
+		m := machine(64, lanes)
+		cp := append([]uint32(nil), keys...)
+		VSRSort{}.Sort(m, cp)
+		if i > 0 && m.Cycles() > prev {
+			t.Fatalf("VSR slower with %d lanes: %v > %v", lanes, m.Cycles(), prev)
+		}
+		prev = m.Cycles()
+	}
+}
+
+func TestVSRCPTConstantInN(t *testing.T) {
+	// The paper: "this CPT will remain constant as the input size
+	// increases" — the O(k·n) property of radix sorting.
+	cptAt := func(n int) float64 {
+		keys := RandomKeys(n, 11)
+		m := machine(64, 4)
+		VSRSort{}.Sort(m, keys)
+		return m.Cycles() / float64(n)
+	}
+	// Both sizes sit in the same digit-width regime (8-bit) so the radix
+	// constant-CPT property is visible without the regime switch.
+	small := cptAt(1 << 13)
+	large := cptAt(1 << 16)
+	ratio := large / small
+	if ratio > 1.1 || ratio < 0.7 {
+		t.Fatalf("VSR CPT should be ~constant in n: %.2f vs %.2f", small, large)
+	}
+	// While the scalar baseline's CPT grows with n (n log n).
+	scalarCPT := func(n int) float64 {
+		keys := RandomKeys(n, 11)
+		m := machine(64, 4)
+		ScalarSort{}.Sort(m, keys)
+		return m.Cycles() / float64(n)
+	}
+	if scalarCPT(1<<17) <= scalarCPT(1<<14) {
+		t.Fatalf("scalar CPT must grow with n")
+	}
+}
+
+func TestFig3PaperShape(t *testing.T) {
+	cfg := DefaultFig3Config()
+	cfg.N = 1 << 14 // fast test scale
+	pts, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, p := range pts {
+		byKey[p.Algo+string(rune('0'+p.Lanes))+string(rune('a'+p.MVL/8))] = p.Speedup
+	}
+	// VSR must beat every other algorithm at the flagship configuration.
+	for _, algo := range []string{NameQuick, NameBitonic, NameRadix} {
+		vsr := byKey[NameVSR+"4"+string(rune('a'+8))]
+		other := byKey[algo+"4"+string(rune('a'+8))]
+		if vsr <= other {
+			t.Errorf("VSR (%.1f) must beat %s (%.1f) at MVL64/4 lanes", vsr, algo, other)
+		}
+	}
+	s := Summarize(pts, 4)
+	if s.VSRBestMaxLane <= s.VSRBest1Lane {
+		t.Errorf("lanes must help VSR: %v vs %v", s.VSRBestMaxLane, s.VSRBest1Lane)
+	}
+	if s.VSRvsNextBest < 1.25 { // 4.0x at bench scale; small-n test scale shrinks the gap
+		t.Errorf("VSR should clearly beat the next-best algorithm, got %.2f", s.VSRvsNextBest)
+	}
+	if Fig3Table(pts, cfg.Lanes).String() == "" {
+		t.Fatalf("empty table")
+	}
+}
+
+func TestRandomKeysDeterministic(t *testing.T) {
+	a := RandomKeys(100, 5)
+	b := RandomKeys(100, 5)
+	if !equalU32(a, b) {
+		t.Fatalf("same seed must give same keys")
+	}
+	c := RandomKeys(100, 6)
+	if equalU32(a, c) {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+// Property: every algorithm produces exactly the sorted permutation of its
+// input, for arbitrary inputs (including heavy duplicates), at several MVLs.
+func TestQuickAllSortersCorrect(t *testing.T) {
+	algos := append(All(), ScalarSort{})
+	f := func(raw []uint16, mvlSel, algoSel uint8) bool {
+		if len(raw) > 600 {
+			raw = raw[:600]
+		}
+		keys := make([]uint32, len(raw))
+		for i, r := range raw {
+			keys[i] = uint32(r % 64) // heavy duplicates stress VPI/VLU
+		}
+		mvls := []int{8, 16, 64}
+		m := machine(mvls[int(mvlSel)%len(mvls)], 2)
+		algo := algos[int(algoSel)%len(algos)]
+		cp := append([]uint32(nil), keys...)
+		algo.Sort(m, cp)
+		return equalU32(cp, sortedCopy(keys))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
