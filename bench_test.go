@@ -1,90 +1,66 @@
 // Benchmarks regenerating every figure of the paper's evaluation at
-// reduced scale (one harness iteration per b.N step), plus micro-benchmarks
-// of the hot substrate paths. Run the full-scale figures with cmd/raa-bench;
-// run these with:
+// reduced scale through the raa registry (one harness iteration per b.N
+// step), plus micro-benchmarks of the hot substrate paths. Run the
+// full-scale figures with cmd/raa-bench; run these with:
 //
 //	go test -bench=. -benchmem
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
-	"repro/internal/hybridmem"
 	"repro/internal/mesh"
-	"repro/internal/nas"
-	"repro/internal/parsecsim"
 	"repro/internal/runtime"
-	"repro/internal/simexec"
-	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/tdg"
 	"repro/internal/vector"
 	"repro/internal/vsort"
+	"repro/raa"
+	_ "repro/raa/experiments"
 )
+
+// benchRun drives one registry experiment at quick scale with overrides.
+func benchRun(b *testing.B, name, spec string) {
+	b.Helper()
+	var overrides []byte
+	if spec != "" {
+		overrides = []byte(spec)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := raa.RunQuick(context.Background(), name, overrides); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- One benchmark per paper artefact ---------------------------------------
 
 // BenchmarkFig1HybridMemory runs the Figure-1 comparison (hybrid vs
 // cache-only) for one representative kernel on a 16-core machine.
 func BenchmarkFig1HybridMemory(b *testing.B) {
-	cfg := hybridmem.DefaultConfig()
-	mc := cfg.Mesh
-	mc.Width, mc.Height = 4, 4
-	cfg.Mesh = mc
-	cfg.NCores = 16
-	cfg.MemControllerTiles = []int{0, 3, 12, 15}
-	k := nas.MG(nas.ClassTest)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := hybridmem.Compare(cfg, k); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchRun(b, "hybridmem", `{"kernels": ["MG"]}`)
 }
 
 // BenchmarkFig2CriticalityDVFS runs the §3.1 three-variant study.
 func BenchmarkFig2CriticalityDVFS(b *testing.B) {
-	cfg := simexec.DefaultFig2Config()
-	cfg.Blocks = 10
-	for i := 0; i < b.N; i++ {
-		if _, err := simexec.RunFig2(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchRun(b, "criticality-dvfs", "")
 }
 
 // BenchmarkFig3VectorSort runs the Figure-3 sweep at reduced key count.
 func BenchmarkFig3VectorSort(b *testing.B) {
-	cfg := vsort.DefaultFig3Config()
-	cfg.N = 1 << 13
-	for i := 0; i < b.N; i++ {
-		if _, err := vsort.RunFig3(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchRun(b, "vsort", `{"n": 8192}`)
 }
 
 // BenchmarkFig4ResilientCG runs the five-scheme Figure-4 experiment.
 func BenchmarkFig4ResilientCG(b *testing.B) {
-	cfg := solver.DefaultFig4Config()
-	cfg.Grid = 48
-	cfg.Solver.TraceStride = 16
-	for i := 0; i < b.N; i++ {
-		if _, err := solver.RunFig4(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchRun(b, "resilient-cg", `{"grid": 48, "trace_stride": 16}`)
 }
 
 // BenchmarkFig5OmpSsVsPthreads runs the Figure-5 scalability sweep.
 func BenchmarkFig5OmpSsVsPthreads(b *testing.B) {
-	threads := []int{1, 4, 16}
-	for i := 0; i < b.N; i++ {
-		if _, err := parsecsim.RunFig5(threads); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchRun(b, "parsec-scalability", `{"threads": [1, 4, 16]}`)
 }
 
 // --- Substrate micro-benchmarks ----------------------------------------------
@@ -92,7 +68,7 @@ func BenchmarkFig5OmpSsVsPthreads(b *testing.B) {
 // BenchmarkTaskSubmit measures dependence tracking + scheduling throughput
 // of the runtime (one inout chain: worst-case tracker pressure).
 func BenchmarkTaskSubmit(b *testing.B) {
-	rt := runtime.New(runtime.Config{Workers: 4, Scheduler: runtime.WorkSteal})
+	rt := runtime.New(runtime.WithWorkers(4), runtime.WithScheduler(runtime.WorkSteal))
 	defer rt.Shutdown()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -104,7 +80,7 @@ func BenchmarkTaskSubmit(b *testing.B) {
 // BenchmarkWorkStealingFanOut measures end-to-end execution of independent
 // tasks across the pool.
 func BenchmarkWorkStealingFanOut(b *testing.B) {
-	rt := runtime.New(runtime.Config{Workers: 4, Scheduler: runtime.WorkSteal})
+	rt := runtime.New(runtime.WithWorkers(4), runtime.WithScheduler(runtime.WorkSteal))
 	defer rt.Shutdown()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -167,18 +143,7 @@ func BenchmarkCriticalPath(b *testing.B) {
 }
 
 // BenchmarkListScheduler measures the simulated executor on a mid-size
-// graph.
+// graph through the registry path.
 func BenchmarkListScheduler(b *testing.B) {
-	g := tdg.Cholesky(12, 2e6)
-	cfg := simexec.DefaultFig2Config()
-	_ = cfg
-	for i := 0; i < b.N; i++ {
-		rows, err := simexec.RunFig2(simexec.Fig2Config{
-			Cores: 16, Blocks: 8, UnitCostCycles: 2e6, CritSlack: 0.12,
-		})
-		if err != nil || len(rows) == 0 {
-			b.Fatal(err)
-		}
-	}
-	_ = g
+	benchRun(b, "criticality-dvfs", `{"cores": 16, "blocks": 8}`)
 }

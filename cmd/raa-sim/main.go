@@ -1,103 +1,73 @@
-// Command raa-sim runs one NAS-class kernel on the simulated manycore in a
+// Command raa-sim runs NAS-class kernels on the simulated manycore in a
 // chosen memory-hierarchy mode and prints the detailed counters — the
-// "drive the machine yourself" companion to raa-bench.
+// "drive the machine yourself" companion to raa-bench. It is a thin shell
+// over the raa registry: it builds a hybridmem spec from its flags and runs
+// the same experiment raa-bench reaches with -experiment hybridmem.
 //
 // Usage:
 //
 //	raa-sim -kernel MG -mode hybrid
 //	raa-sim -kernel CG -mode cache-only -cores 16
+//	raa-sim -kernel MG -mode hybrid -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"os/signal"
 
 	"repro/internal/hybridmem"
-	"repro/internal/nas"
+	"repro/raa"
+	_ "repro/raa/experiments"
 )
 
 func main() {
 	kernel := flag.String("kernel", "MG", "NAS kernel: CG EP FT IS MG SP")
-	mode := flag.String("mode", "hybrid", "memory mode: hybrid | cache-only")
+	mode := flag.String("mode", "hybrid", "memory mode: hybrid | cache-only | compare")
 	cores := flag.Int("cores", 64, "core count: 16 or 64")
 	bench := flag.Bool("bench", true, "bench-class problem size (false = test class)")
+	jsonOut := flag.Bool("json", false, "emit the raw raa result document as JSON")
 	flag.Parse()
 
-	class := nas.ClassBench
+	class := "bench"
 	if !*bench {
-		class = nas.ClassTest
+		class = "test"
 	}
-	k, err := nas.ByName(*kernel, class)
+	spec, err := json.Marshal(hybridmem.Spec{
+		Cores:   *cores,
+		Class:   class,
+		Kernels: []string{*kernel},
+		Mode:    *mode,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "raa-sim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	cfg := hybridmem.DefaultConfig()
-	switch *cores {
-	case 64:
-	case 16:
-		mc := cfg.Mesh
-		mc.Width, mc.Height = 4, 4
-		cfg.Mesh = mc
-		cfg.NCores = 16
-		cfg.MemControllerTiles = []int{0, 3, 12, 15}
-	default:
-		fmt.Fprintln(os.Stderr, "raa-sim: -cores must be 16 or 64")
-		os.Exit(1)
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	var m hybridmem.Mode
-	switch *mode {
-	case "hybrid":
-		m = hybridmem.Hybrid
-	case "cache-only":
-		m = hybridmem.CacheOnly
-	default:
-		fmt.Fprintln(os.Stderr, "raa-sim: -mode must be hybrid or cache-only")
-		os.Exit(1)
-	}
-
-	machine, err := hybridmem.New(cfg)
+	res, err := raa.Run(ctx, "hybridmem", spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "raa-sim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	res, err := machine.RunKernel(k, m)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "raa-sim:", err)
-		os.Exit(1)
-	}
-
-	fmt.Printf("kernel %s on %d cores, %s mode\n", res.Kernel, cfg.NCores, res.Mode)
-	fmt.Printf("  cycles        %d\n", res.Cycles)
-	fmt.Printf("  energy        %.3e pJ\n", res.EnergyPJ)
-	fmt.Printf("  noc traffic   %d flit-hops\n", res.NoCFlitHops)
-	fmt.Printf("  L1  %d accesses, %.1f%% miss\n", res.L1.Accesses(), 100*res.L1.MissRate())
-	fmt.Printf("  L2  %d accesses, %.1f%% miss\n", res.L2.Accesses(), 100*res.L2.MissRate())
-	fmt.Printf("  SPM %d accesses, %d DMA transfers (%d bytes)\n",
-		res.SPMStats.Accesses, res.SPMStats.DMATransfers, res.SPMStats.DMABytes)
-	fmt.Printf("  DRAM %d accesses, %d bytes\n", res.DRAMStats.Accesses, res.DRAMStats.Bytes)
-	if len(res.Resolutions) > 0 {
-		fmt.Println("  unknown-alias resolutions:")
-		var keys []string
-		for k := range res.Resolutions {
-			keys = append(keys, k)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Printf("    %-22s %d\n", k, res.Resolutions[k])
-		}
+		return
 	}
-	fmt.Println("  energy breakdown (pJ):")
-	var comps []string
-	for c := range res.Breakdown {
-		comps = append(comps, c)
+	fmt.Printf("kernel %s on %d cores, %s mode\n\n", *kernel, *cores, *mode)
+	if err := res.WriteText(os.Stdout); err != nil {
+		fatal(err)
 	}
-	sort.Strings(comps)
-	for _, c := range comps {
-		fmt.Printf("    %-6s %.3e\n", c, res.Breakdown[c])
-	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "raa-sim:", err)
+	os.Exit(1)
 }

@@ -1,20 +1,27 @@
 // Command vsr-sort sorts random keys with a chosen algorithm on a chosen
-// vector-machine configuration and prints cycles and CPT — a playground for
-// the Section-3.2 design space.
+// vector-machine configuration and prints cycles, CPT and the speedup over
+// the scalar baseline — a playground for the Section-3.2 design space. It
+// is a thin shell over the raa registry: the flags become a single-point
+// vsort spec and the run goes through the same experiment raa-bench reaches
+// with -experiment vsort.
 //
 // Usage:
 //
 //	vsr-sort -algo vsr-sort -mvl 64 -lanes 4 -n 1000000
-//	vsr-sort -algo vquicksort -mvl 16 -lanes 2
+//	vsr-sort -algo vquicksort -mvl 16 -lanes 2 -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/vector"
 	"repro/internal/vsort"
+	"repro/raa"
+	_ "repro/raa/experiments"
 )
 
 func main() {
@@ -24,36 +31,42 @@ func main() {
 	lanes := flag.Int("lanes", 4, "parallel lanes")
 	n := flag.Int("n", 1<<20, "number of keys")
 	seed := flag.Int64("seed", 42, "key-stream seed")
+	jsonOut := flag.Bool("json", false, "emit the raw raa result document as JSON")
 	flag.Parse()
 
-	s, err := vsort.ByName(*algo)
+	spec, err := json.Marshal(vsort.Spec{
+		N:     *n,
+		MVLs:  []int{*mvl},
+		Lanes: []int{*lanes},
+		Seed:  *seed,
+		Algos: []string{*algo},
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vsr-sort:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	cfg := vector.DefaultConfig()
-	cfg.MVL = *mvl
-	cfg.Lanes = *lanes
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "vsr-sort:", err)
-		os.Exit(1)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := raa.Run(ctx, "vsort", spec)
+	if err != nil {
+		fatal(err)
 	}
-	m := vector.New(cfg)
-	keys := vsort.RandomKeys(*n, *seed)
-	s.Sort(m, keys)
-	for i := 1; i < len(keys); i++ {
-		if keys[i-1] > keys[i] {
-			fmt.Fprintln(os.Stderr, "vsr-sort: output not sorted — simulator bug")
-			os.Exit(1)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
 		}
+		return
 	}
-	st := m.Stats()
-	fmt.Printf("%s sorted %d keys on MVL=%d lanes=%d\n", s.Name(), *n, *mvl, *lanes)
-	fmt.Printf("  cycles            %.0f\n", m.Cycles())
-	fmt.Printf("  cycles per tuple  %.2f\n", m.Cycles()/float64(*n))
-	fmt.Printf("  vector instrs     %d (%d elements)\n", st.VectorInstrs, st.VectorElems)
-	fmt.Printf("  gather elements   %d\n", st.GatherElems)
-	fmt.Printf("  scalar ops / mem  %d / %d\n", st.ScalarOps, st.ScalarMemOps)
-	scalar := vsort.ScalarCycles(vsort.RandomKeys(*n, *seed))
-	fmt.Printf("  speedup vs scalar %.1fx\n", scalar/m.Cycles())
+	fmt.Printf("%s sorting %d keys on MVL=%d lanes=%d\n\n", *algo, *n, *mvl, *lanes)
+	if err := res.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsr-sort:", err)
+	os.Exit(1)
 }

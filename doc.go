@@ -7,8 +7,11 @@
 // (Figure 3), exact forward recovery for resilient CG (Figure 4), and the
 // PARSEC task-vs-threads programmability study (Figure 5).
 //
-// The root package carries the cross-cutting benchmark suite in
-// bench_test.go; the implementation lives under internal/ (see DESIGN.md
-// for the system inventory) and the runnable entry points are
-// cmd/raa-bench, cmd/raa-sim, cmd/vsr-sort and the examples/ directory.
+// The public front door is package raa: every study implements
+// raa.Experiment and is reachable by name through its registry with a
+// JSON-serialisable spec. The root package carries the cross-cutting
+// benchmark suite in bench_test.go; the implementation lives under
+// internal/ (see DESIGN.md for the system inventory) and the runnable
+// entry points are cmd/raa-bench, cmd/raa-sim, cmd/vsr-sort and the
+// examples/ directory.
 package repro

@@ -1,21 +1,23 @@
 // criticality-dvfs runs a blocked Cholesky task graph on the simulated
 // 32-core machine under three regimes — static frequency, criticality-aware
 // DVFS through the software path, and through the RSU — a miniature of the
-// paper's Figure 2 study.
+// paper's Figure 2 study, driven through the raa registry.
 //
 //	go run ./examples/criticality-dvfs
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/power"
-	"repro/internal/rsu"
-	"repro/internal/simexec"
 	"repro/internal/tdg"
+	"repro/raa"
+	_ "repro/raa/experiments"
 )
 
 func main() {
+	// The graph the experiment schedules, inspected up front: the paper's
+	// runtime exposes exactly this criticality information to the RSU.
 	g := tdg.Cholesky(12, 2e6)
 	crit, _ := g.MarkCritical(0.12)
 	nCrit := 0
@@ -28,31 +30,19 @@ func main() {
 	fmt.Printf("cholesky(12): %d tasks, %d near-critical, average parallelism %.1f\n",
 		g.Len(), nCrit, mp)
 
-	table := power.DefaultTable()
-	model := power.DefaultModel()
-	nominal, _ := table.ByName("nominal")
-	budget := power.Budget{WattsCap: 32 * (model.DynPower(nominal) + model.StatPower(nominal))}
-
-	run := func(name string, recon rsu.Reconfigurator, policy simexec.Policy) simexec.Result {
-		res, err := simexec.Run(g, simexec.Config{
-			Cores: 32, Table: table, Model: model,
-			Recon: recon, Policy: policy, CritSlack: 0.12,
-		})
-		if err != nil {
-			panic(err)
-		}
-		fmt.Printf("  %-18s makespan %.4fs  energy %.3fJ  EDP %.4f  turbo-tasks %d  recon-overhead %.6fs\n",
-			name, res.MakespanS, res.EnergyJ, res.EDP, res.TurboTasks, res.ReconOverheadS)
-		return res
-	}
-
+	// The three-variant study through the single front door, at the same
+	// reduced size (no sweep for the demo).
 	fmt.Println("running on 32 simulated cores:")
-	static := run("static", rsu.NewFixed(nominal), simexec.Static)
-	sw := run("cats+software", rsu.NewSoftwareDVFS(32, table, model, budget), simexec.CriticalityAware)
-	hw := run("cats+rsu", rsu.NewRSU(32, table, model, budget), simexec.CriticalityAware)
-
+	res, err := raa.Run(context.Background(), "criticality-dvfs",
+		[]byte(`{"blocks": 12, "sweep": false}`))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  static: makespan %.4fs  energy %.3fJ\n",
+		res.Metrics["static_makespan_s"], res.Metrics["static_energy_j"])
 	fmt.Printf("speedup vs static: software %.3f, rsu %.3f\n",
-		static.MakespanS/sw.MakespanS, static.MakespanS/hw.MakespanS)
+		res.Metrics["software_speedup"], res.Metrics["rsu_speedup"])
 	fmt.Printf("EDP improvement vs static: software %.3f, rsu %.3f\n",
-		static.EDP/sw.EDP, static.EDP/hw.EDP)
+		res.Metrics["software_edp_improvement"], res.Metrics["rsu_edp_improvement"])
+	fmt.Printf("RSU reconfiguration overhead: %.6fs\n", res.Metrics["rsu_recon_overhead_s"])
 }

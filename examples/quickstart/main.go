@@ -3,12 +3,15 @@
 // A blocked vector update runs as dataflow tasks: each block's scale task
 // writes the block, each sum task reads it — the runtime derives the
 // dependences, runs independent blocks in parallel, and a final taskwait
-// collects the result. Run with:
+// collects the result. Task bodies are context-aware and may fail; the
+// runtime captures the first error and reports it at the taskwait. Run
+// with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -28,21 +31,23 @@ func main() {
 		}
 	}
 
-	rt := runtime.New(runtime.Config{Workers: 4, Scheduler: runtime.WorkSteal})
+	rt := runtime.New(runtime.WithWorkers(4), runtime.WithScheduler(runtime.WorkSteal))
 	defer rt.Shutdown()
+	ctx := context.Background()
 
 	var totalBits uint64 // accumulated through dataflow-serialised tasks
 
 	for b := 0; b < blocks; b++ {
 		b := b
 		// Writer: scale the block (out dependence on the block).
-		rt.Submit(fmt.Sprintf("scale(%d)", b), float64(blockSize), func() {
+		rt.SubmitCtx(ctx, fmt.Sprintf("scale(%d)", b), float64(blockSize), func(context.Context) error {
 			for i := range data[b] {
 				data[b][i] *= 2
 			}
+			return nil
 		}, runtime.Out(b))
 		// Reader: reduce the block (in on the block, inout on the total).
-		rt.Submit(fmt.Sprintf("sum(%d)", b), float64(blockSize), func() {
+		rt.SubmitCtx(ctx, fmt.Sprintf("sum(%d)", b), float64(blockSize), func(context.Context) error {
 			var s float64
 			for _, v := range data[b] {
 				s += v
@@ -55,9 +60,12 @@ func main() {
 					break
 				}
 			}
+			return nil
 		}, runtime.In(b), runtime.InOut("total"))
 	}
-	rt.Wait()
+	if err := rt.WaitCtx(ctx); err != nil {
+		panic(err)
+	}
 
 	want := uint64(blocks * blockSize * 2)
 	fmt.Printf("sum = %d (want %d)\n", totalBits, want)

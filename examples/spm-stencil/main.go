@@ -1,15 +1,19 @@
-// spm-stencil runs a stencil kernel on the simulated 64-core machine in
-// both memory-hierarchy modes — a miniature of the paper's Figure 1 that
-// shows where the hybrid hierarchy's time, energy and NoC wins come from.
+// spm-stencil runs a custom stencil kernel on the simulated 64-core machine
+// in both memory-hierarchy modes — a miniature of the paper's Figure 1 that
+// shows where the hybrid hierarchy's time, energy and NoC wins come from —
+// then regenerates the NAS-suite comparison through the raa registry.
 //
 //	go run ./examples/spm-stencil
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hybridmem"
 	"repro/internal/trace"
+	"repro/raa"
+	_ "repro/raa/experiments"
 )
 
 func main() {
@@ -57,4 +61,16 @@ func main() {
 		float64(base.NoCFlitHops)/float64(hyb.NoCFlitHops))
 	fmt.Printf("hybrid served %d accesses from SPMs via %d DMA transfers\n",
 		hyb.SPMStats.Accesses, hyb.SPMStats.DMATransfers)
+
+	// The same comparison for the NAS suite, through the registry (the
+	// 16-core test-class machine keeps the demo fast).
+	fmt.Println("\nNAS suite through the raa registry (quick scale):")
+	res, err := raa.RunQuick(context.Background(), "hybridmem", nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("AVG speedups: time %.3fx  energy %.3fx  traffic %.3fx\n",
+		res.Metrics["avg_time_speedup"],
+		res.Metrics["avg_energy_speedup"],
+		res.Metrics["avg_traffic_speedup"])
 }

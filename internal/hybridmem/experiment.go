@@ -1,10 +1,14 @@
 package hybridmem
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
+	"repro/internal/nas"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/raa"
 )
 
 // Comparison holds the paper's Figure-1 metrics for one kernel: speedups of
@@ -46,10 +50,14 @@ func Compare(cfg Config, k trace.Kernel) (Comparison, error) {
 
 // CompareSuite runs Compare over a whole kernel suite and appends the
 // average row (arithmetic mean of speedups, matching the paper's "AVG").
-func CompareSuite(cfg Config, kernels []trace.Kernel) ([]Comparison, error) {
+// Cancellation is observed between kernels.
+func CompareSuite(ctx context.Context, cfg Config, kernels []trace.Kernel) ([]Comparison, error) {
 	out := make([]Comparison, 0, len(kernels)+1)
 	var ts, es, ns []float64
 	for _, k := range kernels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c, err := Compare(cfg, k)
 		if err != nil {
 			return nil, err
@@ -77,4 +85,159 @@ func Table(cs []Comparison) *stats.Table {
 		t.AddRowF(c.Kernel, "%.3f", c.TimeSpeedup, c.EnergySpeed, c.TrafficSpeed)
 	}
 	return t
+}
+
+// ConfigForCores returns the machine configuration for the two geometries
+// the paper evaluates: the 64-core 8×8 default and a 16-core 4×4 variant.
+func ConfigForCores(cores int) (Config, error) {
+	cfg := DefaultConfig()
+	switch cores {
+	case 64:
+	case 16:
+		mc := cfg.Mesh
+		mc.Width, mc.Height = 4, 4
+		cfg.Mesh = mc
+		cfg.NCores = 16
+		cfg.MemControllerTiles = []int{0, 3, 12, 15}
+	default:
+		return Config{}, fmt.Errorf("hybridmem: cores must be 16 or 64, got %d", cores)
+	}
+	return cfg, nil
+}
+
+// Spec configures the hybridmem experiment through the raa registry.
+type Spec struct {
+	// Cores selects the machine geometry: 16 or 64.
+	Cores int `json:"cores"`
+	// Class scales the NAS problems: "test" or "bench".
+	Class string `json:"class"`
+	// Kernels selects a subset of CG EP FT IS MG SP; empty = full suite.
+	Kernels []string `json:"kernels,omitempty"`
+	// Mode is "compare" (both hierarchies, Figure-1 speedups), or a single
+	// hierarchy — "hybrid" / "cache-only" — reported with full counters.
+	Mode string `json:"mode"`
+}
+
+type experiment struct{}
+
+func init() { raa.Register(experiment{}) }
+
+func (experiment) Name() string { return "hybridmem" }
+
+func (experiment) Describe() string {
+	return "Figure 1: hybrid SPM+cache hierarchy vs cache-only on the NAS suite"
+}
+
+func (experiment) Aliases() []string { return []string{"fig1"} }
+
+func (experiment) DefaultSpec() raa.Spec {
+	return Spec{Cores: 64, Class: "bench", Mode: "compare"}
+}
+
+func (experiment) QuickSpec() raa.Spec {
+	return Spec{Cores: 16, Class: "test", Mode: "compare"}
+}
+
+func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error) {
+	s, ok := spec.(Spec)
+	if !ok {
+		return nil, fmt.Errorf("hybridmem: spec type %T, want hybridmem.Spec", spec)
+	}
+	cfg, err := ConfigForCores(s.Cores)
+	if err != nil {
+		return nil, err
+	}
+	class := nas.ClassBench
+	switch s.Class {
+	case "bench", "":
+	case "test":
+		class = nas.ClassTest
+	default:
+		return nil, fmt.Errorf("hybridmem: class must be \"test\" or \"bench\", got %q", s.Class)
+	}
+	var kernels []trace.Kernel
+	if len(s.Kernels) == 0 {
+		kernels = nas.Suite(class)
+	} else {
+		for _, name := range s.Kernels {
+			k, err := nas.ByName(name, class)
+			if err != nil {
+				return nil, err
+			}
+			kernels = append(kernels, k)
+		}
+	}
+	res := &raa.Result{
+		Experiment: e.Name(),
+		Spec:       s,
+		Metrics:    map[string]float64{},
+	}
+	switch s.Mode {
+	case "compare", "":
+		cs, err := CompareSuite(ctx, cfg, kernels)
+		if err != nil {
+			return nil, err
+		}
+		res.Tables = append(res.Tables, Table(cs))
+		for _, c := range cs {
+			p := raa.MetricKey(c.Kernel)
+			res.Metrics[p+"_time_speedup"] = c.TimeSpeedup
+			res.Metrics[p+"_energy_speedup"] = c.EnergySpeed
+			res.Metrics[p+"_traffic_speedup"] = c.TrafficSpeed
+		}
+		res.Notes = append(res.Notes,
+			"paper: AVG time +14.7%, energy +18.5%, NoC traffic +31.2%")
+	case "hybrid", "cache-only":
+		mode := Hybrid
+		if s.Mode == "cache-only" {
+			mode = CacheOnly
+		}
+		m, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t := stats.NewTable(
+			fmt.Sprintf("%s hierarchy on %d cores — detailed counters", s.Mode, cfg.NCores),
+			"kernel", "cycles", "energy-pj", "noc-flit-hops", "l1-miss%", "l2-miss%", "spm-accesses", "dram-bytes")
+		for _, k := range kernels {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := m.RunKernel(k, mode)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(r.Kernel,
+				fmt.Sprintf("%d", r.Cycles),
+				fmt.Sprintf("%.3e", r.EnergyPJ),
+				fmt.Sprintf("%d", r.NoCFlitHops),
+				fmt.Sprintf("%.1f", 100*r.L1.MissRate()),
+				fmt.Sprintf("%.1f", 100*r.L2.MissRate()),
+				fmt.Sprintf("%d", r.SPMStats.Accesses),
+				fmt.Sprintf("%d", r.DRAMStats.Bytes))
+			p := raa.MetricKey(r.Kernel)
+			res.Metrics[p+"_cycles"] = float64(r.Cycles)
+			res.Metrics[p+"_energy_pj"] = r.EnergyPJ
+			res.Metrics[p+"_noc_flit_hops"] = float64(r.NoCFlitHops)
+			res.Metrics[p+"_l1_miss_rate"] = r.L1.MissRate()
+			res.Metrics[p+"_l2_miss_rate"] = r.L2.MissRate()
+			res.Metrics[p+"_spm_accesses"] = float64(r.SPMStats.Accesses)
+			res.Metrics[p+"_dram_bytes"] = float64(r.DRAMStats.Bytes)
+			var comps []string
+			for c := range r.Breakdown {
+				comps = append(comps, c)
+			}
+			sort.Strings(comps)
+			for _, c := range comps {
+				res.Metrics[p+"_energy_pj_"+raa.MetricKey(c)] = r.Breakdown[c]
+			}
+			for outcome, n := range r.Resolutions {
+				res.Metrics[p+"_resolution_"+raa.MetricKey(outcome)] = float64(n)
+			}
+		}
+		res.Tables = append(res.Tables, t)
+	default:
+		return nil, fmt.Errorf("hybridmem: mode must be compare, hybrid or cache-only, got %q", s.Mode)
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package hybridmem
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/compilerpass"
@@ -209,7 +210,7 @@ func TestEPUnaffectedByHybrid(t *testing.T) {
 }
 
 func TestCompareSuiteShapes(t *testing.T) {
-	cs, err := CompareSuite(smallConfig(), nas.Suite(nas.ClassTest))
+	cs, err := CompareSuite(context.Background(), smallConfig(), nas.Suite(nas.ClassTest))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,99 @@
+package parsecsim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/raa"
+)
+
+// Spec configures the parsec-scalability experiment through the raa
+// registry.
+type Spec struct {
+	// Threads are the sampled thread counts.
+	Threads []int `json:"threads"`
+}
+
+type experiment struct{}
+
+func init() { raa.Register(experiment{}) }
+
+func (experiment) Name() string { return "parsec-scalability" }
+
+func (experiment) Describe() string {
+	return "Figure 5: OmpSs tasks vs original Pthreads scalability on PARSEC-class pipelines"
+}
+
+func (experiment) Aliases() []string { return []string{"fig5"} }
+
+func (experiment) DefaultSpec() raa.Spec { return Spec{Threads: DefaultThreads()} }
+
+func (experiment) QuickSpec() raa.Spec { return Spec{Threads: []int{1, 4, 16}} }
+
+func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error) {
+	s, ok := spec.(Spec)
+	if !ok {
+		return nil, fmt.Errorf("parsecsim: spec type %T, want parsecsim.Spec", spec)
+	}
+	pts, err := RunFig5(ctx, s.Threads)
+	if err != nil {
+		return nil, err
+	}
+	res := &raa.Result{
+		Experiment: e.Name(),
+		Spec:       s,
+		Metrics:    map[string]float64{},
+	}
+	res.Tables = append(res.Tables, Fig5Table(pts))
+	for _, p := range pts {
+		res.Metrics[fmt.Sprintf("%s_pthreads_speedup_%dt", p.App, p.Threads)] = p.PthreadsSpeedup
+		res.Metrics[fmt.Sprintf("%s_ompss_speedup_%dt", p.App, p.Threads)] = p.OmpSsSpeedup
+	}
+	for _, pl := range Fig5Plots(pts) {
+		res.Notes = append(res.Notes, pl.String())
+	}
+	res.Notes = append(res.Notes,
+		"paper: bodytrack and facesim reach ~12× and ~10× at 16 threads with tasks")
+	return res, nil
+}
+
+// LoCSpec configures the parsec-loc experiment; the study is documentary,
+// so there is nothing to tune.
+type LoCSpec struct{}
+
+type locExperiment struct{}
+
+func init() { raa.Register(locExperiment{}) }
+
+func (locExperiment) Name() string { return "parsec-loc" }
+
+func (locExperiment) Describe() string {
+	return "§5: lines-of-code comparison of the PARSEC Pthreads vs OmpSs ports"
+}
+
+func (locExperiment) Aliases() []string { return []string{"loc"} }
+
+func (locExperiment) DefaultSpec() raa.Spec { return LoCSpec{} }
+
+func (e locExperiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error) {
+	if _, ok := spec.(LoCSpec); !ok {
+		return nil, fmt.Errorf("parsecsim: spec type %T, want parsecsim.LoCSpec", spec)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &raa.Result{
+		Experiment: e.Name(),
+		Spec:       spec,
+		Metrics:    map[string]float64{},
+		Tables:     []*stats.Table{LoCTable()},
+	}
+	for _, r := range LoCStudy() {
+		res.Metrics[r.App+"_pthreads_loc"] = float64(r.PthreadsLines)
+		res.Metrics[r.App+"_ompss_loc"] = float64(r.OmpSsLines)
+		res.Metrics[r.App+"_pthreads_infra_loc"] = float64(r.ParallelInfraP)
+		res.Metrics[r.App+"_ompss_infra_loc"] = float64(r.ParallelInfraO)
+	}
+	return res, nil
+}

@@ -19,6 +19,7 @@
 package parsecsim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/power"
@@ -159,12 +160,16 @@ type Fig5Point struct {
 }
 
 // RunFig5 computes both scalability curves for every app over the thread
-// counts (the paper sweeps 1–16 on a 16-core machine).
-func RunFig5(threads []int) ([]Fig5Point, error) {
+// counts (the paper sweeps 1–16 on a 16-core machine). Cancellation is
+// observed between samples.
+func RunFig5(ctx context.Context, threads []int) ([]Fig5Point, error) {
 	var out []Fig5Point
 	for _, app := range Apps() {
 		serial := app.SerialTime()
 		for _, p := range threads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			om, err := app.OmpSsTime(p)
 			if err != nil {
 				return nil, fmt.Errorf("parsecsim: %s at %d threads: %w", app.Name, p, err)

@@ -1,6 +1,7 @@
 package parsecsim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -47,7 +48,7 @@ func TestOmpSsSerialMatches(t *testing.T) {
 }
 
 func TestFig5PaperShape(t *testing.T) {
-	pts, err := RunFig5([]int{1, 8, 16})
+	pts, err := RunFig5(context.Background(), []int{1, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package runtime
+
+// options is the resolved runtime configuration. It is built exclusively
+// through functional options so the zero value of every knob can stay a
+// sensible default and new knobs can be added without breaking callers.
+type options struct {
+	workers    int
+	scheduler  SchedulerKind
+	queueBound int
+}
+
+func defaultOptions() options {
+	return options{workers: 4, scheduler: WorkSteal}
+}
+
+// Option configures a Runtime at construction time.
+type Option func(*options)
+
+// WithWorkers sets the worker-pool size. Values below 1 are ignored and the
+// default of 4 is kept.
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.workers = n
+		}
+	}
+}
+
+// WithScheduler selects the scheduling policy (WorkSteal by default).
+func WithScheduler(k SchedulerKind) Option {
+	return func(o *options) { o.scheduler = k }
+}
+
+// WithQueueBound caps the number of outstanding (submitted but unfinished)
+// tasks. When the bound is reached, SubmitCtx blocks until a task completes
+// or its context is cancelled — backpressure for producers that would
+// otherwise build an unbounded graph. 0 (the default) means unbounded.
+//
+// The bound counts every unfinished task, including blocked predecessors of
+// the one being submitted, so a bound smaller than the longest dependence
+// chain the program submits can deadlock the submitting goroutine; choose a
+// bound comfortably above the graph's depth.
+func WithQueueBound(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.queueBound = n
+		}
+	}
+}

@@ -6,6 +6,14 @@
 // schedules ready tasks over a pool of workers, and exposes the graph for
 // analysis and for the simulated executor of package simexec.
 //
+// A runtime is built with functional options:
+//
+//	rt := runtime.New(runtime.WithWorkers(8), runtime.WithScheduler(runtime.CATS))
+//
+// Task bodies receive a context and may return an error; the runtime
+// captures the first failure (Err, WaitCtx) and propagates cancellation:
+// tasks whose submission context is cancelled before they start are skipped.
+//
 // Three schedulers are provided:
 //
 //	FIFO      a single central queue — the simplest baseline
@@ -17,12 +25,17 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/tdg"
 )
+
+// ErrShutdown is returned by Submit variants called after Shutdown.
+var ErrShutdown = errors.New("runtime: submit after Shutdown")
 
 // AccessMode is the dependence annotation of one task argument.
 type AccessMode int
@@ -93,16 +106,27 @@ func (k SchedulerKind) String() string {
 	}
 }
 
-// Config configures a Runtime.
-type Config struct {
-	// Workers is the pool size; 0 means 4.
-	Workers int
-	// Scheduler selects the policy.
-	Scheduler SchedulerKind
+// SchedulerByName parses a SchedulerKind from its String form.
+func SchedulerByName(name string) (SchedulerKind, error) {
+	switch name {
+	case "worksteal", "":
+		return WorkSteal, nil
+	case "fifo":
+		return FIFO, nil
+	case "cats":
+		return CATS, nil
+	default:
+		return 0, fmt.Errorf("runtime: unknown scheduler %q (have worksteal, fifo, cats)", name)
+	}
 }
 
 // TaskID identifies a submitted task.
 type TaskID int
+
+// Body is a task body: it receives the context the task was submitted with
+// and may fail. The first non-nil error across all tasks is captured and
+// reported by Err and WaitCtx.
+type Body func(ctx context.Context) error
 
 type taskState int32
 
@@ -118,7 +142,8 @@ type task struct {
 	name     string
 	cost     float64
 	priority int64 // CATS bottom-level estimate
-	fn       func()
+	fn       Body
+	ctx      context.Context
 
 	mu    sync.Mutex
 	state taskState
@@ -135,13 +160,15 @@ type Stats struct {
 	Submitted uint64
 	Executed  uint64
 	Steals    uint64
+	// Skipped counts tasks whose context was cancelled before they started.
+	Skipped uint64
 	// PerWorker counts tasks executed by each worker.
 	PerWorker []uint64
 }
 
 // Runtime is one task-pool instance.
 type Runtime struct {
-	cfg   Config
+	opts  options
 	sched scheduler
 
 	submitMu    sync.Mutex
@@ -153,35 +180,47 @@ type Runtime struct {
 	waitMu      sync.Mutex
 	waitCond    *sync.Cond
 
+	// slots is the backpressure semaphore (nil when unbounded).
+	slots chan struct{}
+
+	errMu    sync.Mutex
+	firstErr error
+
 	executed  uint64
 	steals    uint64
+	skipped   uint64
 	perWorker []uint64
 
-	shutdown int32
+	closed   int32 // Submit guard, set at Shutdown entry
+	shutdown int32 // worker stop flag, set once the pool drains
 	wg       sync.WaitGroup
 }
 
 // New creates and starts a runtime.
-func New(cfg Config) *Runtime {
-	if cfg.Workers <= 0 {
-		cfg.Workers = 4
+func New(opts ...Option) *Runtime {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
 	}
 	r := &Runtime{
-		cfg:         cfg,
+		opts:        o,
 		lastWriter:  make(map[any]*task),
 		readersTail: make(map[any][]*task),
-		perWorker:   make([]uint64, cfg.Workers),
+		perWorker:   make([]uint64, o.workers),
+	}
+	if o.queueBound > 0 {
+		r.slots = make(chan struct{}, o.queueBound)
 	}
 	r.waitCond = sync.NewCond(&r.waitMu)
-	switch cfg.Scheduler {
+	switch o.scheduler {
 	case FIFO:
 		r.sched = newFIFOScheduler()
 	case CATS:
 		r.sched = newCATSScheduler()
 	default:
-		r.sched = newStealScheduler(cfg.Workers)
+		r.sched = newStealScheduler(o.workers)
 	}
-	for w := 0; w < cfg.Workers; w++ {
+	for w := 0; w < o.workers; w++ {
 		r.wg.Add(1)
 		go r.worker(w)
 	}
@@ -189,26 +228,71 @@ func New(cfg Config) *Runtime {
 }
 
 // Workers returns the pool size.
-func (r *Runtime) Workers() int { return r.cfg.Workers }
+func (r *Runtime) Workers() int { return r.opts.workers }
 
 // Submit adds a task with the given dependences and returns its ID. cost is
 // an abstract work estimate used for criticality analysis (0 is fine); fn is
 // the task body. Submission order defines the program order used to resolve
-// WAR/WAW hazards, as in OmpSs.
-func (r *Runtime) Submit(name string, cost float64, fn func(), deps ...Dep) TaskID {
-	return r.SubmitPriority(name, cost, 0, fn, deps...)
+// WAR/WAW hazards, as in OmpSs. Submit fails with ErrShutdown after
+// Shutdown.
+func (r *Runtime) Submit(name string, cost float64, fn func(), deps ...Dep) (TaskID, error) {
+	return r.SubmitCtx(context.Background(), name, cost, wrapBody(fn), deps...)
 }
 
 // SubmitPriority is Submit with an explicit programmer priority hint (the
 // OmpSs priority clause); higher runs earlier under CATS.
-func (r *Runtime) SubmitPriority(name string, cost float64, priority int, fn func(), deps ...Dep) TaskID {
+func (r *Runtime) SubmitPriority(name string, cost float64, priority int, fn func(), deps ...Dep) (TaskID, error) {
+	return r.SubmitPriorityCtx(context.Background(), name, cost, priority, wrapBody(fn), deps...)
+}
+
+// SubmitCtx is the context-aware, error-returning submission path. The
+// context is remembered with the task: if it is cancelled before the task
+// starts, the body is skipped and the cancellation error captured; the body
+// itself receives ctx so in-flight work can observe cancellation. SubmitCtx
+// also blocks for a backpressure slot when WithQueueBound is set, aborting
+// with ctx.Err() if the context is cancelled while waiting.
+func (r *Runtime) SubmitCtx(ctx context.Context, name string, cost float64, fn Body, deps ...Dep) (TaskID, error) {
+	return r.SubmitPriorityCtx(ctx, name, cost, 0, fn, deps...)
+}
+
+// SubmitPriorityCtx is SubmitCtx with a priority hint.
+func (r *Runtime) SubmitPriorityCtx(ctx context.Context, name string, cost float64, priority int, fn Body, deps ...Dep) (TaskID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if atomic.LoadInt32(&r.closed) != 0 {
+		return 0, ErrShutdown
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if r.slots != nil {
+		select {
+		case r.slots <- struct{}{}:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+
 	r.submitMu.Lock()
+	// Authoritative guard: Shutdown sets closed under submitMu, so either
+	// this submission registers (and increments outstanding) before
+	// Shutdown's drain can observe the pool, or it sees closed here. The
+	// lock-free check above is only a fast path.
+	if atomic.LoadInt32(&r.closed) != 0 {
+		r.submitMu.Unlock()
+		if r.slots != nil {
+			<-r.slots
+		}
+		return 0, ErrShutdown
+	}
 	t := &task{
 		id:       TaskID(len(r.tasks)),
 		name:     name,
 		cost:     cost,
 		priority: int64(priority),
 		fn:       fn,
+		ctx:      ctx,
 		seq:      int64(len(r.tasks)),
 		depsLog:  append([]Dep(nil), deps...),
 	}
@@ -273,7 +357,38 @@ func (r *Runtime) SubmitPriority(name string, cost float64, priority int, fn fun
 		t.mu.Unlock()
 		r.sched.push(t, -1)
 	}
-	return t.id
+	return t.id, nil
+}
+
+// wrapBody lifts a plain func() to a Body.
+func wrapBody(fn func()) Body {
+	if fn == nil {
+		return nil
+	}
+	return func(context.Context) error {
+		fn()
+		return nil
+	}
+}
+
+// setErr captures the first task failure.
+func (r *Runtime) setErr(err error) {
+	if err == nil {
+		return
+	}
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
+}
+
+// Err returns the first error any task body returned (or the cancellation
+// error of the first skipped task), nil if everything succeeded so far.
+func (r *Runtime) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr
 }
 
 // worker is the body of one pool goroutine.
@@ -293,12 +408,20 @@ func (r *Runtime) worker(id int) {
 		t.mu.Lock()
 		t.state = stateRunning
 		t.mu.Unlock()
-		if t.fn != nil {
-			t.fn()
+		if err := t.ctx.Err(); err != nil {
+			// Cancelled before starting: skip the body, record why.
+			atomic.AddUint64(&r.skipped, 1)
+			r.setErr(err)
+		} else {
+			if t.fn != nil {
+				if err := t.fn(t.ctx); err != nil {
+					r.setErr(fmt.Errorf("task %s: %w", t.name, err))
+				}
+			}
+			atomic.AddUint64(&r.executed, 1)
+			atomic.AddUint64(&r.perWorker[id], 1)
 		}
 		r.complete(t, id)
-		atomic.AddUint64(&r.executed, 1)
-		atomic.AddUint64(&r.perWorker[id], 1)
 	}
 }
 
@@ -317,6 +440,9 @@ func (r *Runtime) complete(t *task, workerID int) {
 			r.sched.push(s, workerID)
 		}
 	}
+	if r.slots != nil {
+		<-r.slots
+	}
 	if atomic.AddInt64(&r.outstanding, -1) == 0 {
 		r.waitMu.Lock()
 		r.waitCond.Broadcast()
@@ -333,9 +459,43 @@ func (r *Runtime) Wait() {
 	r.waitMu.Unlock()
 }
 
-// Shutdown drains outstanding tasks and stops the workers. The runtime must
-// not be used afterwards.
+// WaitCtx is Wait with cancellation: it returns the first task error once
+// everything submitted has finished, or ctx.Err() as soon as the context is
+// done. Tasks already in flight keep their own submission contexts — cancel
+// those to stop the work itself.
+func (r *Runtime) WaitCtx(ctx context.Context) error {
+	if ctx.Done() != nil {
+		// Wake the condition-variable wait below when ctx fires.
+		stop := context.AfterFunc(ctx, func() {
+			r.waitMu.Lock()
+			r.waitCond.Broadcast()
+			r.waitMu.Unlock()
+		})
+		defer stop()
+	}
+	r.waitMu.Lock()
+	for atomic.LoadInt64(&r.outstanding) != 0 && ctx.Err() == nil {
+		r.waitCond.Wait()
+	}
+	r.waitMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// Shutdown drains outstanding tasks and stops the workers. Submissions
+// racing with or following Shutdown fail with ErrShutdown instead of
+// enqueuing into a stopping pool (which would hang a later Wait). The
+// runtime must not be used afterwards.
 func (r *Runtime) Shutdown() {
+	// closed is set under submitMu: a submission that already passed the
+	// guard finishes registering (incrementing outstanding) before this
+	// lock is granted, so the Wait below drains it; later submissions see
+	// closed and fail.
+	r.submitMu.Lock()
+	atomic.StoreInt32(&r.closed, 1)
+	r.submitMu.Unlock()
 	r.Wait()
 	atomic.StoreInt32(&r.shutdown, 1)
 	r.sched.wake()
@@ -344,10 +504,14 @@ func (r *Runtime) Shutdown() {
 
 // Stats returns a snapshot of execution counters.
 func (r *Runtime) Stats() Stats {
+	r.submitMu.Lock()
+	submitted := uint64(len(r.tasks))
+	r.submitMu.Unlock()
 	s := Stats{
-		Submitted: uint64(len(r.tasks)),
+		Submitted: submitted,
 		Executed:  atomic.LoadUint64(&r.executed),
 		Steals:    atomic.LoadUint64(&r.steals),
+		Skipped:   atomic.LoadUint64(&r.skipped),
 	}
 	s.PerWorker = make([]uint64, len(r.perWorker))
 	for i := range r.perWorker {

@@ -16,7 +16,7 @@ func eachScheduler(t *testing.T, f func(t *testing.T, kind SchedulerKind)) {
 
 func TestSingleTaskRuns(t *testing.T) {
 	eachScheduler(t, func(t *testing.T, kind SchedulerKind) {
-		r := New(Config{Workers: 2, Scheduler: kind})
+		r := New(WithWorkers(2), WithScheduler(kind))
 		defer r.Shutdown()
 		var ran int32
 		r.Submit("t", 1, func() { atomic.AddInt32(&ran, 1) })
@@ -29,7 +29,7 @@ func TestSingleTaskRuns(t *testing.T) {
 
 func TestRAWOrdering(t *testing.T) {
 	eachScheduler(t, func(t *testing.T, kind SchedulerKind) {
-		r := New(Config{Workers: 4, Scheduler: kind})
+		r := New(WithWorkers(4), WithScheduler(kind))
 		defer r.Shutdown()
 		x := 0
 		key := "x"
@@ -45,7 +45,7 @@ func TestRAWOrdering(t *testing.T) {
 
 func TestWARandWAWOrdering(t *testing.T) {
 	eachScheduler(t, func(t *testing.T, kind SchedulerKind) {
-		r := New(Config{Workers: 4, Scheduler: kind})
+		r := New(WithWorkers(4), WithScheduler(kind))
 		defer r.Shutdown()
 		key := "k"
 		var log []string
@@ -80,7 +80,7 @@ func TestWARandWAWOrdering(t *testing.T) {
 }
 
 func TestIndependentTasksRunInParallel(t *testing.T) {
-	r := New(Config{Workers: 4, Scheduler: WorkSteal})
+	r := New(WithWorkers(4), WithScheduler(WorkSteal))
 	defer r.Shutdown()
 	const n = 4
 	var mu sync.Mutex
@@ -111,7 +111,7 @@ func TestIndependentTasksRunInParallel(t *testing.T) {
 
 func TestInOutChainIsSerial(t *testing.T) {
 	eachScheduler(t, func(t *testing.T, kind SchedulerKind) {
-		r := New(Config{Workers: 8, Scheduler: kind})
+		r := New(WithWorkers(8), WithScheduler(kind))
 		defer r.Shutdown()
 		counter := 0 // deliberately unsynchronised: the chain must serialise
 		const n = 200
@@ -126,7 +126,7 @@ func TestInOutChainIsSerial(t *testing.T) {
 }
 
 func TestWaitThenMoreTasks(t *testing.T) {
-	r := New(Config{Workers: 2, Scheduler: WorkSteal})
+	r := New(WithWorkers(2), WithScheduler(WorkSteal))
 	defer r.Shutdown()
 	var a, b int32
 	r.Submit("a", 1, func() { atomic.StoreInt32(&a, 1) })
@@ -142,7 +142,7 @@ func TestWaitThenMoreTasks(t *testing.T) {
 }
 
 func TestStatsAndWorkDistribution(t *testing.T) {
-	r := New(Config{Workers: 4, Scheduler: WorkSteal})
+	r := New(WithWorkers(4), WithScheduler(WorkSteal))
 	const n = 400
 	var done int64
 	for i := 0; i < n; i++ {
@@ -171,7 +171,7 @@ func TestStatsAndWorkDistribution(t *testing.T) {
 
 func TestPriorityOrderUnderCATS(t *testing.T) {
 	// One worker: the CATS queue order is observable directly.
-	r := New(Config{Workers: 1, Scheduler: CATS})
+	r := New(WithWorkers(1), WithScheduler(CATS))
 	defer r.Shutdown()
 	var order []string
 	var mu sync.Mutex
@@ -201,7 +201,7 @@ func TestPriorityOrderUnderCATS(t *testing.T) {
 func TestCATSBumpsCriticalPredecessors(t *testing.T) {
 	// Submitting a high-priority successor must raise the (still pending)
 	// predecessor above unrelated tasks.
-	r := New(Config{Workers: 1, Scheduler: CATS})
+	r := New(WithWorkers(1), WithScheduler(CATS))
 	defer r.Shutdown()
 	var order []string
 	var mu sync.Mutex
@@ -234,7 +234,7 @@ func TestCATSBumpsCriticalPredecessors(t *testing.T) {
 }
 
 func TestGraphExport(t *testing.T) {
-	r := New(Config{Workers: 2, Scheduler: WorkSteal})
+	r := New(WithWorkers(2), WithScheduler(WorkSteal))
 	defer r.Shutdown()
 	r.Submit("w", 3, func() {}, Out("x"))
 	r.Submit("r1", 1, func() {}, In("x"))
@@ -301,7 +301,7 @@ func TestQuickDataflowMatchesSequential(t *testing.T) {
 		// own address: chains on different keys may run concurrently, and
 		// the dataflow ordering serialises accesses within a key.
 		var got [4]int64
-		r := New(Config{Workers: 4, Scheduler: kind})
+		r := New(WithWorkers(4), WithScheduler(kind))
 		for _, o := range ops {
 			o := o
 			k := o.Key % 4
@@ -335,7 +335,7 @@ func TestQuickGraphAcyclic(t *testing.T) {
 		if len(deps) > 150 {
 			deps = deps[:150]
 		}
-		r := New(Config{Workers: 2, Scheduler: WorkSteal})
+		r := New(WithWorkers(2), WithScheduler(WorkSteal))
 		for _, d := range deps {
 			key := d % 5
 			switch (d >> 8) % 3 {

@@ -1,12 +1,14 @@
 package simexec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/power"
 	"repro/internal/rsu"
 	"repro/internal/stats"
 	"repro/internal/tdg"
+	"repro/raa"
 )
 
 // Fig2Row is one variant's outcome in the Section-3.1 experiment, expressed
@@ -18,6 +20,23 @@ type Fig2Row struct {
 	MakespanS      float64
 	EnergyJ        float64
 	ReconOverheadS float64
+}
+
+// Variant names of the Section-3.1 study, in RunFig2's row order.
+const (
+	VariantStatic   = "static"
+	VariantSoftware = "cats+software-dvfs"
+	VariantRSU      = "cats+rsu"
+)
+
+// VariantRow finds a variant's row by name (zero Fig2Row if absent).
+func VariantRow(rows []Fig2Row, variant string) Fig2Row {
+	for _, r := range rows {
+		if r.Variant == variant {
+			return r
+		}
+	}
+	return Fig2Row{}
 }
 
 // Fig2Config parameterises the experiment.
@@ -54,10 +73,13 @@ type Fig2SweepRow struct {
 
 // RunFig2Sweep runs the experiment across problem sizes; the paper's
 // headline numbers are the maxima over the sweep ("improvements ... that
-// reach 6.6% and 20.0%").
-func RunFig2Sweep(cores int) ([]Fig2SweepRow, error) {
+// reach 6.6% and 20.0%"). Cancellation is observed between sizes.
+func RunFig2Sweep(ctx context.Context, cores int) ([]Fig2SweepRow, error) {
 	var out []Fig2SweepRow
 	for _, b := range Fig2SweepBlocks() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := Fig2Config{Cores: cores, Blocks: b, UnitCostCycles: 2e6, CritSlack: 0.12}
 		rows, err := RunFig2(cfg)
 		if err != nil {
@@ -75,7 +97,7 @@ func Fig2SweepTable(sweep []Fig2SweepRow) *stats.Table {
 		"blocks", "speedup", "edp-improvement", "sw-speedup", "sw-edp")
 	var maxSp, maxEDP float64
 	for _, s := range sweep {
-		rsuRow, swRow := s.Rows[2], s.Rows[1]
+		rsuRow, swRow := VariantRow(s.Rows, VariantRSU), VariantRow(s.Rows, VariantSoftware)
 		if rsuRow.Speedup > maxSp {
 			maxSp = rsuRow.Speedup
 		}
@@ -117,11 +139,11 @@ func RunFig2(cfg Fig2Config) ([]Fig2Row, error) {
 		name  string
 		recon rsu.Reconfigurator
 	}{
-		{"cats+software-dvfs", rsu.NewSoftwareDVFS(cfg.Cores, table, model, budget)},
-		{"cats+rsu", rsu.NewRSU(cfg.Cores, table, model, budget)},
+		{VariantSoftware, rsu.NewSoftwareDVFS(cfg.Cores, table, model, budget)},
+		{VariantRSU, rsu.NewRSU(cfg.Cores, table, model, budget)},
 	}
 	rows := []Fig2Row{{
-		Variant: "static", Speedup: 1, EDPImprovement: 1,
+		Variant: VariantStatic, Speedup: 1, EDPImprovement: 1,
 		MakespanS: static.MakespanS, EnergyJ: static.EnergyJ,
 	}}
 	for _, v := range variants {
@@ -173,20 +195,24 @@ type RSUScalingRow struct {
 // RunRSUScaling sweeps core counts to show the software reconfiguration
 // cost growing with the machine while the RSU's stays flat — the motivation
 // for the hardware unit in Figure 2.
-func RunRSUScaling(coreCounts []int, blocks int, unitCost float64) ([]RSUScalingRow, error) {
+func RunRSUScaling(ctx context.Context, coreCounts []int, blocks int, unitCost float64) ([]RSUScalingRow, error) {
 	var rows []RSUScalingRow
 	for _, cores := range coreCounts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := Fig2Config{Cores: cores, Blocks: blocks, UnitCostCycles: unitCost, CritSlack: 0.12, LowFrac: 0.45}
 		res, err := RunFig2(cfg)
 		if err != nil {
 			return nil, err
 		}
+		sw, hw := VariantRow(res, VariantSoftware), VariantRow(res, VariantRSU)
 		rows = append(rows, RSUScalingRow{
 			Cores:            cores,
-			SoftwareSpeedup:  res[1].Speedup,
-			RSUSpeedup:       res[2].Speedup,
-			SoftwareOverhead: res[1].ReconOverheadS,
-			RSUOverhead:      res[2].ReconOverheadS,
+			SoftwareSpeedup:  sw.Speedup,
+			RSUSpeedup:       hw.Speedup,
+			SoftwareOverhead: sw.ReconOverheadS,
+			RSUOverhead:      hw.ReconOverheadS,
 		})
 	}
 	return rows, nil
@@ -205,4 +231,160 @@ func RSUScalingTable(rows []RSUScalingRow) *stats.Table {
 			fmt.Sprintf("%.6f", r.RSUOverhead))
 	}
 	return t
+}
+
+// Spec configures the criticality-dvfs experiment through the raa registry.
+type Spec struct {
+	// Cores is the machine width (the paper evaluates 32).
+	Cores int `json:"cores"`
+	// Blocks is the Cholesky tiling dimension.
+	Blocks int `json:"blocks"`
+	// UnitCostCycles scales task weights (potrf = 1 unit).
+	UnitCostCycles float64 `json:"unit_cost_cycles"`
+	// CritSlack widens the critical set for the criticality policy.
+	CritSlack float64 `json:"crit_slack"`
+	// LowFrac is the deep-slack threshold.
+	LowFrac float64 `json:"low_frac"`
+	// Sweep additionally runs the problem-size sweep whose maxima are the
+	// paper's headline numbers.
+	Sweep bool `json:"sweep"`
+}
+
+type experiment struct{}
+
+func init() { raa.Register(experiment{}) }
+
+func (experiment) Name() string { return "criticality-dvfs" }
+
+func (experiment) Describe() string {
+	return "Figure 2 / §3.1: criticality-aware DVFS, RSU vs software, on a Cholesky TDG"
+}
+
+func (experiment) Aliases() []string { return []string{"fig2"} }
+
+func (experiment) DefaultSpec() raa.Spec {
+	d := DefaultFig2Config()
+	return Spec{Cores: d.Cores, Blocks: d.Blocks, UnitCostCycles: d.UnitCostCycles,
+		CritSlack: d.CritSlack, LowFrac: d.LowFrac, Sweep: true}
+}
+
+func (experiment) QuickSpec() raa.Spec {
+	d := DefaultFig2Config()
+	return Spec{Cores: d.Cores, Blocks: 10, UnitCostCycles: d.UnitCostCycles,
+		CritSlack: d.CritSlack, LowFrac: d.LowFrac}
+}
+
+func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error) {
+	s, ok := spec.(Spec)
+	if !ok {
+		return nil, fmt.Errorf("simexec: spec type %T, want simexec.Spec", spec)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := Fig2Config{Cores: s.Cores, Blocks: s.Blocks, UnitCostCycles: s.UnitCostCycles,
+		CritSlack: s.CritSlack, LowFrac: s.LowFrac}
+	rows, err := RunFig2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &raa.Result{
+		Experiment: e.Name(),
+		Spec:       s,
+		Metrics:    map[string]float64{},
+		Tables:     []*stats.Table{Fig2Table(rows)},
+	}
+	for _, r := range rows {
+		switch r.Variant {
+		case VariantSoftware:
+			res.Metrics["software_speedup"] = r.Speedup
+			res.Metrics["software_edp_improvement"] = r.EDPImprovement
+		case VariantRSU:
+			res.Metrics["rsu_speedup"] = r.Speedup
+			res.Metrics["rsu_edp_improvement"] = r.EDPImprovement
+			res.Metrics["rsu_recon_overhead_s"] = r.ReconOverheadS
+		case VariantStatic:
+			res.Metrics["static_makespan_s"] = r.MakespanS
+			res.Metrics["static_energy_j"] = r.EnergyJ
+		}
+	}
+	if s.Sweep {
+		sweep, err := RunFig2Sweep(ctx, s.Cores)
+		if err != nil {
+			return nil, err
+		}
+		res.Tables = append(res.Tables, Fig2SweepTable(sweep))
+		var maxSp, maxEDP float64
+		for _, row := range sweep {
+			r := VariantRow(row.Rows, VariantRSU)
+			if r.Speedup > maxSp {
+				maxSp = r.Speedup
+			}
+			if r.EDPImprovement > maxEDP {
+				maxEDP = r.EDPImprovement
+			}
+		}
+		res.Metrics["sweep_max_rsu_speedup"] = maxSp
+		res.Metrics["sweep_max_rsu_edp_improvement"] = maxEDP
+	}
+	res.Notes = append(res.Notes,
+		"paper: improvements over static reach 6.6% (perf) and 20.0% (EDP)")
+	return res, nil
+}
+
+// ScalingSpec configures the rsu-scaling experiment.
+type ScalingSpec struct {
+	// Cores are the machine sizes swept.
+	Cores []int `json:"cores"`
+	// Blocks is the Cholesky tiling dimension.
+	Blocks int `json:"blocks"`
+	// UnitCostCycles scales task weights.
+	UnitCostCycles float64 `json:"unit_cost_cycles"`
+}
+
+type scalingExperiment struct{}
+
+func init() { raa.Register(scalingExperiment{}) }
+
+func (scalingExperiment) Name() string { return "rsu-scaling" }
+
+func (scalingExperiment) Describe() string {
+	return "§3.1: RSU vs software reconfiguration overhead across machine sizes"
+}
+
+func (scalingExperiment) Aliases() []string { return []string{"rsu"} }
+
+func (scalingExperiment) DefaultSpec() raa.Spec {
+	return ScalingSpec{Cores: []int{16, 32, 64, 128}, Blocks: 16, UnitCostCycles: 2e6}
+}
+
+func (scalingExperiment) QuickSpec() raa.Spec {
+	return ScalingSpec{Cores: []int{16, 32}, Blocks: 10, UnitCostCycles: 2e6}
+}
+
+func (e scalingExperiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error) {
+	s, ok := spec.(ScalingSpec)
+	if !ok {
+		return nil, fmt.Errorf("simexec: spec type %T, want simexec.ScalingSpec", spec)
+	}
+	rows, err := RunRSUScaling(ctx, s.Cores, s.Blocks, s.UnitCostCycles)
+	if err != nil {
+		return nil, err
+	}
+	res := &raa.Result{
+		Experiment: e.Name(),
+		Spec:       s,
+		Metrics:    map[string]float64{},
+		Tables:     []*stats.Table{RSUScalingTable(rows)},
+	}
+	for _, r := range rows {
+		p := fmt.Sprintf("cores_%d", r.Cores)
+		res.Metrics[p+"_software_overhead_s"] = r.SoftwareOverhead
+		res.Metrics[p+"_rsu_overhead_s"] = r.RSUOverhead
+		res.Metrics[p+"_software_speedup"] = r.SoftwareSpeedup
+		res.Metrics[p+"_rsu_speedup"] = r.RSUSpeedup
+	}
+	res.Notes = append(res.Notes,
+		"software reconfiguration cost grows with the machine; the RSU's stays flat")
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package simexec
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -140,7 +141,7 @@ func TestFig2PaperShape(t *testing.T) {
 }
 
 func TestFig2SweepReachesPaperEDP(t *testing.T) {
-	sweep, err := RunFig2Sweep(32)
+	sweep, err := RunFig2Sweep(context.Background(), 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestFig2SweepReachesPaperEDP(t *testing.T) {
 }
 
 func TestRSUScalingShape(t *testing.T) {
-	rows, err := RunRSUScaling([]int{16, 64}, 12, 2e6)
+	rows, err := RunRSUScaling(context.Background(), []int{16, 64}, 12, 2e6)
 	if err != nil {
 		t.Fatal(err)
 	}

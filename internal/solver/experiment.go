@@ -1,11 +1,13 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
 	"repro/internal/sparse"
 	"repro/internal/stats"
+	"repro/raa"
 )
 
 // Fig4Config parameterises the Figure-4 experiment.
@@ -40,13 +42,17 @@ type Fig4Result struct {
 }
 
 // RunFig4 executes the five schemes on the same problem with the same DUE.
-func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+// Cancellation is observed between schemes.
+func RunFig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 	a := sparse.Laplacian2D(cfg.Grid, cfg.Grid)
 	x := sparse.Ones(a.N)
 	b := make([]float64, a.N)
 	a.MulVec(b, x) // known solution: all ones
 
 	// Calibrate the fault time against the ideal run.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	idealCfg := cfg.Solver
 	idealCfg.Scheme = Ideal
 	ideal, err := Solve(a, b, idealCfg)
@@ -58,6 +64,9 @@ func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
 	out := &Fig4Result{IdealTimeS: ideal.TimeS}
 	out.Results = append(out.Results, ideal)
 	for _, sch := range []Scheme{Checkpoint, LossyRestart, FEIR, AFEIR} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := cfg.Solver
 		c.Scheme = sch
 		c.Injector = fault.NewInjector(faultAt, 0.25, cfg.BlockFrac)
@@ -94,4 +103,85 @@ func (fr *Fig4Result) Plot() *stats.Plot {
 		p.AddSeries(&fr.Results[i].Trace)
 	}
 	return p
+}
+
+// Spec configures the resilient-cg experiment through the raa registry.
+type Spec struct {
+	// Grid is the Laplacian size (Grid×Grid), the thermal2 stand-in.
+	Grid int `json:"grid"`
+	// FaultFrac places the DUE at this fraction of the ideal solve time.
+	FaultFrac float64 `json:"fault_frac"`
+	// BlockFrac is the share of x destroyed by the DUE.
+	BlockFrac float64 `json:"block_frac"`
+	// Tol is the relative-residual convergence target.
+	Tol float64 `json:"tol"`
+	// MaxIters bounds the iteration count.
+	MaxIters int `json:"max_iters"`
+	// TraceStride records one residual sample every this many iterations.
+	TraceStride int `json:"trace_stride"`
+}
+
+type experiment struct{}
+
+func init() { raa.Register(experiment{}) }
+
+func (experiment) Name() string { return "resilient-cg" }
+
+func (experiment) Describe() string {
+	return "Figure 4: CG convergence under one DUE for five recovery schemes"
+}
+
+func (experiment) Aliases() []string { return []string{"fig4"} }
+
+func (experiment) DefaultSpec() raa.Spec {
+	d := DefaultFig4Config()
+	return Spec{Grid: d.Grid, FaultFrac: d.FaultFrac, BlockFrac: d.BlockFrac,
+		Tol: d.Solver.Tol, MaxIters: d.Solver.MaxIters, TraceStride: d.Solver.TraceStride}
+}
+
+func (e experiment) QuickSpec() raa.Spec {
+	s := e.DefaultSpec().(Spec)
+	s.Grid = 64
+	return s
+}
+
+func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error) {
+	s, ok := spec.(Spec)
+	if !ok {
+		return nil, fmt.Errorf("solver: spec type %T, want solver.Spec", spec)
+	}
+	cfg := DefaultFig4Config()
+	cfg.Grid = s.Grid
+	cfg.FaultFrac = s.FaultFrac
+	cfg.BlockFrac = s.BlockFrac
+	cfg.Solver.Tol = s.Tol
+	cfg.Solver.MaxIters = s.MaxIters
+	cfg.Solver.TraceStride = s.TraceStride
+	fr, err := RunFig4(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &raa.Result{
+		Experiment: e.Name(),
+		Spec:       s,
+		Metrics:    map[string]float64{"ideal_time_s": fr.IdealTimeS},
+		Tables:     []*stats.Table{fr.Table()},
+		Notes: []string{
+			fr.Plot().String(),
+			"paper: FEIR close to ideal; AFEIR smaller still; ckpt pays rollback; restart pays convergence",
+		},
+	}
+	for _, r := range fr.Results {
+		p := raa.MetricKey(r.Scheme.String())
+		res.Metrics[p+"_time_s"] = r.TimeS
+		res.Metrics[p+"_overhead_s"] = r.TimeS - fr.IdealTimeS
+		res.Metrics[p+"_recovery_s"] = r.RecoveryS
+		res.Metrics[p+"_iters"] = float64(r.Iters)
+		if r.Converged {
+			res.Metrics[p+"_converged"] = 1
+		} else {
+			res.Metrics[p+"_converged"] = 0
+		}
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -153,7 +154,7 @@ func TestFig4PaperShape(t *testing.T) {
 	cfg := DefaultFig4Config()
 	cfg.Grid = 48 // fast test scale
 	cfg.Solver.TraceStride = 10
-	fr, err := RunFig4(cfg)
+	fr, err := RunFig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,9 +8,9 @@ import (
 // Table is a simple column-aligned text table used to print paper-style
 // result tables. Cells are strings; numeric helpers format consistently.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable creates a table with the given title and column headers.

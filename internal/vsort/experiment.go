@@ -1,11 +1,13 @@
 package vsort
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/stats"
 	"repro/internal/vector"
+	"repro/raa"
 )
 
 // Fig3Point is one bar of the paper's Figure 3: an algorithm's speedup over
@@ -17,6 +19,8 @@ type Fig3Point struct {
 	Speedup float64
 	// CPT is cycles per tuple, the paper's secondary metric.
 	CPT float64
+	// Cycles is the raw simulated cycle count of the run.
+	Cycles float64
 }
 
 // Fig3Config parameterises the experiment.
@@ -28,6 +32,8 @@ type Fig3Config struct {
 	Lanes []int
 	// Seed makes the key stream reproducible.
 	Seed int64
+	// Algos restricts the sweep to the named algorithms; empty = all.
+	Algos []string
 }
 
 // DefaultFig3Config matches the paper's sweep: MVL 8–64, lanes 1/2/4.
@@ -59,16 +65,36 @@ func ScalarCycles(keys []uint32) float64 {
 	return m.Cycles()
 }
 
-// RunFig3 sweeps every algorithm over the MVL × lanes grid and returns the
-// speedups over the scalar baseline.
-func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
+// RunFig3 sweeps the selected algorithms over the MVL × lanes grid and
+// returns the speedups over the scalar baseline. Cancellation is observed
+// between algorithms.
+func RunFig3(ctx context.Context, cfg Fig3Config) ([]Fig3Point, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("vsort: non-positive N")
+	}
+	algos := All()
+	if len(cfg.Algos) > 0 {
+		algos = algos[:0]
+		for _, name := range cfg.Algos {
+			a, err := ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			algos = append(algos, a)
+		}
+	}
+	// The scalar baseline is the most expensive single simulation: honour
+	// cancellation before starting it, like every other experiment.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	keys := RandomKeys(cfg.N, cfg.Seed)
 	scalar := ScalarCycles(keys)
 	var out []Fig3Point
-	for _, algo := range All() {
+	for _, algo := range algos {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, mvl := range cfg.MVLs {
 			for _, lanes := range cfg.Lanes {
 				if lanes > mvl {
@@ -77,6 +103,9 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 				mcfg := vector.DefaultConfig()
 				mcfg.MVL = mvl
 				mcfg.Lanes = lanes
+				if err := mcfg.Validate(); err != nil {
+					return nil, err
+				}
 				m := vector.New(mcfg)
 				cp := append([]uint32(nil), keys...)
 				algo.Sort(m, cp)
@@ -89,9 +118,13 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 					Lanes:   lanes,
 					Speedup: scalar / m.Cycles(),
 					CPT:     m.Cycles() / float64(cfg.N),
+					Cycles:  m.Cycles(),
 				})
 			}
 		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vsort: no valid (MVL, lanes) combination in MVLs=%v Lanes=%v (lanes must not exceed MVL)", cfg.MVLs, cfg.Lanes)
 	}
 	return out, nil
 }
@@ -180,4 +213,80 @@ func Summarize(points []Fig3Point, maxLanes int) Summary {
 	}
 	s.VSRvsNextBest = stats.Mean(ratios)
 	return s
+}
+
+// Spec configures the vsort experiment through the raa registry.
+type Spec struct {
+	// N is the number of keys sorted.
+	N int `json:"n"`
+	// MVLs and Lanes are the sweep axes.
+	MVLs  []int `json:"mvls"`
+	Lanes []int `json:"lanes"`
+	// Seed makes the key stream reproducible.
+	Seed int64 `json:"seed"`
+	// Algos restricts the sweep; empty = every algorithm.
+	Algos []string `json:"algos,omitempty"`
+}
+
+type experiment struct{}
+
+func init() { raa.Register(experiment{}) }
+
+func (experiment) Name() string { return "vsort" }
+
+func (experiment) Describe() string {
+	return "Figure 3: VSR sort vs vectorised sorts vs scalar baseline across MVL and lanes"
+}
+
+func (experiment) Aliases() []string { return []string{"fig3"} }
+
+func (experiment) DefaultSpec() raa.Spec {
+	d := DefaultFig3Config()
+	return Spec{N: d.N, MVLs: d.MVLs, Lanes: d.Lanes, Seed: d.Seed}
+}
+
+func (experiment) QuickSpec() raa.Spec {
+	d := DefaultFig3Config()
+	return Spec{N: 1 << 14, MVLs: d.MVLs, Lanes: d.Lanes, Seed: d.Seed}
+}
+
+func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error) {
+	s, ok := spec.(Spec)
+	if !ok {
+		return nil, fmt.Errorf("vsort: spec type %T, want vsort.Spec", spec)
+	}
+	cfg := Fig3Config{N: s.N, MVLs: s.MVLs, Lanes: s.Lanes, Seed: s.Seed, Algos: s.Algos}
+	pts, err := RunFig3(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &raa.Result{
+		Experiment: e.Name(),
+		Spec:       s,
+		Metrics:    map[string]float64{},
+		Tables:     []*stats.Table{Fig3Table(pts, cfg.Lanes)},
+	}
+	for _, p := range pts {
+		key := fmt.Sprintf("%s_mvl%d_lanes%d", raa.MetricKey(p.Algo), p.MVL, p.Lanes)
+		res.Metrics[key+"_speedup"] = p.Speedup
+		res.Metrics[key+"_cpt"] = p.CPT
+		res.Metrics[key+"_cycles"] = p.Cycles
+	}
+	// The VSR-vs-rest summary only means something for the full sweep.
+	if len(cfg.Lanes) > 0 && len(cfg.Algos) == 0 {
+		maxLanes := cfg.Lanes[0]
+		for _, l := range cfg.Lanes[1:] {
+			if l > maxLanes {
+				maxLanes = l
+			}
+		}
+		sum := Summarize(pts, maxLanes)
+		res.Metrics["vsr_best_1lane_speedup"] = sum.VSRBest1Lane
+		res.Metrics[fmt.Sprintf("vsr_best_%dlane_speedup", maxLanes)] = sum.VSRBestMaxLane
+		res.Metrics["vsr_vs_next_best"] = sum.VSRvsNextBest
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"VSR best 1-lane %.1f× (paper 7.9–11.7×), best %d-lane %.1f× (paper 14.9–20.6×), vs next best %.2f× (paper 3.4×)",
+			sum.VSRBest1Lane, maxLanes, sum.VSRBestMaxLane, sum.VSRvsNextBest))
+	}
+	return res, nil
 }

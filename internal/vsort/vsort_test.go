@@ -1,6 +1,7 @@
 package vsort
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -143,7 +144,7 @@ func TestVSRCPTConstantInN(t *testing.T) {
 func TestFig3PaperShape(t *testing.T) {
 	cfg := DefaultFig3Config()
 	cfg.N = 1 << 14 // fast test scale
-	pts, err := RunFig3(cfg)
+	pts, err := RunFig3(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

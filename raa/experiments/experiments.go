@@ -1,0 +1,14 @@
+// Package experiments links the full experiment suite into a binary: blank-
+// importing it registers every study of the paper's evaluation with the raa
+// registry (each study package self-registers from its init).
+//
+//	import _ "repro/raa/experiments"
+package experiments
+
+import (
+	_ "repro/internal/hybridmem" // hybridmem (fig1)
+	_ "repro/internal/parsecsim" // parsec-scalability (fig5), parsec-loc (loc)
+	_ "repro/internal/simexec"   // criticality-dvfs (fig2), rsu-scaling (rsu)
+	_ "repro/internal/solver"    // resilient-cg (fig4)
+	_ "repro/internal/vsort"     // vsort (fig3)
+)

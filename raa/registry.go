@@ -1,0 +1,109 @@
+package raa
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry is the process-global experiment table. Experiments register
+// from their package inits; lookups are concurrency-safe.
+var registry = struct {
+	mu      sync.RWMutex
+	byName  map[string]Experiment
+	byAlias map[string]string // alias -> canonical name
+	order   []string          // registration order, for presentation
+}{
+	byName:  make(map[string]Experiment),
+	byAlias: make(map[string]string),
+}
+
+// Register adds an experiment under its Name (and any Aliases). Registering
+// a duplicate canonical name or alias panics: that is always a programming
+// error, caught at init time.
+func Register(e Experiment) {
+	name := e.Name()
+	if name == "" {
+		panic("raa: Register with empty name")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.byName[name]; dup {
+		panic(fmt.Sprintf("raa: duplicate experiment %q", name))
+	}
+	registry.byName[name] = e
+	registry.order = append(registry.order, name)
+	if a, ok := e.(Aliaser); ok {
+		for _, alias := range a.Aliases() {
+			if _, dup := registry.byAlias[alias]; dup {
+				panic(fmt.Sprintf("raa: duplicate alias %q", alias))
+			}
+			if _, dup := registry.byName[alias]; dup {
+				panic(fmt.Sprintf("raa: alias %q shadows an experiment", alias))
+			}
+			registry.byAlias[alias] = name
+		}
+	}
+}
+
+// Get resolves an experiment by canonical name or alias.
+func Get(name string) (Experiment, error) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	if canon, ok := registry.byAlias[name]; ok {
+		name = canon
+	}
+	if e, ok := registry.byName[name]; ok {
+		return e, nil
+	}
+	names := append([]string(nil), registry.order...)
+	sort.Strings(names)
+	return nil, fmt.Errorf("raa: unknown experiment %q (have %v)", name, names)
+}
+
+// Names lists canonical experiment names in registration order.
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// All returns every registered experiment in registration order.
+func All() []Experiment {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Experiment, 0, len(registry.order))
+	for _, n := range registry.order {
+		out = append(out, registry.byName[n])
+	}
+	return out
+}
+
+// Run is the one-call entry point: resolve name, overlay the JSON spec
+// overrides on the experiment's defaults, and execute under ctx. A nil
+// specJSON runs the defaults untouched.
+func Run(ctx context.Context, name string, specJSON []byte) (*Result, error) {
+	return run(ctx, name, false, specJSON)
+}
+
+// RunQuick is Run starting from the experiment's reduced-scale spec.
+func RunQuick(ctx context.Context, name string, specJSON []byte) (*Result, error) {
+	return run(ctx, name, true, specJSON)
+}
+
+func run(ctx context.Context, name string, quick bool, specJSON []byte) (*Result, error) {
+	e, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := SpecFor(e, quick, specJSON)
+	if err != nil {
+		return nil, fmt.Errorf("raa: %s: %w", e.Name(), err)
+	}
+	res, err := e.Run(ctx, spec)
+	if err != nil {
+		return nil, fmt.Errorf("raa: %s: %w", e.Name(), err)
+	}
+	return res, nil
+}
