@@ -8,6 +8,8 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cache"
@@ -87,6 +89,69 @@ func BenchmarkWorkStealingFanOut(b *testing.B) {
 		rt.Submit("t", 1, func() {})
 	}
 	rt.Wait()
+}
+
+// BenchmarkSubmitMultiProducer measures the contended submit path: every
+// benchmark goroutine drives its own inout chain (distinct keys), so with
+// one tracker shard all producers serialise on the renamer lock and with
+// many shards they proceed in parallel. This is the headline number for
+// the sharded dependence tracker.
+func BenchmarkSubmitMultiProducer(b *testing.B) {
+	for _, shards := range []int{1, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rt := runtime.New(runtime.WithWorkers(4), runtime.WithShards(shards))
+			defer rt.Shutdown()
+			var next int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				key := fmt.Sprintf("chain-%d", atomic.AddInt64(&next, 1))
+				for pb.Next() {
+					rt.Submit("t", 1, func() {}, runtime.InOut(key))
+				}
+			})
+			rt.Wait()
+		})
+	}
+}
+
+// BenchmarkSubmitBatch measures batched vs per-task submission of
+// dependence-free tasks (batch size 64).
+func BenchmarkSubmitBatch(b *testing.B) {
+	const batch = 64
+	b.Run("single", func(b *testing.B) {
+		rt := runtime.New(runtime.WithWorkers(4))
+		defer rt.Shutdown()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Submit("t", 1, func() {})
+		}
+		rt.Wait()
+	})
+	b.Run("batch", func(b *testing.B) {
+		rt := runtime.New(runtime.WithWorkers(4))
+		defer rt.Shutdown()
+		specs := make([]runtime.TaskSpec, batch)
+		for i := range specs {
+			specs[i] = runtime.TaskSpec{Name: "t", Cost: 1, Fn: func() {}}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			n := batch
+			if b.N-i < n {
+				n = b.N - i
+			}
+			if _, err := rt.SubmitBatch(specs[:n]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rt.Wait()
+	})
+}
+
+// BenchmarkThroughputExperiment runs the registry throughput experiment at
+// quick scale (the figure-style harness over the same machinery).
+func BenchmarkThroughputExperiment(b *testing.B) {
+	benchRun(b, "throughput", `{"tasks": 2000, "shards": [1, 8]}`)
 }
 
 // BenchmarkCacheAccess measures the L1 model's hit path.

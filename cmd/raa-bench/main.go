@@ -12,6 +12,8 @@
 //	raa-bench -experiment resilient-cg -quick   # reduced problem scale
 //	raa-bench -experiment hybridmem -json       # machine-readable result
 //	raa-bench -experiment vsort -spec '{"n": 65536}'
+//	raa-bench -experiment throughput \
+//	    -spec '{"shards": [1, 16, 64], "tasks": 100000}'  # submit-path scaling
 //
 // Interrupting with ^C cancels the run cleanly: in-flight experiments stop
 // at the next unit boundary and the command exits with the context error.

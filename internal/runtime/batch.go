@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// TaskSpec describes one task of a batch submission. Exactly one of Body
+// and Fn should be set (Body wins when both are); a nil body is a no-op
+// task that still participates in dependence ordering.
+type TaskSpec struct {
+	Name string
+	// Cost is the abstract work estimate used for criticality analysis.
+	Cost float64
+	// Priority is the programmer priority hint (the OmpSs priority
+	// clause); higher runs earlier under CATS.
+	Priority int
+	// Body is the context-aware, error-returning task body.
+	Body Body
+	// Fn is the plain-function convenience form of Body.
+	Fn func()
+	// Deps are the task's dependence annotations.
+	Deps []Dep
+}
+
+// SubmitBatch submits a slice of tasks in one registration pass and
+// returns their IDs in spec order. See SubmitBatchCtx.
+func (r *Runtime) SubmitBatch(specs []TaskSpec) ([]TaskID, error) {
+	return r.SubmitBatchCtx(context.Background(), specs)
+}
+
+// SubmitBatchCtx is the batched submission path: the whole slice is
+// registered under one acquisition of the dependence-tracker shards it
+// touches, and the tasks that come out ready are pushed to the scheduler
+// with a single wakeup — amortising lock traffic that per-task Submit
+// pays N times. Specs are registered in slice order, so a later spec may
+// depend on an earlier one through shared keys exactly as if the tasks
+// had been submitted one by one.
+//
+// The batch is atomic with respect to Shutdown: either every task is
+// accepted (and will execute) or none is and ErrShutdown is returned.
+// ctx plays the same role as in SubmitCtx, for every task of the batch.
+// Under WithQueueBound the batch blocks until len(specs) slots are free;
+// a batch larger than the bound can never proceed and is rejected
+// outright.
+func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if atomic.LoadInt32(&r.closed) != 0 {
+		return nil, ErrShutdown
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if r.slots != nil {
+		if len(specs) > cap(r.slots) {
+			return nil, fmt.Errorf("runtime: batch of %d exceeds queue bound %d", len(specs), cap(r.slots))
+		}
+		// slotMu makes the multi-slot acquisition effectively atomic:
+		// without it, two concurrent batches could each hold part of the
+		// bound while waiting for slots only the other's completion would
+		// free — hold-and-wait with nothing registered, a deadlock.
+		// Slots held by already-registered tasks drain independently
+		// (workers never take slotMu), so the holder always makes
+		// progress.
+		r.slotMu.Lock()
+		for i := 0; i < len(specs); i++ {
+			select {
+			case r.slots <- struct{}{}:
+			case <-ctx.Done():
+				r.slotMu.Unlock()
+				r.releaseSlots(i)
+				return nil, ctx.Err()
+			}
+		}
+		r.slotMu.Unlock()
+	}
+
+	r.gate.RLock()
+	if atomic.LoadInt32(&r.closed) != 0 {
+		r.gate.RUnlock()
+		if r.slots != nil {
+			r.releaseSlots(len(specs))
+		}
+		return nil, ErrShutdown
+	}
+	tasks := make([]*task, len(specs))
+	ids := make([]TaskID, len(specs))
+	var mask uint64
+	logIdx := make([]int, len(specs))
+	for i, sp := range specs {
+		body := sp.Body
+		if body == nil {
+			body = wrapBody(sp.Fn)
+		}
+		t := r.newTask(ctx, sp.Name, sp.Cost, sp.Priority, body, sp.Deps)
+		tasks[i] = t
+		ids[i] = t.id
+		m, l := r.shardPlan(t)
+		mask |= m
+		logIdx[i] = l
+	}
+	// One lock pass over the union of every task's shards; registration
+	// stays in spec order underneath it, which is what makes intra-batch
+	// dependences work.
+	r.lockShards(mask)
+	for i, t := range tasks {
+		r.linkPreds(t, r.trackDeps(t, logIdx[i]))
+	}
+	r.unlockShards(mask)
+	r.gate.RUnlock()
+
+	ready := make([]*task, 0, len(tasks))
+	for _, t := range tasks {
+		if atomic.AddInt32(&t.npreds, -1) == 0 {
+			t.mu.Lock()
+			t.state = stateReady
+			t.mu.Unlock()
+			ready = append(ready, t)
+		}
+	}
+	if len(ready) > 0 {
+		r.sched.pushBatch(ready, -1)
+	}
+	return ids, nil
+}
+
+// releaseSlots returns n backpressure slots.
+func (r *Runtime) releaseSlots(n int) {
+	for i := 0; i < n; i++ {
+		<-r.slots
+	}
+}

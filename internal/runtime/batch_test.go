@@ -1,0 +1,236 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitBatchRunsEverything(t *testing.T) {
+	eachScheduler(t, func(t *testing.T, kind SchedulerKind) {
+		r := New(WithWorkers(4), WithScheduler(kind))
+		defer r.Shutdown()
+		const n = 100
+		var ran int64
+		specs := make([]TaskSpec, n)
+		for i := range specs {
+			specs[i] = TaskSpec{Name: "t", Cost: 1, Fn: func() { atomic.AddInt64(&ran, 1) }}
+		}
+		ids, err := r.SubmitBatch(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != n {
+			t.Fatalf("got %d ids, want %d", len(ids), n)
+		}
+		r.Wait()
+		if ran != n {
+			t.Fatalf("ran %d of %d batch tasks", ran, n)
+		}
+	})
+}
+
+// Dependences between specs of one batch must behave exactly as if the
+// tasks had been submitted one by one, in slice order.
+func TestSubmitBatchIntraBatchDeps(t *testing.T) {
+	eachScheduler(t, func(t *testing.T, kind SchedulerKind) {
+		r := New(WithWorkers(8), WithScheduler(kind))
+		defer r.Shutdown()
+		counter := 0 // unsynchronised on purpose: the chain must serialise
+		const n = 150
+		specs := make([]TaskSpec, n)
+		for i := range specs {
+			specs[i] = TaskSpec{Name: "inc", Cost: 1, Fn: func() { counter++ }, Deps: []Dep{InOut("c")}}
+		}
+		if _, err := r.SubmitBatch(specs); err != nil {
+			t.Fatal(err)
+		}
+		r.Wait()
+		if counter != n {
+			t.Fatalf("intra-batch inout chain raced: counter = %d, want %d", counter, n)
+		}
+	})
+}
+
+// A batch chained across keys: writer then readers then writer, all in one
+// slice, must respect RAW/WAR ordering.
+func TestSubmitBatchHazardOrdering(t *testing.T) {
+	r := New(WithWorkers(4))
+	defer r.Shutdown()
+	var mu sync.Mutex
+	var log []string
+	rec := func(s string) func() {
+		return func() {
+			mu.Lock()
+			log = append(log, s)
+			mu.Unlock()
+		}
+	}
+	_, err := r.SubmitBatch([]TaskSpec{
+		{Name: "w1", Cost: 1, Fn: rec("w1"), Deps: []Dep{Out("k")}},
+		{Name: "r1", Cost: 1, Fn: rec("r1"), Deps: []Dep{In("k")}},
+		{Name: "r2", Cost: 1, Fn: rec("r2"), Deps: []Dep{In("k")}},
+		{Name: "w2", Cost: 1, Fn: rec("w2"), Deps: []Dep{Out("k")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	pos := map[string]int{}
+	for i, s := range log {
+		pos[s] = i
+	}
+	if !(pos["w1"] < pos["r1"] && pos["w1"] < pos["r2"] && pos["r1"] < pos["w2"] && pos["r2"] < pos["w2"]) {
+		t.Fatalf("batch hazard ordering violated: %v", log)
+	}
+}
+
+// Batch deps must also link against previously-submitted (non-batch)
+// tasks, and later Submits must link against batch tasks.
+func TestSubmitBatchInteroperatesWithSubmit(t *testing.T) {
+	r := New(WithWorkers(4))
+	defer r.Shutdown()
+	x := 0
+	r.Submit("w", 1, func() { x = 41 }, Out("x"))
+	got := 0
+	if _, err := r.SubmitBatch([]TaskSpec{
+		{Name: "bump", Cost: 1, Fn: func() { x++ }, Deps: []Dep{InOut("x")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.Submit("read", 1, func() { got = x }, In("x"))
+	r.Wait()
+	if got != 42 {
+		t.Fatalf("cross-path dependence chain read %d, want 42", got)
+	}
+}
+
+func TestSubmitBatchAfterShutdown(t *testing.T) {
+	r := New(WithWorkers(2))
+	r.Shutdown()
+	if _, err := r.SubmitBatch([]TaskSpec{{Name: "late", Cost: 1, Fn: func() { t.Error("late batch ran") }}}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("SubmitBatch after Shutdown = %v, want ErrShutdown", err)
+	}
+}
+
+func TestSubmitBatchEmptyAndNilBody(t *testing.T) {
+	r := New(WithWorkers(2))
+	defer r.Shutdown()
+	ids, err := r.SubmitBatch(nil)
+	if err != nil || ids != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", ids, err)
+	}
+	// A nil-body spec is a pure synchronisation point.
+	if _, err := r.SubmitBatch([]TaskSpec{{Name: "sync", Cost: 1, Deps: []Dep{InOut("k")}}}); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+}
+
+func TestSubmitBatchExceedsQueueBound(t *testing.T) {
+	r := New(WithWorkers(2), WithQueueBound(4))
+	defer r.Shutdown()
+	specs := make([]TaskSpec, 5)
+	for i := range specs {
+		specs[i] = TaskSpec{Name: "t", Cost: 1, Fn: func() {}}
+	}
+	if _, err := r.SubmitBatch(specs); err == nil || !strings.Contains(err.Error(), "queue bound") {
+		t.Fatalf("oversized batch = %v, want queue-bound error", err)
+	}
+	// A batch that fits must still go through.
+	if _, err := r.SubmitBatch(specs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+}
+
+// Regression: two concurrent batches under a bound big enough for either
+// but not both used to deadlock in hold-and-wait, each clutching part of
+// the bound while waiting for slots only the other's completion would
+// free. Batch slot acquisition is now atomic, so they must serialise and
+// both complete.
+func TestConcurrentBatchesUnderQueueBoundNoDeadlock(t *testing.T) {
+	r := New(WithWorkers(2), WithQueueBound(4))
+	defer r.Shutdown()
+	var ran int64
+	const producers = 8
+	const rounds = 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		wg.Add(producers)
+		for p := 0; p < producers; p++ {
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					specs := make([]TaskSpec, 3) // 2×3 > bound of 4
+					for j := range specs {
+						specs[j] = TaskSpec{Name: "t", Cost: 1, Fn: func() { atomic.AddInt64(&ran, 1) }}
+					}
+					if _, err := r.SubmitBatch(specs); err != nil {
+						t.Errorf("SubmitBatch: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		r.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("concurrent batches deadlocked under queue bound")
+	}
+	if got := atomic.LoadInt64(&ran); got != producers*rounds*3 {
+		t.Fatalf("ran %d tasks, want %d", got, producers*rounds*3)
+	}
+}
+
+func TestSubmitBatchCancelledWhileBlocked(t *testing.T) {
+	r := New(WithWorkers(2), WithQueueBound(2))
+	defer r.Shutdown()
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		if _, err := r.Submit("hold", 1, func() { <-release }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.SubmitBatchCtx(ctx, []TaskSpec{{Name: "a", Cost: 1}, {Name: "b", Cost: 1}})
+		errc <- err
+	}()
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked batch on cancel = %v, want context.Canceled", err)
+	}
+	close(release)
+	r.Wait()
+}
+
+// IDs of one batch are returned in spec order and are distinct.
+func TestSubmitBatchIDs(t *testing.T) {
+	r := New(WithWorkers(2))
+	defer r.Shutdown()
+	specs := make([]TaskSpec, 10)
+	for i := range specs {
+		specs[i] = TaskSpec{Name: "t", Cost: 1}
+	}
+	ids, err := r.SubmitBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			t.Fatalf("batch ids not consecutive in spec order: %v", ids)
+		}
+	}
+	r.Wait()
+}

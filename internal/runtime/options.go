@@ -7,6 +7,7 @@ type options struct {
 	workers    int
 	scheduler  SchedulerKind
 	queueBound int
+	shards     int
 }
 
 func defaultOptions() options {
@@ -46,4 +47,14 @@ func WithQueueBound(n int) Option {
 			o.queueBound = n
 		}
 	}
+}
+
+// WithShards sets the dependence-tracker shard count. Submissions touching
+// keys on different shards register concurrently; 1 reproduces the old
+// single-lock renamer (useful as a benchmarking baseline). Values are
+// clamped to at most 64; 0 or negative (the default) auto-sizes to the
+// next power of two ≥ GOMAXPROCS. The resolved count is reported by
+// Runtime.Shards.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
 }

@@ -14,6 +14,14 @@
 // captures the first failure (Err, WaitCtx) and propagates cancellation:
 // tasks whose submission context is cancelled before they start are skipped.
 //
+// The dependence tracker is sharded by key hash (WithShards, auto-sized to
+// the machine by default): submissions whose keys land on different shards
+// register fully in parallel, and a task spanning several shards locks
+// them in ascending index order, so the submit path scales with producer
+// count instead of funnelling through one renamer lock. SubmitBatch and
+// SubmitBatchCtx amortise shard locking and scheduler wakeups over a
+// whole slice of TaskSpecs.
+//
 // Three schedulers are provided:
 //
 //	FIFO      a single central queue — the simplest baseline
@@ -28,6 +36,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -106,17 +116,26 @@ func (k SchedulerKind) String() string {
 	}
 }
 
-// SchedulerByName parses a SchedulerKind from its String form.
+// SchedulerNames lists the valid SchedulerByName inputs in display order.
+func SchedulerNames() []string {
+	return []string{WorkSteal.String(), FIFO.String(), CATS.String()}
+}
+
+// SchedulerByName parses a SchedulerKind from its String form. Matching is
+// case-insensitive and tolerates surrounding whitespace; the empty string
+// resolves to the WorkSteal default. Unknown names produce an error that
+// lists every valid name.
 func SchedulerByName(name string) (SchedulerKind, error) {
-	switch name {
-	case "worksteal", "":
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "worksteal", "work-steal", "":
 		return WorkSteal, nil
 	case "fifo":
 		return FIFO, nil
 	case "cats":
 		return CATS, nil
 	default:
-		return 0, fmt.Errorf("runtime: unknown scheduler %q (have worksteal, fifo, cats)", name)
+		return 0, fmt.Errorf("runtime: unknown scheduler %q (valid: %s)",
+			name, strings.Join(SchedulerNames(), ", "))
 	}
 }
 
@@ -171,17 +190,28 @@ type Runtime struct {
 	opts  options
 	sched scheduler
 
-	submitMu    sync.Mutex
-	lastWriter  map[any]*task
-	readersTail map[any][]*task
-	tasks       []*task
+	// gate serialises submission against Shutdown: submitters hold the
+	// (shared, scalable) read side for the registration window, Shutdown
+	// takes the write side to set closed. The dependence tracker itself is
+	// sharded — see depShard — so concurrent submitters touching disjoint
+	// keys proceed in parallel.
+	gate   sync.RWMutex
+	shards []*depShard
+	// seq is the task-ID allocator; TaskIDs double as the sequence numbers
+	// that define program order for WAR/WAW resolution.
+	seq int64
 
 	outstanding int64 // submitted but not finished
 	waitMu      sync.Mutex
 	waitCond    *sync.Cond
 
-	// slots is the backpressure semaphore (nil when unbounded).
-	slots chan struct{}
+	// slots is the backpressure semaphore (nil when unbounded). slotMu
+	// serialises multi-slot (batch) acquisition: a batch takes its slots
+	// while holding slotMu, so two batches can never interleave partial
+	// acquisitions and deadlock in hold-and-wait. Single submissions take
+	// one slot without slotMu — they hold nothing while waiting.
+	slotMu sync.Mutex
+	slots  chan struct{}
 
 	errMu    sync.Mutex
 	firstErr error
@@ -203,10 +233,9 @@ func New(opts ...Option) *Runtime {
 		opt(&o)
 	}
 	r := &Runtime{
-		opts:        o,
-		lastWriter:  make(map[any]*task),
-		readersTail: make(map[any][]*task),
-		perWorker:   make([]uint64, o.workers),
+		opts:      o,
+		shards:    newShards(resolveShards(o.shards)),
+		perWorker: make([]uint64, o.workers),
 	}
 	if o.queueBound > 0 {
 		r.slots = make(chan struct{}, o.queueBound)
@@ -229,6 +258,10 @@ func New(opts ...Option) *Runtime {
 
 // Workers returns the pool size.
 func (r *Runtime) Workers() int { return r.opts.workers }
+
+// Shards returns the dependence-tracker shard count the runtime resolved
+// (WithShards input after auto-sizing and clamping).
+func (r *Runtime) Shards() int { return len(r.shards) }
 
 // Submit adds a task with the given dependences and returns its ID. cost is
 // an abstract work estimate used for criticality analysis (0 is fine); fn is
@@ -274,31 +307,60 @@ func (r *Runtime) SubmitPriorityCtx(ctx context.Context, name string, cost float
 		}
 	}
 
-	r.submitMu.Lock()
-	// Authoritative guard: Shutdown sets closed under submitMu, so either
-	// this submission registers (and increments outstanding) before
-	// Shutdown's drain can observe the pool, or it sees closed here. The
+	r.gate.RLock()
+	// Authoritative guard: Shutdown sets closed under the gate's write
+	// side, so either this submission registers (and increments
+	// outstanding) while holding the read side — strictly before
+	// Shutdown's drain can observe the pool — or it sees closed here. The
 	// lock-free check above is only a fast path.
 	if atomic.LoadInt32(&r.closed) != 0 {
-		r.submitMu.Unlock()
+		r.gate.RUnlock()
 		if r.slots != nil {
 			<-r.slots
 		}
 		return 0, ErrShutdown
 	}
+	t := r.newTask(ctx, name, cost, priority, fn, deps)
+	mask, logIdx := r.shardPlan(t)
+	r.lockShards(mask)
+	preds := r.trackDeps(t, logIdx)
+	r.linkPreds(t, preds)
+	r.unlockShards(mask)
+	r.gate.RUnlock()
+
+	if atomic.AddInt32(&t.npreds, -1) == 0 {
+		t.mu.Lock()
+		t.state = stateReady
+		t.mu.Unlock()
+		r.sched.push(t, -1)
+	}
+	return t.id, nil
+}
+
+// newTask allocates a task record and its ID/sequence number, and counts
+// it outstanding. Must be called with the gate's read side held so the
+// increment is ordered before any concurrent Shutdown drain.
+func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priority int, fn Body, deps []Dep) *task {
+	seq := atomic.AddInt64(&r.seq, 1) - 1
 	t := &task{
-		id:       TaskID(len(r.tasks)),
+		id:       TaskID(seq),
 		name:     name,
 		cost:     cost,
 		priority: int64(priority),
 		fn:       fn,
 		ctx:      ctx,
-		seq:      int64(len(r.tasks)),
+		seq:      seq,
 		depsLog:  append([]Dep(nil), deps...),
 	}
-	r.tasks = append(r.tasks, t)
 	atomic.AddInt64(&r.outstanding, 1)
+	return t
+}
 
+// trackDeps runs the renamer for t: it resolves RAW/WAR/WAW hazards
+// against the per-key tracking state, updates that state, and appends t to
+// the shard task log. Every shard t's keys hash to (plus the log shard)
+// must be locked by the caller.
+func (r *Runtime) trackDeps(t *task, logIdx int) []*task {
 	var preds []*task
 	addPred := func(p *task) {
 		if p == nil || p == t {
@@ -311,30 +373,37 @@ func (r *Runtime) SubmitPriorityCtx(ctx context.Context, name string, cost float
 		}
 		preds = append(preds, p)
 	}
-	for _, d := range deps {
+	for _, d := range t.depsLog {
+		s := r.shards[r.shardIndex(d.Key)]
 		switch d.Mode {
 		case ModeIn:
-			addPred(r.lastWriter[d.Key])
-			r.readersTail[d.Key] = append(r.readersTail[d.Key], t)
+			addPred(s.lastWriter[d.Key])
+			s.readersTail[d.Key] = append(s.readersTail[d.Key], t)
 		case ModeOut, ModeInOut:
 			if d.Mode == ModeInOut {
-				addPred(r.lastWriter[d.Key])
+				addPred(s.lastWriter[d.Key])
 			}
 			// WAR: wait for every reader since the previous writer.
-			for _, rd := range r.readersTail[d.Key] {
+			for _, rd := range s.readersTail[d.Key] {
 				addPred(rd)
 			}
 			// WAW: wait for the previous writer even for plain Out, since
 			// we do not rename storage.
-			addPred(r.lastWriter[d.Key])
-			r.lastWriter[d.Key] = t
-			r.readersTail[d.Key] = r.readersTail[d.Key][:0]
+			addPred(s.lastWriter[d.Key])
+			s.lastWriter[d.Key] = t
+			s.readersTail[d.Key] = s.readersTail[d.Key][:0]
 		}
 	}
-	// Register edges. npreds starts at 1 (the submission's own reference)
-	// so a predecessor completing concurrently with registration can never
-	// drive the counter to zero before every edge is in place; the final
-	// decrement below releases the reference and publishes the task.
+	r.shards[logIdx].tasks = append(r.shards[logIdx].tasks, t)
+	return preds
+}
+
+// linkPreds registers the dependence edges. npreds starts at 1 (the
+// submission's own reference) so a predecessor completing concurrently
+// with registration can never drive the counter to zero before every edge
+// is in place; the caller's final decrement releases the reference and
+// publishes the task.
+func (r *Runtime) linkPreds(t *task, preds []*task) {
 	atomic.StoreInt32(&t.npreds, 1)
 	for _, p := range preds {
 		p.mu.Lock()
@@ -349,15 +418,6 @@ func (r *Runtime) SubmitPriorityCtx(ctx context.Context, name string, cost float
 		}
 		p.mu.Unlock()
 	}
-	r.submitMu.Unlock()
-
-	if atomic.AddInt32(&t.npreds, -1) == 0 {
-		t.mu.Lock()
-		t.state = stateReady
-		t.mu.Unlock()
-		r.sched.push(t, -1)
-	}
-	return t.id, nil
 }
 
 // wrapBody lifts a plain func() to a Body.
@@ -489,13 +549,13 @@ func (r *Runtime) WaitCtx(ctx context.Context) error {
 // enqueuing into a stopping pool (which would hang a later Wait). The
 // runtime must not be used afterwards.
 func (r *Runtime) Shutdown() {
-	// closed is set under submitMu: a submission that already passed the
-	// guard finishes registering (incrementing outstanding) before this
-	// lock is granted, so the Wait below drains it; later submissions see
-	// closed and fail.
-	r.submitMu.Lock()
+	// closed is set under the gate's write side: a submission that already
+	// passed the guard finishes registering (incrementing outstanding) and
+	// releases its read lock before this lock is granted, so the Wait
+	// below drains it; later submissions see closed and fail.
+	r.gate.Lock()
 	atomic.StoreInt32(&r.closed, 1)
-	r.submitMu.Unlock()
+	r.gate.Unlock()
 	r.Wait()
 	atomic.StoreInt32(&r.shutdown, 1)
 	r.sched.wake()
@@ -504,11 +564,8 @@ func (r *Runtime) Shutdown() {
 
 // Stats returns a snapshot of execution counters.
 func (r *Runtime) Stats() Stats {
-	r.submitMu.Lock()
-	submitted := uint64(len(r.tasks))
-	r.submitMu.Unlock()
 	s := Stats{
-		Submitted: submitted,
+		Submitted: uint64(atomic.LoadInt64(&r.seq)),
 		Executed:  atomic.LoadUint64(&r.executed),
 		Steals:    atomic.LoadUint64(&r.steals),
 		Skipped:   atomic.LoadUint64(&r.skipped),
@@ -523,39 +580,56 @@ func (r *Runtime) Stats() Stats {
 // Graph exports the dependence graph of everything submitted so far as a
 // tdg.Graph (task costs carried over), for criticality analysis or for
 // replay on the simulated machine. Call after Wait for a complete graph.
+//
+// The export replays the dependence log in task-ID order — for tasks
+// submitted from a single goroutine that is exactly the live tracking
+// order; for concurrent submitters it is one valid serialisation of the
+// program order (ID allocation and shard registration may interleave
+// differently, but any total order yields an acyclic graph with the same
+// per-key hazard structure).
 func (r *Runtime) Graph() *tdg.Graph {
-	r.submitMu.Lock()
-	defer r.submitMu.Unlock()
-	g := tdg.New()
-	for _, t := range r.tasks {
-		id := g.AddNode(t.name, t.cost)
-		if int(id) != int(t.id) {
-			panic("runtime: graph id drift")
-		}
+	// Holding every shard lock excludes in-flight registrations, so the
+	// collected log slabs are mutually consistent.
+	all := uint64(1)<<len(r.shards) - 1
+	r.lockShards(all)
+	var tasks []*task
+	for _, s := range r.shards {
+		tasks = append(tasks, s.tasks...)
 	}
+	r.unlockShards(all)
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].seq < tasks[j].seq })
+
 	// succs lists are consumed on completion, so rebuild edges from the
-	// dependence log: we keep it simple by re-tracking with a shadow pass.
+	// dependence log with a shadow tracking pass through a tdg.Builder.
+	// IDs are remapped (rather than assumed dense) so a snapshot taken
+	// while submissions are in flight still exports the registered subset.
+	b := tdg.NewBuilder()
+	node := make(map[TaskID]tdg.NodeID, len(tasks))
+	for _, t := range tasks {
+		node[t.id] = b.AddNode(t.name, t.cost)
+	}
 	shadowWriter := make(map[any]tdg.NodeID)
 	shadowReaders := make(map[any][]tdg.NodeID)
-	for _, t := range r.tasks {
+	for _, t := range tasks {
+		id := node[t.id]
 		for _, d := range t.depsLog {
 			switch d.Mode {
 			case ModeIn:
 				if w, ok := shadowWriter[d.Key]; ok {
-					g.AddEdge(w, tdg.NodeID(t.id))
+					b.AddEdge(w, id)
 				}
-				shadowReaders[d.Key] = append(shadowReaders[d.Key], tdg.NodeID(t.id))
+				shadowReaders[d.Key] = append(shadowReaders[d.Key], id)
 			case ModeOut, ModeInOut:
 				if w, ok := shadowWriter[d.Key]; ok {
-					g.AddEdge(w, tdg.NodeID(t.id))
+					b.AddEdge(w, id)
 				}
 				for _, rd := range shadowReaders[d.Key] {
-					g.AddEdge(rd, tdg.NodeID(t.id))
+					b.AddEdge(rd, id)
 				}
-				shadowWriter[d.Key] = tdg.NodeID(t.id)
+				shadowWriter[d.Key] = id
 				shadowReaders[d.Key] = shadowReaders[d.Key][:0]
 			}
 		}
 	}
-	return g
+	return b.Graph()
 }

@@ -12,6 +12,10 @@ type scheduler interface {
 	// push enqueues a ready task. workerHint is the worker that released
 	// it, or -1 when released from a submitting goroutine.
 	push(t *task, workerHint int)
+	// pushBatch enqueues a slice of ready tasks under one lock
+	// acquisition and at most one (broadcast) wakeup — the scheduler half
+	// of SubmitBatch's amortisation.
+	pushBatch(ts []*task, workerHint int)
 	// pop dequeues a task for workerID, reporting whether it was stolen
 	// from another worker's queue.
 	pop(workerID int) (t *task, stolen bool)
@@ -38,6 +42,20 @@ func (s *fifoScheduler) push(t *task, _ int) {
 	s.queue = append(s.queue, t)
 	s.mu.Unlock()
 	s.cond.Signal()
+}
+
+func (s *fifoScheduler) pushBatch(ts []*task, _ int) {
+	if len(ts) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.queue = append(s.queue, ts...)
+	s.mu.Unlock()
+	if len(ts) == 1 {
+		s.cond.Signal()
+	} else {
+		s.cond.Broadcast()
+	}
 }
 
 func (s *fifoScheduler) pop(int) (*task, bool) {
@@ -88,6 +106,30 @@ func (s *stealScheduler) push(t *task, workerHint int) {
 	s.deques[w] = append(s.deques[w], t)
 	s.mu.Unlock()
 	s.cond.Signal()
+}
+
+func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
+	if len(ts) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if workerHint >= 0 && workerHint < len(s.deques) {
+		s.deques[workerHint] = append(s.deques[workerHint], ts...)
+	} else {
+		// Spread the batch round-robin so the pool starts on it in
+		// parallel instead of stealing it apart one task at a time.
+		for _, t := range ts {
+			w := s.rr % len(s.deques)
+			s.rr++
+			s.deques[w] = append(s.deques[w], t)
+		}
+	}
+	s.mu.Unlock()
+	if len(ts) == 1 {
+		s.cond.Signal()
+	} else {
+		s.cond.Broadcast()
+	}
 }
 
 func (s *stealScheduler) pop(workerID int) (*task, bool) {
@@ -153,6 +195,20 @@ func (s *catsScheduler) push(t *task, _ int) {
 	s.queue = append(s.queue, t)
 	s.mu.Unlock()
 	s.cond.Signal()
+}
+
+func (s *catsScheduler) pushBatch(ts []*task, _ int) {
+	if len(ts) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.queue = append(s.queue, ts...)
+	s.mu.Unlock()
+	if len(ts) == 1 {
+		s.cond.Signal()
+	} else {
+		s.cond.Broadcast()
+	}
 }
 
 func (s *catsScheduler) pop(int) (*task, bool) {

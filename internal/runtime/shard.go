@@ -1,0 +1,170 @@
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	stdruntime "runtime"
+	"sync"
+)
+
+// maxShards bounds the dependence-tracker shard count so a shard set fits
+// in one uint64 bitmask (the lock-plan representation used on the submit
+// path).
+const maxShards = 64
+
+// depShard is one slice of the dependence tracker: the renamer state for
+// every data key that hashes here, plus a slab of the global task log.
+// Shards are locked in ascending index order — the total order that makes
+// multi-shard submissions deadlock-free and serialises any two
+// registrations that share a key.
+type depShard struct {
+	mu          sync.Mutex
+	lastWriter  map[any]*task
+	readersTail map[any][]*task
+	// tasks is this shard's slab of the task log (tasks whose log shard is
+	// this one). The full log is the sorted-by-seq union over all shards.
+	tasks []*task
+}
+
+func newShards(n int) []*depShard {
+	shards := make([]*depShard, n)
+	for i := range shards {
+		shards[i] = &depShard{
+			lastWriter:  make(map[any]*task),
+			readersTail: make(map[any][]*task),
+		}
+	}
+	return shards
+}
+
+// ResolveShards reports the shard count a runtime built with WithShards(n)
+// will use — for tooling that sweeps shard counts and needs to recognise
+// requests that resolve to the same configuration.
+func ResolveShards(n int) int { return resolveShards(n) }
+
+// resolveShards turns the WithShards option into the actual shard count:
+// 0 (auto) becomes the next power of two ≥ GOMAXPROCS, everything is
+// clamped to [1, maxShards].
+func resolveShards(n int) int {
+	if n <= 0 {
+		n = 1
+		for n < stdruntime.GOMAXPROCS(0) {
+			n <<= 1
+		}
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
+}
+
+// shardIndex maps a dependence key to its shard. Equal keys always map to
+// the same shard (the only correctness requirement); distinct keys sharing
+// a shard merely share a lock. Common key types get an inline integer mix;
+// anything else falls back to hashing the printed form, which is stable
+// for any comparable value.
+func (r *Runtime) shardIndex(key any) int {
+	n := uint64(len(r.shards))
+	if n == 1 {
+		return 0
+	}
+	var h uint64
+	switch k := key.(type) {
+	case string:
+		h = hashString(k)
+	case int:
+		h = mix64(uint64(k))
+	case int8:
+		h = mix64(uint64(k))
+	case int16:
+		h = mix64(uint64(k))
+	case int32:
+		h = mix64(uint64(k))
+	case int64:
+		h = mix64(uint64(k))
+	case uint:
+		h = mix64(uint64(k))
+	case uint8:
+		h = mix64(uint64(k))
+	case uint16:
+		h = mix64(uint64(k))
+	case uint32:
+		h = mix64(uint64(k))
+	case uint64:
+		h = mix64(k)
+	case uintptr:
+		h = mix64(uint64(k))
+	case float64:
+		h = mix64(math.Float64bits(k))
+	case float32:
+		h = mix64(uint64(math.Float32bits(k)))
+	default:
+		hh := fnv.New64a()
+		fmt.Fprintf(hh, "%T\x00%v", key, key)
+		h = hh.Sum64()
+	}
+	return int(h % n)
+}
+
+// mix64 is the splitmix64 finaliser: a cheap, well-distributed integer
+// hash, so consecutive keys (block indices…) spread across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashString is FNV-1a, inlined to avoid the hash.Hash allocation on the
+// common string-key path.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardPlan computes the lock set for registering t: one bit per shard the
+// task's dependence keys hash to, plus the log shard the task record is
+// appended to. Dependence-free tasks log to seq-round-robin shards so an
+// embarrassingly-parallel stream spreads instead of serialising.
+func (r *Runtime) shardPlan(t *task) (mask uint64, logIdx int) {
+	if len(t.depsLog) == 0 {
+		logIdx = int(uint64(t.seq) % uint64(len(r.shards)))
+		return 1 << logIdx, logIdx
+	}
+	logIdx = r.shardIndex(t.depsLog[0].Key)
+	mask = 1 << logIdx
+	for _, d := range t.depsLog[1:] {
+		mask |= 1 << r.shardIndex(d.Key)
+	}
+	return mask, logIdx
+}
+
+// lockShards acquires every shard in mask in ascending index order. Any
+// two submissions with overlapping masks are thereby fully serialised
+// (their registration critical sections cannot interleave), which keeps
+// per-key dependence chains consistent and the resulting graph acyclic.
+func (r *Runtime) lockShards(mask uint64) {
+	for i := 0; mask != 0; i++ {
+		if mask&(1<<i) != 0 {
+			r.shards[i].mu.Lock()
+			mask &^= 1 << i
+		}
+	}
+}
+
+// unlockShards releases every shard in mask.
+func (r *Runtime) unlockShards(mask uint64) {
+	for i := 0; mask != 0; i++ {
+		if mask&(1<<i) != 0 {
+			r.shards[i].mu.Unlock()
+			mask &^= 1 << i
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package throughput
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/raa"
+)
+
+// Spec configures the throughput experiment through the raa registry.
+type Spec struct {
+	// Scenarios: parallel, fanout, chain, random; empty = all.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Schedulers: worksteal, fifo, cats; empty = all.
+	Schedulers []string `json:"schedulers,omitempty"`
+	// Shards are the tracker shard counts to sweep (0 = auto-size).
+	Shards []int `json:"shards"`
+	// Tasks is the task count per run.
+	Tasks int `json:"tasks"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Producers is the number of concurrent submitting goroutines.
+	Producers int `json:"producers"`
+	// Batch > 1 also measures SubmitBatch in chunks of this size.
+	Batch int `json:"batch"`
+	// Grain is spin-work per task body (iterations; 0 = empty body).
+	Grain int `json:"grain"`
+	// Keys is the random scenario's key-space size.
+	Keys int `json:"keys"`
+	// Seed makes the random dependence streams reproducible.
+	Seed int64 `json:"seed"`
+}
+
+type experiment struct{}
+
+func init() { raa.Register(experiment{}) }
+
+func (experiment) Name() string { return "throughput" }
+
+func (experiment) Describe() string {
+	return "Submit-path throughput: tasks/sec per scenario, scheduler, tracker shard count, and submission mode"
+}
+
+func (experiment) Aliases() []string { return []string{"tput"} }
+
+// Volatile: the headline metrics are wall-clock rates.
+func (experiment) Volatile() bool { return true }
+
+func (experiment) DefaultSpec() raa.Spec {
+	return Spec{
+		Shards:    []int{1, 4, 16, 64},
+		Tasks:     40000,
+		Workers:   8,
+		Producers: 8,
+		Batch:     64,
+		Grain:     32,
+		Keys:      256,
+		Seed:      42,
+	}
+}
+
+func (experiment) QuickSpec() raa.Spec {
+	return Spec{
+		Schedulers: []string{"worksteal"},
+		Shards:     []int{1, 8},
+		Tasks:      3000,
+		Workers:    4,
+		Producers:  4,
+		Batch:      64,
+		Grain:      8,
+		Keys:       64,
+		Seed:       42,
+	}
+}
+
+func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error) {
+	s, ok := spec.(Spec)
+	if !ok {
+		return nil, fmt.Errorf("throughput: spec type %T, want throughput.Spec", spec)
+	}
+	pts, err := Run(ctx, Config{
+		Scenarios:  s.Scenarios,
+		Schedulers: s.Schedulers,
+		Shards:     s.Shards,
+		Tasks:      s.Tasks,
+		Workers:    s.Workers,
+		Producers:  s.Producers,
+		Batch:      s.Batch,
+		Grain:      s.Grain,
+		Keys:       s.Keys,
+		Seed:       s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &raa.Result{
+		Experiment: e.Name(),
+		Spec:       s,
+		Metrics:    map[string]float64{},
+		Tables:     []*stats.Table{Table(pts)},
+	}
+	for _, p := range pts {
+		key := fmt.Sprintf("%s_%s_%s_shards%d", raa.MetricKey(p.Scenario), raa.MetricKey(p.Scheduler), p.Mode, p.Shards)
+		res.Metrics[key+"_tasks_per_sec"] = p.TasksPerSec
+		// Executed is deterministic: it must always equal the task count,
+		// whatever the sharding and batching did.
+		res.Metrics[key+"_executed"] = float64(p.Executed)
+	}
+	for _, n := range summarize(pts) {
+		res.Notes = append(res.Notes, n)
+	}
+	return res, nil
+}
+
+// Table renders the sweep: one row per (scenario, scheduler, mode), one
+// column per shard count, cells in Ktasks/s.
+func Table(pts []Point) *stats.Table {
+	var shardCols []int
+	seen := map[int]bool{}
+	for _, p := range pts {
+		if !seen[p.Shards] {
+			seen[p.Shards] = true
+			shardCols = append(shardCols, p.Shards)
+		}
+	}
+	headers := []string{"scenario", "scheduler", "mode"}
+	for _, s := range shardCols {
+		headers = append(headers, fmt.Sprintf("%d-shard", s))
+	}
+	t := stats.NewTable("Submit throughput (Ktasks/s)", headers...)
+	type rowKey struct {
+		scenario, sched, mode string
+	}
+	cells := map[rowKey]map[int]float64{}
+	var order []rowKey
+	for _, p := range pts {
+		k := rowKey{p.Scenario, p.Scheduler, p.Mode}
+		if cells[k] == nil {
+			cells[k] = map[int]float64{}
+			order = append(order, k)
+		}
+		cells[k][p.Shards] = p.TasksPerSec
+	}
+	for _, k := range order {
+		row := []string{k.scenario, k.sched, k.mode}
+		for _, s := range shardCols {
+			if v, ok := cells[k][s]; ok {
+				row = append(row, fmt.Sprintf("%.0f", v/1e3))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// summarize produces the headline notes: per scenario, the best sharded
+// speedup over the 1-shard baseline and the best batched speedup over
+// per-task submission, at matched configurations.
+func summarize(pts []Point) []string {
+	type cfg struct {
+		scenario, sched, mode string
+		shards                int
+	}
+	rate := map[cfg]float64{}
+	for _, p := range pts {
+		rate[cfg{p.Scenario, p.Scheduler, p.Mode, p.Shards}] = p.TasksPerSec
+	}
+	shardGain := map[string]float64{}
+	batchGain := map[string]float64{}
+	for c, v := range rate {
+		if c.shards > 1 {
+			if base := rate[cfg{c.scenario, c.sched, c.mode, 1}]; base > 0 {
+				if g := v / base; g > shardGain[c.scenario] {
+					shardGain[c.scenario] = g
+				}
+			}
+		}
+		if c.mode == "batch" {
+			if base := rate[cfg{c.scenario, c.sched, "single", c.shards}]; base > 0 {
+				if g := v / base; g > batchGain[c.scenario] {
+					batchGain[c.scenario] = g
+				}
+			}
+		}
+	}
+	var notes []string
+	for _, s := range Scenarios() {
+		if g, ok := shardGain[s]; ok {
+			notes = append(notes, fmt.Sprintf("%s: best sharded speedup over 1-shard baseline %.2fx", s, g))
+		}
+		if g, ok := batchGain[s]; ok {
+			notes = append(notes, fmt.Sprintf("%s: best SubmitBatch speedup over per-task Submit %.2fx", s, g))
+		}
+	}
+	return notes
+}

@@ -1,0 +1,295 @@
+// Package throughput measures the runtime's submit-path scalability: the
+// rate at which the sharded dependence tracker can rename and dispatch
+// tasks, swept over dependence scenario × scheduler × shard count ×
+// submission mode (per-task Submit vs SubmitBatch). This is the
+// instrument behind the sharding work: shards=1 reproduces the old
+// single-lock renamer, so every sweep carries its own baseline.
+package throughput
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Scenario names understood by Run.
+const (
+	// ScenarioParallel submits dependence-free tasks: pure tracker and
+	// scheduler overhead, the embarrassingly-parallel best case.
+	ScenarioParallel = "parallel"
+	// ScenarioFanOut submits one writer and N-1 readers of a single key:
+	// every registration contends on one shard.
+	ScenarioFanOut = "fanout"
+	// ScenarioChain submits an inout chain on one key: worst case, the
+	// tracker serialises and so does execution.
+	ScenarioChain = "chain"
+	// ScenarioRandom submits tasks with 1–3 random-mode dependences over
+	// a configurable key space: the general random-DAG case, exercising
+	// multi-shard lock ordering.
+	ScenarioRandom = "random"
+)
+
+// Scenarios lists every scenario in presentation order.
+func Scenarios() []string {
+	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom}
+}
+
+// Config parameterises a sweep.
+type Config struct {
+	// Scenarios, Schedulers and Shards are the sweep axes.
+	Scenarios  []string
+	Schedulers []string
+	Shards     []int
+	// Tasks is the task count per run.
+	Tasks int
+	// Workers is the pool size.
+	Workers int
+	// Producers is the number of concurrent submitting goroutines.
+	Producers int
+	// Batch, when > 1, additionally measures SubmitBatch in chunks of
+	// this size alongside the per-task Submit mode.
+	Batch int
+	// Grain is the spin-work iterations per task body (0 = empty body).
+	Grain int
+	// Keys is the key-space size for ScenarioRandom.
+	Keys int
+	// Seed makes the random-DAG dependence streams reproducible.
+	Seed int64
+}
+
+// Point is one measured run of the sweep.
+type Point struct {
+	Scenario  string
+	Scheduler string
+	// Shards is the resolved shard count the runtime used.
+	Shards int
+	// Mode is "single" (per-task Submit) or "batch" (SubmitBatch).
+	Mode string
+	Tasks int
+	// Elapsed covers submission through Wait.
+	Elapsed time.Duration
+	// TasksPerSec is the headline rate: Tasks / Elapsed.
+	TasksPerSec float64
+	// Executed is the runtime's executed-task count — a determinism and
+	// no-lost-tasks check, independent of wall clock.
+	Executed uint64
+}
+
+// sink defeats dead-code elimination of the spin bodies.
+var sink uint64
+
+// Run executes the sweep. Cancellation is observed between runs.
+func Run(ctx context.Context, cfg Config) ([]Point, error) {
+	if cfg.Tasks <= 0 {
+		return nil, fmt.Errorf("throughput: non-positive task count %d", cfg.Tasks)
+	}
+	if cfg.Workers <= 0 || cfg.Producers <= 0 {
+		return nil, fmt.Errorf("throughput: workers (%d) and producers (%d) must be positive", cfg.Workers, cfg.Producers)
+	}
+	if len(cfg.Scenarios) == 0 {
+		cfg.Scenarios = Scenarios()
+	}
+	if len(cfg.Schedulers) == 0 {
+		cfg.Schedulers = runtime.SchedulerNames()
+	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 0}
+	}
+	// Distinct requests can resolve to the same shard count (0 = auto, or
+	// clamping) — dedupe on the resolved value so sweep cells and metric
+	// keys never silently overwrite each other.
+	shardCounts := make([]int, 0, len(cfg.Shards))
+	seenShards := map[int]bool{}
+	for _, s := range cfg.Shards {
+		rs := runtime.ResolveShards(s)
+		if !seenShards[rs] {
+			seenShards[rs] = true
+			shardCounts = append(shardCounts, rs)
+		}
+	}
+	cfg.Shards = shardCounts
+	if cfg.Keys <= 0 {
+		cfg.Keys = 256
+	}
+	modes := []string{"single"}
+	if cfg.Batch > 1 {
+		modes = append(modes, "batch")
+	}
+	var out []Point
+	for _, scenario := range cfg.Scenarios {
+		if err := validScenario(scenario); err != nil {
+			return nil, err
+		}
+		for _, schedName := range cfg.Schedulers {
+			kind, err := runtime.SchedulerByName(schedName)
+			if err != nil {
+				return nil, fmt.Errorf("throughput: %w", err)
+			}
+			for _, shards := range cfg.Shards {
+				for _, mode := range modes {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					p, err := runOne(ctx, scenario, kind, shards, mode, cfg)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func validScenario(name string) error {
+	for _, s := range Scenarios() {
+		if s == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("throughput: unknown scenario %q (valid: %v)", name, Scenarios())
+}
+
+// runOne measures one (scenario, scheduler, shards, mode) cell.
+func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, shards int, mode string, cfg Config) (Point, error) {
+	rt := runtime.New(
+		runtime.WithWorkers(cfg.Workers),
+		runtime.WithScheduler(kind),
+		runtime.WithShards(shards),
+	)
+	body := taskBody(cfg.Grain)
+
+	start := time.Now()
+	// ScenarioFanOut's root must be tracked before any reader registers,
+	// so it is submitted ahead of the producers.
+	submitted := 0
+	if scenario == ScenarioFanOut {
+		if _, err := rt.SubmitCtx(ctx, "root", 1, body, runtime.Out("fan-root")); err != nil {
+			rt.Shutdown()
+			return Point{}, err
+		}
+		submitted++
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Producers)
+	per := (cfg.Tasks - submitted + cfg.Producers - 1) / cfg.Producers
+	for p := 0; p < cfg.Producers; p++ {
+		n := per
+		if rem := cfg.Tasks - submitted - p*per; rem < n {
+			n = rem
+		}
+		if n <= 0 {
+			break
+		}
+		wg.Add(1)
+		go func(producer, n int) {
+			defer wg.Done()
+			errs <- produce(ctx, rt, scenario, mode, producer, n, body, cfg)
+		}(p, n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			rt.Shutdown()
+			return Point{}, err
+		}
+	}
+	if err := rt.WaitCtx(ctx); err != nil {
+		rt.Shutdown()
+		return Point{}, err
+	}
+	elapsed := time.Since(start)
+	st := rt.Stats()
+	resolved := rt.Shards()
+	rt.Shutdown()
+	if st.Executed != uint64(cfg.Tasks) {
+		return Point{}, fmt.Errorf("throughput: %s/%s shards=%d %s lost tasks: executed %d of %d",
+			scenario, kind, resolved, mode, st.Executed, cfg.Tasks)
+	}
+	return Point{
+		Scenario:    scenario,
+		Scheduler:   kind.String(),
+		Shards:      resolved,
+		Mode:        mode,
+		Tasks:       cfg.Tasks,
+		Elapsed:     elapsed,
+		TasksPerSec: float64(cfg.Tasks) / elapsed.Seconds(),
+		Executed:    st.Executed,
+	}, nil
+}
+
+// produce submits n tasks of the scenario's dependence shape from one
+// producer goroutine, per-task or batched according to mode.
+func produce(ctx context.Context, rt *runtime.Runtime, scenario, mode string, producer, n int, body runtime.Body, cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(producer)*7919))
+	deps := func(i int) []runtime.Dep {
+		switch scenario {
+		case ScenarioParallel:
+			return nil
+		case ScenarioFanOut:
+			return []runtime.Dep{runtime.In("fan-root")}
+		case ScenarioChain:
+			return []runtime.Dep{runtime.InOut("chain")}
+		default: // ScenarioRandom
+			nd := 1 + rng.Intn(3)
+			ds := make([]runtime.Dep, nd)
+			for j := range ds {
+				key := rng.Intn(cfg.Keys)
+				switch rng.Intn(3) {
+				case 0:
+					ds[j] = runtime.In(key)
+				case 1:
+					ds[j] = runtime.Out(key)
+				default:
+					ds[j] = runtime.InOut(key)
+				}
+			}
+			return ds
+		}
+	}
+	if mode == "batch" {
+		for i := 0; i < n; i += cfg.Batch {
+			sz := cfg.Batch
+			if n-i < sz {
+				sz = n - i
+			}
+			specs := make([]runtime.TaskSpec, sz)
+			for j := range specs {
+				specs[j] = runtime.TaskSpec{Name: "t", Cost: 1, Body: body, Deps: deps(i + j)}
+			}
+			if _, err := rt.SubmitBatchCtx(ctx, specs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if _, err := rt.SubmitCtx(ctx, "t", 1, body, deps(i)...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// taskBody builds the per-task workload: grain iterations of an LCG spin
+// whose result escapes into sink.
+func taskBody(grain int) runtime.Body {
+	if grain <= 0 {
+		return func(context.Context) error { return nil }
+	}
+	return func(context.Context) error {
+		x := uint64(grain)
+		for i := 0; i < grain; i++ {
+			x = x*1664525 + 1013904223
+		}
+		atomic.AddUint64(&sink, x)
+		return nil
+	}
+}

@@ -1,0 +1,132 @@
+package throughput
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func smallConfig() Config {
+	return Config{
+		Schedulers: []string{"worksteal"},
+		Shards:     []int{1, 4},
+		Tasks:      500,
+		Workers:    2,
+		Producers:  2,
+		Batch:      16,
+		Keys:       16,
+		Seed:       1,
+	}
+}
+
+func TestRunAllScenarios(t *testing.T) {
+	cfg := smallConfig()
+	pts, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scenarios × schedulers × shards × modes(single, batch)
+	want := len(Scenarios()) * 1 * 2 * 2
+	if len(pts) != want {
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if p.Executed != uint64(cfg.Tasks) {
+			t.Errorf("%s/%s shards=%d %s: executed %d, want %d",
+				p.Scenario, p.Scheduler, p.Shards, p.Mode, p.Executed, cfg.Tasks)
+		}
+		if p.TasksPerSec <= 0 {
+			t.Errorf("%s: non-positive rate %v", p.Scenario, p.TasksPerSec)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{Tasks: 0, Workers: 1, Producers: 1}); err == nil {
+		t.Fatal("zero tasks must be rejected")
+	}
+	if _, err := Run(ctx, Config{Tasks: 10, Workers: 0, Producers: 1}); err == nil {
+		t.Fatal("zero workers must be rejected")
+	}
+	cfg := smallConfig()
+	cfg.Scenarios = []string{"bogus"}
+	if _, err := Run(ctx, cfg); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown scenario = %v, want naming error", err)
+	}
+	cfg = smallConfig()
+	cfg.Schedulers = []string{"lifo"}
+	if _, err := Run(ctx, cfg); err == nil || !strings.Contains(err.Error(), "lifo") {
+		t.Fatalf("unknown scheduler = %v, want naming error", err)
+	}
+	// Scheduler parsing must accept any case (the fixed parse path).
+	cfg = smallConfig()
+	cfg.Schedulers = []string{"FIFO"}
+	cfg.Scenarios = []string{ScenarioParallel}
+	if _, err := Run(ctx, cfg); err != nil {
+		t.Fatalf("upper-case scheduler name rejected: %v", err)
+	}
+}
+
+// Shard requests that resolve to the same count (clamping, 0 = auto) must
+// be deduplicated, not silently overwrite each other's sweep cells.
+func TestRunDedupesResolvedShardCounts(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scenarios = []string{ScenarioParallel}
+	cfg.Shards = []int{1, 1000, 64} // 1000 clamps to 64: duplicate cell
+	pts, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		k := fmt.Sprintf("%s/%s/%s/%d", p.Scenario, p.Scheduler, p.Mode, p.Shards)
+		if seen[k] {
+			t.Fatalf("duplicate sweep cell for shards=%d", p.Shards)
+		}
+		seen[k] = true
+	}
+	if want := 1 * 1 * 2 * 2; len(pts) != want { // 1 scenario × 1 sched × {1,64} × 2 modes
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, smallConfig()); err != context.Canceled {
+		t.Fatalf("cancelled run = %v, want context.Canceled", err)
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	pts, err := Run(context.Background(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Table(pts)
+	s := tbl.String()
+	for _, scenario := range Scenarios() {
+		if !strings.Contains(s, scenario) {
+			t.Errorf("table missing scenario %q:\n%s", scenario, s)
+		}
+	}
+	for _, col := range []string{"1-shard", "4-shard", "single", "batch"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("table missing %q:\n%s", col, s)
+		}
+	}
+}
+
+func TestSummarizeNotes(t *testing.T) {
+	pts, err := Run(context.Background(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := summarize(pts)
+	if len(notes) != 2*len(Scenarios()) {
+		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario):\n%v",
+			len(notes), 2*len(Scenarios()), notes)
+	}
+}

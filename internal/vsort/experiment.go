@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/stats"
 	"repro/internal/vector"
@@ -206,9 +207,22 @@ func Summarize(points []Fig3Point, maxLanes int) Summary {
 			best[k] = p.Speedup
 		}
 	}
-	for k, v := range vsr {
+	// Average in deterministic (mvl, lanes) order: float summation is not
+	// associative, so map-range order would jitter the last ulp between
+	// otherwise identical runs.
+	keys := make([]cfgKey, 0, len(vsr))
+	for k := range vsr {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].mvl != keys[j].mvl {
+			return keys[i].mvl < keys[j].mvl
+		}
+		return keys[i].lanes < keys[j].lanes
+	})
+	for _, k := range keys {
 		if b := best[k]; b > 0 {
-			ratios = append(ratios, v/b)
+			ratios = append(ratios, vsr[k]/b)
 		}
 	}
 	s.VSRvsNextBest = stats.Mean(ratios)

@@ -1,0 +1,106 @@
+package raa_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/raa"
+	_ "repro/raa/experiments"
+)
+
+// Determinism: every registered experiment, run twice with the same spec
+// and seed, must produce the same Result. For experiments that declare
+// themselves Volatile (wall-clock throughput numbers), the *structure* —
+// metric key set, table count, headers, and row/column shape — must still
+// be identical; for everything else the metric values and rendered tables
+// must match bit for bit. This is the guard against nondeterminism
+// creeping in through the sharded tracker or batched submission.
+func TestExperimentsDeterministicPerSpec(t *testing.T) {
+	for _, e := range raa.All() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			ctx := context.Background()
+			a, err := raa.RunQuick(ctx, e.Name(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := raa.RunQuick(ctx, e.Name(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, a, b, raa.IsVolatile(e))
+		})
+	}
+}
+
+func compareResults(t *testing.T, a, b *raa.Result, volatile bool) {
+	t.Helper()
+	if a.Experiment != b.Experiment {
+		t.Fatalf("experiment names differ: %q vs %q", a.Experiment, b.Experiment)
+	}
+	// Metric key sets must always match exactly.
+	ka, kb := metricKeys(a), metricKeys(b)
+	if len(ka) != len(kb) {
+		t.Fatalf("metric key counts differ: %d vs %d\n%v\n%v", len(ka), len(kb), ka, kb)
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("metric keys differ at %d: %q vs %q", i, ka[i], kb[i])
+		}
+	}
+	if !volatile {
+		for _, k := range ka {
+			if a.Metrics[k] != b.Metrics[k] {
+				t.Errorf("metric %q differs across identical runs: %v vs %v", k, a.Metrics[k], b.Metrics[k])
+			}
+		}
+	}
+	if len(a.Tables) != len(b.Tables) {
+		t.Fatalf("table counts differ: %d vs %d", len(a.Tables), len(b.Tables))
+	}
+	for i := range a.Tables {
+		sa, sb := a.Tables[i].String(), b.Tables[i].String()
+		if volatile {
+			// Shape check: same line count and same first (header) lines.
+			la, lb := lineShape(sa), lineShape(sb)
+			if la != lb {
+				t.Errorf("table %d shape differs across identical runs: %d vs %d lines", i, la, lb)
+			}
+			continue
+		}
+		if sa != sb {
+			t.Errorf("table %d differs across identical runs:\n--- run 1\n%s\n--- run 2\n%s", i, sa, sb)
+		}
+	}
+	if !volatile {
+		if len(a.Notes) != len(b.Notes) {
+			t.Fatalf("note counts differ: %d vs %d", len(a.Notes), len(b.Notes))
+		}
+		for i := range a.Notes {
+			if a.Notes[i] != b.Notes[i] {
+				t.Errorf("note %d differs: %q vs %q", i, a.Notes[i], b.Notes[i])
+			}
+		}
+	}
+}
+
+func metricKeys(r *raa.Result) []string {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func lineShape(s string) int {
+	n := 1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}

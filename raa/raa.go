@@ -85,6 +85,22 @@ type Aliaser interface {
 	Aliases() []string
 }
 
+// Volatile is an optional Experiment extension for experiments whose
+// Result carries wall-clock measurements (throughput, latency): two runs
+// with the same spec produce the same metric keys and table shapes but
+// not bit-identical values. Determinism checks compare structure, not
+// values, for volatile experiments; everything else is expected to be
+// exactly reproducible per spec and seed.
+type Volatile interface {
+	Volatile() bool
+}
+
+// IsVolatile reports whether the experiment declares wall-clock results.
+func IsVolatile(e Experiment) bool {
+	v, ok := e.(Volatile)
+	return ok && v.Volatile()
+}
+
 // SpecFor resolves the spec an experiment should run: the default (or quick
 // default) overlaid with the user's JSON overrides, returned as the same
 // dynamic type DefaultSpec produces. A nil or empty overrides slice applies
