@@ -148,6 +148,52 @@ func BenchmarkSubmitBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkDispatchStealHeavy measures the worker-side dispatch path under
+// the steal-heavy shape: each root's completion releases a fan of children
+// onto the completing worker's queue at once, so the pool must share them.
+// WorkSteal pops its local Chase–Lev deque lock-free and thieves take the
+// rest with one CAS each; FIFO funnels every pop through the central lock —
+// this is the headline pair for the lock-free dispatch work.
+func BenchmarkDispatchStealHeavy(b *testing.B) {
+	const fan = 15
+	for _, kind := range []runtime.SchedulerKind{runtime.WorkSteal, runtime.FIFO, runtime.CATS} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rt := runtime.New(runtime.WithWorkers(4), runtime.WithScheduler(kind))
+			defer rt.Shutdown()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				group := i / (fan + 1)
+				if i%(fan+1) == 0 {
+					rt.Submit("root", 1, func() {}, runtime.Out(group))
+				} else {
+					rt.Submit("child", 1, func() {}, runtime.In(group))
+				}
+			}
+			rt.Wait()
+		})
+	}
+}
+
+// BenchmarkLongLivedSubmitWait measures the steady state of a long-lived
+// runtime: repeated submit→Wait rounds on one pool, with the default
+// no-trace-retention lifecycle keeping memory bounded across rounds.
+func BenchmarkLongLivedSubmitWait(b *testing.B) {
+	const round = 256
+	rt := runtime.New(runtime.WithWorkers(4))
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += round {
+		n := round
+		if b.N-i < n {
+			n = b.N - i
+		}
+		for j := 0; j < n; j++ {
+			rt.Submit("t", 1, func() {})
+		}
+		rt.Wait()
+	}
+}
+
 // BenchmarkThroughputExperiment runs the registry throughput experiment at
 // quick scale (the figure-style harness over the same machinery).
 func BenchmarkThroughputExperiment(b *testing.B) {

@@ -14,6 +14,8 @@
 //	raa-bench -experiment vsort -spec '{"n": 65536}'
 //	raa-bench -experiment throughput \
 //	    -spec '{"shards": [1, 16, 64], "tasks": 100000}'  # submit-path scaling
+//	raa-bench -experiment throughput \
+//	    -spec '{"scenarios": ["steal", "longrun"], "shards": [0]}'  # dispatch scaling
 //
 // Interrupting with ^C cancels the run cleanly: in-flight experiments stop
 // at the next unit boundary and the command exits with the context error.

@@ -31,7 +31,10 @@ func main() {
 		}
 	}
 
-	rt := runtime.New(runtime.WithWorkers(4), runtime.WithScheduler(runtime.WorkSteal))
+	// WithTraceRetention keeps the task trace so the graph can be exported
+	// at the end; long-lived services leave it off so memory stays bounded.
+	rt := runtime.New(runtime.WithWorkers(4), runtime.WithScheduler(runtime.WorkSteal),
+		runtime.WithTraceRetention())
 	defer rt.Shutdown()
 	ctx := context.Background()
 
@@ -72,7 +75,10 @@ func main() {
 	st := rt.Stats()
 	fmt.Printf("tasks: %d submitted, %d executed, %d steals across %d workers\n",
 		st.Submitted, st.Executed, st.Steals, rt.Workers())
-	g := rt.Graph()
+	g, err := rt.Graph()
+	if err != nil {
+		panic(err)
+	}
 	cp, cost, _ := g.CriticalPath()
 	fmt.Printf("task graph: %d nodes, critical path %d tasks (cost %.0f)\n",
 		g.Len(), len(cp), cost)

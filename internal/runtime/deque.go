@@ -1,0 +1,186 @@
+package runtime
+
+import "sync/atomic"
+
+// This file holds the two queue substrates of the scheduler layer:
+//
+//   - wsDeque: a Chase–Lev work-stealing deque (one per worker). The owner
+//     pushes and pops at the bottom (LIFO, uncontended in the common case);
+//     thieves steal from the top (FIFO — the oldest tasks, which head the
+//     largest remaining subtrees) with a single CAS. No locks anywhere: the
+//     only synchronisation is the top CAS on the last-element and steal
+//     races. Go's sync/atomic operations are sequentially consistent, which
+//     is the memory model the classic algorithm is proven under.
+//
+//   - taskRing: a growable ring buffer used by the central queues (the FIFO
+//     scheduler and the steal scheduler's injector). Unlike the old
+//     queue = queue[1:] slide, popping nils the slot and oversized buffers
+//     shrink once mostly empty, so a long-lived runtime does not pin dead
+//     *task pointers in queue backing arrays.
+
+// wsInitialSize is the initial (and post-reset) capacity of a deque's
+// circular array. Must be a power of two.
+const wsInitialSize = 64
+
+// wsResetThreshold is the array capacity above which an emptied deque
+// releases its grown array and returns to wsInitialSize, so a burst (a wide
+// fan-out released onto one worker) does not pin a huge slot array — and the
+// dead task pointers in it — for the rest of the runtime's life.
+const wsResetThreshold = wsInitialSize * 16
+
+// wsArray is the circular slot array of a wsDeque. Slots are atomic so
+// owner writes, thief reads, and the grow-copy are race-free; indices are
+// taken modulo the (power-of-two) size.
+type wsArray struct {
+	mask  int64
+	slots []atomic.Pointer[task]
+}
+
+func newWSArray(size int64) *wsArray {
+	return &wsArray{mask: size - 1, slots: make([]atomic.Pointer[task], size)}
+}
+
+func (a *wsArray) size() int64          { return int64(len(a.slots)) }
+func (a *wsArray) get(i int64) *task    { return a.slots[i&a.mask].Load() }
+func (a *wsArray) put(i int64, t *task) { a.slots[i&a.mask].Store(t) }
+
+// wsDeque is one worker's Chase–Lev deque. bottom is written only by the
+// owner; top is advanced by successful steals (CAS) and by the owner's
+// last-element race. The pads keep the owner's and the thieves' hot words
+// on separate cache lines.
+type wsDeque struct {
+	bottom atomic.Int64
+	_      [7]int64
+	top    atomic.Int64
+	_      [7]int64
+	arr    atomic.Pointer[wsArray]
+}
+
+func newWSDeque() *wsDeque {
+	d := &wsDeque{}
+	d.arr.Store(newWSArray(wsInitialSize))
+	return d
+}
+
+// pushBottom appends t at the bottom. Owner only.
+func (d *wsDeque) pushBottom(t *task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	a := d.arr.Load()
+	if b-tp >= a.size() {
+		a = d.grow(a, tp, b)
+	}
+	a.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// grow publishes a doubled array holding [top, bottom). The old array is
+// left intact: a thief that loaded it before the swap still reads valid
+// slots and its top CAS decides the race exactly as before.
+func (d *wsDeque) grow(old *wsArray, top, bottom int64) *wsArray {
+	a := newWSArray(old.size() * 2)
+	for i := top; i < bottom; i++ {
+		a.put(i, old.get(i))
+	}
+	d.arr.Store(a)
+	return a
+}
+
+// popBottom takes the most recently pushed task (LIFO). Owner only.
+// Returns nil when the deque is empty or the last element was lost to a
+// concurrent thief.
+func (d *wsDeque) popBottom() *task {
+	b := d.bottom.Load() - 1
+	a := d.arr.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if b < t {
+		// Empty. Restore bottom, and drop an oversized array now that no
+		// element can be in flight (any thief's CAS against the current top
+		// fails once we observed top == bottom).
+		d.bottom.Store(t)
+		if a.size() > wsResetThreshold {
+			d.arr.Store(newWSArray(wsInitialSize))
+		}
+		return nil
+	}
+	tk := a.get(b)
+	if b > t {
+		// More than one element: index b is ours alone — a thief only ever
+		// reads index top < b. Clear the slot so the dead pointer is not
+		// pinned until the ring wraps.
+		a.put(b, nil)
+		return tk
+	}
+	// Single element: race any thief for it via top.
+	if !d.top.CompareAndSwap(t, t+1) {
+		tk = nil // a thief got there first
+	} else {
+		a.put(b, nil)
+	}
+	d.bottom.Store(t + 1)
+	return tk
+}
+
+// stealTop takes the oldest task (FIFO). Safe from any goroutine. The
+// second result reports contention: true means the CAS lost a race (with
+// the owner or another thief) and the deque may still hold work — the
+// caller should not treat the deque as drained.
+func (d *wsDeque) stealTop() (*task, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	a := d.arr.Load()
+	tk := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	return tk, false
+}
+
+// taskRing is a growable power-of-two ring buffer of tasks. Not
+// goroutine-safe; callers lock.
+type taskRing struct {
+	buf  []*task
+	head int
+	n    int
+}
+
+// ringShrinkThreshold is the capacity above which a mostly-empty ring
+// reallocates downward, releasing the grown backing array.
+const ringShrinkThreshold = 1024
+
+func (r *taskRing) len() int { return r.n }
+
+func (r *taskRing) push(t *task) {
+	if r.n == len(r.buf) {
+		r.resize(max(2*r.n, wsInitialSize))
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+func (r *taskRing) pop() *task {
+	if r.n == 0 {
+		return nil
+	}
+	t := r.buf[r.head]
+	r.buf[r.head] = nil // release the popped pointer
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	if len(r.buf) > ringShrinkThreshold && r.n <= len(r.buf)/4 {
+		r.resize(len(r.buf) / 2)
+	}
+	return t
+}
+
+func (r *taskRing) resize(size int) {
+	buf := make([]*task, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

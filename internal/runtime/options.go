@@ -4,10 +4,11 @@ package runtime
 // through functional options so the zero value of every knob can stay a
 // sensible default and new knobs can be added without breaking callers.
 type options struct {
-	workers    int
-	scheduler  SchedulerKind
-	queueBound int
-	shards     int
+	workers     int
+	scheduler   SchedulerKind
+	queueBound  int
+	shards      int
+	retainTrace bool
 }
 
 func defaultOptions() options {
@@ -47,6 +48,18 @@ func WithQueueBound(n int) Option {
 			o.queueBound = n
 		}
 	}
+}
+
+// WithTraceRetention keeps the full task trace — every submitted task,
+// with its dependence log — in the shard task logs for Graph export. It is
+// off by default: a long-lived runtime then releases each completed task
+// (body, context, dependence log) so memory stays bounded by the work in
+// flight and the distinct dependence keys used, rather than growing with
+// every task ever submitted. Turn it on
+// only for bounded runs whose graph you intend to export or replay; with
+// it off, Graph fails with ErrNoTrace.
+func WithTraceRetention() Option {
+	return func(o *options) { o.retainTrace = true }
 }
 
 // WithShards sets the dependence-tracker shard count. Submissions touching

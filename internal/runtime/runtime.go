@@ -25,11 +25,21 @@
 // Three schedulers are provided:
 //
 //	FIFO      a single central queue — the simplest baseline
-//	WorkSteal per-worker LIFO deques with FIFO stealing (the production
+//	WorkSteal per-worker lock-free Chase–Lev deques with randomized FIFO
+//	          stealing and a parking list for idle workers (the production
 //	          default, Nanos++-style)
-//	CATS      criticality-aware: a central priority queue ordered by the
+//	CATS      criticality-aware: a central priority heap ordered by the
 //	          dynamically-maintained bottom-level estimate, so tasks on the
 //	          critical path run first (Section 3.1)
+//
+// By default the runtime's memory stays bounded by the work in flight plus
+// the set of distinct dependence keys used: completed tasks drop their
+// body, context, and dependence log, and queue slots release popped
+// pointers, so a runtime can serve submissions indefinitely (per-key
+// tracker state — lastWriter and the reader lists — persists per distinct
+// key; reuse keys rather than minting fresh ones forever). Building with
+// WithTraceRetention keeps the full task trace instead, which Graph needs
+// for export.
 package runtime
 
 import (
@@ -46,6 +56,12 @@ import (
 
 // ErrShutdown is returned by Submit variants called after Shutdown.
 var ErrShutdown = errors.New("runtime: submit after Shutdown")
+
+// ErrNoTrace is returned by Graph when the runtime was built without
+// WithTraceRetention: the task trace needed for the export is not kept
+// (by default completed tasks are released, so a long-lived runtime's
+// memory stays bounded by the work in flight).
+var ErrNoTrace = errors.New("runtime: Graph requires WithTraceRetention (task trace is not retained by default)")
 
 // AccessMode is the dependence annotation of one task argument.
 type AccessMode int
@@ -161,8 +177,12 @@ type task struct {
 	name     string
 	cost     float64
 	priority int64 // CATS bottom-level estimate
-	fn       Body
-	ctx      context.Context
+	// claimed guards against double dispatch when a scheduler holds more
+	// than one queue entry for the task (the CATS heap's lazy stale-entry
+	// scheme); the winning pop CASes it 0→1.
+	claimed int32
+	fn      Body
+	ctx     context.Context
 
 	mu    sync.Mutex
 	state taskState
@@ -384,17 +404,26 @@ func (r *Runtime) trackDeps(t *task, logIdx int) []*task {
 				addPred(s.lastWriter[d.Key])
 			}
 			// WAR: wait for every reader since the previous writer.
-			for _, rd := range s.readersTail[d.Key] {
+			tail := s.readersTail[d.Key]
+			for _, rd := range tail {
 				addPred(rd)
 			}
 			// WAW: wait for the previous writer even for plain Out, since
 			// we do not rename storage.
 			addPred(s.lastWriter[d.Key])
 			s.lastWriter[d.Key] = t
-			s.readersTail[d.Key] = s.readersTail[d.Key][:0]
+			// Nil the slots before truncating: tail[:0] alone keeps every
+			// old reader task reachable through the backing array until the
+			// next writer happens to overwrite each slot.
+			for i := range tail {
+				tail[i] = nil
+			}
+			s.readersTail[d.Key] = tail[:0]
 		}
 	}
-	r.shards[logIdx].tasks = append(r.shards[logIdx].tasks, t)
+	if r.opts.retainTrace {
+		r.shards[logIdx].tasks = append(r.shards[logIdx].tasks, t)
+	}
 	return preds
 }
 
@@ -414,6 +443,14 @@ func (r *Runtime) linkPreds(t *task, preds []*task) {
 			// estimate (single-step propagation, as the original heuristic).
 			if est := atomic.LoadInt64(&t.priority) + 1; est > atomic.LoadInt64(&p.priority) {
 				atomic.StoreInt64(&p.priority, est)
+				// If p is already queued, tell a priority-aware scheduler so
+				// it can reinsert p at the new estimate (the CATS heap's
+				// stale-entry protocol).
+				if p.state == stateReady {
+					if b, ok := r.sched.(priorityBumper); ok {
+						b.bump(p)
+					}
+				}
 			}
 		}
 		p.mu.Unlock()
@@ -485,20 +522,48 @@ func (r *Runtime) worker(id int) {
 	}
 }
 
-// complete marks a task done and releases its successors.
+// complete marks a task done, releases its successors, and drops the
+// references the task no longer needs — the body closure (often the
+// heaviest retained object), the submission context, and, when no trace is
+// retained, the dependence log — so completed tasks cost a long-lived
+// runtime only their bare struct even where tracker state (lastWriter)
+// still points at them.
 func (r *Runtime) complete(t *task, workerID int) {
 	t.mu.Lock()
 	t.state = stateDone
 	succs := t.succs
 	t.succs = nil
+	t.fn = nil
+	t.ctx = nil
+	if !r.opts.retainTrace {
+		t.depsLog = nil
+	}
 	t.mu.Unlock()
+	// Release successors in one scheduler call: a task that completes a
+	// wide fan (the steal-heavy shape) hands the whole fan over with a
+	// single wakeup instead of one signal per child.
+	var ready []*task
+	var first *task
 	for _, s := range succs {
 		if atomic.AddInt32(&s.npreds, -1) == 0 {
 			s.mu.Lock()
 			s.state = stateReady
 			s.mu.Unlock()
-			r.sched.push(s, workerID)
+			if first == nil && ready == nil {
+				first = s // avoid the slice allocation for the common 0/1 case
+			} else {
+				if ready == nil {
+					ready = append(ready, first)
+					first = nil
+				}
+				ready = append(ready, s)
+			}
 		}
+	}
+	if first != nil {
+		r.sched.push(first, workerID)
+	} else if len(ready) > 0 {
+		r.sched.pushBatch(ready, workerID)
 	}
 	if r.slots != nil {
 		<-r.slots
@@ -581,13 +646,19 @@ func (r *Runtime) Stats() Stats {
 // tdg.Graph (task costs carried over), for criticality analysis or for
 // replay on the simulated machine. Call after Wait for a complete graph.
 //
-// The export replays the dependence log in task-ID order — for tasks
-// submitted from a single goroutine that is exactly the live tracking
-// order; for concurrent submitters it is one valid serialisation of the
-// program order (ID allocation and shard registration may interleave
-// differently, but any total order yields an acyclic graph with the same
-// per-key hazard structure).
-func (r *Runtime) Graph() *tdg.Graph {
+// Graph requires the runtime to have been built with WithTraceRetention —
+// the trace of completed tasks is otherwise released as tasks finish, and
+// Graph fails with ErrNoTrace. With retention on, the export replays the
+// dependence log in task-ID order — for tasks submitted from a single
+// goroutine that is exactly the live tracking order; for concurrent
+// submitters it is one valid serialisation of the program order (ID
+// allocation and shard registration may interleave differently, but any
+// total order yields an acyclic graph with the same per-key hazard
+// structure).
+func (r *Runtime) Graph() (*tdg.Graph, error) {
+	if !r.opts.retainTrace {
+		return nil, ErrNoTrace
+	}
 	// Holding every shard lock excludes in-flight registrations, so the
 	// collected log slabs are mutually consistent.
 	all := uint64(1)<<len(r.shards) - 1
@@ -631,5 +702,5 @@ func (r *Runtime) Graph() *tdg.Graph {
 			}
 		}
 	}
-	return b.Graph()
+	return b.Graph(), nil
 }

@@ -234,14 +234,17 @@ func TestCATSBumpsCriticalPredecessors(t *testing.T) {
 }
 
 func TestGraphExport(t *testing.T) {
-	r := New(WithWorkers(2), WithScheduler(WorkSteal))
+	r := New(WithWorkers(2), WithScheduler(WorkSteal), WithTraceRetention())
 	defer r.Shutdown()
 	r.Submit("w", 3, func() {}, Out("x"))
 	r.Submit("r1", 1, func() {}, In("x"))
 	r.Submit("r2", 1, func() {}, In("x"))
 	r.Submit("w2", 2, func() {}, InOut("x"))
 	r.Wait()
-	g := r.Graph()
+	g, err := r.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.Len() != 4 {
 		t.Fatalf("graph size %d", g.Len())
 	}
@@ -335,7 +338,7 @@ func TestQuickGraphAcyclic(t *testing.T) {
 		if len(deps) > 150 {
 			deps = deps[:150]
 		}
-		r := New(WithWorkers(2), WithScheduler(WorkSteal))
+		r := New(WithWorkers(2), WithScheduler(WorkSteal), WithTraceRetention())
 		for _, d := range deps {
 			key := d % 5
 			switch (d >> 8) % 3 {
@@ -348,8 +351,11 @@ func TestQuickGraphAcyclic(t *testing.T) {
 			}
 		}
 		r.Wait()
-		g := r.Graph()
+		g, gerr := r.Graph()
 		r.Shutdown()
+		if gerr != nil {
+			return false
+		}
 		_, err := g.TopoOrder()
 		return err == nil
 	}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -10,11 +11,14 @@ import (
 // which workers interpret as a shutdown check).
 type scheduler interface {
 	// push enqueues a ready task. workerHint is the worker that released
-	// it, or -1 when released from a submitting goroutine.
+	// it, or -1 when released from a submitting goroutine. A non-negative
+	// hint promises the call is made on that worker's own goroutine — the
+	// steal scheduler pushes straight onto the worker's deque, whose bottom
+	// end is owner-only.
 	push(t *task, workerHint int)
-	// pushBatch enqueues a slice of ready tasks under one lock
-	// acquisition and at most one (broadcast) wakeup — the scheduler half
-	// of SubmitBatch's amortisation.
+	// pushBatch enqueues a slice of ready tasks with at most one (broadcast)
+	// wakeup — the scheduler half of SubmitBatch's amortisation. The
+	// workerHint contract matches push.
 	pushBatch(ts []*task, workerHint int)
 	// pop dequeues a task for workerID, reporting whether it was stolen
 	// from another worker's queue.
@@ -23,11 +27,21 @@ type scheduler interface {
 	wake()
 }
 
-// fifoScheduler is a single central FIFO queue.
+// priorityBumper is implemented by schedulers that want to hear about
+// dynamic priority raises of tasks they may already hold (the CATS
+// bottom-level bump). Optional: the runtime type-asserts.
+type priorityBumper interface {
+	bump(t *task)
+}
+
+// fifoScheduler is a single central FIFO queue — a mutex-guarded ring
+// buffer. Popped slots are nilled and oversized buffers shrink, so the
+// queue never pins dead task pointers (the old queue[1:] slide kept every
+// popped *task alive in the backing array).
 type fifoScheduler struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	queue []*task
+	queue taskRing
 	woken bool
 }
 
@@ -39,7 +53,7 @@ func newFIFOScheduler() *fifoScheduler {
 
 func (s *fifoScheduler) push(t *task, _ int) {
 	s.mu.Lock()
-	s.queue = append(s.queue, t)
+	s.queue.push(t)
 	s.mu.Unlock()
 	s.cond.Signal()
 }
@@ -49,7 +63,9 @@ func (s *fifoScheduler) pushBatch(ts []*task, _ int) {
 		return
 	}
 	s.mu.Lock()
-	s.queue = append(s.queue, ts...)
+	for _, t := range ts {
+		s.queue.push(t)
+	}
 	s.mu.Unlock()
 	if len(ts) == 1 {
 		s.cond.Signal()
@@ -61,15 +77,13 @@ func (s *fifoScheduler) pushBatch(ts []*task, _ int) {
 func (s *fifoScheduler) pop(int) (*task, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 {
+	for s.queue.len() == 0 {
 		if s.woken {
 			return nil, false
 		}
 		s.cond.Wait()
 	}
-	t := s.queue[0]
-	s.queue = s.queue[1:]
-	return t, false
+	return s.queue.pop(), false
 }
 
 func (s *fifoScheduler) wake() {
@@ -79,109 +93,279 @@ func (s *fifoScheduler) wake() {
 	s.cond.Broadcast()
 }
 
-// stealScheduler keeps one deque per worker: owners pop LIFO (locality),
-// thieves steal FIFO (oldest, largest subtrees first) — the classic
-// work-stealing arrangement.
+// stealScheduler is the multi-core dispatch path: one Chase–Lev deque per
+// worker plus a central injector ring for tasks released off-pool.
+//
+//   - A worker that releases a task (successor wakeup in complete) pushes it
+//     onto its own deque bottom — no lock, no contention, LIFO locality.
+//   - Submitting goroutines (no worker identity) push into the injector; an
+//     idle worker refills from it in chunks, moving a share of the backlog
+//     into its own deque under one lock acquisition.
+//   - A worker whose deque and the injector are both empty steals from the
+//     top of a randomly-chosen victim's deque (FIFO: the oldest task, which
+//     heads the largest remaining subtree) — a single CAS, no lock.
+//   - Only when its own deque, the injector, and every victim are empty does
+//     a worker park on the condition variable. The parking protocol is
+//     sequentially consistent: pushers bump the pending count before
+//     enqueuing and check the parked count after; parkers register under
+//     the lock and re-check pending before sleeping — so a task published
+//     concurrently with a park attempt is always seen by one side.
 type stealScheduler struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	deques [][]*task
-	rr     int // round-robin target for external pushes
-	woken  bool
+	deques []*wsDeque
+
+	injMu sync.Mutex
+	inj   taskRing
+	// injLen mirrors inj.len() so workers can skip the injector lock when
+	// it is empty (the steady state once work is distributed).
+	injLen atomic.Int64
+
+	// pending counts queued tasks (deques + injector). Maintained with
+	// seqcst atomics purely for the parking protocol; the queues themselves
+	// are the source of truth.
+	pending atomic.Int64
+	// parked counts workers asleep on parkCond. Written under parkMu, read
+	// lock-free by pushers deciding whether to signal.
+	parked   atomic.Int32
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	woken    bool
+
+	rng []paddedRand
+}
+
+// paddedRand is a per-worker xorshift state, padded to a cache line so
+// victim-selection draws by different workers don't false-share.
+type paddedRand struct {
+	state uint64
+	_     [7]uint64
 }
 
 func newStealScheduler(workers int) *stealScheduler {
-	s := &stealScheduler{deques: make([][]*task, workers)}
-	s.cond = sync.NewCond(&s.mu)
+	s := &stealScheduler{
+		deques: make([]*wsDeque, workers),
+		rng:    make([]paddedRand, workers),
+	}
+	for i := range s.deques {
+		s.deques[i] = newWSDeque()
+		s.rng[i].state = mix64(uint64(i) + 0x9e3779b97f4a7c15)
+	}
+	s.parkCond = sync.NewCond(&s.parkMu)
 	return s
 }
 
 func (s *stealScheduler) push(t *task, workerHint int) {
-	s.mu.Lock()
-	w := workerHint
-	if w < 0 || w >= len(s.deques) {
-		w = s.rr % len(s.deques)
-		s.rr++
+	s.pending.Add(1)
+	if workerHint >= 0 && workerHint < len(s.deques) {
+		s.deques[workerHint].pushBottom(t)
+	} else {
+		s.injMu.Lock()
+		s.inj.push(t)
+		s.injLen.Add(1)
+		s.injMu.Unlock()
 	}
-	s.deques[w] = append(s.deques[w], t)
-	s.mu.Unlock()
-	s.cond.Signal()
+	s.wakeWorkers(1)
 }
 
 func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
 	if len(ts) == 0 {
 		return
 	}
-	s.mu.Lock()
+	s.pending.Add(int64(len(ts)))
 	if workerHint >= 0 && workerHint < len(s.deques) {
-		s.deques[workerHint] = append(s.deques[workerHint], ts...)
-	} else {
-		// Spread the batch round-robin so the pool starts on it in
-		// parallel instead of stealing it apart one task at a time.
+		d := s.deques[workerHint]
 		for _, t := range ts {
-			w := s.rr % len(s.deques)
-			s.rr++
-			s.deques[w] = append(s.deques[w], t)
+			d.pushBottom(t)
 		}
-	}
-	s.mu.Unlock()
-	if len(ts) == 1 {
-		s.cond.Signal()
 	} else {
-		s.cond.Broadcast()
+		s.injMu.Lock()
+		for _, t := range ts {
+			s.inj.push(t)
+		}
+		s.injLen.Add(int64(len(ts)))
+		s.injMu.Unlock()
 	}
+	s.wakeWorkers(len(ts))
+}
+
+// wakeWorkers unparks up to n workers if any are parked. The parked check
+// is a lock-free fast path: with no one parked (the busy steady state) a
+// push touches no lock at all.
+func (s *stealScheduler) wakeWorkers(n int) {
+	if s.parked.Load() == 0 {
+		return
+	}
+	s.parkMu.Lock()
+	if n == 1 {
+		s.parkCond.Signal()
+	} else {
+		s.parkCond.Broadcast()
+	}
+	s.parkMu.Unlock()
+}
+
+// injectorGrab caps how much of the injector backlog one refill moves into
+// a worker's deque.
+const injectorGrab = 32
+
+// fromInjector refills worker w from the central injector: it returns one
+// task and moves a fair share of the backlog (n/workers, capped) onto w's
+// own deque, amortising the injector lock over the whole chunk.
+func (s *stealScheduler) fromInjector(w int) *task {
+	if s.injLen.Load() == 0 {
+		return nil // lock-free fast path for the common empty case
+	}
+	s.injMu.Lock()
+	n := s.inj.len()
+	if n == 0 {
+		s.injMu.Unlock()
+		return nil
+	}
+	grab := n/len(s.deques) + 1
+	if grab > injectorGrab {
+		grab = injectorGrab
+	}
+	if grab > n {
+		grab = n // single-worker pools: n/1+1 would overshoot the ring
+	}
+	t := s.inj.pop()
+	d := s.deques[w]
+	for i := 1; i < grab; i++ {
+		d.pushBottom(s.inj.pop())
+	}
+	s.injLen.Add(int64(-grab))
+	s.injMu.Unlock()
+	return t
+}
+
+// stealSweep tries every victim once, starting at a random offset. The
+// second result reports whether any CAS lost a race (so the caller must not
+// park on this evidence alone).
+func (s *stealScheduler) stealSweep(w int) (*task, bool) {
+	n := len(s.deques)
+	contended := false
+	off := int(s.nextRand(w) % uint64(n))
+	for i := 0; i < n; i++ {
+		v := off + i
+		if v >= n {
+			v -= n
+		}
+		if v == w {
+			continue
+		}
+		t, retry := s.deques[v].stealTop()
+		if t != nil {
+			return t, false
+		}
+		contended = contended || retry
+	}
+	return nil, contended
+}
+
+// nextRand advances worker w's xorshift64 state.
+func (s *stealScheduler) nextRand(w int) uint64 {
+	x := s.rng[w].state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng[w].state = x
+	return x
 }
 
 func (s *stealScheduler) pop(workerID int) (*task, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for {
-		// Own deque: LIFO for cache locality.
-		if q := s.deques[workerID]; len(q) > 0 {
-			t := q[len(q)-1]
-			s.deques[workerID] = q[:len(q)-1]
+		if t := s.deques[workerID].popBottom(); t != nil {
+			s.pending.Add(-1)
 			return t, false
 		}
-		// Steal: FIFO from the fullest victim.
-		victim, best := -1, 0
-		for v, q := range s.deques {
-			if v != workerID && len(q) > best {
-				victim, best = v, len(q)
-			}
+		if t := s.fromInjector(workerID); t != nil {
+			s.pending.Add(-1)
+			return t, false
 		}
-		if victim >= 0 {
-			q := s.deques[victim]
-			t := q[0]
-			s.deques[victim] = q[1:]
+		if t, contended := s.stealSweep(workerID); t != nil {
+			s.pending.Add(-1)
 			return t, true
+		} else if contended {
+			// Someone holds work we raced for; try again without parking —
+			// but yield first so the holder can make progress when cores
+			// are oversubscribed.
+			stdruntime.Gosched()
+			continue
 		}
-		if s.woken {
+		// Nothing anywhere. Park — unless a task was published since the
+		// sweep (the pending re-check under the lock closes the race with
+		// a concurrent push, whose pending increment precedes its parked
+		// check in seqcst order).
+		s.parkMu.Lock()
+		woken := false
+		slept := false
+		for {
+			if s.woken {
+				woken = true
+				break
+			}
+			// Register as parked BEFORE re-checking pending: a pusher does
+			// pending.Add then parked.Load, so with this order one side
+			// always sees the other (seqcst). Checking pending first would
+			// let a push slip between the check and the registration with
+			// parked still 0 — a lost wakeup.
+			s.parked.Add(1)
+			if s.pending.Load() > 0 {
+				s.parked.Add(-1)
+				break
+			}
+			s.parkCond.Wait()
+			s.parked.Add(-1)
+			slept = true
+		}
+		s.parkMu.Unlock()
+		if woken {
 			return nil, false
 		}
-		s.cond.Wait()
+		if !slept {
+			// pending raced ahead of the enqueue we are about to rescan
+			// for; give the publisher a beat instead of spinning the sweep.
+			stdruntime.Gosched()
+		}
 	}
 }
 
 func (s *stealScheduler) wake() {
-	s.mu.Lock()
+	s.parkMu.Lock()
 	s.woken = true
-	s.mu.Unlock()
-	s.cond.Broadcast()
+	s.parkMu.Unlock()
+	s.parkCond.Broadcast()
 }
 
 // catsScheduler is a central priority queue ordered by the tasks' dynamic
-// bottom-level estimates (higher first), submission order breaking ties.
-// Critical-path tasks therefore start as early as possible (Section 3.1).
+// bottom-level estimates (higher first), submission order breaking ties —
+// critical-path tasks start as early as possible (Section 3.1).
 //
-// Priorities are *dynamic*: submitting a critical successor bumps a
-// predecessor that may already be queued, so pop selects by a linear scan
-// under the lock instead of maintaining a heap whose invariant a concurrent
-// bump would silently break. Ready queues are short; the scan is cheap.
+// The old implementation selected by an O(n) linear scan under the lock on
+// every pop, because a concurrent priority bump would silently break a
+// heap's invariant. This one is a real binary heap that tolerates bumps by
+// lazy stale-entry reinsertion: each heap entry snapshots the task's
+// priority at insertion; when a queued task's estimate is raised, the
+// runtime calls bump and the task is reinserted at its new priority. The
+// superseded (stale) entry is not searched for — it is discarded lazily
+// when it reaches the root, recognised by the task's claim flag (every
+// task is claimed by exactly one winning pop; a task that fails the claim
+// CAS was already dispatched through a fresher entry). Pop is O(log n),
+// push is O(log n), and a bump costs one extra entry instead of a scan.
 type catsScheduler struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	queue []*task
+	heap  []catsEntry
 	woken bool
+}
+
+// catsEntry is one heap element: a task and the priority it was inserted
+// at. task.priority may have been raised since; the entry then either gets
+// superseded by a bump reinsertion or dispatches the task slightly later
+// than a fresh entry would — never earlier, so order violations are
+// one-sided and bounded by the bump window.
+type catsEntry struct {
+	t    *task
+	prio int64
 }
 
 func newCATSScheduler() *catsScheduler {
@@ -190,9 +374,53 @@ func newCATSScheduler() *catsScheduler {
 	return s
 }
 
+// before reports heap order: higher snapshot priority first, then earlier
+// submission.
+func (a catsEntry) before(b catsEntry) bool {
+	return a.prio > b.prio || (a.prio == b.prio && a.t.seq < b.t.seq)
+}
+
+func (s *catsScheduler) heapPush(e catsEntry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heap[i].before(s.heap[p]) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *catsScheduler) heapPop() catsEntry {
+	e := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap[last] = catsEntry{} // release the task pointer
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && s.heap[l].before(s.heap[best]) {
+			best = l
+		}
+		if r < last && s.heap[r].before(s.heap[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+	return e
+}
+
 func (s *catsScheduler) push(t *task, _ int) {
 	s.mu.Lock()
-	s.queue = append(s.queue, t)
+	s.heapPush(catsEntry{t: t, prio: atomic.LoadInt64(&t.priority)})
 	s.mu.Unlock()
 	s.cond.Signal()
 }
@@ -202,7 +430,9 @@ func (s *catsScheduler) pushBatch(ts []*task, _ int) {
 		return
 	}
 	s.mu.Lock()
-	s.queue = append(s.queue, ts...)
+	for _, t := range ts {
+		s.heapPush(catsEntry{t: t, prio: atomic.LoadInt64(&t.priority)})
+	}
 	s.mu.Unlock()
 	if len(ts) == 1 {
 		s.cond.Signal()
@@ -211,29 +441,33 @@ func (s *catsScheduler) pushBatch(ts []*task, _ int) {
 	}
 }
 
+// bump reinserts a queued task whose bottom-level estimate was raised. The
+// entry already in the heap goes stale and is dropped when popped (its
+// claim CAS fails). Called by the runtime under the task's mutex; the
+// lock order task.mu → cats.mu is safe because pop takes no task mutexes.
+func (s *catsScheduler) bump(t *task) {
+	s.mu.Lock()
+	s.heapPush(catsEntry{t: t, prio: atomic.LoadInt64(&t.priority)})
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
 func (s *catsScheduler) pop(int) (*task, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 {
-		if s.woken {
-			return nil, false
+	for {
+		for len(s.heap) == 0 {
+			if s.woken {
+				return nil, false
+			}
+			s.cond.Wait()
 		}
-		s.cond.Wait()
-	}
-	best := 0
-	for i := 1; i < len(s.queue); i++ {
-		a, b := s.queue[i], s.queue[best]
-		pa, pb := atomic.LoadInt64(&a.priority), atomic.LoadInt64(&b.priority)
-		if pa > pb || (pa == pb && a.seq < b.seq) {
-			best = i
+		e := s.heapPop()
+		if atomic.CompareAndSwapInt32(&e.t.claimed, 0, 1) {
+			return e.t, false
 		}
+		// Stale duplicate of an already-dispatched task; keep looking.
 	}
-	t := s.queue[best]
-	last := len(s.queue) - 1
-	s.queue[best] = s.queue[last]
-	s.queue[last] = nil
-	s.queue = s.queue[:last]
-	return t, false
 }
 
 func (s *catsScheduler) wake() {

@@ -1,0 +1,341 @@
+package runtime
+
+import (
+	"math/rand"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// --- wsDeque -----------------------------------------------------------------
+
+func TestWSDequeOwnerLIFOThiefFIFO(t *testing.T) {
+	d := newWSDeque()
+	tasks := make([]task, 10)
+	for i := range tasks {
+		tasks[i].seq = int64(i)
+		d.pushBottom(&tasks[i])
+	}
+	// Owner pops LIFO.
+	for i := 9; i >= 5; i-- {
+		if tk := d.popBottom(); tk == nil || tk.seq != int64(i) {
+			t.Fatalf("popBottom = %v, want seq %d", tk, i)
+		}
+	}
+	// Thieves steal FIFO from the same deque.
+	for i := 0; i < 5; i++ {
+		tk, retry := d.stealTop()
+		if tk == nil || tk.seq != int64(i) {
+			t.Fatalf("stealTop = %v (retry=%v), want seq %d", tk, retry, i)
+		}
+	}
+	if tk := d.popBottom(); tk != nil {
+		t.Fatalf("drained deque popped %v", tk)
+	}
+	if tk, _ := d.stealTop(); tk != nil {
+		t.Fatalf("drained deque stole %v", tk)
+	}
+}
+
+func TestWSDequeGrowsAndReleasesArray(t *testing.T) {
+	d := newWSDeque()
+	const n = wsResetThreshold * 2 // forces several grow steps
+	tasks := make([]task, n)
+	for i := range tasks {
+		tasks[i].seq = int64(i)
+		d.pushBottom(&tasks[i])
+	}
+	if got := d.arr.Load().size(); got < n {
+		t.Fatalf("array size %d after %d pushes", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if tk := d.popBottom(); tk == nil || tk.seq != int64(i) {
+			t.Fatalf("popBottom after grow lost order at %d", i)
+		}
+	}
+	// The empty pop after draining must drop the grown array so its dead
+	// slots are collectable.
+	if tk := d.popBottom(); tk != nil {
+		t.Fatalf("empty deque popped %v", tk)
+	}
+	if got := d.arr.Load().size(); got != wsInitialSize {
+		t.Fatalf("drained deque kept array of size %d, want reset to %d", got, wsInitialSize)
+	}
+}
+
+func TestWSDequePopClearsSlots(t *testing.T) {
+	d := newWSDeque()
+	tasks := make([]task, 8)
+	for i := range tasks {
+		d.pushBottom(&tasks[i])
+	}
+	for i := 0; i < len(tasks); i++ {
+		d.popBottom()
+	}
+	a := d.arr.Load()
+	for i := range a.slots {
+		if a.slots[i].Load() != nil {
+			t.Fatalf("slot %d still holds a popped task pointer", i)
+		}
+	}
+}
+
+// Race witness for the lock-free deque itself: one owner mixing pushes and
+// LIFO pops against several concurrent thieves. Every task must be taken
+// exactly once, whoever wins it. Run with -race.
+func TestStressDequeOwnerVsThieves(t *testing.T) {
+	const (
+		nTasks  = 20000
+		thieves = 4
+	)
+	d := newWSDeque()
+	tasks := make([]task, nTasks)
+	popped := make([]int32, nTasks)
+	var taken int64
+	take := func(tk *task) {
+		if c := atomic.AddInt32(&popped[tk.seq], 1); c != 1 {
+			t.Errorf("task %d taken %d times", tk.seq, c)
+		}
+		atomic.AddInt64(&taken, 1)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if tk, _ := d.stealTop(); tk != nil {
+					take(tk)
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+					stdruntime.Gosched()
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	pushed := 0
+	for pushed < nTasks {
+		burst := 1 + rng.Intn(8)
+		for i := 0; i < burst && pushed < nTasks; i++ {
+			tasks[pushed].seq = int64(pushed)
+			d.pushBottom(&tasks[pushed])
+			pushed++
+		}
+		if rng.Intn(2) == 0 {
+			if tk := d.popBottom(); tk != nil {
+				take(tk)
+			}
+		}
+	}
+	for atomic.LoadInt64(&taken) < nTasks {
+		if tk := d.popBottom(); tk != nil {
+			take(tk)
+		} else {
+			stdruntime.Gosched() // thieves hold the rest
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	for i, c := range popped {
+		if c != 1 {
+			t.Fatalf("task %d taken %d times", i, c)
+		}
+	}
+}
+
+// --- steal scheduler parking -------------------------------------------------
+
+func TestStealWorkersParkWhenIdle(t *testing.T) {
+	const workers = 3
+	r := New(WithWorkers(workers))
+	defer r.Shutdown()
+	s, ok := r.sched.(*stealScheduler)
+	if !ok {
+		t.Fatalf("default scheduler is %T, want *stealScheduler", r.sched)
+	}
+	// Idle workers must end up parked, not spinning the queues.
+	waitFor(t, 5*time.Second, func() bool { return s.parked.Load() == workers },
+		"all idle workers to park")
+	// A submission must wake a parked worker and run.
+	var ran int32
+	r.Submit("t", 1, func() { atomic.AddInt32(&ran, 1) })
+	r.Wait()
+	if atomic.LoadInt32(&ran) != 1 {
+		t.Fatalf("task ran %d times", ran)
+	}
+	waitFor(t, 5*time.Second, func() bool { return s.parked.Load() == workers },
+		"workers to re-park after the task")
+}
+
+// Regression: with a single worker the injector refill used to grab
+// n/1+1 tasks — one more than the ring held — pushing a nil task and
+// desyncing the length mirror so a later submission was never seen and
+// Wait hung forever.
+func TestSingleWorkerInjectorRefill(t *testing.T) {
+	r := New(WithWorkers(1))
+	defer r.Shutdown()
+	var ran int32
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			r.Submit("t", 1, func() { atomic.AddInt32(&ran, 1) })
+		}
+		done := make(chan struct{})
+		go func() { r.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: Wait hung (injector refill lost a task)", round)
+		}
+	}
+	if got := atomic.LoadInt32(&ran); got != 15 {
+		t.Fatalf("ran %d tasks, want 15", got)
+	}
+}
+
+// --- taskRing ----------------------------------------------------------------
+
+func TestTaskRingFIFOWraparoundAndRelease(t *testing.T) {
+	var r taskRing
+	tasks := make([]task, 300)
+	next, expect := 0, 0
+	// Interleaved pushes and pops force head to wrap several times.
+	for expect < len(tasks) {
+		for i := 0; i < 7 && next < len(tasks); i++ {
+			tasks[next].seq = int64(next)
+			r.push(&tasks[next])
+			next++
+		}
+		for i := 0; i < 5 && expect < next; i++ {
+			tk := r.pop()
+			if tk == nil || tk.seq != int64(expect) {
+				t.Fatalf("pop = %v, want seq %d", tk, expect)
+			}
+			expect++
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("ring not drained: %d left", r.len())
+	}
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatalf("slot %d still holds a popped task pointer", i)
+		}
+	}
+}
+
+func TestTaskRingShrinksWhenMostlyEmpty(t *testing.T) {
+	var r taskRing
+	n := ringShrinkThreshold * 4
+	tasks := make([]task, n)
+	for i := range tasks {
+		r.push(&tasks[i])
+	}
+	grown := len(r.buf)
+	if grown < n {
+		t.Fatalf("ring capacity %d after %d pushes", grown, n)
+	}
+	for i := 0; i < n; i++ {
+		r.pop()
+	}
+	if len(r.buf) >= grown {
+		t.Fatalf("ring kept capacity %d after draining (was %d)", len(r.buf), grown)
+	}
+}
+
+// --- CATS heap ---------------------------------------------------------------
+
+func TestCATSHeapPopsByPriorityThenSeq(t *testing.T) {
+	s := newCATSScheduler()
+	mk := func(prio int64, seq int64) *task { return &task{priority: prio, seq: seq} }
+	ts := []*task{mk(1, 0), mk(9, 1), mk(5, 2), mk(9, 3), mk(0, 4)}
+	for _, tk := range ts {
+		s.push(tk, -1)
+	}
+	wantSeq := []int64{1, 3, 2, 0, 4} // prio 9 (seq 1 before 3), 5, 1, 0
+	for i, want := range wantSeq {
+		tk, _ := s.pop(0)
+		if tk.seq != want {
+			t.Fatalf("pop %d = seq %d, want %d", i, tk.seq, want)
+		}
+	}
+}
+
+// A bump while queued must reinsert the task at its new priority and the
+// superseded entry must be discarded lazily, never dispatching the task a
+// second time.
+func TestCATSHeapBumpReinsertsAndDiscardsStale(t *testing.T) {
+	s := newCATSScheduler()
+	t1 := &task{priority: 0, seq: 1}
+	t2 := &task{priority: 0, seq: 2}
+	s.push(t1, -1)
+	s.push(t2, -1)
+	// Raise t2 past t1 after both are queued (what linkPreds does).
+	atomic.StoreInt64(&t2.priority, 10)
+	s.bump(t2)
+
+	if tk, _ := s.pop(0); tk != t2 {
+		t.Fatalf("first pop = seq %d, want bumped task %d", tk.seq, t2.seq)
+	}
+	if tk, _ := s.pop(0); tk != t1 {
+		t.Fatalf("second pop = seq %d, want %d", tk.seq, t1.seq)
+	}
+	// Only t2's stale duplicate remains; a woken pop must discard it and
+	// report empty rather than dispatch t2 twice.
+	s.wake()
+	if tk, _ := s.pop(0); tk != nil {
+		t.Fatalf("stale duplicate dispatched task %d again", tk.seq)
+	}
+}
+
+// --- cross-scheduler wake ----------------------------------------------------
+
+func TestWakeUnblocksPoppingWorkers(t *testing.T) {
+	for _, mk := range []func() scheduler{
+		func() scheduler { return newFIFOScheduler() },
+		func() scheduler { return newStealScheduler(4) },
+		func() scheduler { return newCATSScheduler() },
+	} {
+		s := mk()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if tk, _ := s.pop(w); tk != nil {
+					t.Errorf("pop on empty scheduler returned %v", tk)
+				}
+			}(w)
+		}
+		time.Sleep(10 * time.Millisecond) // let them block
+		s.wake()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%T: workers still blocked after wake", s)
+		}
+	}
+}

@@ -24,6 +24,8 @@ type depShard struct {
 	readersTail map[any][]*task
 	// tasks is this shard's slab of the task log (tasks whose log shard is
 	// this one). The full log is the sorted-by-seq union over all shards.
+	// Populated only under WithTraceRetention — by default the log stays
+	// empty so completed tasks are collectable.
 	tasks []*task
 }
 
@@ -132,9 +134,14 @@ func hashString(s string) uint64 {
 // shardPlan computes the lock set for registering t: one bit per shard the
 // task's dependence keys hash to, plus the log shard the task record is
 // appended to. Dependence-free tasks log to seq-round-robin shards so an
-// embarrassingly-parallel stream spreads instead of serialising.
+// embarrassingly-parallel stream spreads instead of serialising — and when
+// no trace is retained they lock nothing at all, since their registration
+// touches no tracker state (lockShards(0) is a no-op).
 func (r *Runtime) shardPlan(t *task) (mask uint64, logIdx int) {
 	if len(t.depsLog) == 0 {
+		if !r.opts.retainTrace {
+			return 0, 0
+		}
 		logIdx = int(uint64(t.seq) % uint64(len(r.shards)))
 		return 1 << logIdx, logIdx
 	}

@@ -157,7 +157,8 @@ func stressOnce(t *testing.T, kind SchedulerKind, shards int) {
 // span many keys (hence many shards, locked in ascending order) submitted
 // from many goroutines must neither deadlock nor drop dependences.
 func TestStressMultiShardLockOrdering(t *testing.T) {
-	r := New(WithWorkers(4), WithShards(8))
+	// Trace retention on: countDeps audits the shard task logs at the end.
+	r := New(WithWorkers(4), WithShards(8), WithTraceRetention())
 	defer r.Shutdown()
 	const producers = 8
 	const tasksEach = 200
@@ -208,6 +209,93 @@ func TestStressMultiShardLockOrdering(t *testing.T) {
 	if got != want {
 		t.Fatalf("per-key increments %d, want %d — per-key serialisation raced", got, want)
 	}
+}
+
+// Steal-heavy stress: each root task's completion releases a whole fan of
+// children at once, pushed onto the completing worker's own deque — the
+// other workers must steal them. Shutdown races the producers mid-stream.
+// With -race this is the owner-pop vs concurrent-steal vs Shutdown witness
+// for the lock-free deques (and exercises the same shape on the other
+// schedulers).
+func TestStressStealHeavyFanOutShutdown(t *testing.T) {
+	eachScheduler(t, func(t *testing.T, kind SchedulerKind) {
+		const (
+			producers = 4
+			groups    = 40
+			fan       = 12
+			maxTasks  = producers * groups * (fan + 1)
+		)
+		r := New(WithWorkers(4), WithScheduler(kind))
+		cells := make([]int32, maxTasks)
+		var next int32
+		var accepted int64
+		body := func(cell int32) func() {
+			return func() {
+				for i := 0; i < 200; i++ { // a little spin so fans overlap
+					_ = i * i
+				}
+				atomic.AddInt32(&cells[cell], 1)
+			}
+		}
+		var wg sync.WaitGroup
+		shutdownDone := make(chan struct{})
+		wg.Add(producers)
+		for p := 0; p < producers; p++ {
+			go func(p int) {
+				defer wg.Done()
+				for g := 0; g < groups; g++ {
+					key := fmt.Sprintf("fan-%d-%d", p, g)
+					cell := atomic.AddInt32(&next, 1) - 1
+					if _, err := r.Submit("root", 1, body(cell), Out(key)); err != nil {
+						if errors.Is(err, ErrShutdown) {
+							return
+						}
+						t.Errorf("Submit root: %v", err)
+						return
+					}
+					atomic.AddInt64(&accepted, 1)
+					for c := 0; c < fan; c++ {
+						cell := atomic.AddInt32(&next, 1) - 1
+						if _, err := r.Submit("child", 1, body(cell), In(key)); err != nil {
+							if errors.Is(err, ErrShutdown) {
+								return
+							}
+							t.Errorf("Submit child: %v", err)
+							return
+						}
+						atomic.AddInt64(&accepted, 1)
+					}
+				}
+			}(p)
+		}
+		go func() {
+			defer close(shutdownDone)
+			for atomic.LoadInt64(&accepted) < maxTasks/4 {
+				stdruntime.Gosched()
+			}
+			r.Shutdown()
+		}()
+		wg.Wait()
+		<-shutdownDone
+
+		st := r.Stats()
+		acc := atomic.LoadInt64(&accepted)
+		if st.Executed != uint64(acc) {
+			t.Errorf("accepted %d tasks but executed %d", acc, st.Executed)
+		}
+		var ran int64
+		for i, c := range cells {
+			switch c {
+			case 0, 1:
+				ran += int64(c)
+			default:
+				t.Errorf("task cell %d executed %d times", i, c)
+			}
+		}
+		if ran != acc {
+			t.Errorf("cells record %d executions, accepted %d", ran, acc)
+		}
+	})
 }
 
 // countDeps sums the dependence counts over the task log.

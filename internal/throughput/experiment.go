@@ -28,6 +28,8 @@ type Spec struct {
 	Grain int `json:"grain"`
 	// Keys is the random scenario's key-space size.
 	Keys int `json:"keys"`
+	// Rounds is the longrun scenario's submit→Wait round count (0 = 8).
+	Rounds int `json:"rounds,omitempty"`
 	// Seed makes the random dependence streams reproducible.
 	Seed int64 `json:"seed"`
 }
@@ -39,7 +41,7 @@ func init() { raa.Register(experiment{}) }
 func (experiment) Name() string { return "throughput" }
 
 func (experiment) Describe() string {
-	return "Submit-path throughput: tasks/sec per scenario, scheduler, tracker shard count, and submission mode"
+	return "Submit- and dispatch-path throughput: tasks/sec per scenario, scheduler, tracker shard count, and submission mode"
 }
 
 func (experiment) Aliases() []string { return []string{"tput"} }
@@ -89,6 +91,7 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 		Batch:      s.Batch,
 		Grain:      s.Grain,
 		Keys:       s.Keys,
+		Rounds:     s.Rounds,
 		Seed:       s.Seed,
 	})
 	if err != nil {

@@ -1,9 +1,12 @@
-// Package throughput measures the runtime's submit-path scalability: the
-// rate at which the sharded dependence tracker can rename and dispatch
-// tasks, swept over dependence scenario × scheduler × shard count ×
-// submission mode (per-task Submit vs SubmitBatch). This is the
-// instrument behind the sharding work: shards=1 reproduces the old
-// single-lock renamer, so every sweep carries its own baseline.
+// Package throughput measures the runtime's scalability on both halves of
+// the task path: the rate at which the sharded dependence tracker can
+// rename tasks (submit side) and the rate at which the scheduler layer can
+// dispatch them (worker side), swept over dependence scenario × scheduler ×
+// shard count × submission mode (per-task Submit vs SubmitBatch). shards=1
+// reproduces the old single-lock renamer as a built-in baseline; the fifo
+// scheduler plays the same role for the lock-free work-stealing dispatch
+// (the steal scenario is built to separate the two), and the longrun
+// scenario exercises the steady state of a long-lived service.
 package throughput
 
 import (
@@ -32,11 +35,40 @@ const (
 	// a configurable key space: the general random-DAG case, exercising
 	// multi-shard lock ordering.
 	ScenarioRandom = "random"
+	// ScenarioSteal is dispatch-side pressure: tasks come in small groups
+	// of one root plus stealFan children reading it, so each root's
+	// completion releases a whole fan onto the completing worker's local
+	// queue at once — the other workers must steal to share the load. This
+	// is the scenario the lock-free deque path is built for; a central
+	// single-lock scheduler serialises every one of those pops.
+	ScenarioSteal = "steal"
+	// ScenarioLongRun is the long-lived-service shape: the same runtime
+	// serves many submit→Wait rounds in sequence. It measures sustained
+	// dispatch rate after the pool has drained and re-parked repeatedly
+	// (and, with the default no-trace-retention lifecycle, runs at bounded
+	// memory however many rounds pass).
+	ScenarioLongRun = "longrun"
 )
+
+// stealFan is the children-per-root fan-out of ScenarioSteal.
+const stealFan = 15
+
+// stealKey identifies one ScenarioSteal group's root datum. An int64 key
+// (producer in the high bits, group in the low) takes the tracker's inline
+// integer-hash path, keeping the scenario a dispatch-side measurement
+// instead of a key-hashing one — int64 so the shift is sound on 32-bit
+// platforms too.
+func stealKey(producer, group int) int64 {
+	return int64(producer)<<32 | int64(group)
+}
+
+// defaultRounds is the round count of ScenarioLongRun when Config.Rounds
+// is unset.
+const defaultRounds = 8
 
 // Scenarios lists every scenario in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom}
+	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun}
 }
 
 // Config parameterises a sweep.
@@ -58,6 +90,9 @@ type Config struct {
 	Grain int
 	// Keys is the key-space size for ScenarioRandom.
 	Keys int
+	// Rounds is the submit→Wait round count for ScenarioLongRun
+	// (default 8).
+	Rounds int
 	// Seed makes the random-DAG dependence streams reproducible.
 	Seed int64
 }
@@ -69,7 +104,7 @@ type Point struct {
 	// Shards is the resolved shard count the runtime used.
 	Shards int
 	// Mode is "single" (per-task Submit) or "batch" (SubmitBatch).
-	Mode string
+	Mode  string
 	Tasks int
 	// Elapsed covers submission through Wait.
 	Elapsed time.Duration
@@ -158,6 +193,9 @@ func validScenario(name string) error {
 
 // runOne measures one (scenario, scheduler, shards, mode) cell.
 func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, shards int, mode string, cfg Config) (Point, error) {
+	if scenario == ScenarioLongRun {
+		return runLongRun(ctx, kind, shards, mode, cfg)
+	}
 	rt := runtime.New(
 		runtime.WithWorkers(cfg.Workers),
 		runtime.WithScheduler(kind),
@@ -176,35 +214,50 @@ func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, sh
 		}
 		submitted++
 	}
-	var wg sync.WaitGroup
-	errs := make(chan error, cfg.Producers)
-	per := (cfg.Tasks - submitted + cfg.Producers - 1) / cfg.Producers
-	for p := 0; p < cfg.Producers; p++ {
-		n := per
-		if rem := cfg.Tasks - submitted - p*per; rem < n {
-			n = rem
-		}
-		if n <= 0 {
-			break
-		}
-		wg.Add(1)
-		go func(producer, n int) {
-			defer wg.Done()
-			errs <- produce(ctx, rt, scenario, mode, producer, n, body, cfg)
-		}(p, n)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			rt.Shutdown()
-			return Point{}, err
-		}
+	if err := submitWave(ctx, rt, scenario, mode, cfg.Tasks-submitted, body, cfg); err != nil {
+		rt.Shutdown()
+		return Point{}, err
 	}
 	if err := rt.WaitCtx(ctx); err != nil {
 		rt.Shutdown()
 		return Point{}, err
 	}
+	return finishPoint(rt, scenario, kind, mode, cfg, start)
+}
+
+// submitWave fans n tasks of the scenario out over cfg.Producers concurrent
+// goroutines and waits for all submissions to land.
+func submitWave(ctx context.Context, rt *runtime.Runtime, scenario, mode string, n int, body runtime.Body, cfg Config) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Producers)
+	per := (n + cfg.Producers - 1) / cfg.Producers
+	for p := 0; p < cfg.Producers; p++ {
+		share := per
+		if rem := n - p*per; rem < share {
+			share = rem
+		}
+		if share <= 0 {
+			break
+		}
+		wg.Add(1)
+		go func(producer, share int) {
+			defer wg.Done()
+			errs <- produce(ctx, rt, scenario, mode, producer, share, body, cfg)
+		}(p, share)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishPoint stops the runtime, audits the executed count against the
+// configured task count, and builds the measured Point.
+func finishPoint(rt *runtime.Runtime, scenario string, kind runtime.SchedulerKind, mode string, cfg Config, start time.Time) (Point, error) {
 	elapsed := time.Since(start)
 	st := rt.Stats()
 	resolved := rt.Shards()
@@ -225,6 +278,46 @@ func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, sh
 	}, nil
 }
 
+// runLongRun measures the ScenarioLongRun cell: one runtime serves Rounds
+// consecutive submit→Wait rounds of dependence-free tasks, so the measured
+// rate includes repeated pool drain/park/wake cycles — the steady state of
+// a long-lived service, not a one-shot burst.
+func runLongRun(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, cfg Config) (Point, error) {
+	rt := runtime.New(
+		runtime.WithWorkers(cfg.Workers),
+		runtime.WithScheduler(kind),
+		runtime.WithShards(shards),
+	)
+	body := taskBody(cfg.Grain)
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = defaultRounds
+	}
+	if rounds > cfg.Tasks {
+		rounds = cfg.Tasks
+	}
+
+	start := time.Now()
+	submitted := 0
+	for round := 0; round < rounds; round++ {
+		// Spread the remaining tasks evenly over the remaining rounds.
+		n := (cfg.Tasks - submitted) / (rounds - round)
+		if round == rounds-1 {
+			n = cfg.Tasks - submitted
+		}
+		if err := submitWave(ctx, rt, ScenarioParallel, mode, n, body, cfg); err != nil {
+			rt.Shutdown()
+			return Point{}, err
+		}
+		if err := rt.WaitCtx(ctx); err != nil {
+			rt.Shutdown()
+			return Point{}, err
+		}
+		submitted += n
+	}
+	return finishPoint(rt, ScenarioLongRun, kind, mode, cfg, start)
+}
+
 // produce submits n tasks of the scenario's dependence shape from one
 // producer goroutine, per-task or batched according to mode.
 func produce(ctx context.Context, rt *runtime.Runtime, scenario, mode string, producer, n int, body runtime.Body, cfg Config) error {
@@ -237,6 +330,14 @@ func produce(ctx context.Context, rt *runtime.Runtime, scenario, mode string, pr
 			return []runtime.Dep{runtime.In("fan-root")}
 		case ScenarioChain:
 			return []runtime.Dep{runtime.InOut("chain")}
+		case ScenarioSteal:
+			// Groups of one root writer plus stealFan readers: the root's
+			// completion releases the whole fan at once onto one worker.
+			key := stealKey(producer, i/(stealFan+1))
+			if i%(stealFan+1) == 0 {
+				return []runtime.Dep{runtime.Out(key)}
+			}
+			return []runtime.Dep{runtime.In(key)}
 		default: // ScenarioRandom
 			nd := 1 + rng.Intn(3)
 			ds := make([]runtime.Dep, nd)

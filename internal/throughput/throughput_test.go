@@ -92,6 +92,45 @@ func TestRunDedupesResolvedShardCounts(t *testing.T) {
 	}
 }
 
+// The steal scenario's root+fan grouping must account for task counts that
+// do not divide evenly into groups — the last group simply has fewer
+// children, and every accepted task still executes.
+func TestStealScenarioHandlesRaggedGroups(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scenarios = []string{ScenarioSteal}
+	cfg.Tasks = 501 // not a multiple of (1 + stealFan) or of Producers
+	pts, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Executed != uint64(cfg.Tasks) {
+			t.Errorf("steal shards=%d %s: executed %d, want %d", p.Shards, p.Mode, p.Executed, cfg.Tasks)
+		}
+	}
+}
+
+// The longrun scenario must execute exactly Tasks over its rounds on one
+// runtime, for any rounds/tasks combination.
+func TestLongRunRoundsAccounting(t *testing.T) {
+	for _, rounds := range []int{1, 3, 7} {
+		cfg := smallConfig()
+		cfg.Scenarios = []string{ScenarioLongRun}
+		cfg.Tasks = 500
+		cfg.Rounds = rounds
+		pts, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Executed != uint64(cfg.Tasks) {
+				t.Errorf("longrun rounds=%d shards=%d %s: executed %d, want %d",
+					rounds, p.Shards, p.Mode, p.Executed, cfg.Tasks)
+			}
+		}
+	}
+}
+
 func TestRunHonoursCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -6,8 +6,8 @@
 package experiments
 
 import (
-	_ "repro/internal/hybridmem" // hybridmem (fig1)
-	_ "repro/internal/parsecsim" // parsec-scalability (fig5), parsec-loc (loc)
+	_ "repro/internal/hybridmem"  // hybridmem (fig1)
+	_ "repro/internal/parsecsim"  // parsec-scalability (fig5), parsec-loc (loc)
 	_ "repro/internal/simexec"    // criticality-dvfs (fig2), rsu-scaling (rsu)
 	_ "repro/internal/solver"     // resilient-cg (fig4)
 	_ "repro/internal/throughput" // throughput (tput): submit-path scalability
