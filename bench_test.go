@@ -174,6 +174,59 @@ func BenchmarkDispatchStealHeavy(b *testing.B) {
 	}
 }
 
+// BenchmarkHeteroCriticalPath measures criticality-aware placement on a
+// heterogeneous pool (1 fast + 3 slow workers, slow = 4× the work per
+// task): a priority-hinted critical chain with a fan of plain tasks per
+// link. CATS keeps the chain on the fast class, so its makespan tracks
+// the fast core; class-blind fifo/worksteal let slow workers pick chain
+// links up and stretch the critical path. The placement itself is
+// asserted in internal/runtime (TestCATSChainRunsOnFastClass) and
+// internal/throughput (TestHeteroScenarioPlacement); this benchmark
+// reports the resulting end-to-end cost per scheduler.
+func BenchmarkHeteroCriticalPath(b *testing.B) {
+	const fan = 7
+	const grain = 2048
+	for _, kind := range []runtime.SchedulerKind{runtime.CATS, runtime.WorkSteal, runtime.FIFO} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rt := runtime.New(
+				runtime.WithScheduler(kind),
+				runtime.WithWorkerClasses(
+					runtime.WorkerClass{Name: "fast", Count: 1, Speed: 1},
+					runtime.WorkerClass{Name: "slow", Count: 3, Speed: 0.25},
+				),
+			)
+			defer rt.Shutdown()
+			var sink uint64
+			body := func(ctx context.Context) error {
+				speed := 1.0
+				if pl, ok := runtime.TaskPlacement(ctx); ok {
+					speed = pl.Speed
+				}
+				x := uint64(grain)
+				for i := 0; i < int(grain/speed); i++ {
+					x = x*1664525 + 1013904223
+				}
+				atomic.AddUint64(&sink, x)
+				return nil
+			}
+			b.ResetTimer()
+			links := 0
+			for i := 0; i < b.N; i++ {
+				if i%(fan+1) == 0 {
+					links++
+					if _, err := rt.SubmitPriorityCtx(context.Background(), "chain", 1, 1+b.N-i, body,
+						runtime.InOut("chain"), runtime.Out(links)); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := rt.SubmitCtx(context.Background(), "fan", 1, body, runtime.In(links)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rt.Wait()
+		})
+	}
+}
+
 // BenchmarkLongLivedSubmitWait measures the steady state of a long-lived
 // runtime: repeated submit→Wait rounds on one pool, with the default
 // no-trace-retention lifecycle keeping memory bounded across rounds.

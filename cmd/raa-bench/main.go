@@ -16,6 +16,8 @@
 //	    -spec '{"shards": [1, 16, 64], "tasks": 100000}'  # submit-path scaling
 //	raa-bench -experiment throughput \
 //	    -spec '{"scenarios": ["steal", "longrun"], "shards": [0]}'  # dispatch scaling
+//	raa-bench -experiment throughput \
+//	    -spec '{"scenarios": ["hetero"], "schedulers": ["cats", "fifo"]}'  # big.LITTLE placement
 //
 // Interrupting with ^C cancels the run cleanly: in-flight experiments stop
 // at the next unit boundary and the command exits with the context error.

@@ -1,0 +1,86 @@
+// Package runtime implements an OmpSs-like task-based dataflow runtime — the
+// software half of the paper's runtime-aware architecture. Programs submit
+// tasks annotated with in/out/inout dependences over arbitrary data keys;
+// the runtime builds the Task Dependency Graph dynamically (exactly as a
+// superscalar core renames registers and tracks RAW/WAR/WAW hazards),
+// schedules ready tasks over a pool of workers, and exposes the graph for
+// analysis and for the simulated executor of package simexec.
+//
+// # Construction
+//
+// A runtime is built with functional options:
+//
+//	rt := runtime.New(
+//	    runtime.WithWorkers(8),              // homogeneous pool, or:
+//	    runtime.WithWorkerClasses(           // asymmetric big.LITTLE pool
+//	        runtime.WorkerClass{Name: "big", Count: 2, Speed: 2},
+//	        runtime.WorkerClass{Name: "little", Count: 6, Speed: 0.5},
+//	    ),
+//	    runtime.WithScheduler(runtime.CATS), // FIFO | WorkSteal | CATS
+//	    runtime.WithQueueBound(256),         // backpressure; 0 = unbounded
+//	    runtime.WithShards(16),              // dependence-tracker shards; 0 = auto
+//	    runtime.WithTraceRetention(),        // keep the task trace for Graph
+//	)
+//
+// Task bodies receive a context and may return an error; the runtime
+// captures the first failure (Err, WaitCtx) and propagates cancellation:
+// tasks whose submission context is cancelled before they start are
+// skipped. The body's context also carries the executing worker's identity
+// (TaskPlacement), so heterogeneous workloads can scale simulated work to
+// the class that runs them.
+//
+// # Submission and dependence tracking
+//
+// Submission order defines program order, and the tracker resolves
+// RAW/WAR/WAW hazards against it per key — OmpSs semantics with no storage
+// renaming. The tracker is sharded by key hash (WithShards, auto-sized to
+// the machine by default): submissions whose keys land on different shards
+// register fully in parallel, and a task spanning several shards locks
+// them in ascending index order, so the submit path scales with producer
+// count instead of funnelling through one renamer lock. SubmitBatch and
+// SubmitBatchCtx amortise shard locking and scheduler wakeups over a
+// whole slice of TaskSpecs.
+//
+// # Scheduler taxonomy
+//
+// Three schedulers are provided (SchedulerKind, WithScheduler):
+//
+//	FIFO      a single central queue — the simplest baseline, class-blind
+//	          by design.
+//	WorkSteal per-worker lock-free Chase–Lev deques with randomized FIFO
+//	          stealing and a parking list for idle workers (the production
+//	          default, Nanos++-style). On a heterogeneous pool, victim
+//	          sweeps visit fast-class deques first: fast workers keep
+//	          critical work inside their class, and slow workers stealing
+//	          a fast worker's oldest entries help its backlog drain.
+//	CATS      criticality-aware: a central priority structure ordered by
+//	          the dynamically-maintained bottom-level estimate, so tasks
+//	          on the critical path run first (Section 3.1). On a
+//	          heterogeneous pool it is also placement-aware: critical
+//	          tasks go to fast-class workers, and slow workers take
+//	          critical work only when every fast worker is already
+//	          running critical work (saturation).
+//
+// # Worker classes
+//
+// WithWorkerClasses models an asymmetric machine: each WorkerClass
+// contributes Count workers at a relative Speed. Classes are resolved
+// fastest first and worker IDs are assigned in that order; the classes
+// whose speed ties the pool's maximum form the fast class that the
+// placement rules above target. Speed is advisory — the runtime does not
+// throttle anything — but task bodies can read their placement back
+// (TaskPlacement) and scale simulated work accordingly, which is how the
+// throughput experiment's hetero scenario models a big.LITTLE machine.
+// Stats.PerClass reports how many tasks each class executed.
+//
+// # Memory lifecycle and trace retention
+//
+// By default the runtime's memory stays bounded by the work in flight plus
+// the set of distinct dependence keys used: completed tasks drop their
+// body, context, and dependence log, and queue slots release popped
+// pointers, so a runtime can serve submissions indefinitely (per-key
+// tracker state — lastWriter and the reader lists — persists per distinct
+// key; reuse keys rather than minting fresh ones forever). Building with
+// WithTraceRetention keeps the full task trace instead, which Graph needs
+// for export; without it Graph fails with ErrNoTrace.
+package runtime

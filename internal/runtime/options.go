@@ -1,10 +1,17 @@
 package runtime
 
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
 // options is the resolved runtime configuration. It is built exclusively
 // through functional options so the zero value of every knob can stay a
 // sensible default and new knobs can be added without breaking callers.
 type options struct {
 	workers     int
+	classes     []WorkerClass
 	scheduler   SchedulerKind
 	queueBound  int
 	shards      int
@@ -18,14 +25,97 @@ func defaultOptions() options {
 // Option configures a Runtime at construction time.
 type Option func(*options)
 
-// WithWorkers sets the worker-pool size. Values below 1 are ignored and the
-// default of 4 is kept.
+// WorkerClass describes one class of workers in a heterogeneous pool —
+// the software model of an asymmetric (big.LITTLE-style) machine. Count
+// workers share the class; Speed is the class's relative speed multiplier
+// (1.0 = nominal, 0.5 = half as fast). The runtime uses the classes for
+// criticality-aware placement: CATS reserves high-bottom-level tasks for
+// the fastest class, and the work-stealing scheduler biases victim
+// selection toward fast-class deques. Name is an optional label ("big",
+// "LITTLE") surfaced by diagnostics; unnamed classes are labelled
+// "class<i>" after resolution.
+type WorkerClass struct {
+	// Name labels the class in stats and diagnostics ("" = auto).
+	Name string
+	// Count is the number of workers in the class.
+	Count int
+	// Speed is the class's relative speed multiplier (1.0 = nominal).
+	// It is advisory: the runtime does not slow workers down, it only
+	// uses the ordering for placement. Simulated workloads can read the
+	// multiplier back through TaskPlacement and scale their work.
+	Speed float64
+}
+
+// String renders the class as "name×count@speed".
+func (c WorkerClass) String() string {
+	return fmt.Sprintf("%s×%d@%g", c.Name, c.Count, c.Speed)
+}
+
+// valid reports whether the class contributes workers: it needs a
+// positive count and a positive, finite speed.
+func (c WorkerClass) valid() bool {
+	return c.Count > 0 && c.Speed > 0 && !math.IsInf(c.Speed, 1) && !math.IsNaN(c.Speed)
+}
+
+// WithWorkers sets the worker-pool size as a single homogeneous class at
+// nominal speed. Values below 1 are ignored and the previous configuration
+// (default: 4 workers) is kept. WithWorkers and WithWorkerClasses override
+// each other: the last option applied wins.
 func WithWorkers(n int) Option {
 	return func(o *options) {
 		if n > 0 {
 			o.workers = n
+			o.classes = nil
 		}
 	}
+}
+
+// WithWorkerClasses configures a heterogeneous pool from the given worker
+// classes. Invalid classes — zero or negative Count, or a Speed that is
+// not positive and finite — are dropped at construction; if no valid
+// class remains the option is a no-op and the pool falls back to the
+// homogeneous configuration (WithWorkers or the default of 4). The
+// resolved classes are ordered fastest first and worker IDs are assigned
+// in that order, so workers 0..fastCount-1 always form the fastest class;
+// Runtime.WorkerClasses reports the result. WithWorkerClasses and
+// WithWorkers override each other: the last option applied wins.
+func WithWorkerClasses(classes ...WorkerClass) Option {
+	return func(o *options) {
+		o.classes = append([]WorkerClass(nil), classes...)
+	}
+}
+
+// resolveClasses normalises the configured classes into the worker layout:
+// invalid classes are dropped, the rest are sorted fastest first (stable,
+// so equal-speed classes keep their configured order), unnamed classes get
+// positional names, and with no valid class the pool is one nominal-speed
+// class of o.workers workers. It returns the resolved classes, the
+// workerID→class-index map, and the number of fast-class workers (every
+// worker whose class ties the top speed).
+func (o options) resolveClasses() (classes []WorkerClass, classOf []int, fastN int) {
+	for _, c := range o.classes {
+		if c.valid() {
+			classes = append(classes, c)
+		}
+	}
+	if len(classes) == 0 {
+		classes = []WorkerClass{{Name: "worker", Count: o.workers, Speed: 1}}
+	}
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i].Speed > classes[j].Speed })
+	for i := range classes {
+		if classes[i].Name == "" {
+			classes[i].Name = fmt.Sprintf("class%d", i)
+		}
+	}
+	for ci, c := range classes {
+		for k := 0; k < c.Count; k++ {
+			classOf = append(classOf, ci)
+		}
+		if c.Speed == classes[0].Speed {
+			fastN += c.Count
+		}
+	}
+	return classes, classOf, fastN
 }
 
 // WithScheduler selects the scheduling policy (WorkSteal by default).

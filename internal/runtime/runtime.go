@@ -1,45 +1,3 @@
-// Package runtime implements an OmpSs-like task-based dataflow runtime — the
-// software half of the paper's runtime-aware architecture. Programs submit
-// tasks annotated with in/out/inout dependences over arbitrary data keys;
-// the runtime builds the Task Dependency Graph dynamically (exactly as a
-// superscalar core renames registers and tracks RAW/WAR/WAW hazards),
-// schedules ready tasks over a pool of workers, and exposes the graph for
-// analysis and for the simulated executor of package simexec.
-//
-// A runtime is built with functional options:
-//
-//	rt := runtime.New(runtime.WithWorkers(8), runtime.WithScheduler(runtime.CATS))
-//
-// Task bodies receive a context and may return an error; the runtime
-// captures the first failure (Err, WaitCtx) and propagates cancellation:
-// tasks whose submission context is cancelled before they start are skipped.
-//
-// The dependence tracker is sharded by key hash (WithShards, auto-sized to
-// the machine by default): submissions whose keys land on different shards
-// register fully in parallel, and a task spanning several shards locks
-// them in ascending index order, so the submit path scales with producer
-// count instead of funnelling through one renamer lock. SubmitBatch and
-// SubmitBatchCtx amortise shard locking and scheduler wakeups over a
-// whole slice of TaskSpecs.
-//
-// Three schedulers are provided:
-//
-//	FIFO      a single central queue — the simplest baseline
-//	WorkSteal per-worker lock-free Chase–Lev deques with randomized FIFO
-//	          stealing and a parking list for idle workers (the production
-//	          default, Nanos++-style)
-//	CATS      criticality-aware: a central priority heap ordered by the
-//	          dynamically-maintained bottom-level estimate, so tasks on the
-//	          critical path run first (Section 3.1)
-//
-// By default the runtime's memory stays bounded by the work in flight plus
-// the set of distinct dependence keys used: completed tasks drop their
-// body, context, and dependence log, and queue slots release popped
-// pointers, so a runtime can serve submissions indefinitely (per-key
-// tracker state — lastWriter and the reader lists — persists per distinct
-// key; reuse keys rather than minting fresh ones forever). Building with
-// WithTraceRetention keeps the full task trace instead, which Graph needs
-// for export.
 package runtime
 
 import (
@@ -203,12 +161,49 @@ type Stats struct {
 	Skipped uint64
 	// PerWorker counts tasks executed by each worker.
 	PerWorker []uint64
+	// PerClass aggregates PerWorker by worker class, in WorkerClasses()
+	// order (index 0 is the fast class).
+	PerClass []uint64
+}
+
+// Placement identifies the pool worker executing a task body, delivered
+// to the body through its context (TaskPlacement). Simulated heterogeneous
+// workloads use Speed to scale their work to the worker they landed on;
+// tests and experiments use Class to assert criticality-aware placement.
+type Placement struct {
+	// Worker is the executing worker's ID (0 ≤ Worker < Workers()).
+	Worker int
+	// Class is the index of the worker's class in WorkerClasses() order.
+	Class int
+	// ClassName is the resolved name of the worker's class.
+	ClassName string
+	// Speed is the worker's class speed multiplier.
+	Speed float64
+}
+
+// placementKey is the context key TaskPlacement looks up.
+type placementKey struct{}
+
+// TaskPlacement reports which worker is executing the current task body.
+// It only succeeds on the context a Body receives from the runtime; on any
+// other context it returns a zero Placement and false.
+func TaskPlacement(ctx context.Context) (Placement, bool) {
+	p, ok := ctx.Value(placementKey{}).(*Placement)
+	if !ok {
+		return Placement{}, false
+	}
+	return *p, true
 }
 
 // Runtime is one task-pool instance.
 type Runtime struct {
 	opts  options
 	sched scheduler
+
+	// classes is the resolved worker-class set, fastest first; classOf maps
+	// workerID → class index. Workers 0..fastN-1 are the fast class.
+	classes []WorkerClass
+	classOf []int
 
 	// gate serialises submission against Shutdown: submitters hold the
 	// (shared, scalable) read side for the registration window, Shutdown
@@ -252,8 +247,12 @@ func New(opts ...Option) *Runtime {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	classes, classOf, fastN := o.resolveClasses()
+	o.workers = len(classOf)
 	r := &Runtime{
 		opts:      o,
+		classes:   classes,
+		classOf:   classOf,
 		shards:    newShards(resolveShards(o.shards)),
 		perWorker: make([]uint64, o.workers),
 	}
@@ -261,13 +260,14 @@ func New(opts ...Option) *Runtime {
 		r.slots = make(chan struct{}, o.queueBound)
 	}
 	r.waitCond = sync.NewCond(&r.waitMu)
+	layout := classLayout{workers: o.workers, fastN: fastN}
 	switch o.scheduler {
 	case FIFO:
 		r.sched = newFIFOScheduler()
 	case CATS:
-		r.sched = newCATSScheduler()
+		r.sched = newCATSScheduler(layout)
 	default:
-		r.sched = newStealScheduler(o.workers)
+		r.sched = newStealScheduler(layout)
 	}
 	for w := 0; w < o.workers; w++ {
 		r.wg.Add(1)
@@ -276,8 +276,17 @@ func New(opts ...Option) *Runtime {
 	return r
 }
 
-// Workers returns the pool size.
+// Workers returns the pool size (the sum of all class counts).
 func (r *Runtime) Workers() int { return r.opts.workers }
+
+// WorkerClasses returns the resolved worker classes, fastest first —
+// WithWorkerClasses input after validation, ordering, and naming, or the
+// single homogeneous class a WithWorkers pool runs with. Worker IDs are
+// assigned in class order: the first WorkerClasses()[0].Count workers are
+// the fast class.
+func (r *Runtime) WorkerClasses() []WorkerClass {
+	return append([]WorkerClass(nil), r.classes...)
+}
 
 // Shards returns the dependence-tracker shard count the runtime resolved
 // (WithShards input after auto-sizing and clamping).
@@ -491,6 +500,19 @@ func (r *Runtime) Err() error {
 // worker is the body of one pool goroutine.
 func (r *Runtime) worker(id int) {
 	defer r.wg.Done()
+	// One placement record per worker: task bodies see it through their
+	// context (TaskPlacement), so a body can scale simulated work to the
+	// class it landed on and tests can assert placement.
+	where := &Placement{
+		Worker:    id,
+		Class:     r.classOf[id],
+		ClassName: r.classes[r.classOf[id]].Name,
+		Speed:     r.classes[r.classOf[id]].Speed,
+	}
+	// A class-aware scheduler tracks which workers are running critical
+	// work; it is told a dispatch ended before complete releases the
+	// successors, so their placement decisions see fresh state.
+	obs, _ := r.sched.(dispatchObserver)
 	for {
 		t, stole := r.sched.pop(id)
 		if t == nil {
@@ -511,12 +533,15 @@ func (r *Runtime) worker(id int) {
 			r.setErr(err)
 		} else {
 			if t.fn != nil {
-				if err := t.fn(t.ctx); err != nil {
+				if err := t.fn(context.WithValue(t.ctx, placementKey{}, where)); err != nil {
 					r.setErr(fmt.Errorf("task %s: %w", t.name, err))
 				}
 			}
 			atomic.AddUint64(&r.executed, 1)
 			atomic.AddUint64(&r.perWorker[id], 1)
+		}
+		if obs != nil {
+			obs.taskDone(id)
 		}
 		r.complete(t, id)
 	}
@@ -636,8 +661,10 @@ func (r *Runtime) Stats() Stats {
 		Skipped:   atomic.LoadUint64(&r.skipped),
 	}
 	s.PerWorker = make([]uint64, len(r.perWorker))
+	s.PerClass = make([]uint64, len(r.classes))
 	for i := range r.perWorker {
 		s.PerWorker[i] = atomic.LoadUint64(&r.perWorker[i])
+		s.PerClass[r.classOf[i]] += s.PerWorker[i]
 	}
 	return s
 }

@@ -34,6 +34,33 @@ type priorityBumper interface {
 	bump(t *task)
 }
 
+// dispatchObserver is implemented by schedulers that want to hear when a
+// worker finishes the task it popped — the class-aware CATS uses it to
+// keep its fast-class saturation count exact: the worker notifies before
+// the task's successors are released, so a newly-ready critical successor
+// can never observe the stale "still saturated" state and leak onto a
+// slow worker. Optional: the runtime type-asserts once per worker.
+type dispatchObserver interface {
+	taskDone(workerID int)
+}
+
+// classLayout is the worker-topology view class-aware schedulers receive.
+// Worker IDs are assigned fastest class first (options.resolveClasses), so
+// a single comparison — id < fastN — classifies a worker, and fastN ==
+// workers means the pool is homogeneous (every placement rule degenerates
+// to the class-blind behaviour).
+type classLayout struct {
+	workers int
+	// fastN is the number of fast-class workers: those whose class ties
+	// the pool's top speed, always ≥ 1.
+	fastN int
+}
+
+// homogeneousLayout is the layout of a single-class pool.
+func homogeneousLayout(workers int) classLayout {
+	return classLayout{workers: workers, fastN: workers}
+}
+
 // fifoScheduler is a single central FIFO queue — a mutex-guarded ring
 // buffer. Popped slots are nilled and oversized buffers shrink, so the
 // queue never pins dead task pointers (the old queue[1:] slide kept every
@@ -130,6 +157,11 @@ type stealScheduler struct {
 	parkCond *sync.Cond
 	woken    bool
 
+	// fastN splits the deques into the fast-class range [0, fastN) and the
+	// slow range [fastN, len): victim sweeps visit fast-class deques first
+	// (see stealSweep). fastN == len(deques) for homogeneous pools.
+	fastN int
+
 	rng []paddedRand
 }
 
@@ -140,10 +172,11 @@ type paddedRand struct {
 	_     [7]uint64
 }
 
-func newStealScheduler(workers int) *stealScheduler {
+func newStealScheduler(layout classLayout) *stealScheduler {
 	s := &stealScheduler{
-		deques: make([]*wsDeque, workers),
-		rng:    make([]paddedRand, workers),
+		deques: make([]*wsDeque, layout.workers),
+		rng:    make([]paddedRand, layout.workers),
+		fastN:  layout.fastN,
 	}
 	for i := range s.deques {
 		s.deques[i] = newWSDeque()
@@ -237,16 +270,35 @@ func (s *stealScheduler) fromInjector(w int) *task {
 	return t
 }
 
-// stealSweep tries every victim once, starting at a random offset. The
-// second result reports whether any CAS lost a race (so the caller must not
-// park on this evidence alone).
+// stealSweep tries every victim once, fast-class deques first: fast
+// workers prefer keeping critical work inside their own class, and slow
+// workers relieving a fast worker's backlog help the critical path drain —
+// the released successors of a critical task live on the fast worker's
+// deque, and stealing its oldest (least critical) entries keeps the fast
+// worker's LIFO end free for the path itself. Each range is swept from a
+// random offset. The second result reports whether any CAS lost a race
+// (so the caller must not park on this evidence alone).
 func (s *stealScheduler) stealSweep(w int) (*task, bool) {
-	n := len(s.deques)
+	t, c1 := s.sweepRange(w, 0, s.fastN)
+	if t != nil {
+		return t, false
+	}
+	t, c2 := s.sweepRange(w, s.fastN, len(s.deques))
+	return t, c1 || c2
+}
+
+// sweepRange tries every victim in [lo, hi) once, starting at a random
+// offset within the range and skipping w itself.
+func (s *stealScheduler) sweepRange(w, lo, hi int) (*task, bool) {
+	n := hi - lo
+	if n <= 0 {
+		return nil, false
+	}
 	contended := false
-	off := int(s.nextRand(w) % uint64(n))
+	off := lo + int(s.nextRand(w)%uint64(n))
 	for i := 0; i < n; i++ {
 		v := off + i
-		if v >= n {
+		if v >= hi {
 			v -= n
 		}
 		if v == w {
@@ -351,11 +403,45 @@ func (s *stealScheduler) wake() {
 // task is claimed by exactly one winning pop; a task that fails the claim
 // CAS was already dispatched through a fresher entry). Pop is O(log n),
 // push is O(log n), and a bump costs one extra entry instead of a scan.
+//
+// On a heterogeneous pool CATS is additionally placement-aware — the
+// paper's critical tasks → fast cores rule. Ready tasks split into two
+// heaps: crit holds entries whose snapshot priority is positive (the task
+// is on somebody's critical path, or carries a programmer priority hint),
+// plain holds the rest. Fast-class workers drain crit first and fall back
+// to plain; slow workers drain plain first and take critical work only
+// when the fast class is saturated. Saturation means every fast worker is
+// currently executing critical work (fastCritRunning == fastN) — not
+// merely "no fast worker is idle": a fast worker busy with a plain task
+// is still the critical task's best ride, since its very next pop will
+// take it, whereas handing the task to a slow worker bakes the slowdown
+// in. Workers report the end of a dispatch through taskDone — before the
+// task's successors are released, so a newly-ready critical successor
+// never sees a stale saturation count. Liveness: a slow worker
+// that declines critical work passes its wakeup to a parked fast worker
+// when one exists (the wait list is FIFO, so the baton reaches it), and
+// otherwise some fast worker is mid-task and guaranteed to pop again; a
+// fast worker whose dispatch saturates the class re-signals if critical
+// work remains, releasing parked slow workers to help. With a homogeneous
+// layout every worker is fast-class and the two heaps behave exactly like
+// the single global order (crit priorities are all > plain's zero).
 type catsScheduler struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	heap  []catsEntry
-	woken bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	// crit holds ready tasks with positive snapshot priority, plain the
+	// priority-zero (and hint-negative) rest.
+	crit  catsHeap
+	plain catsHeap
+	// fastN classifies workers (id < fastN → fast class); fastIdle counts
+	// fast-class workers blocked in pop.
+	fastN    int
+	fastIdle int
+	// lastCrit[w] records that fast worker w's previous dispatch came from
+	// the crit heap; fastCritRunning counts them. fastCritRunning == fastN
+	// is the saturation signal that lets slow workers take critical work.
+	lastCrit        []bool
+	fastCritRunning int
+	woken           bool
 }
 
 // catsEntry is one heap element: a task and the priority it was inserted
@@ -368,8 +454,8 @@ type catsEntry struct {
 	prio int64
 }
 
-func newCATSScheduler() *catsScheduler {
-	s := &catsScheduler{}
+func newCATSScheduler(layout classLayout) *catsScheduler {
+	s := &catsScheduler{fastN: layout.fastN, lastCrit: make([]bool, layout.fastN)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -380,47 +466,64 @@ func (a catsEntry) before(b catsEntry) bool {
 	return a.prio > b.prio || (a.prio == b.prio && a.t.seq < b.t.seq)
 }
 
-func (s *catsScheduler) heapPush(e catsEntry) {
-	s.heap = append(s.heap, e)
-	i := len(s.heap) - 1
+// catsHeap is a binary max-heap of catsEntry in before order.
+type catsHeap []catsEntry
+
+func (h *catsHeap) push(e catsEntry) {
+	*h = append(*h, e)
+	heap := *h
+	i := len(heap) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !s.heap[i].before(s.heap[p]) {
+		if !heap[i].before(heap[p]) {
 			break
 		}
-		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		heap[i], heap[p] = heap[p], heap[i]
 		i = p
 	}
 }
 
-func (s *catsScheduler) heapPop() catsEntry {
-	e := s.heap[0]
-	last := len(s.heap) - 1
-	s.heap[0] = s.heap[last]
-	s.heap[last] = catsEntry{} // release the task pointer
-	s.heap = s.heap[:last]
+func (h *catsHeap) pop() catsEntry {
+	heap := *h
+	e := heap[0]
+	last := len(heap) - 1
+	heap[0] = heap[last]
+	heap[last] = catsEntry{} // release the task pointer
+	*h = heap[:last]
+	heap = *h
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
-		if l < last && s.heap[l].before(s.heap[best]) {
+		if l < last && heap[l].before(heap[best]) {
 			best = l
 		}
-		if r < last && s.heap[r].before(s.heap[best]) {
+		if r < last && heap[r].before(heap[best]) {
 			best = r
 		}
 		if best == i {
 			break
 		}
-		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		heap[i], heap[best] = heap[best], heap[i]
 		i = best
 	}
 	return e
 }
 
+// insert routes a ready task to the heap its snapshot priority selects.
+// Caller holds s.mu.
+func (s *catsScheduler) insert(t *task) {
+	e := catsEntry{t: t, prio: atomic.LoadInt64(&t.priority)}
+	if e.prio > 0 {
+		s.crit.push(e)
+	} else {
+		s.plain.push(e)
+	}
+}
+
 func (s *catsScheduler) push(t *task, _ int) {
 	s.mu.Lock()
-	s.heapPush(catsEntry{t: t, prio: atomic.LoadInt64(&t.priority)})
+	s.insert(t)
 	s.mu.Unlock()
 	s.cond.Signal()
 }
@@ -431,7 +534,7 @@ func (s *catsScheduler) pushBatch(ts []*task, _ int) {
 	}
 	s.mu.Lock()
 	for _, t := range ts {
-		s.heapPush(catsEntry{t: t, prio: atomic.LoadInt64(&t.priority)})
+		s.insert(t)
 	}
 	s.mu.Unlock()
 	if len(ts) == 1 {
@@ -441,32 +544,102 @@ func (s *catsScheduler) pushBatch(ts []*task, _ int) {
 	}
 }
 
-// bump reinserts a queued task whose bottom-level estimate was raised. The
-// entry already in the heap goes stale and is dropped when popped (its
-// claim CAS fails). Called by the runtime under the task's mutex; the
-// lock order task.mu → cats.mu is safe because pop takes no task mutexes.
+// bump reinserts a queued task whose bottom-level estimate was raised —
+// possibly promoting it from the plain heap to crit. The entry already
+// queued goes stale and is dropped when popped (its claim CAS fails).
+// Called by the runtime under the task's mutex; the lock order task.mu →
+// cats.mu is safe because pop takes no task mutexes.
 func (s *catsScheduler) bump(t *task) {
 	s.mu.Lock()
-	s.heapPush(catsEntry{t: t, prio: atomic.LoadInt64(&t.priority)})
+	s.insert(t)
 	s.mu.Unlock()
 	s.cond.Signal()
 }
 
-func (s *catsScheduler) pop(int) (*task, bool) {
+// take pops the best entry workerID's class may dispatch right now,
+// reporting which heap it came from. Caller holds s.mu.
+func (s *catsScheduler) take(workerID int) (e catsEntry, fromCrit, ok bool) {
+	if workerID < s.fastN {
+		// Fast class: most critical work first, help with plain when the
+		// critical heap is dry.
+		if len(s.crit) > 0 {
+			return s.crit.pop(), true, true
+		}
+		if len(s.plain) > 0 {
+			return s.plain.pop(), false, true
+		}
+		return catsEntry{}, false, false
+	}
+	// Slow class: plain work first; critical work only once every fast
+	// worker is running critical work — better a critical task on a slow
+	// worker than a saturated fast class, but never while a fast worker
+	// is idle or about to come back for it.
+	if len(s.plain) > 0 {
+		return s.plain.pop(), false, true
+	}
+	if len(s.crit) > 0 && s.fastCritRunning == s.fastN {
+		return s.crit.pop(), true, true
+	}
+	return catsEntry{}, false, false
+}
+
+// taskDone records that workerID finished its dispatched task. Called by
+// the worker between executing the body and releasing the successors, so
+// the saturation count is already correct when any newly-ready critical
+// task is pushed.
+func (s *catsScheduler) taskDone(workerID int) {
+	if workerID >= s.fastN {
+		return
+	}
+	s.mu.Lock()
+	if s.lastCrit[workerID] {
+		s.lastCrit[workerID] = false
+		s.fastCritRunning--
+	}
+	s.mu.Unlock()
+}
+
+func (s *catsScheduler) pop(workerID int) (*task, bool) {
+	fast := workerID < s.fastN
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		for len(s.heap) == 0 {
-			if s.woken {
-				return nil, false
+		if e, fromCrit, ok := s.take(workerID); ok {
+			if atomic.CompareAndSwapInt32(&e.t.claimed, 0, 1) {
+				if fast && fromCrit {
+					s.lastCrit[workerID] = true
+					s.fastCritRunning++
+					if s.fastCritRunning == s.fastN && len(s.crit) > 0 {
+						// This dispatch saturates the fast class with
+						// critical work left over: release a parked slow
+						// worker to help (its earlier decline consumed the
+						// wakeup that announced the backlog).
+						s.cond.Signal()
+					}
+				}
+				return e.t, false
 			}
-			s.cond.Wait()
+			continue // stale duplicate of an already-dispatched task
 		}
-		e := s.heapPop()
-		if atomic.CompareAndSwapInt32(&e.t.claimed, 0, 1) {
-			return e.t, false
+		if s.woken {
+			return nil, false
 		}
-		// Stale duplicate of an already-dispatched task; keep looking.
+		if !fast && len(s.crit) > 0 && s.fastIdle > 0 {
+			// Declining critical work in favour of an idle fast worker
+			// consumes the wakeup that announced it; pass the signal on so
+			// it keeps bouncing (FIFO through the wait list) until the
+			// fast worker accepts. With no fast worker parked the signal
+			// can die here: whichever fast worker is mid-task will take
+			// the critical entry on its own next pop.
+			s.cond.Signal()
+		}
+		if fast {
+			s.fastIdle++
+		}
+		s.cond.Wait()
+		if fast {
+			s.fastIdle--
+		}
 	}
 }
 

@@ -10,7 +10,8 @@ import (
 
 // Spec configures the throughput experiment through the raa registry.
 type Spec struct {
-	// Scenarios: parallel, fanout, chain, random; empty = all.
+	// Scenarios: parallel, fanout, chain, random, steal, longrun, hetero;
+	// empty = all.
 	Scenarios []string `json:"scenarios,omitempty"`
 	// Schedulers: worksteal, fifo, cats; empty = all.
 	Schedulers []string `json:"schedulers,omitempty"`
@@ -30,6 +31,12 @@ type Spec struct {
 	Keys int `json:"keys"`
 	// Rounds is the longrun scenario's submit→Wait round count (0 = 8).
 	Rounds int `json:"rounds,omitempty"`
+	// FastWorkers is the hetero scenario's fast-class size, clamped so
+	// fast + slow always equals Workers (0 = a quarter of the pool).
+	FastWorkers int `json:"fast_workers,omitempty"`
+	// SlowFactor is the hetero scenario's simulated slow-class delay
+	// multiplier (0 = 4): slow workers spin SlowFactor× the grain.
+	SlowFactor float64 `json:"slow_factor,omitempty"`
 	// Seed makes the random dependence streams reproducible.
 	Seed int64 `json:"seed"`
 }
@@ -41,7 +48,7 @@ func init() { raa.Register(experiment{}) }
 func (experiment) Name() string { return "throughput" }
 
 func (experiment) Describe() string {
-	return "Submit- and dispatch-path throughput: tasks/sec per scenario, scheduler, tracker shard count, and submission mode"
+	return "Submit- and dispatch-path throughput plus criticality-aware placement on a heterogeneous pool: tasks/sec per scenario, scheduler, tracker shard count, and submission mode"
 }
 
 func (experiment) Aliases() []string { return []string{"tput"} }
@@ -82,17 +89,19 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 		return nil, fmt.Errorf("throughput: spec type %T, want throughput.Spec", spec)
 	}
 	pts, err := Run(ctx, Config{
-		Scenarios:  s.Scenarios,
-		Schedulers: s.Schedulers,
-		Shards:     s.Shards,
-		Tasks:      s.Tasks,
-		Workers:    s.Workers,
-		Producers:  s.Producers,
-		Batch:      s.Batch,
-		Grain:      s.Grain,
-		Keys:       s.Keys,
-		Rounds:     s.Rounds,
-		Seed:       s.Seed,
+		Scenarios:   s.Scenarios,
+		Schedulers:  s.Schedulers,
+		Shards:      s.Shards,
+		Tasks:       s.Tasks,
+		Workers:     s.Workers,
+		Producers:   s.Producers,
+		Batch:       s.Batch,
+		Grain:       s.Grain,
+		Keys:        s.Keys,
+		Rounds:      s.Rounds,
+		FastWorkers: s.FastWorkers,
+		SlowFactor:  s.SlowFactor,
+		Seed:        s.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -109,6 +118,11 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 		// Executed is deterministic: it must always equal the task count,
 		// whatever the sharding and batching did.
 		res.Metrics[key+"_executed"] = float64(p.Executed)
+		if p.Scenario == ScenarioHetero {
+			// The placement verdict: what fraction of the critical chain
+			// ran on the fast worker class.
+			res.Metrics[key+"_crit_on_fast"] = p.CritOnFast
+		}
 	}
 	for _, n := range summarize(pts) {
 		res.Notes = append(res.Notes, n)
@@ -197,6 +211,66 @@ func summarize(pts []Point) []string {
 		if g, ok := batchGain[s]; ok {
 			notes = append(notes, fmt.Sprintf("%s: best SubmitBatch speedup over per-task Submit %.2fx", s, g))
 		}
+	}
+	notes = append(notes, heteroNotes(pts)...)
+	return notes
+}
+
+// heteroNotes summarises the hetero scenario's placement story: per
+// scheduler, the chain-on-fast fraction over every sweep cell (min–max
+// when cells disagree), and cats's best speedup over fifo at a matched
+// (shards, mode) configuration.
+func heteroNotes(pts []Point) []string {
+	frac := map[string][]float64{}
+	type cell struct {
+		mode   string
+		shards int
+	}
+	rate := map[string]map[cell]float64{}
+	for _, p := range pts {
+		if p.Scenario != ScenarioHetero {
+			continue
+		}
+		frac[p.Scheduler] = append(frac[p.Scheduler], p.CritOnFast)
+		if rate[p.Scheduler] == nil {
+			rate[p.Scheduler] = map[cell]float64{}
+		}
+		rate[p.Scheduler][cell{p.Mode, p.Shards}] = p.TasksPerSec
+	}
+	if len(frac) == 0 {
+		return nil
+	}
+	var notes []string
+	for _, sched := range []string{"cats", "worksteal", "fifo"} {
+		fs, ok := frac[sched]
+		if !ok {
+			continue
+		}
+		lo, hi := fs[0], fs[0]
+		for _, f := range fs[1:] {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		if lo == hi {
+			notes = append(notes, fmt.Sprintf("hetero: %s ran %.0f%% of the critical chain on the fast class", sched, hi*100))
+		} else {
+			notes = append(notes, fmt.Sprintf("hetero: %s ran %.0f%%–%.0f%% of the critical chain on the fast class across cells", sched, lo*100, hi*100))
+		}
+	}
+	best := 0.0
+	for c, v := range rate["cats"] {
+		if base := rate["fifo"][c]; base > 0 {
+			if g := v / base; g > best {
+				best = g
+			}
+		}
+	}
+	if best > 0 {
+		notes = append(notes, fmt.Sprintf("hetero: best cats speedup over fifo at matched config %.2fx", best))
 	}
 	return notes
 }

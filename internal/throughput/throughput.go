@@ -5,8 +5,13 @@
 // shard count × submission mode (per-task Submit vs SubmitBatch). shards=1
 // reproduces the old single-lock renamer as a built-in baseline; the fifo
 // scheduler plays the same role for the lock-free work-stealing dispatch
-// (the steal scenario is built to separate the two), and the longrun
-// scenario exercises the steady state of a long-lived service.
+// (the steal scenario is built to separate the two), the longrun scenario
+// exercises the steady state of a long-lived service, and the hetero
+// scenario runs a critical chain with fanout on an asymmetric
+// (fast+slow-class) pool to separate criticality-aware placement (cats)
+// from class-blind scheduling — slow workers simulate their speed deficit
+// by spinning proportionally longer, and each cell reports which class ran
+// the chain (Point.CritOnFast).
 package throughput
 
 import (
@@ -48,6 +53,16 @@ const (
 	// (and, with the default no-trace-retention lifecycle, runs at bounded
 	// memory however many rounds pass).
 	ScenarioLongRun = "longrun"
+	// ScenarioHetero is criticality-aware placement on an asymmetric
+	// pool: a priority-hinted critical chain with a fan of plain tasks
+	// hanging off every link, run on a fast class plus a slow class whose
+	// workers simulate their speed deficit by spinning SlowFactor times
+	// longer per task. The chain is the makespan: cats keeps it on the
+	// fast class (Point.CritOnFast ≈ 1) while class-blind fifo/worksteal
+	// let slow workers pick chain links up and stretch the critical path.
+	// Submission is single-producer so the chain's program order is
+	// deterministic.
+	ScenarioHetero = "hetero"
 )
 
 // stealFan is the children-per-root fan-out of ScenarioSteal.
@@ -66,9 +81,19 @@ func stealKey(producer, group int) int64 {
 // is unset.
 const defaultRounds = 8
 
+// heteroFan is the plain tasks hanging off each chain link of
+// ScenarioHetero.
+const heteroFan = 7
+
+// Hetero-pool defaults used when the Config fields are unset.
+const (
+	defaultSlowFactor  = 4
+	defaultHeteroGrain = 256
+)
+
 // Scenarios lists every scenario in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun}
+	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero}
 }
 
 // Config parameterises a sweep.
@@ -93,6 +118,17 @@ type Config struct {
 	// Rounds is the submit→Wait round count for ScenarioLongRun
 	// (default 8).
 	Rounds int
+	// FastWorkers is the fast-class pool size of ScenarioHetero; the
+	// remaining Workers form the slow class, and the total always equals
+	// Workers (so hetero cells compare against the other scenarios').
+	// 0 defaults to a quarter of the pool; the value is clamped to
+	// [1, Workers-1] so at least one worker of each class exists
+	// (a single-worker pool keeps just the fast class).
+	FastWorkers int
+	// SlowFactor is ScenarioHetero's simulated asymmetry: slow-class
+	// workers spin SlowFactor× the nominal grain per task (their class
+	// speed is 1/SlowFactor). 0 defaults to 4.
+	SlowFactor float64
 	// Seed makes the random-DAG dependence streams reproducible.
 	Seed int64
 }
@@ -113,6 +149,11 @@ type Point struct {
 	// Executed is the runtime's executed-task count — a determinism and
 	// no-lost-tasks check, independent of wall clock.
 	Executed uint64
+	// CritOnFast is the fraction of ScenarioHetero's critical-chain tasks
+	// that executed on the fast worker class (0 for other scenarios). It
+	// is the placement verdict: ≈1 for cats, ≈ the fast class's fair
+	// share for class-blind schedulers.
+	CritOnFast float64
 }
 
 // sink defeats dead-code elimination of the spin bodies.
@@ -195,6 +236,9 @@ func validScenario(name string) error {
 func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, shards int, mode string, cfg Config) (Point, error) {
 	if scenario == ScenarioLongRun {
 		return runLongRun(ctx, kind, shards, mode, cfg)
+	}
+	if scenario == ScenarioHetero {
+		return runHetero(ctx, kind, shards, mode, cfg)
 	}
 	rt := runtime.New(
 		runtime.WithWorkers(cfg.Workers),
@@ -316,6 +360,126 @@ func runLongRun(ctx context.Context, kind runtime.SchedulerKind, shards int, mod
 		submitted += n
 	}
 	return finishPoint(rt, ScenarioLongRun, kind, mode, cfg, start)
+}
+
+// heteroPool resolves ScenarioHetero's class split from the Config. The
+// pool always totals cfg.Workers so hetero cells stay comparable with the
+// other scenarios' cells: FastWorkers is clamped to leave at least one
+// slow worker (a single-worker pool degenerates to one fast worker and no
+// slow class at all).
+func heteroPool(cfg Config) (fast, slow int, factor float64) {
+	fast = cfg.FastWorkers
+	if fast <= 0 {
+		fast = cfg.Workers / 4
+	}
+	if fast > cfg.Workers-1 {
+		fast = cfg.Workers - 1
+	}
+	if fast < 1 {
+		fast = 1
+	}
+	slow = cfg.Workers - fast
+	factor = cfg.SlowFactor
+	if factor <= 0 {
+		factor = defaultSlowFactor
+	}
+	return fast, slow, factor
+}
+
+// runHetero measures the ScenarioHetero cell: a chain-plus-fanout DAG on a
+// heterogeneous pool. Chain links are InOut on one key with a bottom-level
+// priority hint (remaining chain length); each link also writes a group
+// key that heteroFan plain readers hang off, so slow workers always have
+// non-critical work while the chain drains. Task bodies read their
+// placement back from the runtime and spin grain/speed iterations — the
+// simulated slow-class delay — and chain bodies record which class ran
+// them (Point.CritOnFast).
+func runHetero(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, cfg Config) (Point, error) {
+	fast, slow, factor := heteroPool(cfg)
+	rt := runtime.New(
+		runtime.WithWorkerClasses(
+			runtime.WorkerClass{Name: "fast", Count: fast, Speed: 1},
+			runtime.WorkerClass{Name: "slow", Count: slow, Speed: 1 / factor},
+		),
+		runtime.WithScheduler(kind),
+		runtime.WithShards(shards),
+	)
+	grain := cfg.Grain
+	if grain <= 0 {
+		grain = defaultHeteroGrain
+	}
+	var critTotal, critOnFast int64
+	body := func(ctx context.Context) error {
+		speed := 1.0
+		if pl, ok := runtime.TaskPlacement(ctx); ok {
+			speed = pl.Speed
+		}
+		x := uint64(grain)
+		for i := 0; i < int(float64(grain)/speed); i++ {
+			x = x*1664525 + 1013904223
+		}
+		atomic.AddUint64(&sink, x)
+		return nil
+	}
+	chainBody := func(ctx context.Context) error {
+		atomic.AddInt64(&critTotal, 1)
+		if pl, ok := runtime.TaskPlacement(ctx); ok && pl.Class == 0 {
+			atomic.AddInt64(&critOnFast, 1)
+		}
+		return body(ctx)
+	}
+	groups := cfg.Tasks / (heteroFan + 1)
+	if groups < 1 {
+		groups = 1
+	}
+
+	start := time.Now()
+	submitted := 0
+	for g := 0; g < groups; g++ {
+		// The last group absorbs the remainder so exactly cfg.Tasks tasks
+		// are submitted whatever the rounding.
+		fan := heteroFan
+		if g == groups-1 {
+			fan = cfg.Tasks - submitted - (groups - g)
+		}
+		specs := make([]runtime.TaskSpec, 0, fan+1)
+		specs = append(specs, runtime.TaskSpec{
+			Name: "chain", Cost: 1, Priority: groups - g, Body: chainBody,
+			Deps: []runtime.Dep{runtime.InOut("chain"), runtime.Out(int64(g))},
+		})
+		for f := 0; f < fan; f++ {
+			specs = append(specs, runtime.TaskSpec{
+				Name: "fan", Cost: 1, Body: body,
+				Deps: []runtime.Dep{runtime.In(int64(g))},
+			})
+		}
+		submitted += len(specs)
+		if mode == "batch" {
+			if _, err := rt.SubmitBatchCtx(ctx, specs); err != nil {
+				rt.Shutdown()
+				return Point{}, err
+			}
+			continue
+		}
+		for _, sp := range specs {
+			if _, err := rt.SubmitPriorityCtx(ctx, sp.Name, sp.Cost, sp.Priority, sp.Body, sp.Deps...); err != nil {
+				rt.Shutdown()
+				return Point{}, err
+			}
+		}
+	}
+	if err := rt.WaitCtx(ctx); err != nil {
+		rt.Shutdown()
+		return Point{}, err
+	}
+	p, err := finishPoint(rt, ScenarioHetero, kind, mode, cfg, start)
+	if err != nil {
+		return Point{}, err
+	}
+	if n := atomic.LoadInt64(&critTotal); n > 0 {
+		p.CritOnFast = float64(atomic.LoadInt64(&critOnFast)) / float64(n)
+	}
+	return p, nil
 }
 
 // produce submits n tasks of the scenario's dependence shape from one

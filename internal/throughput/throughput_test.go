@@ -164,8 +164,102 @@ func TestSummarizeNotes(t *testing.T) {
 		t.Fatal(err)
 	}
 	notes := summarize(pts)
-	if len(notes) != 2*len(Scenarios()) {
-		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario):\n%v",
-			len(notes), 2*len(Scenarios()), notes)
+	// Shard + batch gain per scenario, plus one hetero placement note per
+	// scheduler in the sweep (a single scheduler here, and no cats-vs-fifo
+	// speedup note without both in the sweep).
+	if want := 2*len(Scenarios()) + 1; len(notes) != want {
+		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario + hetero placement):\n%v",
+			len(notes), want, notes)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "critical chain on the fast class") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no hetero placement note in %v", notes)
+	}
+}
+
+// The hetero scenario must execute every task on every scheduler, and
+// cats must keep the critical chain on the fast class — well above the
+// fast class's 1/3 share of the pool, which is all a class-blind
+// scheduler can promise.
+func TestHeteroScenarioPlacement(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scenarios = []string{ScenarioHetero}
+	cfg.Schedulers = []string{"cats", "fifo"}
+	cfg.Shards = []int{1}
+	cfg.Tasks = 400
+	cfg.Workers = 3
+	cfg.FastWorkers = 1
+	cfg.Grain = 512
+	pts, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 * 2 * 1 * 2; len(pts) != want {
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if p.Executed != uint64(cfg.Tasks) {
+			t.Errorf("hetero/%s %s: executed %d, want %d", p.Scheduler, p.Mode, p.Executed, cfg.Tasks)
+		}
+		if p.CritOnFast < 0 || p.CritOnFast > 1 {
+			t.Errorf("hetero/%s %s: CritOnFast %v out of range", p.Scheduler, p.Mode, p.CritOnFast)
+		}
+		if p.Scheduler == "cats" && p.CritOnFast < 0.6 {
+			t.Errorf("hetero/cats %s: only %.0f%% of the chain on the fast class",
+				p.Mode, p.CritOnFast*100)
+		}
+	}
+}
+
+// The hetero pool must always total Workers, whatever FastWorkers asks
+// for, and the configured knobs must not be silently ignored.
+func TestHeteroPoolResolution(t *testing.T) {
+	cases := []struct {
+		workers, fastIn int
+		factorIn        float64
+		fast, slow      int
+		factor          float64
+	}{
+		{workers: 8, fastIn: 0, factorIn: 0, fast: 2, slow: 6, factor: 4},
+		{workers: 8, fastIn: 3, factorIn: 2.5, fast: 3, slow: 5, factor: 2.5},
+		{workers: 4, fastIn: 8, factorIn: 0, fast: 3, slow: 1, factor: 4}, // clamped, pool still 4
+		{workers: 2, fastIn: 0, factorIn: 0, fast: 1, slow: 1, factor: 4},
+		{workers: 1, fastIn: 5, factorIn: 0, fast: 1, slow: 0, factor: 4}, // degenerate: fast only
+	}
+	for _, tc := range cases {
+		fast, slow, factor := heteroPool(Config{Workers: tc.workers, FastWorkers: tc.fastIn, SlowFactor: tc.factorIn})
+		if fast != tc.fast || slow != tc.slow || factor != tc.factor {
+			t.Errorf("heteroPool(workers=%d fast=%d factor=%v) = (%d, %d, %v), want (%d, %d, %v)",
+				tc.workers, tc.fastIn, tc.factorIn, fast, slow, factor, tc.fast, tc.slow, tc.factor)
+		}
+		if tc.workers > 1 && fast+slow != tc.workers {
+			t.Errorf("pool size %d != configured %d", fast+slow, tc.workers)
+		}
+	}
+}
+
+// A hetero task count that does not divide into chain groups must still
+// execute exactly Tasks tasks (the last group absorbs the remainder), and
+// tiny counts must not underflow the fan arithmetic.
+func TestHeteroScenarioRaggedCounts(t *testing.T) {
+	for _, tasks := range []int{1, 3, 8, 9, 501} {
+		cfg := smallConfig()
+		cfg.Scenarios = []string{ScenarioHetero}
+		cfg.Shards = []int{1}
+		cfg.Tasks = tasks
+		pts, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Executed != uint64(tasks) {
+				t.Errorf("hetero tasks=%d %s: executed %d", tasks, p.Mode, p.Executed)
+			}
+		}
 	}
 }

@@ -1,0 +1,26 @@
+package raa_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/raa"
+	_ "repro/raa/experiments" // registers the whole suite
+)
+
+// ExampleRun drives one experiment of the suite through the single entry
+// point: the name is resolved (aliases work too — "loc" names the same
+// study), JSON overrides are merged onto the experiment's default spec
+// (nil runs the defaults), and the result comes back with uniform
+// metrics and the paper-style tables.
+func ExampleRun() {
+	res, err := raa.Run(context.Background(), "loc", nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Experiment)
+	fmt.Println(res.Metrics["streamcluster_ompss_loc"] < res.Metrics["streamcluster_pthreads_loc"])
+	// Output:
+	// parsec-loc
+	// true
+}

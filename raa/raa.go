@@ -1,23 +1,3 @@
-// Package raa is the public front door of the runtime-aware-architecture
-// reproduction: one uniform observe/decide/act surface over every study of
-// the paper's evaluation. Each study — the hybrid memory hierarchy, the
-// criticality-aware DVFS with the RSU, the VSR vector sort, the resilient
-// CG solver, the PARSEC programmability model — implements the Experiment
-// interface and registers itself; callers reach all of them by name through
-// the registry with a JSON-serialisable Spec and get back a Result with
-// uniform metrics plus the paper-style tables.
-//
-//	exp, _ := raa.Get("hybridmem")
-//	res, _ := exp.Run(ctx, exp.DefaultSpec())
-//	fmt.Println(res.Metrics["avg_time_speedup"])
-//
-// or, driving everything generically (what cmd/raa-bench does):
-//
-//	res, _ := raa.Run(ctx, "resilient-cg", []byte(`{"grid": 64}`))
-//	json.NewEncoder(os.Stdout).Encode(res)
-//
-// Registration happens in each study package's init; import
-// repro/raa/experiments (blank import is fine) to pull the whole suite in.
 package raa
 
 import (
