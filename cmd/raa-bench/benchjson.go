@@ -1,0 +1,139 @@
+// The -bench-json mode: a machine-readable perf snapshot of the runtime's
+// hot paths, so the repo accumulates a benchmark trajectory (BENCH_<n>.json
+// files) alongside the figure-style experiment results. It drives the
+// benchmark bodies shared with the `go test -bench` suite (package
+// internal/benchcases — one definition, so the CI-gated numbers and the
+// recorded trajectory can never desynchronise) through testing.Benchmark,
+// and adds the two placement verdicts a ns/op number cannot carry: the
+// fraction of the hetero critical chain that ran on the fast class, and
+// the locality-on vs locality-off speedup on the cache-affinity chain
+// workload.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	stdruntime "runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/benchcases"
+	"repro/internal/runtime"
+	"repro/raa"
+)
+
+// benchMetric is one benchmark's measured point.
+type benchMetric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchSnapshot is the document -bench-json writes.
+type benchSnapshot struct {
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	GoVersion  string                 `json:"go_version"`
+	Benchmarks map[string]benchMetric `json:"benchmarks"`
+	// CritOnFast is the hetero placement verdict (cats scheduler): the
+	// fraction of the critical chain that executed on the fast class.
+	CritOnFast float64 `json:"crit_on_fast"`
+	// LocalitySpeedup is locality-on over locality-off throughput on the
+	// producer→consumer chain workload (worksteal scheduler).
+	LocalitySpeedup float64 `json:"locality_speedup"`
+}
+
+// record runs one benchmark function and files its result. It honours
+// cancellation between benchmarks (testing.Benchmark itself is not
+// interruptible, so ^C takes effect at the next benchmark boundary — the
+// "next unit boundary" the command doc promises).
+func (s *benchSnapshot) record(ctx context.Context, name string, fn func(b *testing.B)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		// testing.Benchmark swallows b.Fatal and returns a zero result;
+		// surface the failure instead of filing NaN metrics.
+		return fmt.Errorf("benchmark %s failed (zero iterations — see output above)", name)
+	}
+	s.Benchmarks[name] = benchMetric{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+	return nil
+}
+
+// runBenchJSON measures the snapshot and writes it to path.
+func runBenchJSON(ctx context.Context, path string) error {
+	snap := &benchSnapshot{
+		GoMaxProcs: stdruntime.GOMAXPROCS(0),
+		GoVersion:  stdruntime.Version(),
+		Benchmarks: map[string]benchMetric{},
+	}
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"submit_chain_steady", benchcases.SubmitChainSteady},
+		{"submit_parallel", benchcases.SubmitParallel},
+		{"submit_batch64_per_task", benchcases.SubmitBatch64},
+		{"dispatch_steal_fan", benchcases.DispatchStealFan},
+		{"locality_chain_on", benchcases.LocalityChain(runtime.DefaultLocalityWindow())},
+		{"locality_chain_off", benchcases.LocalityChain(-1)},
+	}
+	for _, c := range cases {
+		if err := snap.record(ctx, c.name, c.fn); err != nil {
+			return err
+		}
+	}
+	if on, off := snap.Benchmarks["locality_chain_on"], snap.Benchmarks["locality_chain_off"]; on.NsPerOp > 0 {
+		snap.LocalitySpeedup = off.NsPerOp / on.NsPerOp
+	}
+
+	// Placement verdict via the registered throughput experiment — the
+	// experiment counterpart the benchmarks regenerate.
+	crit, err := heteroCritOnFast(ctx)
+	if err != nil {
+		return err
+	}
+	snap.CritOnFast = crit
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx)\n",
+		path, len(snap.Benchmarks), snap.CritOnFast, snap.LocalitySpeedup)
+	return nil
+}
+
+// heteroCritOnFast runs the throughput experiment's hetero scenario under
+// cats at quick scale and extracts the chain-on-fast-class fraction.
+func heteroCritOnFast(ctx context.Context) (float64, error) {
+	res, err := raa.RunQuick(ctx, "throughput",
+		[]byte(`{"scenarios": ["hetero"], "schedulers": ["cats"], "shards": [1]}`))
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for k, v := range res.Metrics {
+		if strings.HasSuffix(k, "_crit_on_fast") && v > best {
+			best = v
+		}
+	}
+	return best, nil
+}

@@ -18,6 +18,10 @@
 //	    -spec '{"scenarios": ["steal", "longrun"], "shards": [0]}'  # dispatch scaling
 //	raa-bench -experiment throughput \
 //	    -spec '{"scenarios": ["hetero"], "schedulers": ["cats", "fifo"]}'  # big.LITTLE placement
+//	raa-bench -experiment throughput \
+//	    -spec '{"scenarios": ["locality"]}'       # worker-local vs injector successor placement
+//	raa-bench -bench-json BENCH.json              # machine-readable perf snapshot
+//	                                              # (ns/op, allocs/op, placement verdicts)
 //
 // Interrupting with ^C cancels the run cleanly: in-flight experiments stop
 // at the next unit boundary and the command exits with the context error.
@@ -42,8 +46,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON documents, one per experiment")
 	spec := flag.String("spec", "", "JSON overrides applied on top of the experiment's default spec")
 	list := flag.Bool("list", false, "list experiments and exit")
+	benchJSON := flag.String("bench-json", "", "run the benchmark counterparts and write a JSON perf snapshot to this path")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := runBenchJSON(ctx, *benchJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *list {
 		for _, e := range raa.All() {
 			fmt.Printf("%-20s %s\n", e.Name(), raa.Describe(e))

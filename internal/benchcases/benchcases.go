@@ -1,0 +1,132 @@
+// Package benchcases holds the runtime hot-path benchmark bodies shared
+// by the repo's two measurement surfaces: the `go test -bench` suite at
+// the module root (which CI gates on) and raa-bench's -bench-json perf
+// snapshots. One definition means the gated number and the recorded
+// trajectory can never desynchronise.
+package benchcases
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// SubmitChainSteady measures the pooled task lifecycle in its intended
+// regime: a bounded number of tasks in flight (backpressure), so
+// completed records recycle into new submissions and the amortized
+// allocation count per submit→execute→complete is zero. CI's alloc
+// budget gate watches this benchmark; the strict assertion lives in
+// internal/runtime's TestSubmitPathAllocationFree.
+func SubmitChainSteady(b *testing.B) {
+	rt := runtime.New(runtime.WithWorkers(4), runtime.WithQueueBound(256))
+	defer rt.Shutdown()
+	deps := []runtime.Dep{runtime.InOut("k")}
+	noop := func() {}
+	// Warm the freelist to the bound before measuring.
+	for i := 0; i < 512; i++ {
+		rt.Submit("warm", 1, noop, deps...)
+	}
+	rt.Wait()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Submit("t", 1, noop, deps...)
+	}
+	rt.Wait()
+}
+
+// SubmitParallel measures dependence-free submission (tracker bypass plus
+// dispatch), bounded so the freelist recycles.
+func SubmitParallel(b *testing.B) {
+	rt := runtime.New(runtime.WithWorkers(4), runtime.WithQueueBound(1024))
+	defer rt.Shutdown()
+	noop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Submit("t", 1, noop)
+	}
+	rt.Wait()
+}
+
+// SubmitBatch64 measures batched submission of dependence-free tasks in
+// chunks of 64, reported per task.
+func SubmitBatch64(b *testing.B) {
+	rt := runtime.New(runtime.WithWorkers(4))
+	defer rt.Shutdown()
+	specs := make([]runtime.TaskSpec, 64)
+	noop := func() {}
+	for i := range specs {
+		specs[i] = runtime.TaskSpec{Name: "t", Cost: 1, Fn: noop}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(specs) {
+		n := len(specs)
+		if b.N-i < n {
+			n = b.N - i
+		}
+		if _, err := rt.SubmitBatch(specs[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt.Wait()
+}
+
+// DispatchStealFan measures the worker-side dispatch path under the
+// steal-heavy shape: each root's completion releases a fan of children
+// onto the completing worker at once.
+func DispatchStealFan(b *testing.B) {
+	const fan = 15
+	rt := runtime.New(runtime.WithWorkers(4))
+	defer rt.Shutdown()
+	noop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		group := i / (fan + 1)
+		if i%(fan+1) == 0 {
+			rt.Submit("root", 1, noop, runtime.Out(group))
+		} else {
+			rt.Submit("child", 1, noop, runtime.In(group))
+		}
+	}
+	rt.Wait()
+}
+
+// LocalityChain returns the producer→consumer cache-affinity benchmark at
+// the given locality window (<= 0 disables the worker-local path): one
+// serialized chain per worker, each link walking its chain's 32 KiB
+// payload. The figure-style sweep is the throughput experiment's
+// "locality" scenario; this is its microbenchmark counterpart.
+func LocalityChain(window int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const chains = 4
+		const words = 32 * 1024 / 8
+		rt := runtime.New(runtime.WithWorkers(chains), runtime.WithLocalityWindow(window))
+		defer rt.Shutdown()
+		var sink uint64
+		bodies := make([]func(), chains)
+		for c := 0; c < chains; c++ {
+			buf := make([]uint64, words)
+			bodies[c] = func() {
+				var acc uint64
+				for i := range buf {
+					buf[i] = buf[i]*1664525 + 1013904223
+					acc += buf[i]
+				}
+				atomic.AddUint64(&sink, acc)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := i % chains
+			if _, err := rt.Submit("link", 1, bodies[c], runtime.InOut(c)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rt.Wait()
+	}
+}

@@ -48,6 +48,10 @@ func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskI
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The locality hint lives on a body's placement wrapper; resolve it
+	// and strip the wrapper before it can be retained in task records.
+	hint := r.submitHint(ctx)
+	ctx = unwrapCtx(ctx)
 	if len(specs) == 0 {
 		return nil, nil
 	}
@@ -92,40 +96,46 @@ func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskI
 	tasks := make([]*task, len(specs))
 	ids := make([]TaskID, len(specs))
 	var mask uint64
-	logIdx := make([]int, len(specs))
 	for i, sp := range specs {
-		body := sp.Body
-		if body == nil {
-			body = wrapBody(sp.Fn)
-		}
-		t := r.newTask(ctx, sp.Name, sp.Cost, sp.Priority, body, sp.Deps)
+		t := r.newTask(ctx, sp.Name, sp.Cost, sp.Priority, sp.Body, sp.Fn, sp.Deps)
 		tasks[i] = t
 		ids[i] = t.id
-		m, l := r.shardPlan(t)
-		mask |= m
-		logIdx[i] = l
+		mask |= r.shardPlan(t)
 	}
 	// One lock pass over the union of every task's shards; registration
 	// stays in spec order underneath it, which is what makes intra-batch
 	// dependences work.
 	r.lockShards(mask)
-	for i, t := range tasks {
-		r.linkPreds(t, r.trackDeps(t, logIdx[i]))
+	for _, t := range tasks {
+		r.trackDeps(t)
+		r.linkPreds(t)
 	}
 	r.unlockShards(mask)
 	r.gate.RUnlock()
 
-	ready := make([]*task, 0, len(tasks))
+	// Compact the ready subset in place over the tasks scratch — no third
+	// slice; the batch path's allocations are the two the API requires
+	// (the returned IDs) plus this one scratch.
+	ready := tasks[:0]
 	for _, t := range tasks {
 		if atomic.AddInt32(&t.npreds, -1) == 0 {
 			t.mu.Lock()
 			t.state = stateReady
+			atomic.StoreUint64(&t.readyClaim, atomic.LoadUint64(&t.claim))
 			t.mu.Unlock()
 			ready = append(ready, t)
 		}
 	}
 	if len(ready) > 0 {
-		r.sched.pushBatch(ready, -1)
+		// A hinted (body-context) batch fills the target worker's submit
+		// buffer up to the locality window; the rest goes central.
+		taken := 0
+		if hint >= 0 && r.localSub != nil {
+			taken = r.localSub.submitLocalBatch(ready, hint)
+		}
+		if rest := ready[taken:]; len(rest) > 0 {
+			r.sched.pushBatch(rest, -1)
+		}
 	}
 	return ids, nil
 }

@@ -62,6 +62,18 @@ func newWSDeque() *wsDeque {
 	return d
 }
 
+// size reports the deque's current occupancy. It is exact when called
+// from the owner between operations (the locality-window check); from any
+// other goroutine it is a racy estimate.
+func (d *wsDeque) size() int64 {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return b - t
+}
+
 // pushBottom appends t at the bottom. Owner only.
 func (d *wsDeque) pushBottom(t *task) {
 	b := d.bottom.Load()

@@ -97,16 +97,21 @@ func TestCompleteReleasesTaskReferences(t *testing.T) {
 		for _, tk := range s.tasks {
 			seen++
 			tk.mu.Lock()
-			if tk.fn != nil {
+			if tk.fn != nil || tk.plainFn != nil {
 				t.Errorf("task %q keeps its body after completion", tk.name)
 			}
 			if tk.ctx != nil {
 				t.Errorf("task %q keeps its context after completion", tk.name)
 			}
-			if tk.succs != nil {
+			if tk.nsuccs != 0 || len(tk.succsOvf) != 0 {
 				t.Errorf("task %q keeps successors after completion", tk.name)
 			}
-			if tk.depsLog == nil {
+			for _, s := range tk.succsInl {
+				if s != nil {
+					t.Errorf("task %q keeps an inline successor slot after completion", tk.name)
+				}
+			}
+			if len(tk.deps()) == 0 {
 				t.Errorf("task %q lost its dependence log despite retention", tk.name)
 			}
 			tk.mu.Unlock()
@@ -137,8 +142,8 @@ func TestReadersTailSlotsClearedOnWriterTruncate(t *testing.T) {
 	}
 	full := tail[:cap(tail)]
 	for i, tk := range full {
-		if tk != nil {
-			t.Fatalf("readersTail backing slot %d still pins reader task %d", i, tk.id)
+		if tk.t != nil {
+			t.Fatalf("readersTail backing slot %d still pins reader task %d", i, tk.t.id)
 		}
 	}
 	if cap(tail) < readers {

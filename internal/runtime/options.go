@@ -16,10 +16,18 @@ type options struct {
 	queueBound  int
 	shards      int
 	retainTrace bool
+	localWindow int
 }
 
+// defaultLocalityWindow is the locality window a runtime uses when
+// WithLocalityWindow is not given: deep enough that a producer keeps a
+// cache-warm run of successors to itself, shallow enough that a wide fan
+// spills to the injector and parallelises instead of being stolen back one
+// CAS at a time.
+const defaultLocalityWindow = 32
+
 func defaultOptions() options {
-	return options{workers: 4, scheduler: WorkSteal}
+	return options{workers: 4, scheduler: WorkSteal, localWindow: defaultLocalityWindow}
 }
 
 // Option configures a Runtime at construction time.
@@ -151,6 +159,28 @@ func WithQueueBound(n int) Option {
 func WithTraceRetention() Option {
 	return func(o *options) { o.retainTrace = true }
 }
+
+// WithLocalityWindow bounds the worker-local locality path of the
+// work-stealing scheduler. When a task completes on worker W, its
+// newly-ready successors are pushed onto W's own deque (LIFO, so the
+// consumer runs next on the producer's still-warm cache) as long as the
+// deque holds fewer than n tasks; past the window they spill to the shared
+// injector so a wide fan still spreads across the pool. Submissions made
+// from inside a task body (with the body's context) take the same
+// worker-local path. n <= 0 disables locality entirely — every release
+// goes through the central injector, the baseline the locality throughput
+// scenario compares against. The default is 32. The FIFO and CATS
+// schedulers are unaffected: their queues are central by design (CATS's
+// class-gated criticality order stays authoritative — locality never
+// overrides critical-task placement).
+func WithLocalityWindow(n int) Option {
+	return func(o *options) { o.localWindow = n }
+}
+
+// DefaultLocalityWindow reports the locality window a runtime uses when
+// WithLocalityWindow is not given — for tooling that wants to pin the
+// default explicitly (benchmark sweeps, config echo).
+func DefaultLocalityWindow() int { return defaultLocalityWindow }
 
 // WithShards sets the dependence-tracker shard count. Submissions touching
 // keys on different shards register concurrently; 1 reproduces the old

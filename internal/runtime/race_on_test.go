@@ -1,0 +1,8 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose sync.Pool instrumentation (deliberate item drops) breaks
+// allocation-budget measurements.
+const raceEnabled = true

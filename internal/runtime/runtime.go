@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -117,8 +118,17 @@ func SchedulerByName(name string) (SchedulerKind, error) {
 type TaskID int
 
 // Body is a task body: it receives the context the task was submitted with
+// (augmented with the executing worker's placement — see TaskPlacement)
 // and may fail. The first non-nil error across all tasks is captured and
 // reported by Err and WaitCtx.
+//
+// The context argument may be retained, derived from, and used from other
+// goroutines like any context — the placement wrapper is immutable.
+// Submissions made with it (from the body or from goroutines it spawned)
+// take the worker-local locality path: they land in the executing
+// worker's submit buffer, keeping producer-side task creation near the
+// producer's cache. Note that a retained context keeps reporting the
+// placement of the body it was handed to.
 type Body func(ctx context.Context) error
 
 type taskState int32
@@ -130,26 +140,164 @@ const (
 	stateDone
 )
 
+// inlineArity is the dependence/successor count a task record holds inline.
+// Tasks with at most this many deps (and successors) allocate nothing for
+// them; larger fans spill to a slice that the record keeps (and reuses)
+// across pool recycles.
+const inlineArity = 4
+
+// task is one task record. Records are pooled: when the runtime runs
+// without WithTraceRetention, complete() retires the record back into the
+// runtime's freelist and a later submission reuses it, so the steady-state
+// task lifecycle performs no heap allocation. Reuse is made safe by the
+// claim word (see below): every reference that can outlive the task — the
+// tracker's lastWriter/readersTail entries and the CATS heap's lazy stale
+// entries — carries the generation it was created under and is ignored
+// once the generations diverge.
 type task struct {
 	id       TaskID
 	name     string
 	cost     float64
-	priority int64 // CATS bottom-level estimate
-	// claimed guards against double dispatch when a scheduler holds more
+	priority int64 // CATS bottom-level estimate (accessed atomically)
+	// claim packs the record's reuse generation with the dispatch-claim
+	// bit: claim == gen<<1 | claimedBit. A scheduler that may hold more
 	// than one queue entry for the task (the CATS heap's lazy stale-entry
-	// scheme); the winning pop CASes it 0→1.
-	claimed int32
-	fn      Body
-	ctx     context.Context
+	// scheme) claims a dispatch by CASing gen<<1 → gen<<1|1, so an entry
+	// from an earlier generation can neither double-dispatch the task nor
+	// hijack a recycled record. complete() retires the record by bumping
+	// the generation (inside its t.mu critical section), which atomically
+	// invalidates every outstanding stale reference.
+	claim uint64
+	// readyClaim is the claim word snapshotted (atomically, under t.mu)
+	// when the task is marked stateReady, just before it is handed to the
+	// scheduler. CATS entries snapshot THIS word rather than the live one:
+	// between the ready transition and the scheduler insert, a concurrent
+	// registration that finds this task as a predecessor may bump it —
+	// inserting it into the heap early — and that early entry can dispatch
+	// the task to completion (and recycling) before the original push
+	// runs. The original push then inserts a late entry for a record that
+	// has moved on; snapshotting the ready-time word makes that late
+	// entry's claim CAS fail on the bumped generation instead of
+	// dispatching a dead or foreign record.
+	readyClaim uint64
+	fn         Body
+	plainFn    func() // plain-function body (Submit); fn wins when both are set
+	ctx        context.Context
 
 	mu    sync.Mutex
 	state taskState
-	succs []*task
 	// npreds is the number of incomplete predecessors.
 	npreds int32
 	seq    int64 // submission order, for deterministic tie-breaks
-	// depsLog keeps the declared dependences for graph export.
-	depsLog []Dep
+
+	// Successors: the common small fan lives in succsInl; wider fans spill
+	// to succsOvf (whose capacity the record keeps across recycles).
+	// Entries are direct pointers, not generation-tagged references: an
+	// edge is added only under the predecessor's mutex with its generation
+	// validated and its state not yet done, so the predecessor's complete
+	// — the only consumer — always captures each entry exactly once while
+	// the successor is still pending.
+	nsuccs   int32
+	succsInl [inlineArity]*task
+	succsOvf []*task
+
+	// Declared dependences, same inline-then-spill scheme. With trace
+	// retention these double as the dependence log Graph replays.
+	ndeps   int32
+	depsInl [inlineArity]Dep
+	depsOvf []Dep
+
+	// logShard is the shard whose task log records t (retention only).
+	logShard int32
+
+	// preds is registration scratch: trackDeps collects predecessor refs
+	// here and linkPreds consumes them. Only the submitting goroutine
+	// touches it, and the capacity is kept across recycles.
+	preds []taskRef
+}
+
+// taskRef is a generation-tagged task reference: a *task plus the claim
+// word observed when the reference was created. Holders that may outlive
+// the task (tracker state, the preds scratch) validate the reference
+// before use — gen() mismatch means the record was recycled, i.e. the
+// referenced task completed long ago.
+type taskRef struct {
+	t *task
+	// claim is the referent's claim word at reference-creation time.
+	claim uint64
+}
+
+// gen extracts the generation from a claim word.
+func claimGen(claim uint64) uint64 { return claim >> 1 }
+
+// ref builds a generation-tagged reference to t. Callers must own t or
+// hold a lock that keeps it live (registration does: the task cannot
+// complete before its own submission finishes).
+func (t *task) ref() taskRef {
+	return taskRef{t: t, claim: atomic.LoadUint64(&t.claim)}
+}
+
+// setDeps installs the declared dependences: inline up to inlineArity,
+// spilling to (and reusing) the overflow slice past it.
+func (t *task) setDeps(deps []Dep) {
+	t.ndeps = int32(len(deps))
+	if len(deps) <= inlineArity {
+		copy(t.depsInl[:], deps)
+		return
+	}
+	t.depsOvf = append(t.depsOvf[:0], deps...)
+}
+
+// deps returns the declared dependences as a read-only view.
+func (t *task) deps() []Dep {
+	if int(t.ndeps) <= inlineArity {
+		return t.depsInl[:t.ndeps]
+	}
+	return t.depsOvf
+}
+
+// clearDeps drops the dependence annotations (and the interface keys they
+// pin), keeping the overflow capacity for reuse.
+func (t *task) clearDeps() {
+	for i := range t.depsInl {
+		t.depsInl[i] = Dep{}
+	}
+	for i := range t.depsOvf {
+		t.depsOvf[i] = Dep{}
+	}
+	t.depsOvf = t.depsOvf[:0]
+	t.ndeps = 0
+}
+
+// addSucc records a successor edge. Caller holds t.mu.
+func (t *task) addSucc(s *task) {
+	if int(t.nsuccs) < inlineArity {
+		t.succsInl[t.nsuccs] = s
+	} else {
+		t.succsOvf = append(t.succsOvf, s)
+	}
+	t.nsuccs++
+}
+
+// takeSuccs appends t's successors to buf, clearing them from the record
+// (slots nilled so nothing stays pinned, overflow capacity kept). Caller
+// holds t.mu.
+func (t *task) takeSuccs(buf []*task) []*task {
+	inl := int(t.nsuccs)
+	if inl > inlineArity {
+		inl = inlineArity
+	}
+	for i := 0; i < inl; i++ {
+		buf = append(buf, t.succsInl[i])
+		t.succsInl[i] = nil
+	}
+	buf = append(buf, t.succsOvf...)
+	for i := range t.succsOvf {
+		t.succsOvf[i] = nil
+	}
+	t.succsOvf = t.succsOvf[:0]
+	t.nsuccs = 0
+	return buf
 }
 
 // Stats summarises a runtime's activity.
@@ -184,10 +332,39 @@ type Placement struct {
 // placementKey is the context key TaskPlacement looks up.
 type placementKey struct{}
 
+// placementCtx is the context a task body receives: the task's submission
+// context augmented with the executing worker's placement. Instances are
+// immutable once created — a worker allocates one per distinct submission
+// context it dispatches and caches it, so consecutive tasks sharing a
+// submission context (the steady state: one context per request, or
+// context.Background throughout) share one wrapper at zero per-task
+// allocation, while a body that retains its context — directly or through
+// a derived context — keeps a chain that stays valid forever.
+type placementCtx struct {
+	context.Context
+	// rt identifies the owning runtime, so a worker hint derived from
+	// this context is only trusted by the pool it belongs to.
+	rt    *Runtime
+	where Placement
+}
+
+// Value serves the placement lookup locally and delegates everything else
+// to the submission context.
+func (c *placementCtx) Value(key any) any {
+	if _, ok := key.(placementKey); ok {
+		return &c.where
+	}
+	return c.Context.Value(key)
+}
+
 // TaskPlacement reports which worker is executing the current task body.
-// It only succeeds on the context a Body receives from the runtime; on any
-// other context it returns a zero Placement and false.
+// It only succeeds on the context a Body receives from the runtime (or one
+// derived from it); on any other context it returns a zero Placement and
+// false.
 func TaskPlacement(ctx context.Context) (Placement, bool) {
+	if pc, ok := ctx.(*placementCtx); ok {
+		return pc.where, true // fast path: no interface Value chain
+	}
 	p, ok := ctx.Value(placementKey{}).(*Placement)
 	if !ok {
 		return Placement{}, false
@@ -195,10 +372,28 @@ func TaskPlacement(ctx context.Context) (Placement, bool) {
 	return *p, true
 }
 
+// submitHint resolves the worker-locality hint of a submission context: a
+// submission made with a task body's context (the one this runtime handed
+// it) targets the worker that executed that body, so producer-side task
+// creation enjoys the same locality benefit as successor release.
+// Everything else — foreign contexts, other runtimes' body contexts —
+// gets no hint. The hint is safe from any goroutine: hinted submissions
+// go through the target worker's mutex-guarded side buffer (see
+// localSubmitter), never directly onto its owner-only deque.
+func (r *Runtime) submitHint(ctx context.Context) int {
+	if pc, ok := ctx.(*placementCtx); ok && pc.rt == r {
+		return pc.where.Worker
+	}
+	return -1
+}
+
 // Runtime is one task-pool instance.
 type Runtime struct {
 	opts  options
 	sched scheduler
+	// localSub is sched's localSubmitter side, when it has one: the safe
+	// landing zone for hinted (body-context) submissions.
+	localSub localSubmitter
 
 	// classes is the resolved worker-class set, fastest first; classOf maps
 	// workerID → class index. Workers 0..fastN-1 are the fast class.
@@ -236,6 +431,11 @@ type Runtime struct {
 	skipped   uint64
 	perWorker []uint64
 
+	// pool is the task-record freelist. Without trace retention, complete
+	// retires each finished record here and newTask reuses it, so the
+	// steady-state submit→execute→complete path allocates nothing.
+	pool sync.Pool
+
 	closed   int32 // Submit guard, set at Shutdown entry
 	shutdown int32 // worker stop flag, set once the pool drains
 	wg       sync.WaitGroup
@@ -267,8 +467,9 @@ func New(opts ...Option) *Runtime {
 	case CATS:
 		r.sched = newCATSScheduler(layout)
 	default:
-		r.sched = newStealScheduler(layout)
+		r.sched = newStealScheduler(layout, o.localWindow)
 	}
+	r.localSub, _ = r.sched.(localSubmitter)
 	for w := 0; w < o.workers; w++ {
 		r.wg.Add(1)
 		go r.worker(w)
@@ -298,13 +499,13 @@ func (r *Runtime) Shards() int { return len(r.shards) }
 // WAR/WAW hazards, as in OmpSs. Submit fails with ErrShutdown after
 // Shutdown.
 func (r *Runtime) Submit(name string, cost float64, fn func(), deps ...Dep) (TaskID, error) {
-	return r.SubmitCtx(context.Background(), name, cost, wrapBody(fn), deps...)
+	return r.submit(context.Background(), name, cost, 0, nil, fn, deps)
 }
 
 // SubmitPriority is Submit with an explicit programmer priority hint (the
 // OmpSs priority clause); higher runs earlier under CATS.
 func (r *Runtime) SubmitPriority(name string, cost float64, priority int, fn func(), deps ...Dep) (TaskID, error) {
-	return r.SubmitPriorityCtx(context.Background(), name, cost, priority, wrapBody(fn), deps...)
+	return r.submit(context.Background(), name, cost, priority, nil, fn, deps)
 }
 
 // SubmitCtx is the context-aware, error-returning submission path. The
@@ -314,14 +515,38 @@ func (r *Runtime) SubmitPriority(name string, cost float64, priority int, fn fun
 // also blocks for a backpressure slot when WithQueueBound is set, aborting
 // with ctx.Err() if the context is cancelled while waiting.
 func (r *Runtime) SubmitCtx(ctx context.Context, name string, cost float64, fn Body, deps ...Dep) (TaskID, error) {
-	return r.SubmitPriorityCtx(ctx, name, cost, 0, fn, deps...)
+	return r.submit(ctx, name, cost, 0, fn, nil, deps)
 }
 
 // SubmitPriorityCtx is SubmitCtx with a priority hint.
 func (r *Runtime) SubmitPriorityCtx(ctx context.Context, name string, cost float64, priority int, fn Body, deps ...Dep) (TaskID, error) {
+	return r.submit(ctx, name, cost, priority, fn, nil, deps)
+}
+
+// unwrapCtx strips a body's placement wrapper off a submission context,
+// returning the underlying submission context the wrapper delegates to —
+// the child task's context is the parent's own submission context, which
+// shares the same cancellation. Wrappers are immutable, so this is about
+// hygiene, not safety: without it a self-submitting chain would stack one
+// wrapper per generation and pay an ever-deeper delegation walk. Only a
+// top-level wrapper is stripped; a context the body derived from its
+// wrapper keeps the wrapper mid-chain, which is valid indefinitely.
+func unwrapCtx(ctx context.Context) context.Context {
+	if pc, ok := ctx.(*placementCtx); ok {
+		return pc.Context
+	}
+	return ctx
+}
+
+// submit is the shared single-task submission path. Exactly one of fn and
+// plain is set by the public wrappers.
+func (r *Runtime) submit(ctx context.Context, name string, cost float64, priority int, fn Body, plain func(), deps []Dep) (TaskID, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The locality hint lives on the wrapper; resolve it before unwrapping.
+	hint := r.submitHint(ctx)
+	ctx = unwrapCtx(ctx)
 	if atomic.LoadInt32(&r.closed) != 0 {
 		return 0, ErrShutdown
 	}
@@ -349,65 +574,81 @@ func (r *Runtime) SubmitPriorityCtx(ctx context.Context, name string, cost float
 		}
 		return 0, ErrShutdown
 	}
-	t := r.newTask(ctx, name, cost, priority, fn, deps)
-	mask, logIdx := r.shardPlan(t)
+	t := r.newTask(ctx, name, cost, priority, fn, plain, deps)
+	mask := r.shardPlan(t)
 	r.lockShards(mask)
-	preds := r.trackDeps(t, logIdx)
-	r.linkPreds(t, preds)
+	r.trackDeps(t)
+	r.linkPreds(t)
 	r.unlockShards(mask)
 	r.gate.RUnlock()
 
+	// Capture the ID before publishing: the moment the task is pushed it
+	// can execute, complete, and be recycled for an unrelated submission,
+	// so no field of t may be read past this point.
+	id := t.id
 	if atomic.AddInt32(&t.npreds, -1) == 0 {
 		t.mu.Lock()
 		t.state = stateReady
+		atomic.StoreUint64(&t.readyClaim, atomic.LoadUint64(&t.claim))
 		t.mu.Unlock()
-		r.sched.push(t, -1)
+		// A hinted (body-context) submission lands in the target worker's
+		// submit buffer — safe from any goroutine, unlike the deque.
+		if hint < 0 || r.localSub == nil || !r.localSub.submitLocal(t, hint) {
+			r.sched.push(t, -1)
+		}
 	}
-	return t.id, nil
+	return id, nil
 }
 
-// newTask allocates a task record and its ID/sequence number, and counts
-// it outstanding. Must be called with the gate's read side held so the
+// newTask readies a task record — reusing one from the freelist when
+// available — and allocates its ID/sequence number, counting it
+// outstanding. Must be called with the gate's read side held so the
 // increment is ordered before any concurrent Shutdown drain.
-func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priority int, fn Body, deps []Dep) *task {
-	seq := atomic.AddInt64(&r.seq, 1) - 1
-	t := &task{
-		id:       TaskID(seq),
-		name:     name,
-		cost:     cost,
-		priority: int64(priority),
-		fn:       fn,
-		ctx:      ctx,
-		seq:      seq,
-		depsLog:  append([]Dep(nil), deps...),
+func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priority int, fn Body, plain func(), deps []Dep) *task {
+	t, ok := r.pool.Get().(*task)
+	if !ok {
+		t = &task{}
 	}
+	seq := atomic.AddInt64(&r.seq, 1) - 1
+	t.id = TaskID(seq)
+	t.name = name
+	t.cost = cost
+	atomic.StoreInt64(&t.priority, int64(priority))
+	t.fn = fn
+	t.plainFn = plain
+	t.ctx = ctx
+	t.state = statePending
+	t.seq = seq
+	t.setDeps(deps)
 	atomic.AddInt64(&r.outstanding, 1)
 	return t
 }
 
 // trackDeps runs the renamer for t: it resolves RAW/WAR/WAW hazards
 // against the per-key tracking state, updates that state, and appends t to
-// the shard task log. Every shard t's keys hash to (plus the log shard)
-// must be locked by the caller.
-func (r *Runtime) trackDeps(t *task, logIdx int) []*task {
-	var preds []*task
-	addPred := func(p *task) {
-		if p == nil || p == t {
+// the shard task log. Predecessor references are collected into t.preds
+// for linkPreds. Every shard t's keys hash to (plus the log shard) must be
+// locked by the caller.
+func (r *Runtime) trackDeps(t *task) {
+	t.preds = t.preds[:0]
+	addPred := func(p taskRef) {
+		if p.t == nil || p.t == t {
 			return
 		}
-		for _, q := range preds {
-			if q == p {
+		for _, q := range t.preds {
+			if q.t == p.t {
 				return
 			}
 		}
-		preds = append(preds, p)
+		t.preds = append(t.preds, p)
 	}
-	for _, d := range t.depsLog {
+	self := t.ref()
+	for _, d := range t.deps() {
 		s := r.shards[r.shardIndex(d.Key)]
 		switch d.Mode {
 		case ModeIn:
 			addPred(s.lastWriter[d.Key])
-			s.readersTail[d.Key] = append(s.readersTail[d.Key], t)
+			s.readersTail[d.Key] = append(s.readersTail[d.Key], self)
 		case ModeOut, ModeInOut:
 			if d.Mode == ModeInOut {
 				addPred(s.lastWriter[d.Key])
@@ -420,33 +661,44 @@ func (r *Runtime) trackDeps(t *task, logIdx int) []*task {
 			// WAW: wait for the previous writer even for plain Out, since
 			// we do not rename storage.
 			addPred(s.lastWriter[d.Key])
-			s.lastWriter[d.Key] = t
-			// Nil the slots before truncating: tail[:0] alone keeps every
+			s.lastWriter[d.Key] = self
+			// Zero the slots before truncating: tail[:0] alone keeps every
 			// old reader task reachable through the backing array until the
 			// next writer happens to overwrite each slot.
 			for i := range tail {
-				tail[i] = nil
+				tail[i] = taskRef{}
 			}
 			s.readersTail[d.Key] = tail[:0]
 		}
 	}
 	if r.opts.retainTrace {
-		r.shards[logIdx].tasks = append(r.shards[logIdx].tasks, t)
+		r.shards[t.logShard].tasks = append(r.shards[t.logShard].tasks, t)
 	}
-	return preds
 }
 
-// linkPreds registers the dependence edges. npreds starts at 1 (the
-// submission's own reference) so a predecessor completing concurrently
-// with registration can never drive the counter to zero before every edge
-// is in place; the caller's final decrement releases the reference and
-// publishes the task.
-func (r *Runtime) linkPreds(t *task, preds []*task) {
+// linkPreds registers the dependence edges collected by trackDeps. npreds
+// starts at 1 (the submission's own reference) so a predecessor completing
+// concurrently with registration can never drive the counter to zero
+// before every edge is in place; the caller's final decrement releases the
+// reference and publishes the task.
+//
+// Each predecessor reference is generation-checked under the
+// predecessor's mutex: a mismatch means the record was retired (its task
+// completed) and possibly reused for an unrelated task, so the reference
+// is dead and no other field of the record may be read — the generation
+// bump happens inside complete's critical section, which makes this check
+// exact, not best-effort.
+func (r *Runtime) linkPreds(t *task) {
 	atomic.StoreInt32(&t.npreds, 1)
-	for _, p := range preds {
+	for _, ref := range t.preds {
+		p := ref.t
 		p.mu.Lock()
+		if claimGen(atomic.LoadUint64(&p.claim)) != claimGen(ref.claim) {
+			p.mu.Unlock() // recycled record: the predecessor completed long ago
+			continue
+		}
 		if p.state != stateDone {
-			p.succs = append(p.succs, t)
+			p.addSucc(t)
 			atomic.AddInt32(&t.npreds, 1)
 			// CATS: a new successor raises the predecessor's bottom-level
 			// estimate (single-step propagation, as the original heuristic).
@@ -464,17 +716,12 @@ func (r *Runtime) linkPreds(t *task, preds []*task) {
 		}
 		p.mu.Unlock()
 	}
-}
-
-// wrapBody lifts a plain func() to a Body.
-func wrapBody(fn func()) Body {
-	if fn == nil {
-		return nil
+	// Clear the scratch so completed predecessors are not pinned by this
+	// record (the capacity is kept for the next registration).
+	for i := range t.preds {
+		t.preds[i] = taskRef{}
 	}
-	return func(context.Context) error {
-		fn()
-		return nil
-	}
+	t.preds = t.preds[:0]
 }
 
 // setErr captures the first task failure.
@@ -497,22 +744,52 @@ func (r *Runtime) Err() error {
 	return r.firstErr
 }
 
+// completionScratch is a worker's reusable completion state: buffers for
+// the captured successors and the newly-ready subset (living on the
+// worker — not the task, not the heap per call — keeps the completion path
+// allocation-free once they have grown to the workload's fan width), plus
+// the worker's cached ownedPusher assertion for the wake-free
+// single-successor hand-off.
+type completionScratch struct {
+	succs []*task
+	ready []*task
+	owned ownedPusher
+}
+
 // worker is the body of one pool goroutine.
 func (r *Runtime) worker(id int) {
 	defer r.wg.Done()
-	// One placement record per worker: task bodies see it through their
-	// context (TaskPlacement), so a body can scale simulated work to the
-	// class it landed on and tests can assert placement.
-	where := &Placement{
+	where := Placement{
 		Worker:    id,
 		Class:     r.classOf[id],
 		ClassName: r.classes[r.classOf[id]].Name,
 		Speed:     r.classes[r.classOf[id]].Speed,
 	}
+	// Placement wrappers are allocated per distinct submission context and
+	// immutable afterwards, so task bodies see their placement through
+	// their context (TaskPlacement) at zero per-task allocation in the
+	// steady state, and any context a body retains (or derives and hands
+	// to a child task) stays valid after the body returns. Submissions
+	// made with one take the worker-local locality path (submitHint).
+	//
+	// bgWrap is the permanent wrapper for context.Background submissions
+	// (most tasks); curCtx/curWrap cache the wrapper of the last other
+	// submission context. The cache pins at most that one context per
+	// worker, and is dropped as soon as a Background-context body runs;
+	// curCtx only ever holds contexts of comparable dynamic type, so the
+	// identity check below can never hit Go's uncomparable-type panic
+	// (comparing against a context of a *different* type is always safe).
+	bgWrap := &placementCtx{Context: context.Background(), rt: r, where: where}
+	var curCtx context.Context
+	var curWrap *placementCtx
+	var sc completionScratch
 	// A class-aware scheduler tracks which workers are running critical
 	// work; it is told a dispatch ended before complete releases the
 	// successors, so their placement decisions see fresh state.
 	obs, _ := r.sched.(dispatchObserver)
+	// A locality-capable scheduler takes the single-successor hand-off
+	// without a wakeup — this goroutine is about to pop it anyway.
+	sc.owned, _ = r.sched.(ownedPusher)
 	for {
 		t, stole := r.sched.pop(id)
 		if t == nil {
@@ -532,10 +809,33 @@ func (r *Runtime) worker(id int) {
 			atomic.AddUint64(&r.skipped, 1)
 			r.setErr(err)
 		} else {
-			if t.fn != nil {
-				if err := t.fn(context.WithValue(t.ctx, placementKey{}, where)); err != nil {
+			switch {
+			case t.fn != nil:
+				var pc *placementCtx
+				if t.ctx == context.Background() {
+					pc = bgWrap
+					// Release the cached request-scoped context: a worker
+					// must not pin a dead request's values past the next
+					// Background-context dispatch.
+					curCtx, curWrap = nil, nil
+				} else if curWrap != nil && t.ctx == curCtx {
+					pc = curWrap // same submission scope as the last task
+				} else {
+					pc = &placementCtx{Context: t.ctx, rt: r, where: where}
+					if reflect.TypeOf(t.ctx).Comparable() {
+						curCtx, curWrap = t.ctx, pc
+					} else {
+						// Never cache a context of uncomparable dynamic
+						// type: a later identity check against another
+						// value of the same type would panic.
+						curCtx, curWrap = nil, nil
+					}
+				}
+				if err := t.fn(pc); err != nil {
 					r.setErr(fmt.Errorf("task %s: %w", t.name, err))
 				}
+			case t.plainFn != nil:
+				t.plainFn()
 			}
 			atomic.AddUint64(&r.executed, 1)
 			atomic.AddUint64(&r.perWorker[id], 1)
@@ -543,53 +843,81 @@ func (r *Runtime) worker(id int) {
 		if obs != nil {
 			obs.taskDone(id)
 		}
-		r.complete(t, id)
+		r.complete(t, id, &sc)
 	}
 }
 
 // complete marks a task done, releases its successors, and drops the
 // references the task no longer needs — the body closure (often the
-// heaviest retained object), the submission context, and, when no trace is
-// retained, the dependence log — so completed tasks cost a long-lived
-// runtime only their bare struct even where tracker state (lastWriter)
-// still points at them.
-func (r *Runtime) complete(t *task, workerID int) {
+// heaviest retained object) and the submission context. Without trace
+// retention it goes further and retires the whole record into the
+// runtime's freelist: the generation bump in the claim word (performed
+// inside this critical section) atomically invalidates every reference
+// that may still point here — tracker lastWriter/readersTail entries and
+// stale CATS heap entries — so the record can be reused by the next
+// submission without those holders ever observing the new task's state.
+//
+// Newly-ready successors are released with the completing worker's
+// identity: the scheduler's locality path pushes them onto this worker's
+// own deque (LIFO, so the consumer reuses the producer's warm cache),
+// spilling to the shared injector past the locality window.
+func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
+	recycle := !r.opts.retainTrace
+	succs := sc.succs[:0]
 	t.mu.Lock()
 	t.state = stateDone
-	succs := t.succs
-	t.succs = nil
+	succs = t.takeSuccs(succs)
 	t.fn = nil
+	t.plainFn = nil
 	t.ctx = nil
-	if !r.opts.retainTrace {
-		t.depsLog = nil
+	if recycle {
+		t.name = ""
+		t.clearDeps()
+		// Retire the record: from here on every generation-tagged
+		// reference to it is dead. This store must stay inside the t.mu
+		// critical section — linkPreds validates generations under the
+		// same mutex, so a reference holder either runs before this bump
+		// (and sees state == stateDone) or after it (and sees the
+		// mismatch without touching any other field).
+		atomic.StoreUint64(&t.claim, (claimGen(atomic.LoadUint64(&t.claim))+1)<<1)
 	}
 	t.mu.Unlock()
 	// Release successors in one scheduler call: a task that completes a
 	// wide fan (the steal-heavy shape) hands the whole fan over with a
 	// single wakeup instead of one signal per child.
-	var ready []*task
-	var first *task
+	ready := sc.ready[:0]
 	for _, s := range succs {
 		if atomic.AddInt32(&s.npreds, -1) == 0 {
 			s.mu.Lock()
 			s.state = stateReady
+			atomic.StoreUint64(&s.readyClaim, atomic.LoadUint64(&s.claim))
 			s.mu.Unlock()
-			if first == nil && ready == nil {
-				first = s // avoid the slice allocation for the common 0/1 case
-			} else {
-				if ready == nil {
-					ready = append(ready, first)
-					first = nil
-				}
-				ready = append(ready, s)
-			}
+			ready = append(ready, s)
 		}
 	}
-	if first != nil {
-		r.sched.push(first, workerID)
-	} else if len(ready) > 0 {
+	switch len(ready) {
+	case 0:
+	case 1:
+		// The chain hand-off: keep the lone successor to this worker
+		// without a wakeup when the scheduler's locality path allows it —
+		// this goroutine pops it next, and signalling a parked thief here
+		// would only invite it to steal the link off the warm cache.
+		if sc.owned == nil || !sc.owned.pushOwned(ready[0], workerID) {
+			r.sched.push(ready[0], workerID)
+		}
+	default:
 		r.sched.pushBatch(ready, workerID)
 	}
+	// Scrub the scratch so finished tasks are not pinned until the next
+	// completion happens to overwrite the slots.
+	for i := range succs {
+		succs[i] = nil
+	}
+	sc.succs = succs[:0]
+	for i := range ready {
+		ready[i] = nil
+	}
+	sc.ready = ready[:0]
 	if r.slots != nil {
 		<-r.slots
 	}
@@ -597,6 +925,9 @@ func (r *Runtime) complete(t *task, workerID int) {
 		r.waitMu.Lock()
 		r.waitCond.Broadcast()
 		r.waitMu.Unlock()
+	}
+	if recycle {
+		r.pool.Put(t)
 	}
 }
 
@@ -652,21 +983,39 @@ func (r *Runtime) Shutdown() {
 	r.wg.Wait()
 }
 
-// Stats returns a snapshot of execution counters.
+// Stats returns a snapshot of execution counters. Each call allocates
+// fresh PerWorker/PerClass slices; reporting loops that poll repeatedly
+// should use StatsInto with a reused buffer instead.
 func (r *Runtime) Stats() Stats {
-	s := Stats{
-		Submitted: uint64(atomic.LoadInt64(&r.seq)),
-		Executed:  atomic.LoadUint64(&r.executed),
-		Steals:    atomic.LoadUint64(&r.steals),
-		Skipped:   atomic.LoadUint64(&r.skipped),
+	var s Stats
+	r.StatsInto(&s)
+	return s
+}
+
+// StatsInto fills s with a snapshot of the execution counters, reusing the
+// capacity of s.PerWorker and s.PerClass when they are large enough — the
+// allocation-free variant of Stats for hot reporting loops (periodic
+// metrics exporters, per-round experiment sampling).
+func (r *Runtime) StatsInto(s *Stats) {
+	s.Submitted = uint64(atomic.LoadInt64(&r.seq))
+	s.Executed = atomic.LoadUint64(&r.executed)
+	s.Steals = atomic.LoadUint64(&r.steals)
+	s.Skipped = atomic.LoadUint64(&r.skipped)
+	if cap(s.PerWorker) < len(r.perWorker) {
+		s.PerWorker = make([]uint64, len(r.perWorker))
 	}
-	s.PerWorker = make([]uint64, len(r.perWorker))
-	s.PerClass = make([]uint64, len(r.classes))
+	s.PerWorker = s.PerWorker[:len(r.perWorker)]
+	if cap(s.PerClass) < len(r.classes) {
+		s.PerClass = make([]uint64, len(r.classes))
+	}
+	s.PerClass = s.PerClass[:len(r.classes)]
+	for i := range s.PerClass {
+		s.PerClass[i] = 0
+	}
 	for i := range r.perWorker {
 		s.PerWorker[i] = atomic.LoadUint64(&r.perWorker[i])
 		s.PerClass[r.classOf[i]] += s.PerWorker[i]
 	}
-	return s
 }
 
 // Graph exports the dependence graph of everything submitted so far as a
@@ -710,7 +1059,7 @@ func (r *Runtime) Graph() (*tdg.Graph, error) {
 	shadowReaders := make(map[any][]tdg.NodeID)
 	for _, t := range tasks {
 		id := node[t.id]
-		for _, d := range t.depsLog {
+		for _, d := range t.deps() {
 			switch d.Mode {
 			case ModeIn:
 				if w, ok := shadowWriter[d.Key]; ok {

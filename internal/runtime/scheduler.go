@@ -34,6 +34,33 @@ type priorityBumper interface {
 	bump(t *task)
 }
 
+// ownedPusher is the locality fast path for the single-successor hand-off:
+// pushOwned enqueues t on workerID's own queue with NO wakeup, returning
+// false (nothing enqueued) if the locality path cannot take it. It is only
+// sound when the caller is workerID's own goroutine AND is guaranteed to
+// return to pop immediately — i.e. a worker releasing a successor in
+// complete, never a submitting goroutine (whose body could block and
+// strand the task with every other worker parked). Skipping the wakeup
+// saves the futex and, more importantly, stops a parked thief from being
+// invited to steal the chain's next link away from its warm cache.
+// Optional: the runtime type-asserts once per worker.
+type ownedPusher interface {
+	pushOwned(t *task, workerID int) bool
+}
+
+// localSubmitter is the locality path for hinted submissions — tasks
+// submitted with a body's context, targeting the worker that ran the
+// body. Unlike the deque (whose bottom end is owner-only), the submit
+// buffer behind these methods is mutex-guarded and safe from ANY
+// goroutine, so a body may hand its context to helper goroutines that
+// submit concurrently. submitLocal reports whether it took the task;
+// submitLocalBatch takes a prefix of ts and returns how many, the caller
+// routes the rest centrally. Optional: the runtime type-asserts.
+type localSubmitter interface {
+	submitLocal(t *task, workerID int) bool
+	submitLocalBatch(ts []*task, workerID int) int
+}
+
 // dispatchObserver is implemented by schedulers that want to hear when a
 // worker finishes the task it popped — the class-aware CATS uses it to
 // keep its fast-class saturation count exact: the worker notifies before
@@ -162,7 +189,35 @@ type stealScheduler struct {
 	// (see stealSweep). fastN == len(deques) for homogeneous pools.
 	fastN int
 
+	// window is the locality window: a push carrying a worker hint goes to
+	// that worker's own deque only while the deque holds fewer than window
+	// tasks, and spills to the shared injector past it — so a completing
+	// worker keeps its successors hot in cache without hoarding a wide fan
+	// that the rest of the pool would have to steal back one CAS at a
+	// time. window <= 0 disables the locality path entirely (every release
+	// goes through the injector — the central-queue baseline).
+	window int64
+
+	// side holds one submit buffer per worker: the landing zone for
+	// hinted submissions (tasks submitted with a worker's body context,
+	// possibly from arbitrary goroutines — the deque bottom is owner-only,
+	// this is not). The owner drains its buffer into its deque at the top
+	// of pop; thieves with nothing else to do steal from other workers'
+	// buffers, so a task parked here by a body that then blocks is still
+	// reachable by the rest of the pool.
+	side []sideBuf
+
 	rng []paddedRand
+}
+
+// sideBuf is one worker's mutex-guarded submit buffer. n mirrors q.len()
+// so the owner's pop fast path and thieves' sweeps can skip the lock when
+// the buffer is empty (the steady state).
+type sideBuf struct {
+	mu sync.Mutex
+	q  taskRing
+	n  atomic.Int64
+	_  [4]int64 // keep neighbouring buffers off one cache line
 }
 
 // paddedRand is a per-worker xorshift state, padded to a cache line so
@@ -172,11 +227,13 @@ type paddedRand struct {
 	_     [7]uint64
 }
 
-func newStealScheduler(layout classLayout) *stealScheduler {
+func newStealScheduler(layout classLayout, window int) *stealScheduler {
 	s := &stealScheduler{
 		deques: make([]*wsDeque, layout.workers),
 		rng:    make([]paddedRand, layout.workers),
 		fastN:  layout.fastN,
+		window: int64(window),
+		side:   make([]sideBuf, layout.workers),
 	}
 	for i := range s.deques {
 		s.deques[i] = newWSDeque()
@@ -186,9 +243,22 @@ func newStealScheduler(layout classLayout) *stealScheduler {
 	return s
 }
 
+// localRoom reports how many more tasks worker w's deque may take through
+// the locality path (0 when the hint is invalid or locality is disabled).
+func (s *stealScheduler) localRoom(workerHint int) int64 {
+	if workerHint < 0 || workerHint >= len(s.deques) || s.window <= 0 {
+		return 0
+	}
+	room := s.window - s.deques[workerHint].size()
+	if room < 0 {
+		return 0
+	}
+	return room
+}
+
 func (s *stealScheduler) push(t *task, workerHint int) {
 	s.pending.Add(1)
-	if workerHint >= 0 && workerHint < len(s.deques) {
+	if s.localRoom(workerHint) > 0 {
 		s.deques[workerHint].pushBottom(t)
 	} else {
 		s.injMu.Lock()
@@ -199,22 +269,136 @@ func (s *stealScheduler) push(t *task, workerHint int) {
 	s.wakeWorkers(1)
 }
 
+// pushOwned implements ownedPusher: the completing worker keeps its single
+// ready successor to itself, no wakeup. Only taken when the worker's deque
+// is empty AND locality is enabled — then the pushed task is exactly what
+// this worker pops next, so no other work is hidden from parked thieves by
+// the skipped signal. With anything else already queued the caller falls
+// back to the waking push, which lets a parked worker come steal the
+// older entries (FIFO top) while the owner continues its chain.
+func (s *stealScheduler) pushOwned(t *task, workerID int) bool {
+	if s.window <= 0 {
+		return false
+	}
+	d := s.deques[workerID]
+	if d.size() != 0 {
+		return false
+	}
+	s.pending.Add(1)
+	d.pushBottom(t)
+	return true
+}
+
+// submitLocal implements localSubmitter: a hinted submission lands in the
+// target worker's submit buffer (bounded by the locality window), safe
+// from any goroutine. Returns false — caller routes centrally — when the
+// hint is invalid, locality is disabled, or the buffer is full.
+func (s *stealScheduler) submitLocal(t *task, workerID int) bool {
+	if workerID < 0 || workerID >= len(s.side) || s.window <= 0 {
+		return false
+	}
+	b := &s.side[workerID]
+	b.mu.Lock()
+	if int64(b.q.len()) >= s.window {
+		b.mu.Unlock()
+		return false
+	}
+	b.q.push(t)
+	b.mu.Unlock()
+	b.n.Add(1)
+	s.pending.Add(1)
+	s.wakeWorkers(1)
+	return true
+}
+
+// submitLocalBatch implements localSubmitter: takes a window-bounded
+// prefix of ts into the worker's submit buffer and returns how many.
+func (s *stealScheduler) submitLocalBatch(ts []*task, workerID int) int {
+	if workerID < 0 || workerID >= len(s.side) || s.window <= 0 || len(ts) == 0 {
+		return 0
+	}
+	b := &s.side[workerID]
+	b.mu.Lock()
+	room := s.window - int64(b.q.len())
+	take := len(ts)
+	if int64(take) > room {
+		take = int(room)
+	}
+	if take < 0 {
+		take = 0
+	}
+	for _, t := range ts[:take] {
+		b.q.push(t)
+	}
+	b.mu.Unlock()
+	if take > 0 {
+		b.n.Add(int64(take))
+		s.pending.Add(int64(take))
+		s.wakeWorkers(take)
+	}
+	return take
+}
+
+// drainSide moves the owner's submit buffer into its own deque (owner
+// goroutine only — pushBottom is owner-only).
+func (s *stealScheduler) drainSide(w int) {
+	b := &s.side[w]
+	b.mu.Lock()
+	for b.q.len() > 0 {
+		s.deques[w].pushBottom(b.q.pop())
+		b.n.Add(-1)
+	}
+	b.mu.Unlock()
+}
+
+// stealSide takes one task from some other worker's submit buffer — the
+// fallback that keeps buffered submissions reachable when their target
+// worker is blocked inside a long-running body.
+func (s *stealScheduler) stealSide(w int) *task {
+	for i := range s.side {
+		if i == w {
+			continue
+		}
+		b := &s.side[i]
+		if b.n.Load() == 0 {
+			continue
+		}
+		b.mu.Lock()
+		t := b.q.pop()
+		b.mu.Unlock()
+		if t != nil {
+			b.n.Add(-1)
+			return t
+		}
+	}
+	return nil
+}
+
 func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
 	if len(ts) == 0 {
 		return
 	}
 	s.pending.Add(int64(len(ts)))
-	if workerHint >= 0 && workerHint < len(s.deques) {
+	// Fill the hinted worker's deque up to the locality window, spill the
+	// rest to the injector so a wide fan still spreads across the pool
+	// without every other worker stealing it back one task at a time.
+	local := 0
+	if room := s.localRoom(workerHint); room > 0 {
+		local = len(ts)
+		if int64(local) > room {
+			local = int(room)
+		}
 		d := s.deques[workerHint]
-		for _, t := range ts {
+		for _, t := range ts[:local] {
 			d.pushBottom(t)
 		}
-	} else {
+	}
+	if rest := ts[local:]; len(rest) > 0 {
 		s.injMu.Lock()
-		for _, t := range ts {
+		for _, t := range rest {
 			s.inj.push(t)
 		}
-		s.injLen.Add(int64(len(ts)))
+		s.injLen.Add(int64(len(rest)))
 		s.injMu.Unlock()
 	}
 	s.wakeWorkers(len(ts))
@@ -325,6 +509,12 @@ func (s *stealScheduler) nextRand(w int) uint64 {
 
 func (s *stealScheduler) pop(workerID int) (*task, bool) {
 	for {
+		// Claim the hinted submissions aimed at this worker first — they
+		// were routed here for this worker's cache (one lock-free check in
+		// the common empty case).
+		if s.side[workerID].n.Load() > 0 {
+			s.drainSide(workerID)
+		}
 		if t := s.deques[workerID].popBottom(); t != nil {
 			s.pending.Add(-1)
 			return t, false
@@ -333,10 +523,16 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 			s.pending.Add(-1)
 			return t, false
 		}
-		if t, contended := s.stealSweep(workerID); t != nil {
+		t, contended := s.stealSweep(workerID)
+		if t != nil {
 			s.pending.Add(-1)
 			return t, true
-		} else if contended {
+		}
+		if t := s.stealSide(workerID); t != nil {
+			s.pending.Add(-1)
+			return t, true
+		}
+		if contended {
 			// Someone holds work we raced for; try again without parking —
 			// but yield first so the holder can make progress when cores
 			// are oversubscribed.
@@ -444,14 +640,22 @@ type catsScheduler struct {
 	woken           bool
 }
 
-// catsEntry is one heap element: a task and the priority it was inserted
-// at. task.priority may have been raised since; the entry then either gets
-// superseded by a bump reinsertion or dispatches the task slightly later
-// than a fresh entry would — never earlier, so order violations are
-// one-sided and bounded by the bump window.
+// catsEntry is one heap element: a task plus snapshots of its priority,
+// sequence number, and claim word at insertion. task.priority may have
+// been raised since; the entry then either gets superseded by a bump
+// reinsertion or dispatches the task slightly later than a fresh entry
+// would — never earlier, so order violations are one-sided and bounded by
+// the bump window. The seq snapshot (rather than reading t.seq at compare
+// time) and the generation-tagged claim matter because task records are
+// pooled: a stale entry may outlive its task, and by comparison time the
+// record can already belong to an unrelated task — the entry must neither
+// read the recycled record's fields nor claim it (the claim CAS fails on
+// any generation but the one the entry was created under).
 type catsEntry struct {
-	t    *task
-	prio int64
+	t     *task
+	prio  int64
+	seq   int64
+	claim uint64
 }
 
 func newCATSScheduler(layout classLayout) *catsScheduler {
@@ -461,9 +665,9 @@ func newCATSScheduler(layout classLayout) *catsScheduler {
 }
 
 // before reports heap order: higher snapshot priority first, then earlier
-// submission.
+// submission (by the entry's seq snapshot — see catsEntry).
 func (a catsEntry) before(b catsEntry) bool {
-	return a.prio > b.prio || (a.prio == b.prio && a.t.seq < b.t.seq)
+	return a.prio > b.prio || (a.prio == b.prio && a.seq < b.seq)
 }
 
 // catsHeap is a binary max-heap of catsEntry in before order.
@@ -513,7 +717,16 @@ func (h *catsHeap) pop() catsEntry {
 // insert routes a ready task to the heap its snapshot priority selects.
 // Caller holds s.mu.
 func (s *catsScheduler) insert(t *task) {
-	e := catsEntry{t: t, prio: atomic.LoadInt64(&t.priority)}
+	// The claim snapshot is the READY-TIME word (readyClaim), not the live
+	// one: a push that arrives after the task was bump-inserted, dispatched,
+	// and recycled must produce an entry whose claim CAS fails on the old
+	// generation rather than an entry that could claim the recycled record.
+	e := catsEntry{
+		t:     t,
+		prio:  atomic.LoadInt64(&t.priority),
+		seq:   t.seq,
+		claim: atomic.LoadUint64(&t.readyClaim),
+	}
 	if e.prio > 0 {
 		s.crit.push(e)
 	} else {
@@ -605,7 +818,13 @@ func (s *catsScheduler) pop(workerID int) (*task, bool) {
 	defer s.mu.Unlock()
 	for {
 		if e, fromCrit, ok := s.take(workerID); ok {
-			if atomic.CompareAndSwapInt32(&e.t.claimed, 0, 1) {
+			// The claim CAS only succeeds against the exact claim word the
+			// entry snapshotted: a stale duplicate of an already-dispatched
+			// task fails on the set claimed bit, and a stale entry whose
+			// record was recycled fails on the bumped generation — so a
+			// pooled record can never be dispatched through an entry from a
+			// previous life.
+			if e.claim&1 == 0 && atomic.CompareAndSwapUint64(&e.t.claim, e.claim, e.claim|1) {
 				if fast && fromCrit {
 					s.lastCrit[workerID] = true
 					s.fastCritRunning++

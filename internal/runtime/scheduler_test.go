@@ -314,7 +314,7 @@ func TestCATSHeapBumpReinsertsAndDiscardsStale(t *testing.T) {
 func TestWakeUnblocksPoppingWorkers(t *testing.T) {
 	for _, mk := range []func() scheduler{
 		func() scheduler { return newFIFOScheduler() },
-		func() scheduler { return newStealScheduler(homogeneousLayout(4)) },
+		func() scheduler { return newStealScheduler(homogeneousLayout(4), defaultLocalityWindow) },
 		func() scheduler { return newCATSScheduler(homogeneousLayout(4)) },
 	} {
 		s := mk()

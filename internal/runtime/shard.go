@@ -19,13 +19,18 @@ const maxShards = 64
 // multi-shard submissions deadlock-free and serialises any two
 // registrations that share a key.
 type depShard struct {
-	mu          sync.Mutex
-	lastWriter  map[any]*task
-	readersTail map[any][]*task
+	mu sync.Mutex
+	// lastWriter and readersTail hold generation-tagged references: with
+	// task records pooled, a referenced record may have been recycled for
+	// an unrelated task by the time a later registration consults it, and
+	// the generation check (linkPreds) filters those dead entries out.
+	lastWriter  map[any]taskRef
+	readersTail map[any][]taskRef
 	// tasks is this shard's slab of the task log (tasks whose log shard is
 	// this one). The full log is the sorted-by-seq union over all shards.
 	// Populated only under WithTraceRetention — by default the log stays
-	// empty so completed tasks are collectable.
+	// empty so completed tasks are collectable (and their records
+	// recyclable).
 	tasks []*task
 }
 
@@ -33,8 +38,8 @@ func newShards(n int) []*depShard {
 	shards := make([]*depShard, n)
 	for i := range shards {
 		shards[i] = &depShard{
-			lastWriter:  make(map[any]*task),
-			readersTail: make(map[any][]*task),
+			lastWriter:  make(map[any]taskRef),
+			readersTail: make(map[any][]taskRef),
 		}
 	}
 	return shards
@@ -133,24 +138,29 @@ func hashString(s string) uint64 {
 
 // shardPlan computes the lock set for registering t: one bit per shard the
 // task's dependence keys hash to, plus the log shard the task record is
-// appended to. Dependence-free tasks log to seq-round-robin shards so an
-// embarrassingly-parallel stream spreads instead of serialising — and when
-// no trace is retained they lock nothing at all, since their registration
-// touches no tracker state (lockShards(0) is a no-op).
-func (r *Runtime) shardPlan(t *task) (mask uint64, logIdx int) {
-	if len(t.depsLog) == 0 {
+// appended to (recorded in t.logShard — a field rather than a second
+// return so the batch path needs no per-batch side array). Dependence-free
+// tasks log to seq-round-robin shards so an embarrassingly-parallel stream
+// spreads instead of serialising — and when no trace is retained they lock
+// nothing at all, since their registration touches no tracker state
+// (lockShards(0) is a no-op).
+func (r *Runtime) shardPlan(t *task) (mask uint64) {
+	deps := t.deps()
+	if len(deps) == 0 {
 		if !r.opts.retainTrace {
-			return 0, 0
+			t.logShard = 0
+			return 0
 		}
-		logIdx = int(uint64(t.seq) % uint64(len(r.shards)))
-		return 1 << logIdx, logIdx
+		t.logShard = int32(uint64(t.seq) % uint64(len(r.shards)))
+		return 1 << t.logShard
 	}
-	logIdx = r.shardIndex(t.depsLog[0].Key)
+	logIdx := r.shardIndex(deps[0].Key)
+	t.logShard = int32(logIdx)
 	mask = 1 << logIdx
-	for _, d := range t.depsLog[1:] {
+	for _, d := range deps[1:] {
 		mask |= 1 << r.shardIndex(d.Key)
 	}
-	return mask, logIdx
+	return mask
 }
 
 // lockShards acquires every shard in mask in ascending index order. Any

@@ -298,6 +298,54 @@ func TestStressStealHeavyFanOutShutdown(t *testing.T) {
 	})
 }
 
+// Regression stress for the CATS publish-window race: between a pusher
+// marking a task stateReady and its actual scheduler insert, a concurrent
+// registration that finds the task as a predecessor bumps it — inserting
+// it into the heap EARLY. That early entry may dispatch the task to
+// completion and recycling before the original push runs; the late insert
+// must then produce an unclaimable entry (its snapshot is the ready-time
+// claim word), never dispatch the recycled record. The shape maximises
+// bump pressure: many producers hammering short chains over a tiny key
+// space, so nearly every registration raises a just-released
+// predecessor's bottom level while its push is in flight.
+func TestStressCATSBumpDuringPublishWindow(t *testing.T) {
+	const (
+		producers = 8
+		opsEach   = 400
+		keys      = 4
+	)
+	r := New(WithWorkers(4), WithScheduler(CATS), WithShards(1))
+	defer r.Shutdown()
+	cells := make([]int32, producers*opsEach)
+	var next int32
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				cell := atomic.AddInt32(&next, 1) - 1
+				if _, err := r.Submit("t", 1, func() { atomic.AddInt32(&cells[cell], 1) },
+					InOut(i%keys)); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	r.Wait()
+	st := r.Stats()
+	if st.Executed != producers*opsEach {
+		t.Fatalf("executed %d, want %d", st.Executed, producers*opsEach)
+	}
+	for i, c := range cells {
+		if c != 1 {
+			t.Fatalf("cell %d executed %d times", i, c)
+		}
+	}
+}
+
 // countDeps sums the dependence counts over the task log.
 func countDeps(r *Runtime) int64 {
 	var n int64
@@ -306,7 +354,7 @@ func countDeps(r *Runtime) int64 {
 	defer r.unlockShards(all)
 	for _, s := range r.shards {
 		for _, t := range s.tasks {
-			n += int64(len(t.depsLog))
+			n += int64(len(t.deps()))
 		}
 	}
 	return n

@@ -37,6 +37,12 @@ type Spec struct {
 	// SlowFactor is the hetero scenario's simulated slow-class delay
 	// multiplier (0 = 4): slow workers spin SlowFactor× the grain.
 	SlowFactor float64 `json:"slow_factor,omitempty"`
+	// Windows is the locality scenario's locality-window sweep (0 =
+	// runtime default, negative = locality off; empty = [-1, 0]).
+	Windows []int `json:"windows,omitempty"`
+	// PayloadKB is the locality scenario's per-chain payload size in KiB
+	// (0 = 32).
+	PayloadKB int `json:"payload_kb,omitempty"`
 	// Seed makes the random dependence streams reproducible.
 	Seed int64 `json:"seed"`
 }
@@ -101,6 +107,8 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 		Rounds:      s.Rounds,
 		FastWorkers: s.FastWorkers,
 		SlowFactor:  s.SlowFactor,
+		Windows:     s.Windows,
+		PayloadKB:   s.PayloadKB,
 		Seed:        s.Seed,
 	})
 	if err != nil {
@@ -114,6 +122,11 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 	}
 	for _, p := range pts {
 		key := fmt.Sprintf("%s_%s_%s_shards%d", raa.MetricKey(p.Scenario), raa.MetricKey(p.Scheduler), p.Mode, p.Shards)
+		if p.Scenario == ScenarioLocality {
+			// The window is the locality scenario's sweep axis; bake it
+			// into the key so on/off cells don't collide.
+			key += fmt.Sprintf("_win%d", p.Window)
+		}
 		res.Metrics[key+"_tasks_per_sec"] = p.TasksPerSec
 		// Executed is deterministic: it must always equal the task count,
 		// whatever the sharding and batching did.
@@ -122,6 +135,9 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 			// The placement verdict: what fraction of the critical chain
 			// ran on the fast worker class.
 			res.Metrics[key+"_crit_on_fast"] = p.CritOnFast
+		}
+		if p.Scenario == ScenarioLocality {
+			res.Metrics[key+"_ns_per_task"] = p.NsPerTask
 		}
 	}
 	for _, n := range summarize(pts) {
@@ -141,18 +157,19 @@ func Table(pts []Point) *stats.Table {
 			shardCols = append(shardCols, p.Shards)
 		}
 	}
-	headers := []string{"scenario", "scheduler", "mode"}
+	headers := []string{"scenario", "scheduler", "mode", "window"}
 	for _, s := range shardCols {
 		headers = append(headers, fmt.Sprintf("%d-shard", s))
 	}
 	t := stats.NewTable("Submit throughput (Ktasks/s)", headers...)
 	type rowKey struct {
 		scenario, sched, mode string
+		window                int
 	}
 	cells := map[rowKey]map[int]float64{}
 	var order []rowKey
 	for _, p := range pts {
-		k := rowKey{p.Scenario, p.Scheduler, p.Mode}
+		k := rowKey{p.Scenario, p.Scheduler, p.Mode, p.Window}
 		if cells[k] == nil {
 			cells[k] = map[int]float64{}
 			order = append(order, k)
@@ -160,7 +177,7 @@ func Table(pts []Point) *stats.Table {
 		cells[k][p.Shards] = p.TasksPerSec
 	}
 	for _, k := range order {
-		row := []string{k.scenario, k.sched, k.mode}
+		row := []string{k.scenario, k.sched, k.mode, windowLabel(k.scenario, k.window)}
 		for _, s := range shardCols {
 			if v, ok := cells[k][s]; ok {
 				row = append(row, fmt.Sprintf("%.0f", v/1e3))
@@ -173,30 +190,47 @@ func Table(pts []Point) *stats.Table {
 	return t
 }
 
+// windowLabel renders the locality-window axis of a table row: only the
+// locality scenario sweeps it, "def" is the runtime default, "off" the
+// disabled (central-injector) baseline.
+func windowLabel(scenario string, window int) string {
+	if scenario != ScenarioLocality {
+		return "-"
+	}
+	switch {
+	case window < 0:
+		return "off"
+	case window == 0:
+		return "def"
+	default:
+		return fmt.Sprintf("%d", window)
+	}
+}
+
 // summarize produces the headline notes: per scenario, the best sharded
 // speedup over the 1-shard baseline and the best batched speedup over
 // per-task submission, at matched configurations.
 func summarize(pts []Point) []string {
 	type cfg struct {
 		scenario, sched, mode string
-		shards                int
+		shards, window        int
 	}
 	rate := map[cfg]float64{}
 	for _, p := range pts {
-		rate[cfg{p.Scenario, p.Scheduler, p.Mode, p.Shards}] = p.TasksPerSec
+		rate[cfg{p.Scenario, p.Scheduler, p.Mode, p.Shards, p.Window}] = p.TasksPerSec
 	}
 	shardGain := map[string]float64{}
 	batchGain := map[string]float64{}
 	for c, v := range rate {
 		if c.shards > 1 {
-			if base := rate[cfg{c.scenario, c.sched, c.mode, 1}]; base > 0 {
+			if base := rate[cfg{c.scenario, c.sched, c.mode, 1, c.window}]; base > 0 {
 				if g := v / base; g > shardGain[c.scenario] {
 					shardGain[c.scenario] = g
 				}
 			}
 		}
 		if c.mode == "batch" {
-			if base := rate[cfg{c.scenario, c.sched, "single", c.shards}]; base > 0 {
+			if base := rate[cfg{c.scenario, c.sched, "single", c.shards, c.window}]; base > 0 {
 				if g := v / base; g > batchGain[c.scenario] {
 					batchGain[c.scenario] = g
 				}
@@ -212,7 +246,49 @@ func summarize(pts []Point) []string {
 			notes = append(notes, fmt.Sprintf("%s: best SubmitBatch speedup over per-task Submit %.2fx", s, g))
 		}
 	}
+	notes = append(notes, localityNotes(pts)...)
 	notes = append(notes, heteroNotes(pts)...)
+	return notes
+}
+
+// localityNotes summarises the locality scenario: per scheduler, the best
+// locality-on speedup over the locality-off baseline at a matched
+// (shards, mode) configuration, with the corresponding ns/task pair.
+func localityNotes(pts []Point) []string {
+	type cell struct {
+		sched, mode string
+		shards      int
+	}
+	on := map[cell]Point{}
+	off := map[cell]Point{}
+	for _, p := range pts {
+		if p.Scenario != ScenarioLocality {
+			continue
+		}
+		c := cell{p.Scheduler, p.Mode, p.Shards}
+		if p.Window < 0 {
+			off[c] = p
+		} else if prev, ok := on[c]; !ok || p.TasksPerSec > prev.TasksPerSec {
+			on[c] = p
+		}
+	}
+	var notes []string
+	var best float64
+	var bestOn, bestOff Point
+	for c, p := range on {
+		base, ok := off[c]
+		if !ok || base.TasksPerSec <= 0 {
+			continue
+		}
+		if g := p.TasksPerSec / base.TasksPerSec; g > best {
+			best, bestOn, bestOff = g, p, base
+		}
+	}
+	if best > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"locality: worker-local successor placement %.2fx over the injector baseline (%s/%s, %.0f vs %.0f ns/task)",
+			best, bestOn.Scheduler, bestOn.Mode, bestOn.NsPerTask, bestOff.NsPerTask))
+	}
 	return notes
 }
 

@@ -63,6 +63,16 @@ const (
 	// Submission is single-producer so the chain's program order is
 	// deterministic.
 	ScenarioHetero = "hetero"
+	// ScenarioLocality is the producer→consumer cache-affinity workload:
+	// one serialized chain per worker, each link re-touching its chain's
+	// cache-sized payload. When a link completes on worker W its successor
+	// is released W-locally (the locality window), so the consumer reads
+	// the payload out of the producer's still-warm cache; with the window
+	// disabled every release detours through the shared injector and the
+	// payload bounces between workers. The scenario is swept over the
+	// locality-window axis (Config.Windows, default off-vs-default) so the
+	// cells are directly the locality-on vs locality-off comparison.
+	ScenarioLocality = "locality"
 )
 
 // stealFan is the children-per-root fan-out of ScenarioSteal.
@@ -91,9 +101,14 @@ const (
 	defaultHeteroGrain = 256
 )
 
+// defaultPayloadKB is ScenarioLocality's per-chain payload size when
+// Config.PayloadKB is unset: 32 KiB, the canonical L1d size, so a link
+// that runs on its producer's core finds the whole payload resident.
+const defaultPayloadKB = 32
+
 // Scenarios lists every scenario in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero}
+	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero, ScenarioLocality}
 }
 
 // Config parameterises a sweep.
@@ -129,6 +144,15 @@ type Config struct {
 	// workers spin SlowFactor× the nominal grain per task (their class
 	// speed is 1/SlowFactor). 0 defaults to 4.
 	SlowFactor float64
+	// Windows is ScenarioLocality's sweep axis: the locality-window values
+	// to run the scenario under. 0 means the runtime default window,
+	// negative disables the worker-local path (the central-injector
+	// baseline). Empty defaults to [-1, 0] — locality off vs on. Other
+	// scenarios always run at the runtime default.
+	Windows []int
+	// PayloadKB is ScenarioLocality's per-chain payload size in KiB
+	// (0 = 32, one L1d worth).
+	PayloadKB int
 	// Seed makes the random-DAG dependence streams reproducible.
 	Seed int64
 }
@@ -154,6 +178,12 @@ type Point struct {
 	// is the placement verdict: ≈1 for cats, ≈ the fast class's fair
 	// share for class-blind schedulers.
 	CritOnFast float64
+	// Window is the locality window this cell ran under (ScenarioLocality
+	// only): 0 is the runtime default, negative is locality disabled.
+	Window int
+	// NsPerTask is the headline latency view of the rate: Elapsed/Tasks in
+	// nanoseconds.
+	NsPerTask float64
 }
 
 // sink defeats dead-code elimination of the spin bodies.
@@ -197,6 +227,9 @@ func Run(ctx context.Context, cfg Config) ([]Point, error) {
 		modes = append(modes, "batch")
 	}
 	var out []Point
+	// One Stats buffer for the whole sweep: finishPoint samples counters
+	// through StatsInto, so per-cell reporting reuses these slices.
+	var st runtime.Stats
 	for _, scenario := range cfg.Scenarios {
 		if err := validScenario(scenario); err != nil {
 			return nil, err
@@ -208,14 +241,25 @@ func Run(ctx context.Context, cfg Config) ([]Point, error) {
 			}
 			for _, shards := range cfg.Shards {
 				for _, mode := range modes {
-					if err := ctx.Err(); err != nil {
-						return nil, err
+					// Only the locality scenario sweeps the window axis;
+					// everything else runs at the runtime default.
+					wins := []int{0}
+					if scenario == ScenarioLocality {
+						wins = cfg.Windows
+						if len(wins) == 0 {
+							wins = []int{-1, 0} // locality off vs on
+						}
 					}
-					p, err := runOne(ctx, scenario, kind, shards, mode, cfg)
-					if err != nil {
-						return nil, err
+					for _, win := range wins {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+						p, err := runOne(ctx, scenario, kind, shards, mode, win, cfg, &st)
+						if err != nil {
+							return nil, err
+						}
+						out = append(out, p)
 					}
-					out = append(out, p)
 				}
 			}
 		}
@@ -232,13 +276,16 @@ func validScenario(name string) error {
 	return fmt.Errorf("throughput: unknown scenario %q (valid: %v)", name, Scenarios())
 }
 
-// runOne measures one (scenario, scheduler, shards, mode) cell.
-func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, shards int, mode string, cfg Config) (Point, error) {
+// runOne measures one (scenario, scheduler, shards, mode, window) cell.
+func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, shards int, mode string, window int, cfg Config, st *runtime.Stats) (Point, error) {
 	if scenario == ScenarioLongRun {
-		return runLongRun(ctx, kind, shards, mode, cfg)
+		return runLongRun(ctx, kind, shards, mode, cfg, st)
 	}
 	if scenario == ScenarioHetero {
-		return runHetero(ctx, kind, shards, mode, cfg)
+		return runHetero(ctx, kind, shards, mode, cfg, st)
+	}
+	if scenario == ScenarioLocality {
+		return runLocality(ctx, kind, shards, mode, window, cfg, st)
 	}
 	rt := runtime.New(
 		runtime.WithWorkers(cfg.Workers),
@@ -266,7 +313,7 @@ func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, sh
 		rt.Shutdown()
 		return Point{}, err
 	}
-	return finishPoint(rt, scenario, kind, mode, cfg, start)
+	return finishPoint(rt, scenario, kind, mode, cfg, start, st)
 }
 
 // submitWave fans n tasks of the scenario out over cfg.Producers concurrent
@@ -300,10 +347,12 @@ func submitWave(ctx context.Context, rt *runtime.Runtime, scenario, mode string,
 }
 
 // finishPoint stops the runtime, audits the executed count against the
-// configured task count, and builds the measured Point.
-func finishPoint(rt *runtime.Runtime, scenario string, kind runtime.SchedulerKind, mode string, cfg Config, start time.Time) (Point, error) {
+// configured task count, and builds the measured Point. The counter
+// snapshot goes through StatsInto into the sweep's shared buffer, so the
+// per-cell reporting loop allocates nothing.
+func finishPoint(rt *runtime.Runtime, scenario string, kind runtime.SchedulerKind, mode string, cfg Config, start time.Time, st *runtime.Stats) (Point, error) {
 	elapsed := time.Since(start)
-	st := rt.Stats()
+	rt.StatsInto(st)
 	resolved := rt.Shards()
 	rt.Shutdown()
 	if st.Executed != uint64(cfg.Tasks) {
@@ -318,6 +367,7 @@ func finishPoint(rt *runtime.Runtime, scenario string, kind runtime.SchedulerKin
 		Tasks:       cfg.Tasks,
 		Elapsed:     elapsed,
 		TasksPerSec: float64(cfg.Tasks) / elapsed.Seconds(),
+		NsPerTask:   float64(elapsed.Nanoseconds()) / float64(cfg.Tasks),
 		Executed:    st.Executed,
 	}, nil
 }
@@ -326,7 +376,7 @@ func finishPoint(rt *runtime.Runtime, scenario string, kind runtime.SchedulerKin
 // consecutive submit→Wait rounds of dependence-free tasks, so the measured
 // rate includes repeated pool drain/park/wake cycles — the steady state of
 // a long-lived service, not a one-shot burst.
-func runLongRun(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, cfg Config) (Point, error) {
+func runLongRun(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, cfg Config, st *runtime.Stats) (Point, error) {
 	rt := runtime.New(
 		runtime.WithWorkers(cfg.Workers),
 		runtime.WithScheduler(kind),
@@ -359,7 +409,7 @@ func runLongRun(ctx context.Context, kind runtime.SchedulerKind, shards int, mod
 		}
 		submitted += n
 	}
-	return finishPoint(rt, ScenarioLongRun, kind, mode, cfg, start)
+	return finishPoint(rt, ScenarioLongRun, kind, mode, cfg, start, st)
 }
 
 // heteroPool resolves ScenarioHetero's class split from the Config. The
@@ -394,7 +444,7 @@ func heteroPool(cfg Config) (fast, slow int, factor float64) {
 // placement back from the runtime and spin grain/speed iterations — the
 // simulated slow-class delay — and chain bodies record which class ran
 // them (Point.CritOnFast).
-func runHetero(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, cfg Config) (Point, error) {
+func runHetero(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, cfg Config, st *runtime.Stats) (Point, error) {
 	fast, slow, factor := heteroPool(cfg)
 	rt := runtime.New(
 		runtime.WithWorkerClasses(
@@ -472,13 +522,97 @@ func runHetero(ctx context.Context, kind runtime.SchedulerKind, shards int, mode
 		rt.Shutdown()
 		return Point{}, err
 	}
-	p, err := finishPoint(rt, ScenarioHetero, kind, mode, cfg, start)
+	p, err := finishPoint(rt, ScenarioHetero, kind, mode, cfg, start, st)
 	if err != nil {
 		return Point{}, err
 	}
 	if n := atomic.LoadInt64(&critTotal); n > 0 {
 		p.CritOnFast = float64(atomic.LoadInt64(&critOnFast)) / float64(n)
 	}
+	return p, nil
+}
+
+// runLocality measures the ScenarioLocality cell: cfg.Workers independent
+// producer→consumer chains, each link re-touching its chain's cache-sized
+// payload, run under the given locality window (0 = runtime default,
+// negative = locality disabled). With locality on, a completing link's
+// successor lands on the completing worker's own deque and consumes the
+// payload out of that worker's warm cache; with it off every hand-off
+// detours through the shared injector — the measured gap is the price of
+// ignoring producer→consumer affinity the runtime knows about.
+func runLocality(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, window int, cfg Config, st *runtime.Stats) (Point, error) {
+	chains := cfg.Workers
+	if chains < 1 {
+		chains = 1
+	}
+	payloadKB := cfg.PayloadKB
+	if payloadKB <= 0 {
+		payloadKB = defaultPayloadKB
+	}
+	words := payloadKB * 1024 / 8
+	opts := []runtime.Option{
+		runtime.WithWorkers(cfg.Workers),
+		runtime.WithScheduler(kind),
+		runtime.WithShards(shards),
+	}
+	if window != 0 {
+		opts = append(opts, runtime.WithLocalityWindow(window))
+	}
+	rt := runtime.New(opts...)
+	// One payload and one reusable body per chain; the body walks the whole
+	// payload, so a link scheduled away from its producer's core pays the
+	// full transfer.
+	bodies := make([]runtime.Body, chains)
+	for c := 0; c < chains; c++ {
+		buf := make([]uint64, words)
+		bodies[c] = func(context.Context) error {
+			var acc uint64
+			for i := range buf {
+				buf[i] = buf[i]*1664525 + 1013904223
+				acc += buf[i]
+			}
+			atomic.AddUint64(&sink, acc)
+			return nil
+		}
+	}
+
+	start := time.Now()
+	submitted := 0
+	specs := make([]runtime.TaskSpec, 0, chains)
+	for submitted < cfg.Tasks {
+		// One wave: the next link of every chain, round-robin, so the
+		// chains progress together and every worker has its own chain hot.
+		specs = specs[:0]
+		for c := 0; c < chains && submitted+len(specs) < cfg.Tasks; c++ {
+			specs = append(specs, runtime.TaskSpec{
+				Name: "link", Cost: 1, Body: bodies[c],
+				Deps: []runtime.Dep{runtime.InOut(int64(c))},
+			})
+		}
+		if mode == "batch" {
+			if _, err := rt.SubmitBatchCtx(ctx, specs); err != nil {
+				rt.Shutdown()
+				return Point{}, err
+			}
+		} else {
+			for _, sp := range specs {
+				if _, err := rt.SubmitCtx(ctx, sp.Name, sp.Cost, sp.Body, sp.Deps...); err != nil {
+					rt.Shutdown()
+					return Point{}, err
+				}
+			}
+		}
+		submitted += len(specs)
+	}
+	if err := rt.WaitCtx(ctx); err != nil {
+		rt.Shutdown()
+		return Point{}, err
+	}
+	p, err := finishPoint(rt, ScenarioLocality, kind, mode, cfg, start, st)
+	if err != nil {
+		return Point{}, err
+	}
+	p.Window = window
 	return p, nil
 }
 

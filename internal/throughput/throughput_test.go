@@ -26,8 +26,9 @@ func TestRunAllScenarios(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// scenarios × schedulers × shards × modes(single, batch)
-	want := len(Scenarios()) * 1 * 2 * 2
+	// scenarios × schedulers × shards × modes(single, batch); the locality
+	// scenario additionally sweeps its two default window cells (off, on).
+	want := (len(Scenarios()) + 1) * 1 * 2 * 2
 	if len(pts) != want {
 		t.Fatalf("got %d points, want %d", len(pts), want)
 	}
@@ -164,21 +165,72 @@ func TestSummarizeNotes(t *testing.T) {
 		t.Fatal(err)
 	}
 	notes := summarize(pts)
-	// Shard + batch gain per scenario, plus one hetero placement note per
-	// scheduler in the sweep (a single scheduler here, and no cats-vs-fifo
-	// speedup note without both in the sweep).
-	if want := 2*len(Scenarios()) + 1; len(notes) != want {
-		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario + hetero placement):\n%v",
+	// Shard + batch gain per scenario, one locality on-vs-off note, plus
+	// one hetero placement note per scheduler in the sweep (a single
+	// scheduler here, and no cats-vs-fifo speedup note without both in the
+	// sweep).
+	if want := 2*len(Scenarios()) + 2; len(notes) != want {
+		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario + locality + hetero placement):\n%v",
 			len(notes), want, notes)
 	}
-	found := false
+	foundHetero, foundLocality := false, false
 	for _, n := range notes {
 		if strings.Contains(n, "critical chain on the fast class") {
-			found = true
+			foundHetero = true
+		}
+		if strings.Contains(n, "worker-local successor placement") {
+			foundLocality = true
 		}
 	}
-	if !found {
+	if !foundHetero {
 		t.Fatalf("no hetero placement note in %v", notes)
+	}
+	if !foundLocality {
+		t.Fatalf("no locality note in %v", notes)
+	}
+}
+
+// The locality scenario must run one cell per window (off and on by
+// default), execute every task in each, and honour an explicit Windows
+// sweep.
+func TestLocalityScenarioCells(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scenarios = []string{ScenarioLocality}
+	cfg.Shards = []int{1}
+	cfg.Tasks = 300
+	pts, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2; len(pts) != want { // 2 modes × 2 default windows
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	windows := map[int]bool{}
+	for _, p := range pts {
+		windows[p.Window] = true
+		if p.Executed != uint64(cfg.Tasks) {
+			t.Errorf("locality window=%d %s: executed %d, want %d", p.Window, p.Mode, p.Executed, cfg.Tasks)
+		}
+		if p.NsPerTask <= 0 {
+			t.Errorf("locality window=%d %s: non-positive ns/task", p.Window, p.Mode)
+		}
+	}
+	if !windows[-1] || !windows[0] {
+		t.Fatalf("default sweep missing the off/on cells: %v", windows)
+	}
+
+	cfg.Windows = []int{4}
+	pts, err = Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 { // 2 modes × 1 explicit window
+		t.Fatalf("explicit window sweep: got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Window != 4 {
+			t.Errorf("explicit window sweep ran window %d, want 4", p.Window)
+		}
 	}
 }
 
