@@ -91,6 +91,22 @@ func BenchmarkSubmitSteadyState(b *testing.B) {
 	benchcases.SubmitChainSteady(b)
 }
 
+// BenchmarkSubmitSteadyStateFlightRecorder is BenchmarkSubmitSteadyState
+// with the always-on flight recorder enabled: same body, same alloc
+// budget (zero), and CI compares its ns/op against the recorder-off
+// number to bound the recorder's submit-path overhead.
+func BenchmarkSubmitSteadyStateFlightRecorder(b *testing.B) {
+	benchcases.SubmitChainSteadyFlight(b)
+}
+
+// BenchmarkDispatchStealFan measures the dispatch/steal steady state on
+// the fan-shaped dependence graph with cycling pre-boxed group keys (see
+// benchcases.DispatchStealFan). CI's alloc-budget gate holds this at
+// zero allocs/op alongside the submit benchmarks.
+func BenchmarkDispatchStealFan(b *testing.B) {
+	benchcases.DispatchStealFan(b)
+}
+
 // BenchmarkLocalityChain measures worker-local successor placement on the
 // producer→consumer cache-affinity workload (see benchcases.LocalityChain)
 // with the locality window on (default) vs off (injector baseline).

@@ -13,10 +13,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	stdruntime "runtime"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/benchcases"
@@ -43,6 +46,11 @@ type benchSnapshot struct {
 	// LocalitySpeedup is locality-on over locality-off throughput on the
 	// producer→consumer chain workload (worksteal scheduler).
 	LocalitySpeedup float64 `json:"locality_speedup"`
+	// FlightOverhead is recorder-on over recorder-off ns/op on the steady
+	// submit chain (submit_chain_steady_flight / submit_chain_steady): the
+	// median of per-round ratios from position-balanced alternation (see
+	// recordPaired). The always-on budget says this stays below 1.10.
+	FlightOverhead float64 `json:"flight_recorder_overhead"`
 }
 
 // record runs one benchmark function and files its result. It honours
@@ -68,6 +76,118 @@ func (s *benchSnapshot) record(ctx context.Context, name string, fn func(b *test
 	return nil
 }
 
+// measure runs one benchmark function once and converts the result.
+func measure(name string, fn func(b *testing.B)) (benchMetric, error) {
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		return benchMetric{}, fmt.Errorf("benchmark %s failed (zero iterations — see output above)", name)
+	}
+	return benchMetric{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}, nil
+}
+
+// testFlagsOnce arms the testing package's flag set so benchTime below can
+// be steered. testing.Init is what `go test` harnesses call before main; in
+// this plain binary nothing else does.
+var testFlagsOnce sync.Once
+
+// setBenchTime overrides the iteration budget testing.Benchmark runs with.
+// The default is the 1-second ramp-up search, whose multi-second per-call
+// span is exactly the timescale host load drifts on; a fixed "<n>x" count
+// makes every call short and identical so paired variants sample adjacent
+// time windows.
+func setBenchTime(v string) error {
+	testFlagsOnce.Do(testing.Init)
+	return flag.Set("test.benchtime", v)
+}
+
+// recordPaired measures two benchmark variants whose RATIO is the number
+// that matters (recorder-on vs recorder-off submit path). Single back-to-back
+// runs are hopeless for that on a busy shared host: load drifts on a scale
+// of seconds, so whichever variant runs second eats the drift and the ratio
+// swings ±15%. Instead each round runs a position-balanced QUAD — first,
+// second, second, first — of fixed-iteration samples (see setBenchTime):
+// both variants' samples have the same mean timestamp, so drift that is
+// linear over the round cancels exactly from the round's ratio, computed
+// over the quad's summed times. Each side files its MEDIAN ns/op across
+// all samples; allocs are maxed across runs, since a single nonzero run
+// is a real regression.
+//
+// The returned ratio is the MEDIAN OF PER-ROUND RATIOS, not the ratio of
+// the filed medians: a round's four runs are adjacent in time, while the
+// two medians are taken over samples seconds apart and keep the drift.
+func (s *benchSnapshot) recordPaired(ctx context.Context, nameA string, fnA func(b *testing.B), nameB string, fnB func(b *testing.B), rounds int) (ratioBA float64, _ error) {
+	if err := setBenchTime("500000x"); err != nil {
+		return 0, err
+	}
+	defer setBenchTime("1s") // the unpaired benchmarks keep the stock budget
+	type side struct {
+		name string
+		fn   func(b *testing.B)
+		ns   []float64
+		last benchMetric
+	}
+	a, b := &side{name: nameA, fn: fnA}, &side{name: nameB, fn: fnB}
+	var ratios []float64
+	for i := 0; i < rounds; i++ {
+		first, second := a, b
+		if i%2 == 1 {
+			first, second = b, a // alternate rounds swap who brackets the quad
+		}
+		var firstNs, secondNs float64
+		for _, sd := range []*side{first, second, second, first} {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			m, err := measure(sd.name, sd.fn)
+			if err != nil {
+				return 0, err
+			}
+			sd.ns = append(sd.ns, m.NsPerOp)
+			if sd == first {
+				firstNs += m.NsPerOp
+			} else {
+				secondNs += m.NsPerOp
+			}
+			if m.AllocsPerOp > sd.last.AllocsPerOp || len(sd.ns) == 1 {
+				sd.last.AllocsPerOp = m.AllocsPerOp
+				sd.last.BytesPerOp = m.BytesPerOp
+			}
+			sd.last.Iterations = m.Iterations
+		}
+		if first == a {
+			ratios = append(ratios, secondNs/firstNs)
+		} else {
+			ratios = append(ratios, firstNs/secondNs)
+		}
+	}
+	for _, sd := range []*side{a, b} {
+		med := median(sd.ns)
+		s.Benchmarks[sd.name] = benchMetric{
+			NsPerOp:     med,
+			AllocsPerOp: sd.last.AllocsPerOp,
+			BytesPerOp:  sd.last.BytesPerOp,
+			Iterations:  sd.last.Iterations,
+		}
+	}
+	return median(ratios), nil
+}
+
+// median of a non-empty slice (sorted copy; even length averages the middle).
+func median(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
 // runBenchJSON measures the snapshot and writes it to path.
 func runBenchJSON(ctx context.Context, path string) error {
 	snap := &benchSnapshot{
@@ -75,11 +195,20 @@ func runBenchJSON(ctx context.Context, path string) error {
 		GoVersion:  stdruntime.Version(),
 		Benchmarks: map[string]benchMetric{},
 	}
+	// The recorder pair is measured with position-balanced alternation (see
+	// recordPaired): its ratio is the flight recorder's submit-path overhead,
+	// a gated number — it must not be an artifact of run order.
+	overhead, err := snap.recordPaired(ctx,
+		"submit_chain_steady", benchcases.SubmitChainSteady,
+		"submit_chain_steady_flight", benchcases.SubmitChainSteadyFlight, 12)
+	if err != nil {
+		return err
+	}
+	snap.FlightOverhead = overhead
 	cases := []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
-		{"submit_chain_steady", benchcases.SubmitChainSteady},
 		{"submit_parallel", benchcases.SubmitParallel},
 		{"submit_batch64_per_task", benchcases.SubmitBatch64},
 		{"dispatch_steal_fan", benchcases.DispatchStealFan},

@@ -22,6 +22,8 @@
 //	    -spec '{"scenarios": ["locality"]}'       # worker-local vs injector successor placement
 //	raa-bench -bench-json BENCH.json              # machine-readable perf snapshot
 //	                                              # (ns/op, allocs/op, placement verdicts)
+//	raa-bench -flight-dump FLIGHT.json            # flight-recorder timeline + invariant
+//	                                              # verdict from a mixed workload
 //
 // Interrupting with ^C cancels the run cleanly: in-flight experiments stop
 // at the next unit boundary and the command exits with the context error.
@@ -47,8 +49,15 @@ func main() {
 	spec := flag.String("spec", "", "JSON overrides applied on top of the experiment's default spec")
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchJSON := flag.String("bench-json", "", "run the benchmark counterparts and write a JSON perf snapshot to this path")
+	flightDumpPath := flag.String("flight-dump", "", "run a mixed workload under the flight recorder + online checker and write the merged event timeline as JSON to this path")
 	flag.Parse()
 
+	if *flightDumpPath != "" {
+		if err := runFlightDump(*flightDumpPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()

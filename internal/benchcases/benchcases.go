@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/flightrec"
 	"repro/internal/runtime"
 )
 
@@ -19,7 +20,22 @@ import (
 // budget gate watches this benchmark; the strict assertion lives in
 // internal/runtime's TestSubmitPathAllocationFree.
 func SubmitChainSteady(b *testing.B) {
-	rt := runtime.New(runtime.WithWorkers(4), runtime.WithQueueBound(256))
+	submitChain(b, runtime.WithWorkers(4), runtime.WithQueueBound(256))
+}
+
+// SubmitChainSteadyFlight is SubmitChainSteady with the flight recorder
+// enabled — its pairing with the recorder-off number is how CI and the
+// BENCH_N.json trajectory bound the recorder's submit-path overhead (one
+// external ring event per submission). It must stay allocation-free and
+// within a few percent of the recorder-off time.
+func SubmitChainSteadyFlight(b *testing.B) {
+	submitChain(b, runtime.WithWorkers(4), runtime.WithQueueBound(256),
+		runtime.WithFlightRecorder(flightrec.Options{}))
+}
+
+// submitChain is the shared body of the steady-state submit benchmarks.
+func submitChain(b *testing.B, opts ...runtime.Option) {
+	rt := runtime.New(opts...)
 	defer rt.Shutdown()
 	deps := []runtime.Dep{runtime.InOut("k")}
 	noop := func() {}
@@ -76,21 +92,43 @@ func SubmitBatch64(b *testing.B) {
 
 // DispatchStealFan measures the worker-side dispatch path under the
 // steal-heavy shape: each root's completion releases a fan of children
-// onto the completing worker at once.
+// onto the completing worker at once. The group keys cycle through a
+// fixed, pre-boxed set and the queue is bounded, so the steady state
+// exercises dispatch and steal — not interface boxing of fresh int keys
+// (which allocates for values ≥ 256) or unbounded tracker-map growth,
+// which is what the old fresh-key-per-group version was really measuring
+// with its 1 alloc/op.
 func DispatchStealFan(b *testing.B) {
 	const fan = 15
-	rt := runtime.New(runtime.WithWorkers(4))
+	const groups = 512
+	rt := runtime.New(runtime.WithWorkers(4), runtime.WithQueueBound(2048))
 	defer rt.Shutdown()
 	noop := func() {}
+	outDeps := make([][]runtime.Dep, groups)
+	inDeps := make([][]runtime.Dep, groups)
+	for g := 0; g < groups; g++ {
+		key := any(g) // boxed once, reused every round
+		outDeps[g] = []runtime.Dep{{Key: key, Mode: runtime.ModeOut}}
+		inDeps[g] = []runtime.Dep{{Key: key, Mode: runtime.ModeIn}}
+	}
+	submit := func(i int) {
+		g := (i / (fan + 1)) % groups
+		if i%(fan+1) == 0 {
+			rt.Submit("root", 1, noop, outDeps[g]...)
+		} else {
+			rt.Submit("child", 1, noop, inDeps[g]...)
+		}
+	}
+	// Warm the task pool, the tracker's per-key state, and the reader
+	// tails to their steady-state footprint before measuring.
+	for i := 0; i < 4096; i++ {
+		submit(i)
+	}
+	rt.Wait()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		group := i / (fan + 1)
-		if i%(fan+1) == 0 {
-			rt.Submit("root", 1, noop, runtime.Out(group))
-		} else {
-			rt.Submit("child", 1, noop, runtime.In(group))
-		}
+		submit(i)
 	}
 	rt.Wait()
 }

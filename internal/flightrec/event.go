@@ -1,0 +1,143 @@
+package flightrec
+
+import "fmt"
+
+// Kind is the event type of one flight-recorder entry.
+type Kind uint8
+
+// The recorded event kinds, covering the task lifecycle (submit → ready →
+// dispatch → complete, with steal as a dispatch provenance marker) and the
+// worker parking protocol (park/wake).
+const (
+	// KindSubmit: a task was registered with unresolved predecessors. A
+	// task that comes out of registration already ready records only
+	// KindReady (submission implied), keeping the external hot path at one
+	// event per submit.
+	KindSubmit Kind = 1 + iota
+	// KindReady: the task's last predecessor resolved and it was marked
+	// stateReady. Recorded inside the mark-ready critical section, so any
+	// event caused by observing the ready state (a CATS bump insert, a
+	// dispatch) is globally sequenced after it. Arg is the ready-time claim
+	// word, Arg2 the priority at ready.
+	KindReady
+	// KindDispatch: a worker popped the task and is about to run it. Arg is
+	// the claim word at dispatch; Arg2 is PackDispatch info (stolen flag
+	// and, for CATS, the crit-heap/saturation placement facts).
+	KindDispatch
+	// KindSteal: the dispatch that follows was stolen from another worker's
+	// queue. Recorded just before its KindDispatch on the thief's ring.
+	KindSteal
+	// KindPark: the worker found no work anywhere and is going to sleep.
+	KindPark
+	// KindWake: the worker woke from a park.
+	KindWake
+	// KindComplete: the task's body finished (or was skipped on a cancelled
+	// context) and its successors are about to be released. Arg is the
+	// claim word before any recycle-time generation bump.
+	KindComplete
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSubmit:
+		return "submit"
+	case KindReady:
+		return "ready"
+	case KindDispatch:
+		return "dispatch"
+	case KindSteal:
+		return "steal"
+	case KindPark:
+		return "park"
+	case KindWake:
+		return "wake"
+	case KindComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalText renders the kind as its name in JSON/text exports.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// ExternalWorker is the Worker value of events recorded by goroutines
+// outside the pool (the submit path).
+const ExternalWorker int32 = -1
+
+// Event is one recorded flight-recorder entry. Events are fixed-size and
+// pointer-free: the record path copies plain words into a preallocated ring
+// slot, allocating nothing.
+type Event struct {
+	// Seq is the globally monotonic sequence number: events from different
+	// rings merge into one total order by Seq. The counter is bumped with a
+	// single atomic add per event, and every inter-ring causality the
+	// checker relies on (ready before push, push before pop) spans a
+	// synchronises-with edge, so causally ordered events always have
+	// ascending Seq.
+	Seq uint64 `json:"seq"`
+	// Time is a coarse wall-clock timestamp (UnixNano), advanced by the
+	// recorder's background clock at Options.ClockInterval granularity —
+	// cheap enough to stamp on every event, precise enough for the
+	// starvation bound.
+	Time int64 `json:"time_unix_ns"`
+	// Kind is the event type.
+	Kind Kind `json:"kind"`
+	// Worker is the recording worker, or ExternalWorker for submit-path
+	// events.
+	Worker int32 `json:"worker"`
+	// Task is the subject task's ID (0 for park/wake).
+	Task uint64 `json:"task"`
+	// Arg is kind-specific: the task's claim word for lifecycle events.
+	Arg uint64 `json:"arg"`
+	// Arg2 is kind-specific: priority for ready, PackDispatch for dispatch.
+	Arg2 uint64 `json:"arg2"`
+}
+
+// ClaimGen extracts the record generation from a claim word carried in
+// Event.Arg (claim = gen<<1 | claimedBit, mirroring the runtime's layout).
+func ClaimGen(claim uint64) uint64 { return claim >> 1 }
+
+// CompleteSelfDispatch in a complete event's Arg2 marks a chain hand-off:
+// the worker that marked the task ready claimed and ran it itself, with no
+// other thread in between, so the runtime elides the dispatch event that
+// would otherwise sit between ready and complete (the dispatched-was-ready
+// invariant holds by construction — one thread did both). The verifier
+// accepts ready→complete only when this flag is present.
+const CompleteSelfDispatch uint64 = 1 << 0
+
+// Dispatch Arg2 layout: flag bits in the low byte, then two 16-bit counts.
+const (
+	dispatchStolenBit   = 1 << 0
+	dispatchFromCritBit = 1 << 1
+	dispatchSatShift    = 16
+	dispatchFastNShift  = 32
+	dispatchCountMask   = 0xffff
+)
+
+// PackDispatch encodes the placement facts of a dispatch into Event.Arg2:
+// whether the task was stolen, whether it came off the CATS crit heap, and
+// — for crit dispatches — the fast-class saturation count and fast-class
+// size at the decision, which the verifier checks against the class-gating
+// invariant (a slow worker may take crit work only at sat == fastN).
+func PackDispatch(stolen, fromCrit bool, sat, fastN int) uint64 {
+	var v uint64
+	if stolen {
+		v |= dispatchStolenBit
+	}
+	if fromCrit {
+		v |= dispatchFromCritBit
+	}
+	v |= (uint64(sat) & dispatchCountMask) << dispatchSatShift
+	v |= (uint64(fastN) & dispatchCountMask) << dispatchFastNShift
+	return v
+}
+
+// DispatchInfo decodes a PackDispatch word.
+func DispatchInfo(arg2 uint64) (stolen, fromCrit bool, sat, fastN int) {
+	return arg2&dispatchStolenBit != 0,
+		arg2&dispatchFromCritBit != 0,
+		int((arg2 >> dispatchSatShift) & dispatchCountMask),
+		int((arg2 >> dispatchFastNShift) & dispatchCountMask)
+}

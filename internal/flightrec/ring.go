@@ -1,0 +1,135 @@
+package flightrec
+
+import "sync/atomic"
+
+// slot is one ring entry: six plain 64-bit words. The writer fills a slot
+// with slot.store (plain stores in the normal build, atomic stores under
+// -race; see slot_norace.go / slot_race.go) and then publishes it by
+// storing the ring head — an atomic release, so a reader that observes
+// head past a position sees that slot's payload in full. Readers copy
+// payload words with atomic loads and never trust a slot the writer could
+// have reached again during the copy (ring.snapshot's head re-check), which
+// is what lets the record path spend exactly one atomic operation per event
+// instead of one per word.
+type slot struct {
+	seq  uint64
+	meta uint64 // kind | worker<<8 (worker stored as uint32)
+	task uint64
+	arg  uint64
+	arg2 uint64
+	time uint64 // UnixNano bits
+}
+
+// packMeta folds kind and worker into one word (worker round-trips through
+// uint32 so ExternalWorker's -1 survives).
+func packMeta(kind Kind, worker int32) uint64 {
+	return uint64(kind) | uint64(uint32(worker))<<8
+}
+
+func unpackMeta(meta uint64) (Kind, int32) {
+	return Kind(meta & 0xff), int32(uint32(meta >> 8))
+}
+
+// ring is one fixed-memory event ring: power-of-two capacity, overwriting
+// the oldest entry when full. The write side is single-writer (the worker
+// rings) unless the owner serialises writers itself (the recorder's
+// external ring holds a spin lock around write); the snapshot side is safe from
+// any goroutine at any time and never blocks the writer.
+type ring struct {
+	mask  uint64
+	slots []slot
+	// head is the next write position; positions double as per-ring event
+	// indices, so a reader knows entries [head-cap, head) are the window
+	// still resident. The head store is also the publish: it is ordered
+	// after the slot payload stores, so observing head > pos guarantees
+	// slot pos&mask holds position pos's event — unless the writer has
+	// since wrapped back to it, which the reader detects by re-reading
+	// head after the copy.
+	head atomic.Uint64
+}
+
+func newRing(capacity int) *ring {
+	r := new(ring)
+	r.init(capacity)
+	return r
+}
+
+// init sizes the ring in place (rings are stored by value in the recorder
+// so the record path reaches a slot without an extra pointer hop).
+func (r *ring) init(capacity int) {
+	c := 64
+	for c < capacity {
+		c <<= 1
+	}
+	r.mask = uint64(c) - 1
+	r.slots = make([]slot, c)
+}
+
+func (r *ring) cap() uint64 { return r.mask + 1 }
+
+// write records one event at the current head: fill the slot, then publish
+// it with the head store. No allocation; one atomic operation.
+func (r *ring) write(gseq uint64, now int64, kind Kind, worker int32, task, arg, arg2 uint64) {
+	pos := r.head.Load()
+	r.slots[pos&r.mask].store(gseq, now, kind, worker, task, arg, arg2)
+	r.head.Store(pos + 1)
+}
+
+// write2 records two adjacent events with one publish — the completion
+// fast path pairs a task's complete with its successor's ready, halving
+// the path's atomic traffic. The first event takes position pos and
+// sequence gseq1, the second pos+1 and gseq1+1.
+func (r *ring) write2(gseq1 uint64, now int64, worker int32,
+	k1 Kind, t1, a1, a21 uint64, k2 Kind, t2, a2, a22 uint64) {
+	pos := r.head.Load()
+	r.slots[pos&r.mask].store(gseq1, now, k1, worker, t1, a1, a21)
+	r.slots[(pos+1)&r.mask].store(gseq1+1, now, k2, worker, t2, a2, a22)
+	r.head.Store(pos + 2)
+}
+
+// snapshot appends every resident event at position >= from to buf,
+// returning the extended buffer, the next cursor position (the observed
+// head), and whether any event in [from, head) was lost — overwritten
+// before the copy (the ring lapped the cursor) or possibly overwritten
+// during it. Lost events make the result non-contiguous; the verifier uses
+// the flag to fall back to conservative tracking.
+//
+// Validity works by position arithmetic instead of per-slot versions: after
+// copying [lo, head), the reader re-reads head. The writer rewrites slot
+// pos&mask only when it reaches position pos+cap, and it can have started
+// at most position h2+1 by the time the second head load returns (every
+// position before h2 was published by a head store ordered before that
+// load, and a paired write2 fills at most positions h2 and h2+1 before its
+// publish). So every copied position pos with pos+cap > h2+1 was untouched
+// for the whole copy, and the rest — a prefix of the copied range — is
+// discarded as lost.
+func (r *ring) snapshot(from uint64, buf []Event) (_ []Event, next uint64, gap bool) {
+	head := r.head.Load()
+	c := r.cap()
+	lo := from
+	if head > c && head-c > lo {
+		lo = head - c
+		gap = true
+	}
+	base := len(buf)
+	for pos := lo; pos < head; pos++ {
+		s := &r.slots[pos&r.mask]
+		e := Event{
+			Seq:  atomic.LoadUint64(&s.seq),
+			Task: atomic.LoadUint64(&s.task),
+			Arg:  atomic.LoadUint64(&s.arg),
+			Arg2: atomic.LoadUint64(&s.arg2),
+			Time: int64(atomic.LoadUint64(&s.time)),
+		}
+		e.Kind, e.Worker = unpackMeta(atomic.LoadUint64(&s.meta))
+		buf = append(buf, e)
+	}
+	if h2 := r.head.Load(); h2+2 > c {
+		if cut := h2 + 2 - c; cut > lo {
+			drop := int(min(cut, head) - lo)
+			buf = append(buf[:base], buf[base+drop:]...)
+			gap = true
+		}
+	}
+	return buf, head, gap
+}

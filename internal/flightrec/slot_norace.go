@@ -1,0 +1,24 @@
+//go:build !race
+
+package flightrec
+
+// store fills the slot with plain stores — the fast path of the record
+// side, leaving the head publish in ring.write as the event's only atomic
+// operation. This is sound because each ring is single-writer and the
+// snapshot protocol never trusts a slot the writer could have reached
+// during the copy: the head store is a release that orders these stores
+// for any reader that observed the position, and the reader's head
+// re-check discards every position the writer could have wrapped back to
+// (see ring.snapshot). Readers still load the words atomically; the mixed
+// plain-store/atomic-load access on a discarded slot is a benign race the
+// protocol tolerates by design, so the race-instrumented build substitutes
+// fully atomic stores to present the detector with a synchronised program
+// (slot_race.go).
+func (s *slot) store(gseq uint64, now int64, kind Kind, worker int32, task, arg, arg2 uint64) {
+	s.seq = gseq
+	s.meta = packMeta(kind, worker)
+	s.task = task
+	s.arg = arg
+	s.arg2 = arg2
+	s.time = uint64(now)
+}

@@ -1,0 +1,19 @@
+//go:build race
+
+package flightrec
+
+import "sync/atomic"
+
+// store fills the slot with atomic stores — the race-detector build of the
+// record path. Semantically identical to the plain-store fast path
+// (slot_norace.go), just slower: the per-word atomics exist so the detector
+// sees the writer/reader pair as synchronised instead of flagging the
+// benign payload races the head-validation protocol discards by design.
+func (s *slot) store(gseq uint64, now int64, kind Kind, worker int32, task, arg, arg2 uint64) {
+	atomic.StoreUint64(&s.seq, gseq)
+	atomic.StoreUint64(&s.meta, packMeta(kind, worker))
+	atomic.StoreUint64(&s.task, task)
+	atomic.StoreUint64(&s.arg, arg)
+	atomic.StoreUint64(&s.arg2, arg2)
+	atomic.StoreUint64(&s.time, uint64(now))
+}

@@ -1,0 +1,368 @@
+package verify
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flightrec"
+)
+
+// ev builds one event with an auto-incremented global sequence.
+type evStream struct {
+	seq  uint64
+	time int64
+	evs  []flightrec.Event
+}
+
+func (s *evStream) add(k flightrec.Kind, worker int32, task, arg, arg2 uint64) {
+	s.seq++
+	s.evs = append(s.evs, flightrec.Event{
+		Seq: s.seq, Time: s.time, Kind: k, Worker: worker, Task: task, Arg: arg, Arg2: arg2,
+	})
+}
+
+func TestCleanLifecycleNoViolations(t *testing.T) {
+	var s evStream
+	// Immediately-ready task: ready (submission implied) → dispatch → complete.
+	s.add(flightrec.KindReady, flightrec.ExternalWorker, 1, 0, 0)
+	s.add(flightrec.KindDispatch, 0, 1, 0, 0)
+	s.add(flightrec.KindComplete, 0, 1, 0, 0)
+	// Task with predecessors: submit → ready (from a worker) → stolen dispatch → complete.
+	s.add(flightrec.KindSubmit, flightrec.ExternalWorker, 2, 4, 0)
+	s.add(flightrec.KindReady, 0, 2, 4, 0)
+	s.add(flightrec.KindSteal, 1, 2, 4, 0)
+	s.add(flightrec.KindDispatch, 1, 2, 4, flightrec.PackDispatch(true, false, 0, 0))
+	s.add(flightrec.KindPark, 0, 0, 0, 0)
+	s.add(flightrec.KindComplete, 1, 2, 4, 0)
+	s.add(flightrec.KindWake, 0, 0, 0, 0)
+	c := New(Options{})
+	c.Feed(s.evs, false)
+	if st := c.Stats(); st.Total != 0 || st.Events != 10 || st.Tracked != 0 {
+		t.Fatalf("clean stream: %+v", st)
+	}
+}
+
+// TestSelfDispatchElision: the chain hand-off elides the dispatch event and
+// announces that on the complete event. The flag legalises ready→complete;
+// the same transition without it still means a lost dispatch record.
+func TestSelfDispatchElision(t *testing.T) {
+	var s evStream
+	s.add(flightrec.KindSubmit, flightrec.ExternalWorker, 1, 0, 0)
+	s.add(flightrec.KindReady, 0, 1, 0, 0)
+	s.add(flightrec.KindComplete, 0, 1, 0, flightrec.CompleteSelfDispatch)
+	c := New(Options{})
+	c.Feed(s.evs, false)
+	if st := c.Stats(); st.Total != 0 || st.Tracked != 0 {
+		t.Fatalf("flagged elided hand-off: %+v", st)
+	}
+	// Without the flag, completing straight from ready is a violation.
+	var s2 evStream
+	s2.add(flightrec.KindSubmit, flightrec.ExternalWorker, 2, 0, 0)
+	s2.add(flightrec.KindReady, 0, 2, 0, 0)
+	s2.add(flightrec.KindComplete, 0, 2, 0, 0)
+	c2 := New(Options{})
+	c2.Feed(s2.evs, false)
+	if st := c2.Stats(); st.DispatchNotReady != 1 {
+		t.Fatalf("unflagged ready→complete not caught: %+v", st)
+	}
+	// The flag does not excuse completing a task that was never even ready.
+	var s3 evStream
+	s3.add(flightrec.KindSubmit, flightrec.ExternalWorker, 3, 0, 0)
+	s3.add(flightrec.KindComplete, 0, 3, 0, flightrec.CompleteSelfDispatch)
+	c3 := New(Options{})
+	c3.Feed(s3.evs, false)
+	if st := c3.Stats(); st.DispatchNotReady != 1 {
+		t.Fatalf("flagged complete from submitted state not caught: %+v", st)
+	}
+}
+
+func TestDispatchWithoutReadyFlagged(t *testing.T) {
+	var s evStream
+	s.add(flightrec.KindSubmit, flightrec.ExternalWorker, 1, 0, 0)
+	s.add(flightrec.KindDispatch, 0, 1, 0, 0) // still pending: never readied
+	c := New(Options{})
+	c.Feed(s.evs, false)
+	// Judgement is deferred one full sweep: the ready could be snapshot
+	// skew still in flight. Not flagged yet…
+	if st := c.Stats(); st.DispatchNotReady != 0 {
+		t.Fatalf("deferred dispatch flagged immediately: %+v", st)
+	}
+	// …but no ready arrives, so two later sweeps settle it.
+	c.Feed(nil, false)
+	c.Feed(nil, false)
+	if st := c.Stats(); st.DispatchNotReady != 1 {
+		t.Fatalf("pending dispatch not flagged: %+v", st)
+	}
+	// Flush settles immediately on a fresh checker.
+	c2 := New(Options{})
+	c2.Feed(s.evs, false)
+	c2.Flush()
+	if st := c2.Stats(); st.DispatchNotReady != 1 {
+		t.Fatalf("flush did not settle deferred dispatch: %+v", st)
+	}
+	// An unknown task's dispatch is also flagged — but only while no gap
+	// has hidden history.
+	var s2 evStream
+	s2.add(flightrec.KindDispatch, 0, 9, 0, 0)
+	c4 := New(Options{})
+	c4.Feed(s2.evs, false)
+	if st := c4.Stats(); st.DispatchNotReady != 1 {
+		t.Fatalf("unknown dispatch not flagged: %+v", st)
+	}
+	c3 := New(Options{})
+	c3.Feed(s2.evs, true) // same stream after a gap: conservatively adopted
+	if st := c3.Stats(); st.Total != 0 || st.Gaps != 1 {
+		t.Fatalf("gapped unknown dispatch should not flag: %+v", st)
+	}
+}
+
+// TestSnapshotSkewTolerated: a ready event surfacing one batch after a
+// causally-later dispatch (cross-ring collection skew) must not flag — the
+// sequence numbers prove the true order.
+func TestSnapshotSkewTolerated(t *testing.T) {
+	c := New(Options{})
+	c.Feed([]flightrec.Event{
+		{Seq: 1, Kind: flightrec.KindSubmit, Worker: flightrec.ExternalWorker, Task: 1},
+		{Seq: 3, Kind: flightrec.KindDispatch, Worker: 1, Task: 1},
+		{Seq: 4, Kind: flightrec.KindComplete, Worker: 1, Task: 1},
+	}, false)
+	// The ready (seq 2, written to an early-swept ring) arrives a batch late.
+	c.Feed([]flightrec.Event{
+		{Seq: 2, Kind: flightrec.KindReady, Worker: 0, Task: 1},
+	}, false)
+	c.Flush()
+	if st := c.Stats(); st.Total != 0 || st.Tracked != 0 {
+		t.Fatalf("skewed-but-ordered stream flagged: %+v", st)
+	}
+	// The mirror image — ready seq AFTER the dispatch seq — is the real
+	// early-dispatch violation, however late it surfaces.
+	c2 := New(Options{})
+	c2.Feed([]flightrec.Event{
+		{Seq: 1, Kind: flightrec.KindSubmit, Worker: flightrec.ExternalWorker, Task: 1},
+		{Seq: 2, Kind: flightrec.KindDispatch, Worker: 1, Task: 1},
+		{Seq: 4, Kind: flightrec.KindReady, Worker: 0, Task: 1},
+	}, false)
+	if st := c2.Stats(); st.DispatchNotReady != 1 {
+		t.Fatalf("true early dispatch not flagged: %+v", st)
+	}
+}
+
+func TestDoubleDispatchFlagged(t *testing.T) {
+	var s evStream
+	s.add(flightrec.KindReady, flightrec.ExternalWorker, 1, 0, 0)
+	s.add(flightrec.KindDispatch, 0, 1, 0, 0)
+	s.add(flightrec.KindDispatch, 1, 1, 0, 0) // stale entry dispatches again
+	var got []Violation
+	c := New(Options{OnViolation: func(v Violation) { got = append(got, v) }})
+	c.Feed(s.evs, false)
+	if st := c.Stats(); st.DispatchNotReady != 1 || st.Total != 1 {
+		t.Fatalf("double dispatch: %+v", st)
+	}
+	if len(got) != 1 || got[0].Invariant != DispatchNotReady || got[0].Task != 1 || got[0].Worker != 1 {
+		t.Fatalf("callback got %+v", got)
+	}
+}
+
+func TestClaimGenerationRegressionFlagged(t *testing.T) {
+	var s evStream
+	gen3 := uint64(3) << 1
+	gen2 := uint64(2) << 1
+	s.add(flightrec.KindReady, flightrec.ExternalWorker, 1, gen3, 0)
+	s.add(flightrec.KindDispatch, 0, 1, gen2, 0) // an entry from a previous record life
+	c := New(Options{})
+	c.Feed(s.evs, false)
+	if st := c.Stats(); st.ClaimRegressions != 1 {
+		t.Fatalf("gen regression: %+v", st)
+	}
+}
+
+func TestClassGatingFlagged(t *testing.T) {
+	fastN := 2
+	mk := func(worker int32, sat int) []flightrec.Event {
+		var s evStream
+		s.add(flightrec.KindReady, flightrec.ExternalWorker, 1, 0, 0)
+		s.add(flightrec.KindDispatch, worker, 1, 1, flightrec.PackDispatch(false, true, sat, fastN))
+		s.add(flightrec.KindComplete, worker, 1, 1, 0)
+		return s.evs
+	}
+	// Slow worker (id >= fastN) takes crit work below saturation: violation.
+	c := New(Options{})
+	c.Feed(mk(3, 1), false)
+	if st := c.Stats(); st.ClassGating != 1 {
+		t.Fatalf("ungated crit dispatch: %+v", st)
+	}
+	// At saturation it is the sanctioned spill.
+	c = New(Options{})
+	c.Feed(mk(3, fastN), false)
+	if st := c.Stats(); st.Total != 0 {
+		t.Fatalf("saturated crit dispatch flagged: %+v", st)
+	}
+	// A fast worker takes crit work unconditionally.
+	c = New(Options{})
+	c.Feed(mk(0, 0), false)
+	if st := c.Stats(); st.Total != 0 {
+		t.Fatalf("fast crit dispatch flagged: %+v", st)
+	}
+}
+
+func TestStarvationFlagged(t *testing.T) {
+	var s evStream
+	s.time = 1_000_000_000
+	s.add(flightrec.KindReady, flightrec.ExternalWorker, 1, 0, 0)
+	c := New(Options{StarveBound: time.Second})
+	c.Feed(s.evs, false)
+	if st := c.Stats(); st.Starvations != 0 {
+		t.Fatalf("starvation flagged too early: %+v", st)
+	}
+	// The stream advances past the bound with task 1 still undispatched.
+	var s2 evStream
+	s2.seq = s.seq
+	s2.time = 3_000_000_000
+	s2.add(flightrec.KindReady, flightrec.ExternalWorker, 2, 0, 0)
+	c.Feed(s2.evs, false)
+	st := c.Stats()
+	if st.Starvations != 1 {
+		t.Fatalf("starvation not flagged: %+v", st)
+	}
+	// Flagged once, not per feed.
+	c.Feed(nil, false)
+	if st := c.Stats(); st.Starvations != 1 {
+		t.Fatalf("starvation re-flagged: %+v", st)
+	}
+	// An idle pool with a stuck ready task trips via AdvanceTime.
+	c2 := New(Options{StarveBound: time.Second})
+	c2.Feed(s.evs, false)
+	c2.AdvanceTime(9_000_000_000)
+	if st := c2.Stats(); st.Starvations != 1 {
+		t.Fatalf("idle starvation not flagged: %+v", st)
+	}
+}
+
+func TestTaskTableBounded(t *testing.T) {
+	c := New(Options{MaxTracked: 64})
+	var s evStream
+	for i := 0; i < 1000; i++ {
+		s.add(flightrec.KindSubmit, flightrec.ExternalWorker, uint64(i+1), 0, 0)
+	}
+	c.Feed(s.evs, false)
+	st := c.Stats()
+	if st.Tracked > 64 {
+		t.Fatalf("table unbounded: %+v", st)
+	}
+	if st.Resets == 0 {
+		t.Fatalf("no resets counted: %+v", st)
+	}
+}
+
+// --- The PR-5 publish-window regression, injected mechanically -------------
+
+// pwRecord models the runtime's pooled task record: the live claim word
+// (gen<<1 | claimedBit) and the readyClaim snapshot taken at mark-ready.
+type pwRecord struct {
+	id         uint64
+	claim      uint64
+	readyClaim uint64
+}
+
+// pwEntry models one CATS heap entry: the record plus the claim word the
+// insert snapshotted. snapshotReady selects which word insert reads — the
+// ready-time snapshot (the PR-5 readyClaim fix) or the live claim word
+// (the pre-fix protocol).
+type pwEntry struct {
+	rec   *pwRecord
+	claim uint64
+}
+
+func pwInsert(rec *pwRecord, snapshotReady bool) pwEntry {
+	if snapshotReady {
+		return pwEntry{rec: rec, claim: atomic.LoadUint64(&rec.readyClaim)}
+	}
+	return pwEntry{rec: rec, claim: atomic.LoadUint64(&rec.claim)}
+}
+
+// pwPop models the dispatch claim CAS: the entry dispatches its record only
+// if the record's live claim word still equals the snapshot with the
+// claimed bit clear.
+func pwPop(e pwEntry) bool {
+	return e.claim&1 == 0 && atomic.CompareAndSwapUint64(&e.rec.claim, e.claim, e.claim|1)
+}
+
+// replayPublishWindow replays the exact interleaving of the PR-5
+// publish-window race through the model, emitting the event stream the
+// instrumented runtime would record, and returns it:
+//
+//	task T1 is marked ready; before its scheduler push runs, a concurrent
+//	registration bumps it — inserting an early entry that dispatches T1
+//	through completion and recycling; the record is resubmitted as T2 and
+//	only then does T1's original push insert its (now stale) entry.
+//
+// With the fix the stale entry's claim CAS fails harmlessly; without it the
+// stale entry claims the recycled record and dispatches T2 while T2 is
+// still pending.
+func replayPublishWindow(snapshotReady bool) []flightrec.Event {
+	var s evStream
+	rec := &pwRecord{id: 101}
+
+	// T1 marked ready (readyClaim snapshotted inside the critical section,
+	// and the Ready event recorded there too).
+	atomic.StoreUint64(&rec.readyClaim, rec.claim)
+	s.add(flightrec.KindReady, flightrec.ExternalWorker, rec.id, rec.readyClaim, 0)
+
+	// Concurrent registration bumps T1: early heap insert, then a worker
+	// pops that entry and runs T1 to completion before the original push.
+	early := pwInsert(rec, snapshotReady)
+	if !pwPop(early) {
+		panic("early entry must win its own dispatch")
+	}
+	s.add(flightrec.KindDispatch, 0, rec.id, atomic.LoadUint64(&rec.claim), 0)
+	s.add(flightrec.KindComplete, 0, rec.id, atomic.LoadUint64(&rec.claim), 0)
+	// complete retires the record: generation bump invalidates references.
+	atomic.StoreUint64(&rec.claim, (rec.claim>>1+1)<<1)
+
+	// The record is recycled for a new submission T2, still pending on its
+	// predecessors.
+	rec.id = 102
+	s.add(flightrec.KindSubmit, flightrec.ExternalWorker, rec.id, atomic.LoadUint64(&rec.claim), 0)
+
+	// T1's original push finally runs: the late, stale insert.
+	late := pwInsert(rec, snapshotReady)
+	if pwPop(late) {
+		// Pre-fix: the stale entry claims the recycled record and a worker
+		// dispatches T2 before its dependences resolved.
+		s.add(flightrec.KindDispatch, 1, rec.id, atomic.LoadUint64(&rec.claim), 0)
+	}
+
+	// T2's predecessors resolve; it is marked ready and dispatched through
+	// its own entry (which fails its CAS if the stale entry already
+	// claimed the record).
+	atomic.StoreUint64(&rec.readyClaim, atomic.LoadUint64(&rec.claim))
+	s.add(flightrec.KindReady, flightrec.ExternalWorker, rec.id, rec.readyClaim, 0)
+	own := pwInsert(rec, snapshotReady)
+	if pwPop(own) {
+		s.add(flightrec.KindDispatch, 0, rec.id, atomic.LoadUint64(&rec.claim), 0)
+		s.add(flightrec.KindComplete, 0, rec.id, atomic.LoadUint64(&rec.claim), 0)
+	}
+	return s.evs
+}
+
+// TestPublishWindowRegressionInjection is the mechanical regression for the
+// PR-5 publish-window race: the same interleaving is replayed with the
+// readyClaim fix in place (CATS entries snapshot the ready-time claim word)
+// and reverted (entries snapshot the live word), and the invariant checker
+// must stay silent on the former and flag the latter. This is the check
+// that would have caught the race without a hand-built stress loop.
+func TestPublishWindowRegressionInjection(t *testing.T) {
+	fixed := New(Options{})
+	fixed.Feed(replayPublishWindow(true), false)
+	if st := fixed.Stats(); st.Total != 0 {
+		t.Fatalf("fixed protocol flagged: %+v", st)
+	}
+
+	broken := New(Options{})
+	broken.Feed(replayPublishWindow(false), false)
+	st := broken.Stats()
+	if st.DispatchNotReady == 0 {
+		t.Fatalf("reverted readyClaim fix not flagged: %+v", st)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/flightrec"
 )
 
 // TaskSpec describes one task of a batch submission. Exactly one of Body
@@ -109,6 +111,12 @@ func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskI
 	for _, t := range tasks {
 		r.trackDeps(t)
 		r.linkPreds(t)
+		// Same event discipline as the single-task path: submit-only for
+		// tasks that stay pending, recorded before the final decrement and
+		// on a lane serialised by a shard of the union the batch holds.
+		if r.rec != nil && atomic.LoadInt32(&t.npreds) > 1 {
+			r.recordSubmitLocked(t, mask)
+		}
 	}
 	r.unlockShards(mask)
 	r.gate.RUnlock()
@@ -118,10 +126,17 @@ func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskI
 	// (the returned IDs) plus this one scratch.
 	ready := tasks[:0]
 	for _, t := range tasks {
+		// Ready-only (inside the critical section) for tasks that come out
+		// of registration with no pending predecessors.
 		if atomic.AddInt32(&t.npreds, -1) == 0 {
 			t.mu.Lock()
 			t.state = stateReady
-			atomic.StoreUint64(&t.readyClaim, atomic.LoadUint64(&t.claim))
+			rc := atomic.LoadUint64(&t.claim)
+			if r.rec != nil {
+				// Before the readyClaim store — see submit.
+				r.rec.RecordExternal(flightrec.KindReady, uint64(t.id), rc, 0)
+			}
+			atomic.StoreUint64(&t.readyClaim, rc)
 			t.mu.Unlock()
 			ready = append(ready, t)
 		}

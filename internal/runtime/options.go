@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/flightrec"
 )
 
 // options is the resolved runtime configuration. It is built exclusively
@@ -17,6 +19,7 @@ type options struct {
 	shards      int
 	retainTrace bool
 	localWindow int
+	flight      *flightrec.Options
 }
 
 // defaultLocalityWindow is the locality window a runtime uses when
@@ -181,6 +184,23 @@ func WithLocalityWindow(n int) Option {
 // WithLocalityWindow is not given — for tooling that wants to pin the
 // default explicitly (benchmark sweeps, config echo).
 func DefaultLocalityWindow() int { return defaultLocalityWindow }
+
+// WithFlightRecorder attaches an always-on flight recorder to the runtime:
+// fixed-memory per-worker event rings capturing the scheduling timeline
+// (submit, ready, dispatch, steal, park, wake, complete), readable at any
+// moment through Runtime.FlightRecorder — Snapshot/Tail for the merged
+// last-N-seconds view, Collect for online consumers like the
+// flightrec/verify invariant checker. The record path is allocation-free
+// and lock-free on workers (the submit path shares one mutex-guarded
+// ring), so the recorder is cheap enough to leave on in production; memory
+// is fixed at (workers+1) × PerWorkerEvents slots. The zero Options value
+// selects the defaults (2048 events per ring, 10ms clock). It composes with
+// every scheduler and with worker classes: CATS dispatch events carry the
+// class-gating evidence (crit origin, fast-class saturation) the verifier
+// checks placement against.
+func WithFlightRecorder(fo flightrec.Options) Option {
+	return func(o *options) { o.flight = &fo }
+}
 
 // WithShards sets the dependence-tracker shard count. Submissions touching
 // keys on different shards register concurrently; 1 reproduces the old

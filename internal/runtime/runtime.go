@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"reflect"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/flightrec"
 	"repro/internal/tdg"
 )
 
@@ -312,6 +314,9 @@ type Stats struct {
 	// PerClass aggregates PerWorker by worker class, in WorkerClasses()
 	// order (index 0 is the fast class).
 	PerClass []uint64
+	// FlightEvents is the total number of events the flight recorder has
+	// captured (0 without WithFlightRecorder).
+	FlightEvents uint64
 }
 
 // Placement identifies the pool worker executing a task body, delivered
@@ -395,6 +400,15 @@ type Runtime struct {
 	// landing zone for hinted (body-context) submissions.
 	localSub localSubmitter
 
+	// rec is the flight recorder (nil without WithFlightRecorder); every
+	// instrumentation site is gated on it so a recorder-less runtime pays
+	// one predictable branch. schedSelfRecords marks a scheduler that
+	// records its own dispatch events from inside pop — CATS does, carrying
+	// the class-gating evidence only it has — so the worker loop must not
+	// record a duplicate.
+	rec              *flightrec.Recorder
+	schedSelfRecords bool
+
 	// classes is the resolved worker-class set, fastest first; classOf maps
 	// workerID → class index. Workers 0..fastN-1 are the fast class.
 	classes []WorkerClass
@@ -460,14 +474,21 @@ func New(opts ...Option) *Runtime {
 		r.slots = make(chan struct{}, o.queueBound)
 	}
 	r.waitCond = sync.NewCond(&r.waitMu)
+	if o.flight != nil {
+		// One submit lane per tracker shard: the submit path records a
+		// pending task's submit event while still holding a shard mutex,
+		// so the lane needs no locking of its own.
+		r.rec = flightrec.NewWithLanes(o.workers, len(r.shards), *o.flight)
+	}
 	layout := classLayout{workers: o.workers, fastN: fastN}
 	switch o.scheduler {
 	case FIFO:
-		r.sched = newFIFOScheduler()
+		r.sched = newFIFOScheduler(r.rec)
 	case CATS:
-		r.sched = newCATSScheduler(layout)
+		r.sched = newCATSScheduler(layout, r.rec)
+		r.schedSelfRecords = r.rec != nil
 	default:
-		r.sched = newStealScheduler(layout, o.localWindow)
+		r.sched = newStealScheduler(layout, o.localWindow, r.rec)
 	}
 	r.localSub, _ = r.sched.(localSubmitter)
 	for w := 0; w < o.workers; w++ {
@@ -492,6 +513,12 @@ func (r *Runtime) WorkerClasses() []WorkerClass {
 // Shards returns the dependence-tracker shard count the runtime resolved
 // (WithShards input after auto-sizing and clamping).
 func (r *Runtime) Shards() int { return len(r.shards) }
+
+// FlightRecorder returns the runtime's flight recorder, or nil when the
+// runtime was built without WithFlightRecorder. The recorder stays
+// readable (Snapshot, Tail, Collect) after Shutdown — that is the point of
+// a flight recorder: the timeline survives the crash site.
+func (r *Runtime) FlightRecorder() *flightrec.Recorder { return r.rec }
 
 // Submit adds a task with the given dependences and returns its ID. cost is
 // an abstract work estimate used for criticality analysis (0 is fine); fn is
@@ -579,6 +606,17 @@ func (r *Runtime) submit(ctx context.Context, name string, cost float64, priorit
 	r.lockShards(mask)
 	r.trackDeps(t)
 	r.linkPreds(t)
+	// Flight recorder: a task that stays pending gets a submit event; an
+	// immediately-ready one gets only its ready event (submission implied),
+	// keeping the hot path at one event per submit. The submit event must
+	// be recorded BEFORE the final npreds decrement: our own reference
+	// keeps the count positive here, so no completing predecessor can
+	// record the task's ready event with an earlier sequence number.
+	// Recording inside the shard section lets the shard mutex double as
+	// the recorder lane's serialisation (recordSubmitLocked).
+	if r.rec != nil && atomic.LoadInt32(&t.npreds) > 1 {
+		r.recordSubmitLocked(t, mask)
+	}
 	r.unlockShards(mask)
 	r.gate.RUnlock()
 
@@ -589,7 +627,18 @@ func (r *Runtime) submit(ctx context.Context, name string, cost float64, priorit
 	if atomic.AddInt32(&t.npreds, -1) == 0 {
 		t.mu.Lock()
 		t.state = stateReady
-		atomic.StoreUint64(&t.readyClaim, atomic.LoadUint64(&t.claim))
+		rc := atomic.LoadUint64(&t.claim)
+		if r.rec != nil {
+			// Record BEFORE publishing readyClaim: that store is what arms
+			// any concurrent dispatch (a stale CATS insert that loads the
+			// fresh word can claim the task immediately), so the ready
+			// event's ring write must be complete first — then every
+			// snapshot that holds the dispatch also holds the ready, in
+			// sequence order. The bump path needs no extra care: it
+			// observes stateReady only under this same mutex.
+			r.rec.RecordExternal(flightrec.KindReady, uint64(id), rc, 0)
+		}
+		atomic.StoreUint64(&t.readyClaim, rc)
 		t.mu.Unlock()
 		// A hinted (body-context) submission lands in the target worker's
 		// submit buffer — safe from any goroutine, unlike the deque.
@@ -598,6 +647,21 @@ func (r *Runtime) submit(ctx context.Context, name string, cost float64, priorit
 		}
 	}
 	return id, nil
+}
+
+// recordSubmitLocked records a pending task's submit event on the recorder
+// lane of one of the shards the caller holds — the lowest set in mask —
+// so the shard mutex doubles as the lane's serialisation and the record
+// costs no locking of its own. A pending task always registered real
+// predecessors, so mask is non-zero on this path; the zero-mask fallback
+// only guards against a future caller.
+func (r *Runtime) recordSubmitLocked(t *task, mask uint64) {
+	if mask == 0 {
+		r.rec.RecordExternal(flightrec.KindSubmit, uint64(t.id), atomic.LoadUint64(&t.claim), 0)
+		return
+	}
+	r.rec.RecordLane(bits.TrailingZeros64(mask), flightrec.KindSubmit,
+		uint64(t.id), atomic.LoadUint64(&t.claim), 0)
 }
 
 // newTask readies a task record — reusing one from the freelist when
@@ -618,7 +682,11 @@ func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priori
 	t.plainFn = plain
 	t.ctx = ctx
 	t.state = statePending
-	t.seq = seq
+	// Atomic: a late scheduler push for the task that previously occupied
+	// this pooled record can still read seq (see catsScheduler.insert); the
+	// claim generation makes such an entry harmless, but the read itself
+	// must not race with the reinitialising store.
+	atomic.StoreInt64(&t.seq, seq)
 	t.setDeps(deps)
 	atomic.AddInt64(&r.outstanding, 1)
 	return t
@@ -754,6 +822,17 @@ type completionScratch struct {
 	succs []*task
 	ready []*task
 	owned ownedPusher
+	// Flight-recorder bookkeeping for the dispatch-event elision on the
+	// chain hand-off (see the worker loop): the task last pushed through
+	// pushOwned and its ID at push time. The ID disambiguates: task IDs are
+	// never reused, so pointer+ID matching at the next pop proves the task
+	// is still the very life this worker readied — a stolen-and-recycled
+	// record fails the ID check and records its dispatch normally.
+	lastOwned   *task
+	lastOwnedID uint64
+	// selfDispatch carries the elision fact from this worker's pop to its
+	// complete(), which stamps it into the complete event.
+	selfDispatch bool
 }
 
 // worker is the body of one pool goroutine.
@@ -800,6 +879,30 @@ func (r *Runtime) worker(id int) {
 		}
 		if stole {
 			atomic.AddUint64(&r.steals, 1)
+		}
+		if r.rec != nil {
+			if stole {
+				r.rec.RecordWorker(id, flightrec.KindSteal, uint64(t.id), atomic.LoadUint64(&t.claim), 0)
+			}
+			// CATS records its own dispatch events inside pop (with the
+			// class-gating evidence only the scheduler has); for the other
+			// schedulers the worker records them here, strictly after the
+			// pop's synchronises-with edge to the ready-side push.
+			//
+			// Exception: the chain hand-off. When this pop returns the very
+			// task this worker just readied and pushed through pushOwned
+			// (pointer AND id match — ids are never reused, so a stolen,
+			// completed, recycled record cannot alias), the dispatch event is
+			// elided: one thread marked it ready and claimed it with nothing
+			// in between, so dispatched-was-ready holds by construction. The
+			// complete event carries CompleteSelfDispatch so the verifier
+			// knows the gap is deliberate.
+			sc.selfDispatch = !stole && t == sc.lastOwned && uint64(t.id) == sc.lastOwnedID
+			sc.lastOwned = nil
+			if !r.schedSelfRecords && !sc.selfDispatch {
+				r.rec.RecordWorker(id, flightrec.KindDispatch, uint64(t.id),
+					atomic.LoadUint64(&t.claim), flightrec.PackDispatch(stole, false, 0, 0))
+			}
 		}
 		t.mu.Lock()
 		t.state = stateRunning
@@ -864,6 +967,20 @@ func (r *Runtime) worker(id int) {
 func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 	recycle := !r.opts.retainTrace
 	succs := sc.succs[:0]
+	// The complete event carries the pre-retirement claim word but is
+	// recorded after this critical section, paired with the first released
+	// successor's ready in one two-slot ring write (or standalone when
+	// nothing becomes ready). Deferring it past the generation bump is safe
+	// because task IDs are never reused: the record's next life gets a new
+	// ID, so no consumer can mistake its events for this task's.
+	completedID := uint64(t.id)
+	completedClaim := atomic.LoadUint64(&t.claim)
+	// If this task reached us through the elided chain hand-off, its
+	// complete event must say so (see the worker loop's dispatch record).
+	var completeFlags uint64
+	if sc.selfDispatch {
+		completeFlags = flightrec.CompleteSelfDispatch
+	}
 	t.mu.Lock()
 	t.state = stateDone
 	succs = t.takeSuccs(succs)
@@ -886,14 +1003,33 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 	// wide fan (the steal-heavy shape) hands the whole fan over with a
 	// single wakeup instead of one signal per child.
 	ready := sc.ready[:0]
+	completeRecorded := r.rec == nil
 	for _, s := range succs {
 		if atomic.AddInt32(&s.npreds, -1) == 0 {
 			s.mu.Lock()
 			s.state = stateReady
-			atomic.StoreUint64(&s.readyClaim, atomic.LoadUint64(&s.claim))
+			rc := atomic.LoadUint64(&s.claim)
+			if r.rec != nil {
+				// Record before the readyClaim store, as in submit: the
+				// store arms concurrent dispatch through stale entries. The
+				// first released successor's ready shares a paired ring
+				// write with the completion event.
+				if !completeRecorded {
+					completeRecorded = true
+					r.rec.RecordWorker2(workerID,
+						flightrec.KindComplete, completedID, completedClaim, completeFlags,
+						flightrec.KindReady, uint64(s.id), rc, 0)
+				} else {
+					r.rec.RecordWorker(workerID, flightrec.KindReady, uint64(s.id), rc, 0)
+				}
+			}
+			atomic.StoreUint64(&s.readyClaim, rc)
 			s.mu.Unlock()
 			ready = append(ready, s)
 		}
+	}
+	if !completeRecorded {
+		r.rec.RecordWorker(workerID, flightrec.KindComplete, completedID, completedClaim, completeFlags)
 	}
 	switch len(ready) {
 	case 0:
@@ -902,8 +1038,15 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 		// without a wakeup when the scheduler's locality path allows it —
 		// this goroutine pops it next, and signalling a parked thief here
 		// would only invite it to steal the link off the warm cache.
-		if sc.owned == nil || !sc.owned.pushOwned(ready[0], workerID) {
-			r.sched.push(ready[0], workerID)
+		s := ready[0]
+		ownedID := uint64(s.id) // before the push: pushing publishes s
+		if sc.owned == nil || !sc.owned.pushOwned(s, workerID) {
+			r.sched.push(s, workerID)
+		} else if r.rec != nil && !r.schedSelfRecords {
+			// Arm the dispatch-event elision: if our next pop returns this
+			// very task life, its dispatch record is redundant.
+			sc.lastOwned = s
+			sc.lastOwnedID = ownedID
 		}
 	default:
 		r.sched.pushBatch(ready, workerID)
@@ -981,6 +1124,11 @@ func (r *Runtime) Shutdown() {
 	atomic.StoreInt32(&r.shutdown, 1)
 	r.sched.wake()
 	r.wg.Wait()
+	if r.rec != nil {
+		// Stop the recorder's clock; the rings stay readable for post-run
+		// snapshots (Tail, the bench tool's -flight-dump).
+		r.rec.Close()
+	}
 }
 
 // Stats returns a snapshot of execution counters. Each call allocates
@@ -1001,6 +1149,10 @@ func (r *Runtime) StatsInto(s *Stats) {
 	s.Executed = atomic.LoadUint64(&r.executed)
 	s.Steals = atomic.LoadUint64(&r.steals)
 	s.Skipped = atomic.LoadUint64(&r.skipped)
+	s.FlightEvents = 0
+	if r.rec != nil {
+		s.FlightEvents = r.rec.EventCount()
+	}
 	if cap(s.PerWorker) < len(r.perWorker) {
 		s.PerWorker = make([]uint64, len(r.perWorker))
 	}

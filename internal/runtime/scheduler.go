@@ -4,6 +4,8 @@ import (
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/flightrec"
 )
 
 // scheduler is the pluggable ready-queue policy. pop blocks until a task is
@@ -97,10 +99,11 @@ type fifoScheduler struct {
 	cond  *sync.Cond
 	queue taskRing
 	woken bool
+	rec   *flightrec.Recorder
 }
 
-func newFIFOScheduler() *fifoScheduler {
-	s := &fifoScheduler{}
+func newFIFOScheduler(rec *flightrec.Recorder) *fifoScheduler {
+	s := &fifoScheduler{rec: rec}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -128,14 +131,20 @@ func (s *fifoScheduler) pushBatch(ts []*task, _ int) {
 	}
 }
 
-func (s *fifoScheduler) pop(int) (*task, bool) {
+func (s *fifoScheduler) pop(workerID int) (*task, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.queue.len() == 0 {
 		if s.woken {
 			return nil, false
 		}
+		if s.rec != nil {
+			s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
+		}
 		s.cond.Wait()
+		if s.rec != nil {
+			s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
+		}
 	}
 	return s.queue.pop(), false
 }
@@ -208,6 +217,8 @@ type stealScheduler struct {
 	side []sideBuf
 
 	rng []paddedRand
+
+	rec *flightrec.Recorder
 }
 
 // sideBuf is one worker's mutex-guarded submit buffer. n mirrors q.len()
@@ -227,13 +238,14 @@ type paddedRand struct {
 	_     [7]uint64
 }
 
-func newStealScheduler(layout classLayout, window int) *stealScheduler {
+func newStealScheduler(layout classLayout, window int, rec *flightrec.Recorder) *stealScheduler {
 	s := &stealScheduler{
 		deques: make([]*wsDeque, layout.workers),
 		rng:    make([]paddedRand, layout.workers),
 		fastN:  layout.fastN,
 		window: int64(window),
 		side:   make([]sideBuf, layout.workers),
+		rec:    rec,
 	}
 	for i := range s.deques {
 		s.deques[i] = newWSDeque()
@@ -561,9 +573,15 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 				s.parked.Add(-1)
 				break
 			}
+			if s.rec != nil {
+				s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
+			}
 			s.parkCond.Wait()
 			s.parked.Add(-1)
 			slept = true
+			if s.rec != nil {
+				s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
+			}
 		}
 		s.parkMu.Unlock()
 		if woken {
@@ -638,6 +656,7 @@ type catsScheduler struct {
 	lastCrit        []bool
 	fastCritRunning int
 	woken           bool
+	rec             *flightrec.Recorder
 }
 
 // catsEntry is one heap element: a task plus snapshots of its priority,
@@ -658,8 +677,8 @@ type catsEntry struct {
 	claim uint64
 }
 
-func newCATSScheduler(layout classLayout) *catsScheduler {
-	s := &catsScheduler{fastN: layout.fastN, lastCrit: make([]bool, layout.fastN)}
+func newCATSScheduler(layout classLayout, rec *flightrec.Recorder) *catsScheduler {
+	s := &catsScheduler{fastN: layout.fastN, lastCrit: make([]bool, layout.fastN), rec: rec}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -724,7 +743,7 @@ func (s *catsScheduler) insert(t *task) {
 	e := catsEntry{
 		t:     t,
 		prio:  atomic.LoadInt64(&t.priority),
-		seq:   t.seq,
+		seq:   atomic.LoadInt64(&t.seq),
 		claim: atomic.LoadUint64(&t.readyClaim),
 	}
 	if e.prio > 0 {
@@ -836,6 +855,15 @@ func (s *catsScheduler) pop(workerID int) (*task, bool) {
 						s.cond.Signal()
 					}
 				}
+				if s.rec != nil {
+					// CATS self-records its dispatches (the runtime's
+					// worker loop skips them): only here, under s.mu at the
+					// moment of the placement decision, are the class-gating
+					// facts — crit origin and exact fast-class saturation —
+					// available to stamp into the event for the verifier.
+					s.rec.RecordWorker(workerID, flightrec.KindDispatch, uint64(e.t.id),
+						e.claim|1, flightrec.PackDispatch(false, fromCrit, s.fastCritRunning, s.fastN))
+				}
 				return e.t, false
 			}
 			continue // stale duplicate of an already-dispatched task
@@ -855,9 +883,15 @@ func (s *catsScheduler) pop(workerID int) (*task, bool) {
 		if fast {
 			s.fastIdle++
 		}
+		if s.rec != nil {
+			s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
+		}
 		s.cond.Wait()
 		if fast {
 			s.fastIdle--
+		}
+		if s.rec != nil {
+			s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
 		}
 	}
 }

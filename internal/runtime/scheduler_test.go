@@ -267,7 +267,7 @@ func TestTaskRingShrinksWhenMostlyEmpty(t *testing.T) {
 // --- CATS heap ---------------------------------------------------------------
 
 func TestCATSHeapPopsByPriorityThenSeq(t *testing.T) {
-	s := newCATSScheduler(homogeneousLayout(4))
+	s := newCATSScheduler(homogeneousLayout(4), nil)
 	mk := func(prio int64, seq int64) *task { return &task{priority: prio, seq: seq} }
 	ts := []*task{mk(1, 0), mk(9, 1), mk(5, 2), mk(9, 3), mk(0, 4)}
 	for _, tk := range ts {
@@ -286,7 +286,7 @@ func TestCATSHeapPopsByPriorityThenSeq(t *testing.T) {
 // superseded entry must be discarded lazily, never dispatching the task a
 // second time.
 func TestCATSHeapBumpReinsertsAndDiscardsStale(t *testing.T) {
-	s := newCATSScheduler(homogeneousLayout(4))
+	s := newCATSScheduler(homogeneousLayout(4), nil)
 	t1 := &task{priority: 0, seq: 1}
 	t2 := &task{priority: 0, seq: 2}
 	s.push(t1, -1)
@@ -313,9 +313,9 @@ func TestCATSHeapBumpReinsertsAndDiscardsStale(t *testing.T) {
 
 func TestWakeUnblocksPoppingWorkers(t *testing.T) {
 	for _, mk := range []func() scheduler{
-		func() scheduler { return newFIFOScheduler() },
-		func() scheduler { return newStealScheduler(homogeneousLayout(4), defaultLocalityWindow) },
-		func() scheduler { return newCATSScheduler(homogeneousLayout(4)) },
+		func() scheduler { return newFIFOScheduler(nil) },
+		func() scheduler { return newStealScheduler(homogeneousLayout(4), defaultLocalityWindow, nil) },
+		func() scheduler { return newCATSScheduler(homogeneousLayout(4), nil) },
 	} {
 		s := mk()
 		var wg sync.WaitGroup
