@@ -46,6 +46,16 @@ type benchSnapshot struct {
 	// LocalitySpeedup is locality-on over locality-off throughput on the
 	// producer→consumer chain workload (worksteal scheduler).
 	LocalitySpeedup float64 `json:"locality_speedup"`
+	// TopologySpeedup is the domain-aware (2-domain) over flat
+	// (single-domain) throughput on the chain workload: the median of
+	// per-round paired ratios (see recordPaired), so run-order drift
+	// cancels instead of swinging the number run to run.
+	TopologySpeedup float64 `json:"topology_speedup"`
+	// TopologyCrossFrac is the fraction of the topology scenario's
+	// pool-released dispatches that crossed a memory-domain boundary on
+	// the domain-aware variant — the cross-domain-traffic verdict from the
+	// registered throughput experiment.
+	TopologyCrossFrac float64 `json:"topology_cross_domain_frac"`
 	// FlightOverhead is recorder-on over recorder-off ns/op on the steady
 	// submit chain (submit_chain_steady_flight / submit_chain_steady): the
 	// median of per-round ratios from position-balanced alternation (see
@@ -224,13 +234,30 @@ func runBenchJSON(ctx context.Context, path string) error {
 		snap.LocalitySpeedup = off.NsPerOp / on.NsPerOp
 	}
 
-	// Placement verdict via the registered throughput experiment — the
+	// The topology pair is measured with the same position-balanced
+	// alternation as the recorder pair: the domain-aware vs flat ratio is
+	// the headline number of the memory-hierarchy work and must not be a
+	// run-order artifact.
+	topo, err := snap.recordPaired(ctx,
+		"topology_chain_flat", benchcases.TopologyChain(1),
+		"topology_chain_aware", benchcases.TopologyChain(2), 6)
+	if err != nil {
+		return err
+	}
+	snap.TopologySpeedup = topo
+
+	// Placement verdicts via the registered throughput experiment — the
 	// experiment counterpart the benchmarks regenerate.
 	crit, err := heteroCritOnFast(ctx)
 	if err != nil {
 		return err
 	}
 	snap.CritOnFast = crit
+	cross, err := topologyCrossFrac(ctx)
+	if err != nil {
+		return err
+	}
+	snap.TopologyCrossFrac = cross
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -245,8 +272,8 @@ func runBenchJSON(ctx context.Context, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx)\n",
-		path, len(snap.Benchmarks), snap.CritOnFast, snap.LocalitySpeedup)
+	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx, topology %.2fx, cross-domain %.1f%%)\n",
+		path, len(snap.Benchmarks), snap.CritOnFast, snap.LocalitySpeedup, snap.TopologySpeedup, snap.TopologyCrossFrac*100)
 	return nil
 }
 
@@ -261,6 +288,25 @@ func heteroCritOnFast(ctx context.Context) (float64, error) {
 	best := 0.0
 	for k, v := range res.Metrics {
 		if strings.HasSuffix(k, "_crit_on_fast") && v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// topologyCrossFrac runs the throughput experiment's topology scenario at
+// quick scale and extracts the domain-aware variant's cross-domain
+// dispatch fraction (the flat baseline's is 0 by definition, so the
+// maximum over cells is the aware number).
+func topologyCrossFrac(ctx context.Context) (float64, error) {
+	res, err := raa.RunQuick(ctx, "throughput",
+		[]byte(`{"scenarios": ["topology"], "schedulers": ["worksteal"], "shards": [1]}`))
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for k, v := range res.Metrics {
+		if strings.HasSuffix(k, "_cross_domain_frac") && v > best {
 			best = v
 		}
 	}

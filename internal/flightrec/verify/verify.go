@@ -35,6 +35,13 @@ const (
 	// Starvation: a ready task waited longer than Options.StarveBound
 	// without being dispatched while the runtime kept making progress.
 	Starvation
+	// DomainGating: a task released toward one memory domain was dispatched
+	// non-stolen in another while every worker of its home domain stayed
+	// parked — the home domain should have been woken for it (cross-domain
+	// injector overflow is legitimate only when the home domain cannot
+	// absorb the task). Steals are exempt: they are the sanctioned
+	// cross-domain load-balancing mechanism. Requires Options.DomainOf.
+	DomainGating
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +55,8 @@ func (i Invariant) String() string {
 		return "class-gating"
 	case Starvation:
 		return "starvation"
+	case DomainGating:
+		return "domain-gating"
 	default:
 		return fmt.Sprintf("Invariant(%d)", int(i))
 	}
@@ -82,6 +91,10 @@ type Options struct {
 	// (from whatever goroutine feeds the checker). Counters in Stats are
 	// maintained regardless.
 	OnViolation func(Violation)
+	// DomainOf maps worker ID → memory-domain index (Runtime.Topology
+	// order) and arms the DomainGating check. Empty (the default) disables
+	// it — required for streams whose dispatch events carry no domain pair.
+	DomainOf []int
 }
 
 // lifecycle states of a tracked task.
@@ -138,6 +151,8 @@ type Stats struct {
 	ClassGating uint64
 	// Starvations counts Starvation violations.
 	Starvations uint64
+	// DomainGating counts DomainGating violations.
+	DomainGating uint64
 	// Total is the sum of all violation counters.
 	Total uint64
 }
@@ -164,6 +179,26 @@ type Checker struct {
 	// would have surfaced by then), flagged by expireAwaits.
 	epoch    uint64
 	awaiting map[uint64]uint64
+
+	// Domain-gating state (armed by Options.DomainOf): domains lists each
+	// domain's workers; parkSeq maps a worker to the sequence number of its
+	// unmatched park event; domSusp holds at most one pending suspicion per
+	// domain, resolved by any wake of a home-domain worker and reported if
+	// it survives a full subsequent sweep (same two-epoch discipline as
+	// awaiting — the resolving wake may ride a later snapshot).
+	domains [][]int32
+	parkSeq map[int32]uint64
+	domSusp map[int]*domSuspicion
+}
+
+// domSuspicion is one pending domain-gating anomaly: a cross-domain
+// non-stolen dispatch observed while the home domain looked fully parked.
+type domSuspicion struct {
+	task       uint64
+	worker     int32
+	seq        uint64
+	home, exec int
+	epoch      uint64
 }
 
 // New creates a Checker.
@@ -171,7 +206,33 @@ func New(opts Options) *Checker {
 	if opts.MaxTracked <= 0 {
 		opts.MaxTracked = 1 << 16
 	}
-	return &Checker{opts: opts, tasks: make(map[uint64]*taskInfo), awaiting: make(map[uint64]uint64)}
+	c := &Checker{opts: opts, tasks: make(map[uint64]*taskInfo), awaiting: make(map[uint64]uint64)}
+	if len(opts.DomainOf) > 0 {
+		nd := 0
+		for _, d := range opts.DomainOf {
+			if d >= nd {
+				nd = d + 1
+			}
+		}
+		c.domains = make([][]int32, nd)
+		for w, d := range opts.DomainOf {
+			if d >= 0 {
+				c.domains[d] = append(c.domains[d], int32(w))
+			}
+		}
+		c.parkSeq = make(map[int32]uint64)
+		c.domSusp = make(map[int]*domSuspicion)
+	}
+	return c
+}
+
+// workerDomain maps a worker ID to its domain, -1 when unknown (external
+// events, IDs outside the configured map).
+func (c *Checker) workerDomain(w int32) int {
+	if w < 0 || int(w) >= len(c.opts.DomainOf) {
+		return -1
+	}
+	return c.opts.DomainOf[w]
 }
 
 // Stats returns a snapshot of the checker's counters.
@@ -180,7 +241,7 @@ func (c *Checker) Stats() Stats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Tracked = len(c.tasks)
-	s.Total = s.DispatchNotReady + s.ClaimRegressions + s.ClassGating + s.Starvations
+	s.Total = s.DispatchNotReady + s.ClaimRegressions + s.ClassGating + s.Starvations + s.DomainGating
 	return s
 }
 
@@ -195,6 +256,8 @@ func (c *Checker) report(v Violation) {
 		c.stats.ClassGating++
 	case Starvation:
 		c.stats.Starvations++
+	case DomainGating:
+		c.stats.DomainGating++
 	}
 	if c.opts.OnViolation != nil {
 		c.opts.OnViolation(v)
@@ -213,12 +276,18 @@ func (c *Checker) Feed(events []flightrec.Event, gap bool) {
 		c.stats.Gaps++
 		c.lax = true
 		// The evidence that would reconcile deferred dispatches may be in
-		// the lost window; resolve them silently.
+		// the lost window; resolve them silently. The parking timeline may
+		// have lost wake events too, so the domain-gating state restarts.
 		for id := range c.awaiting {
 			c.resolveAwait(id)
 		}
+		if c.domains != nil {
+			clear(c.parkSeq)
+			clear(c.domSusp)
+		}
 	}
 	c.expireAwaits()
+	c.expireDomSusp()
 	for i := range events {
 		c.consume(&events[i])
 	}
@@ -258,15 +327,32 @@ func (c *Checker) expireAwaits() {
 	}
 }
 
+// expireDomSusp flags domain-gating suspicions that a full subsequent
+// sweep failed to resolve: the home domain's wake — had the runtime routed
+// one there — would have surfaced by then. Caller holds mu.
+func (c *Checker) expireDomSusp() {
+	for d, s := range c.domSusp {
+		if s.epoch+2 > c.epoch {
+			continue
+		}
+		c.report(Violation{Invariant: DomainGating, Task: s.task, Worker: s.worker, Seq: s.seq,
+			Detail: fmt.Sprintf("task %d released toward domain %d dispatched in domain %d while every domain-%d worker stayed parked (lost wakeup?)",
+				s.task, s.home, s.exec, s.home)})
+		delete(c.domSusp, d)
+	}
+}
+
 // Flush settles every still-deferred dispatch as if the stream had ended:
 // a ready that has not arrived by now never will, so each outstanding
-// deferral is a dispatch-before-ready violation. Call it after the final
-// Feed of a drained recorder (Online.Stop does).
+// deferral is a dispatch-before-ready violation (and each unresolved
+// domain-gating suspicion a missing wake). Call it after the final Feed of
+// a drained recorder (Online.Stop does).
 func (c *Checker) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.epoch += 2 // everything outstanding is expired by definition
 	c.expireAwaits()
+	c.expireDomSusp()
 }
 
 // AdvanceTime tells the checker wall time has reached now even if no new
@@ -339,6 +425,7 @@ func (c *Checker) consume(e *flightrec.Event) {
 		switch ti.state {
 		case stReady:
 			c.checkGen(ti, e)
+			c.checkDomainGating(e, ti)
 			ti.state = stRunning
 		case stSubmitted:
 			// Real early dispatch or snapshot skew — defer to the ready
@@ -376,9 +463,59 @@ func (c *Checker) consume(e *flightrec.Event) {
 		}
 		c.checkGen(ti, e)
 		delete(c.tasks, e.Task)
-	case flightrec.KindSteal, flightrec.KindPark, flightrec.KindWake:
-		// Timeline markers: no per-task invariant.
+	case flightrec.KindPark:
+		if c.domains != nil {
+			c.parkSeq[e.Worker] = e.Seq
+		}
+	case flightrec.KindWake:
+		if c.domains != nil {
+			delete(c.parkSeq, e.Worker)
+			// Any wake inside a suspect domain is the routed wakeup the
+			// suspicion was waiting for.
+			if d := c.workerDomain(e.Worker); d >= 0 {
+				delete(c.domSusp, d)
+			}
+		}
+	case flightrec.KindSteal:
+		// Timeline marker: no per-task invariant.
 	}
+}
+
+// checkDomainGating inspects a ready→running dispatch for the domain-gating
+// anomaly: the task's home domain (where it was released) differs from the
+// dispatching worker's, the dispatch was not a steal, and every home-domain
+// worker has been parked since before the task became ready — so the
+// runtime should have woken one of them instead of letting the task drift
+// across the hierarchy. The suspicion is held, resolved by any home-domain
+// wake, and reported only by expireDomSusp. Caller holds mu.
+func (c *Checker) checkDomainGating(e *flightrec.Event, ti *taskInfo) {
+	if c.domains == nil {
+		return
+	}
+	stolen, _, _, _ := flightrec.DispatchInfo(e.Arg2)
+	if stolen {
+		return // steals are the sanctioned cross-domain mechanism
+	}
+	home, exec := flightrec.DispatchDomains(e.Arg2)
+	if home < 0 || exec < 0 || home == exec || home >= len(c.domains) {
+		return
+	}
+	if _, open := c.domSusp[home]; open {
+		return // one suspicion per domain at a time; keep the earliest
+	}
+	ws := c.domains[home]
+	if len(ws) == 0 {
+		return
+	}
+	for _, w := range ws {
+		ps, parked := c.parkSeq[w]
+		if !parked || ps >= ti.readySeq {
+			// Some home worker was awake (or parked only after the ready
+			// was published — its own pre-park rescan covers the task).
+			return
+		}
+	}
+	c.domSusp[home] = &domSuspicion{task: e.Task, worker: e.Worker, seq: e.Seq, home: home, exec: exec, epoch: c.epoch}
 }
 
 // adopt starts tracking a task first seen through e.

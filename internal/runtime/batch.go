@@ -131,6 +131,7 @@ func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskI
 		if atomic.AddInt32(&t.npreds, -1) == 0 {
 			t.mu.Lock()
 			t.state = stateReady
+			t.home = int32(hint) // -1 for external submissions
 			rc := atomic.LoadUint64(&t.claim)
 			if r.rec != nil {
 				// Before the readyClaim store — see submit.

@@ -14,6 +14,7 @@ import (
 type options struct {
 	workers     int
 	classes     []WorkerClass
+	domains     []Domain
 	scheduler   SchedulerKind
 	queueBound  int
 	shards      int

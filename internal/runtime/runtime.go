@@ -216,6 +216,24 @@ type task struct {
 	// here and linkPreds consumes them. Only the submitting goroutine
 	// touches it, and the capacity is kept across recycles.
 	preds []taskRef
+
+	// home is the worker the task was released toward: the completing
+	// worker for successor releases, the hinted worker for body-context
+	// submissions, -1 for external submissions. Stamped inside the ready
+	// transition's t.mu critical section (and read after the pop that
+	// synchronises with the ready push), so plain access suffices. It feeds
+	// the per-domain local/cross dispatch accounting and the domain pair
+	// packed into dispatch events for the verifier.
+	home int32
+	// affinity is the worker that executed the task's latest-finishing
+	// predecessor (-1 = none): where the task's input data is plausibly
+	// hot. Atomic — a stale CATS entry snapshot may read a recycled
+	// record's field concurrently with newTask's reset.
+	affinity int32
+	// exec is the worker that dispatched the task (-1 until then). Atomic
+	// for the same pooling reason; reset only in newTask so a completed
+	// predecessor still reports its executor to linkPreds.
+	exec int32
 }
 
 // taskRef is a generation-tagged task reference: a *task plus the claim
@@ -314,6 +332,10 @@ type Stats struct {
 	// PerClass aggregates PerWorker by worker class, in WorkerClasses()
 	// order (index 0 is the fast class).
 	PerClass []uint64
+	// PerDomain aggregates scheduling traffic by memory domain, in
+	// Topology() order: local vs cross-domain dispatches, steals, and
+	// injector traffic (see DomainStats).
+	PerDomain []DomainStats
 	// FlightEvents is the total number of events the flight recorder has
 	// captured (0 without WithFlightRecorder).
 	FlightEvents uint64
@@ -332,6 +354,10 @@ type Placement struct {
 	ClassName string
 	// Speed is the worker's class speed multiplier.
 	Speed float64
+	// Domain is the index of the worker's memory domain in Topology()
+	// order — workloads that model domain-sized data use it to count
+	// cross-domain handoffs.
+	Domain int
 }
 
 // placementKey is the context key TaskPlacement looks up.
@@ -414,6 +440,18 @@ type Runtime struct {
 	classes []WorkerClass
 	classOf []int
 
+	// domains is the resolved memory-domain topology; domainOf maps
+	// workerID → domain index. domCounts is the per-domain dispatch
+	// accounting, allocated only for multi-domain pools (single-domain
+	// pools skip the hot-path counting entirely). topoEvents marks that
+	// dispatch events carry the packed home/exec domain pair — only the
+	// steal scheduler on a multi-domain pool, whose placement the
+	// verifier's domain-gating invariant can reason about.
+	domains    []Domain
+	domainOf   []int32
+	domCounts  []domainCounters
+	topoEvents bool
+
 	// gate serialises submission against Shutdown: submitters hold the
 	// (shared, scalable) read side for the registration window, Shutdown
 	// takes the write side to set closed. The dependence tracker itself is
@@ -463,12 +501,18 @@ func New(opts ...Option) *Runtime {
 	}
 	classes, classOf, fastN := o.resolveClasses()
 	o.workers = len(classOf)
+	domains, domainOf := o.resolveTopology(o.workers)
 	r := &Runtime{
 		opts:      o,
 		classes:   classes,
 		classOf:   classOf,
+		domains:   domains,
+		domainOf:  domainOf,
 		shards:    newShards(resolveShards(o.shards)),
 		perWorker: make([]uint64, o.workers),
+	}
+	if len(domains) > 1 {
+		r.domCounts = make([]domainCounters, len(domains))
 	}
 	if o.queueBound > 0 {
 		r.slots = make(chan struct{}, o.queueBound)
@@ -480,7 +524,7 @@ func New(opts ...Option) *Runtime {
 		// so the lane needs no locking of its own.
 		r.rec = flightrec.NewWithLanes(o.workers, len(r.shards), *o.flight)
 	}
-	layout := classLayout{workers: o.workers, fastN: fastN}
+	layout := classLayout{workers: o.workers, fastN: fastN, domains: len(domains), domainOf: domainOf}
 	switch o.scheduler {
 	case FIFO:
 		r.sched = newFIFOScheduler(r.rec)
@@ -489,6 +533,11 @@ func New(opts ...Option) *Runtime {
 		r.schedSelfRecords = r.rec != nil
 	default:
 		r.sched = newStealScheduler(layout, o.localWindow, r.rec)
+		// Only the steal scheduler's placement honours the domain
+		// hierarchy; FIFO pops are domain-blind and CATS's criticality
+		// order overrides affinity, so stamping domains into their events
+		// would make the verifier's domain-gating check fire on sound runs.
+		r.topoEvents = len(domains) > 1
 	}
 	r.localSub, _ = r.sched.(localSubmitter)
 	for w := 0; w < o.workers; w++ {
@@ -627,6 +676,7 @@ func (r *Runtime) submit(ctx context.Context, name string, cost float64, priorit
 	if atomic.AddInt32(&t.npreds, -1) == 0 {
 		t.mu.Lock()
 		t.state = stateReady
+		t.home = int32(hint) // -1 for external submissions
 		rc := atomic.LoadUint64(&t.claim)
 		if r.rec != nil {
 			// Record BEFORE publishing readyClaim: that store is what arms
@@ -682,10 +732,14 @@ func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priori
 	t.plainFn = plain
 	t.ctx = ctx
 	t.state = statePending
+	t.home = -1
 	// Atomic: a late scheduler push for the task that previously occupied
 	// this pooled record can still read seq (see catsScheduler.insert); the
 	// claim generation makes such an entry harmless, but the read itself
-	// must not race with the reinitialising store.
+	// must not race with the reinitialising store — affinity and exec are
+	// atomic for the same reason.
+	atomic.StoreInt32(&t.affinity, -1)
+	atomic.StoreInt32(&t.exec, -1)
 	atomic.StoreInt64(&t.seq, seq)
 	t.setDeps(deps)
 	atomic.AddInt64(&r.outstanding, 1)
@@ -765,6 +819,13 @@ func (r *Runtime) linkPreds(t *task) {
 			p.mu.Unlock() // recycled record: the predecessor completed long ago
 			continue
 		}
+		// Data affinity: the worker that executed a predecessor plausibly
+		// holds the task's input hot — remember the latest one seen (a
+		// still-pending predecessor has no executor yet; the one finishing
+		// last overwrites this in complete's release loop).
+		if af := atomic.LoadInt32(&p.exec); af >= 0 {
+			atomic.StoreInt32(&t.affinity, af)
+		}
 		if p.state != stateDone {
 			p.addSucc(t)
 			atomic.AddInt32(&t.npreds, 1)
@@ -843,6 +904,7 @@ func (r *Runtime) worker(id int) {
 		Class:     r.classOf[id],
 		ClassName: r.classes[r.classOf[id]].Name,
 		Speed:     r.classes[r.classOf[id]].Speed,
+		Domain:    int(r.domainOf[id]),
 	}
 	// Placement wrappers are allocated per distinct submission context and
 	// immutable afterwards, so task bodies see their placement through
@@ -900,10 +962,35 @@ func (r *Runtime) worker(id int) {
 			sc.selfDispatch = !stole && t == sc.lastOwned && uint64(t.id) == sc.lastOwnedID
 			sc.lastOwned = nil
 			if !r.schedSelfRecords && !sc.selfDispatch {
+				arg2 := flightrec.PackDispatch(stole, false, 0, 0)
+				if r.topoEvents {
+					// Stamp the domain pair — where the task was released
+					// toward vs where it runs — so the verifier can check the
+					// domain-gating invariant against the parking timeline.
+					homeDom := -1
+					if t.home >= 0 {
+						homeDom = int(r.domainOf[t.home])
+					}
+					arg2 = flightrec.PackDispatchDomains(arg2, homeDom, int(r.domainOf[id]))
+				}
 				r.rec.RecordWorker(id, flightrec.KindDispatch, uint64(t.id),
-					atomic.LoadUint64(&t.claim), flightrec.PackDispatch(stole, false, 0, 0))
+					atomic.LoadUint64(&t.claim), arg2)
 			}
 		}
+		if r.domCounts != nil {
+			d := int(r.domainOf[id])
+			if stole {
+				atomic.AddUint64(&r.domCounts[d].steals, 1)
+			}
+			if home := t.home; home >= 0 {
+				if int(r.domainOf[home]) == d {
+					atomic.AddUint64(&r.domCounts[d].local, 1)
+				} else {
+					atomic.AddUint64(&r.domCounts[d].cross, 1)
+				}
+			}
+		}
+		atomic.StoreInt32(&t.exec, int32(id))
 		t.mu.Lock()
 		t.state = stateRunning
 		t.mu.Unlock()
@@ -1008,6 +1095,11 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 		if atomic.AddInt32(&s.npreds, -1) == 0 {
 			s.mu.Lock()
 			s.state = stateReady
+			// The completing worker is both the release target (home) and
+			// the executor of the successor's latest-finishing predecessor
+			// (affinity — the data is hot here).
+			s.home = int32(workerID)
+			atomic.StoreInt32(&s.affinity, int32(workerID))
 			rc := atomic.LoadUint64(&s.claim)
 			if r.rec != nil {
 				// Record before the readyClaim store, as in submit: the
@@ -1167,6 +1259,31 @@ func (r *Runtime) StatsInto(s *Stats) {
 	for i := range r.perWorker {
 		s.PerWorker[i] = atomic.LoadUint64(&r.perWorker[i])
 		s.PerClass[r.classOf[i]] += s.PerWorker[i]
+	}
+	if cap(s.PerDomain) < len(r.domains) {
+		s.PerDomain = make([]DomainStats, len(r.domains))
+	}
+	s.PerDomain = s.PerDomain[:len(r.domains)]
+	for i := range s.PerDomain {
+		s.PerDomain[i] = DomainStats{Workers: r.domains[i].Count}
+	}
+	for w := range r.perWorker {
+		s.PerDomain[r.domainOf[w]].Dispatched += s.PerWorker[w]
+	}
+	if r.domCounts != nil {
+		for i := range s.PerDomain {
+			s.PerDomain[i].LocalDispatched = atomic.LoadUint64(&r.domCounts[i].local)
+			s.PerDomain[i].CrossDispatched = atomic.LoadUint64(&r.domCounts[i].cross)
+			s.PerDomain[i].Steals = atomic.LoadUint64(&r.domCounts[i].steals)
+		}
+	} else {
+		// Single domain: every dispatch is local by definition, and the
+		// global steal counter is the domain's.
+		s.PerDomain[0].LocalDispatched = s.PerDomain[0].Dispatched
+		s.PerDomain[0].Steals = s.Steals
+	}
+	if dss, ok := r.sched.(domainStatsSource); ok {
+		dss.domainStatsInto(s.PerDomain)
 	}
 }
 

@@ -73,21 +73,45 @@ type dispatchObserver interface {
 	taskDone(workerID int)
 }
 
-// classLayout is the worker-topology view class-aware schedulers receive.
-// Worker IDs are assigned fastest class first (options.resolveClasses), so
-// a single comparison — id < fastN — classifies a worker, and fastN ==
-// workers means the pool is homogeneous (every placement rule degenerates
-// to the class-blind behaviour).
+// classLayout is the worker-topology view class- and domain-aware
+// schedulers receive. Worker IDs are assigned fastest class first
+// (options.resolveClasses), so a single comparison — id < fastN —
+// classifies a worker, and fastN == workers means the pool is homogeneous
+// (every placement rule degenerates to the class-blind behaviour).
+// Memory domains partition the same ID ordering (options.resolveTopology):
+// domainOf maps workerID → domain index, nil meaning the degenerate
+// single-domain topology in which every domain-aware path collapses to
+// the flat behaviour.
 type classLayout struct {
 	workers int
 	// fastN is the number of fast-class workers: those whose class ties
 	// the pool's top speed, always ≥ 1.
 	fastN int
+	// domains is the memory-domain count (0 or 1 = single domain);
+	// domainOf maps workerID → domain index (nil = all domain 0).
+	domains  int
+	domainOf []int32
 }
 
-// homogeneousLayout is the layout of a single-class pool.
+// homogeneousLayout is the layout of a single-class, single-domain pool.
 func homogeneousLayout(workers int) classLayout {
 	return classLayout{workers: workers, fastN: workers}
+}
+
+// domainCount is the number of memory domains, always ≥ 1.
+func (l classLayout) domainCount() int {
+	if l.domains < 1 {
+		return 1
+	}
+	return l.domains
+}
+
+// domain maps a worker ID to its memory-domain index.
+func (l classLayout) domain(w int) int {
+	if l.domainOf == nil {
+		return 0
+	}
+	return int(l.domainOf[w])
 }
 
 // fifoScheduler is a single central FIFO queue — a mutex-guarded ring
@@ -157,68 +181,176 @@ func (s *fifoScheduler) wake() {
 }
 
 // stealScheduler is the multi-core dispatch path: one Chase–Lev deque per
-// worker plus a central injector ring for tasks released off-pool.
+// worker plus one injector ring per memory domain for tasks released
+// off-pool.
 //
 //   - A worker that releases a task (successor wakeup in complete) pushes it
 //     onto its own deque bottom — no lock, no contention, LIFO locality.
-//   - Submitting goroutines (no worker identity) push into the injector; an
-//     idle worker refills from it in chunks, moving a share of the backlog
-//     into its own deque under one lock acquisition.
-//   - A worker whose deque and the injector are both empty steals from the
-//     top of a randomly-chosen victim's deque (FIFO: the oldest task, which
-//     heads the largest remaining subtree) — a single CAS, no lock.
-//   - Only when its own deque, the injector, and every victim are empty does
-//     a worker park on the condition variable. The parking protocol is
-//     sequentially consistent: pushers bump the pending count before
-//     enqueuing and check the parked count after; parkers register under
-//     the lock and re-check pending before sleeping — so a task published
-//     concurrently with a park attempt is always seen by one side.
+//     Past the locality window the release spills to same-domain siblings'
+//     submit buffers, then to the domain injector — same-worker →
+//     same-domain → anywhere, walking outward through the memory hierarchy.
+//   - Submitting goroutines (no worker identity) push into an injector —
+//     the domain of the task's data affinity when it has one, round-robin
+//     otherwise; an idle worker refills from its own domain's injector in
+//     chunks, and drains other domains' injectors (cross-domain overflow,
+//     small chunks) only when its own is dry.
+//   - A worker with nothing local steals from the top of a victim's deque
+//     (FIFO: the oldest task, which heads the largest remaining subtree) —
+//     a single CAS, no lock. Victims are visited in tiers: same-domain
+//     before cross-domain, fast-class before slow within each tier (see
+//     buildVictimPlans), each tier swept from a random offset.
+//   - Only when everything is empty does a worker park, on its DOMAIN's
+//     condition variable — wakeups carry the domain where the work landed,
+//     so the worker whose cache is closest to the data is woken first. The
+//     parking protocol is sequentially consistent: pushers bump the global
+//     pending count before enqueuing and check the global parked count
+//     after; parkers register (global count, then domain count) under
+//     their domain lock and re-check pending before sleeping — so a task
+//     published concurrently with a park attempt is always seen by one
+//     side, and a registered sleeper's domain count is always visible to
+//     the pusher's wake scan.
 type stealScheduler struct {
 	deques []*wsDeque
 
-	injMu sync.Mutex
-	inj   taskRing
-	// injLen mirrors inj.len() so workers can skip the injector lock when
-	// it is empty (the steady state once work is distributed).
-	injLen atomic.Int64
+	// injs is one injector per memory domain (single-element for the
+	// degenerate topology); rrDom round-robins affinity-less injections.
+	injs  []domainInjector
+	rrDom atomic.Uint32
 
-	// pending counts queued tasks (deques + injector). Maintained with
-	// seqcst atomics purely for the parking protocol; the queues themselves
-	// are the source of truth.
+	// pending counts queued tasks (deques + injectors + side buffers).
+	// Maintained with seqcst atomics purely for the parking protocol; the
+	// queues themselves are the source of truth.
 	pending atomic.Int64
-	// parked counts workers asleep on parkCond. Written under parkMu, read
-	// lock-free by pushers deciding whether to signal.
-	parked   atomic.Int32
-	parkMu   sync.Mutex
-	parkCond *sync.Cond
-	woken    bool
+	// parked counts workers asleep across all domains, read lock-free by
+	// pushers deciding whether to wake anyone at all; parks holds the
+	// per-domain parking lots wakeups are routed through.
+	parked atomic.Int32
+	parks  []domainPark
+	woken  atomic.Bool
 
 	// fastN splits the deques into the fast-class range [0, fastN) and the
-	// slow range [fastN, len): victim sweeps visit fast-class deques first
-	// (see stealSweep). fastN == len(deques) for homogeneous pools.
+	// slow range [fastN, len): within each domain tier, victim sweeps
+	// visit fast-class deques first (see buildVictimPlans). fastN ==
+	// len(deques) for homogeneous pools.
 	fastN int
+
+	// nd is the domain count (≥ 1); domOf maps workerID → domain;
+	// members lists each domain's workers in ID order.
+	nd      int
+	domOf   []int32
+	members [][]int32
+
+	// victims holds each worker's precomputed tier-ordered victim plan.
+	victims []victimPlan
+
+	// traffic is the per-domain injector/steal accounting surfaced through
+	// Stats.PerDomain.
+	traffic []domainTraffic
 
 	// window is the locality window: a push carrying a worker hint goes to
 	// that worker's own deque only while the deque holds fewer than window
-	// tasks, and spills to the shared injector past it — so a completing
-	// worker keeps its successors hot in cache without hoarding a wide fan
-	// that the rest of the pool would have to steal back one CAS at a
-	// time. window <= 0 disables the locality path entirely (every release
-	// goes through the injector — the central-queue baseline).
+	// tasks, and spills past it — first to same-domain siblings' submit
+	// buffers (multi-domain pools only), then to the domain injector — so
+	// a completing worker keeps its successors hot in cache without
+	// hoarding a wide fan that the rest of the pool would have to steal
+	// back one CAS at a time. window <= 0 disables the locality path
+	// entirely (every release goes through the injector — the
+	// central-queue baseline).
 	window int64
 
 	// side holds one submit buffer per worker: the landing zone for
 	// hinted submissions (tasks submitted with a worker's body context,
 	// possibly from arbitrary goroutines — the deque bottom is owner-only,
-	// this is not). The owner drains its buffer into its deque at the top
-	// of pop; thieves with nothing else to do steal from other workers'
-	// buffers, so a task parked here by a body that then blocks is still
-	// reachable by the rest of the pool.
+	// this is not) and for same-domain spill. The owner drains its buffer
+	// into its deque at the top of pop; thieves with nothing else to do
+	// steal from other workers' buffers, so a task parked here by a body
+	// that then blocks is still reachable by the rest of the pool.
 	side []sideBuf
 
 	rng []paddedRand
 
 	rec *flightrec.Recorder
+}
+
+// domainInjector is one memory domain's injector ring. n mirrors q.len()
+// so workers can skip the lock when the injector is empty (the steady
+// state once work is distributed).
+type domainInjector struct {
+	mu sync.Mutex
+	q  taskRing
+	n  atomic.Int64
+	_  [4]int64 // keep neighbouring domains' injectors off one cache line
+}
+
+// domainPark is one memory domain's parking lot. n counts this domain's
+// sleepers (the wake scan's routing signal; the global parked count is the
+// "anyone at all?" fast path).
+type domainPark struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    atomic.Int32
+	_    [4]int64
+}
+
+// domainTraffic is one domain's steal/injector accounting (atomic access).
+type domainTraffic struct {
+	injPush     atomic.Uint64
+	crossRefill atomic.Uint64
+	crossSteal  atomic.Uint64
+	_           [5]uint64
+}
+
+// victimPlan is one worker's precomputed steal order: every other worker
+// exactly once, tier-major. seg marks the tier boundaries — order[seg[i]:
+// seg[i+1]] is tier i — with four tiers: same-domain fast-class,
+// same-domain slow-class, cross-domain fast, cross-domain slow. Tiers
+// tierSameLo..tierSameHi are the same-domain half of the hierarchy walk.
+type victimPlan struct {
+	order []int32
+	seg   [5]int32
+}
+
+// The victim-plan tier ranges: [tierSameLo, tierSameHi) are the
+// same-domain tiers, [tierSameHi, tierCrossHi) the cross-domain tiers.
+const (
+	tierSameLo  = 0
+	tierSameHi  = 2
+	tierCrossHi = 4
+)
+
+// buildVictimPlans precomputes every worker's tier-ordered victim list
+// from the layout. Keeping the plan static (only the per-tier starting
+// offset is randomised per sweep) makes the tier ordering a checkable
+// invariant rather than an emergent property of per-sweep filtering.
+func buildVictimPlans(l classLayout) []victimPlan {
+	plans := make([]victimPlan, l.workers)
+	for w := 0; w < l.workers; w++ {
+		p := &plans[w]
+		p.order = make([]int32, 0, l.workers-1)
+		tier := func(sameDomain bool, fast bool) {
+			for v := 0; v < l.workers; v++ {
+				if v == w {
+					continue
+				}
+				if (l.domain(v) == l.domain(w)) != sameDomain {
+					continue
+				}
+				if (v < l.fastN) != fast {
+					continue
+				}
+				p.order = append(p.order, int32(v))
+			}
+		}
+		tier(true, true)
+		p.seg[1] = int32(len(p.order))
+		tier(true, false)
+		p.seg[2] = int32(len(p.order))
+		tier(false, true)
+		p.seg[3] = int32(len(p.order))
+		tier(false, false)
+		p.seg[4] = int32(len(p.order))
+	}
+	return plans
 }
 
 // sideBuf is one worker's mutex-guarded submit buffer. n mirrors q.len()
@@ -239,19 +371,32 @@ type paddedRand struct {
 }
 
 func newStealScheduler(layout classLayout, window int, rec *flightrec.Recorder) *stealScheduler {
+	nd := layout.domainCount()
 	s := &stealScheduler{
-		deques: make([]*wsDeque, layout.workers),
-		rng:    make([]paddedRand, layout.workers),
-		fastN:  layout.fastN,
-		window: int64(window),
-		side:   make([]sideBuf, layout.workers),
-		rec:    rec,
+		deques:  make([]*wsDeque, layout.workers),
+		rng:     make([]paddedRand, layout.workers),
+		fastN:   layout.fastN,
+		nd:      nd,
+		domOf:   make([]int32, layout.workers),
+		members: make([][]int32, nd),
+		injs:    make([]domainInjector, nd),
+		parks:   make([]domainPark, nd),
+		traffic: make([]domainTraffic, nd),
+		victims: buildVictimPlans(layout),
+		window:  int64(window),
+		side:    make([]sideBuf, layout.workers),
+		rec:     rec,
 	}
 	for i := range s.deques {
 		s.deques[i] = newWSDeque()
 		s.rng[i].state = mix64(uint64(i) + 0x9e3779b97f4a7c15)
+		d := layout.domain(i)
+		s.domOf[i] = int32(d)
+		s.members[d] = append(s.members[d], int32(i))
 	}
-	s.parkCond = sync.NewCond(&s.parkMu)
+	for d := range s.parks {
+		s.parks[d].cond = sync.NewCond(&s.parks[d].mu)
+	}
 	return s
 }
 
@@ -270,15 +415,85 @@ func (s *stealScheduler) localRoom(workerHint int) int64 {
 
 func (s *stealScheduler) push(t *task, workerHint int) {
 	s.pending.Add(1)
+	s.wakeWorkers(1, s.route(t, workerHint))
+}
+
+// route places one ready task — same-worker deque while the locality
+// window has room, same-domain sibling submit buffer, domain injector —
+// and returns the domain it landed in, the wake scan's routing preference.
+func (s *stealScheduler) route(t *task, workerHint int) int {
 	if s.localRoom(workerHint) > 0 {
 		s.deques[workerHint].pushBottom(t)
-	} else {
-		s.injMu.Lock()
-		s.inj.push(t)
-		s.injLen.Add(1)
-		s.injMu.Unlock()
+		return int(s.domOf[workerHint])
 	}
-	s.wakeWorkers(1)
+	if workerHint >= 0 && workerHint < len(s.deques) {
+		d := int(s.domOf[workerHint])
+		if s.spillSibling(t, workerHint, d) {
+			return d
+		}
+		s.inject(t, d)
+		return d
+	}
+	return s.injectPlaced(t)
+}
+
+// spillSibling extends the locality window across the releasing worker's
+// memory domain: when the worker's own deque is past the window, the task
+// goes to a same-domain sibling's submit buffer (each bounded by the same
+// window) before falling through to the domain injector — the successor
+// stays inside the domain's shared cache even when its producer is
+// saturated. Single-domain pools skip this tier entirely (same-domain
+// means nothing there), preserving the flat window→injector behaviour.
+func (s *stealScheduler) spillSibling(t *task, workerHint, d int) bool {
+	if s.nd <= 1 || s.window <= 0 {
+		return false
+	}
+	for _, v := range s.members[d] {
+		if int(v) == workerHint {
+			continue
+		}
+		b := &s.side[v]
+		if b.n.Load() >= s.window {
+			continue
+		}
+		b.mu.Lock()
+		if int64(b.q.len()) >= s.window {
+			b.mu.Unlock()
+			continue
+		}
+		b.q.push(t)
+		b.mu.Unlock()
+		b.n.Add(1)
+		return true
+	}
+	return false
+}
+
+// inject pushes one task into domain d's injector.
+func (s *stealScheduler) inject(t *task, d int) {
+	inj := &s.injs[d]
+	inj.mu.Lock()
+	inj.q.push(t)
+	inj.mu.Unlock()
+	inj.n.Add(1)
+	s.traffic[d].injPush.Add(1)
+}
+
+// injectPlaced routes a hint-less task to an injector and returns the
+// domain: the domain whose caches plausibly hold the task's input data
+// when the task carries an affinity (the worker that executed its
+// predecessor), round-robin across domains otherwise.
+func (s *stealScheduler) injectPlaced(t *task) int {
+	d := 0
+	if s.nd > 1 {
+		if a := atomic.LoadInt32(&t.affinity); a >= 0 && int(a) < len(s.domOf) {
+			d = int(s.domOf[a])
+		} else {
+			d = int(s.rrDom.Add(1)-1) % s.nd
+		}
+	}
+	s.inject(t, d)
+	return d
 }
 
 // pushOwned implements ownedPusher: the completing worker keeps its single
@@ -319,7 +534,7 @@ func (s *stealScheduler) submitLocal(t *task, workerID int) bool {
 	b.mu.Unlock()
 	b.n.Add(1)
 	s.pending.Add(1)
-	s.wakeWorkers(1)
+	s.wakeWorkers(1, int(s.domOf[workerID]))
 	return true
 }
 
@@ -346,7 +561,7 @@ func (s *stealScheduler) submitLocalBatch(ts []*task, workerID int) int {
 	if take > 0 {
 		b.n.Add(int64(take))
 		s.pending.Add(int64(take))
-		s.wakeWorkers(take)
+		s.wakeWorkers(take, int(s.domOf[workerID]))
 	}
 	return take
 }
@@ -363,27 +578,32 @@ func (s *stealScheduler) drainSide(w int) {
 	b.mu.Unlock()
 }
 
-// stealSide takes one task from some other worker's submit buffer — the
+// stealSide takes one task from another worker's submit buffer — the
 // fallback that keeps buffered submissions reachable when their target
-// worker is blocked inside a long-running body.
+// worker is blocked inside a long-running body. Buffers are visited in
+// the thief's victim-plan order, so same-domain buffers (holding
+// domain-spilled successors) are relieved before cross-domain ones.
 func (s *stealScheduler) stealSide(w int) *task {
-	for i := range s.side {
-		if i == w {
-			continue
-		}
-		b := &s.side[i]
+	var out *task
+	s.forEachVictim(w, tierSameLo, tierCrossHi, func(v int) bool {
+		b := &s.side[v]
 		if b.n.Load() == 0 {
-			continue
+			return false
 		}
 		b.mu.Lock()
 		t := b.q.pop()
 		b.mu.Unlock()
-		if t != nil {
-			b.n.Add(-1)
-			return t
+		if t == nil {
+			return false
 		}
-	}
-	return nil
+		b.n.Add(-1)
+		if s.domOf[v] != s.domOf[w] {
+			s.traffic[s.domOf[w]].crossSteal.Add(1)
+		}
+		out = t
+		return true
+	})
+	return out
 }
 
 func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
@@ -391,10 +611,12 @@ func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
 		return
 	}
 	s.pending.Add(int64(len(ts)))
-	// Fill the hinted worker's deque up to the locality window, spill the
-	// rest to the injector so a wide fan still spreads across the pool
-	// without every other worker stealing it back one task at a time.
+	// Fill the hinted worker's deque up to the locality window, then walk
+	// outward: same-domain sibling buffers, then the injector — so a wide
+	// fan still spreads across the pool without every other worker
+	// stealing it back one task at a time, but spreads domain-first.
 	local := 0
+	dom := -1
 	if room := s.localRoom(workerHint); room > 0 {
 		local = len(ts)
 		if int64(local) > room {
@@ -404,109 +626,195 @@ func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
 		for _, t := range ts[:local] {
 			d.pushBottom(t)
 		}
+		dom = int(s.domOf[workerHint])
 	}
-	if rest := ts[local:]; len(rest) > 0 {
-		s.injMu.Lock()
-		for _, t := range rest {
-			s.inj.push(t)
+	rest := ts[local:]
+	if len(rest) > 0 && workerHint >= 0 && workerHint < len(s.deques) {
+		dom = int(s.domOf[workerHint])
+		for len(rest) > 0 && s.spillSibling(rest[0], workerHint, dom) {
+			rest = rest[1:]
 		}
-		s.injLen.Add(int64(len(rest)))
-		s.injMu.Unlock()
 	}
-	s.wakeWorkers(len(ts))
+	if len(rest) > 0 {
+		if dom < 0 {
+			dom = s.injectPlaced(rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) > 0 {
+			inj := &s.injs[dom]
+			inj.mu.Lock()
+			for _, t := range rest {
+				inj.q.push(t)
+			}
+			inj.mu.Unlock()
+			inj.n.Add(int64(len(rest)))
+			s.traffic[dom].injPush.Add(uint64(len(rest)))
+		}
+	}
+	s.wakeWorkers(len(ts), dom)
 }
 
-// wakeWorkers unparks up to n workers if any are parked. The parked check
-// is a lock-free fast path: with no one parked (the busy steady state) a
-// push touches no lock at all.
-func (s *stealScheduler) wakeWorkers(n int) {
+// wakeWorkers unparks up to n workers if any are parked, scanning the
+// per-domain parking lots preferred-domain first (pref < 0 starts at
+// domain 0) so the sleeper closest to the freshly-placed work wakes. The
+// global parked check is a lock-free fast path: with no one parked (the
+// busy steady state) a push touches no lock at all. The scan cannot miss
+// a committed sleeper: a parker's domain count is registered (seqcst)
+// before its pending re-check, so a pusher whose enqueue the parker did
+// not see always sees the parker's registration.
+func (s *stealScheduler) wakeWorkers(n, pref int) {
 	if s.parked.Load() == 0 {
 		return
 	}
-	s.parkMu.Lock()
-	if n == 1 {
-		s.parkCond.Signal()
-	} else {
-		s.parkCond.Broadcast()
+	if pref < 0 {
+		pref = 0
 	}
-	s.parkMu.Unlock()
+	rem := n
+	for i := 0; i < s.nd && rem > 0; i++ {
+		d := pref + i
+		if d >= s.nd {
+			d -= s.nd
+		}
+		dp := &s.parks[d]
+		pk := int(dp.n.Load())
+		if pk == 0 {
+			continue
+		}
+		dp.mu.Lock()
+		if rem == 1 {
+			dp.cond.Signal()
+		} else {
+			dp.cond.Broadcast()
+		}
+		dp.mu.Unlock()
+		if rem == 1 {
+			return
+		}
+		rem -= pk
+	}
 }
 
 // injectorGrab caps how much of the injector backlog one refill moves into
-// a worker's deque.
-const injectorGrab = 32
+// a worker's deque; crossGrab is the smaller cap used when raiding ANOTHER
+// domain's injector — cross-domain overflow relieves an overloaded domain
+// without bulk-migrating its backlog away from the caches it was aimed at.
+const (
+	injectorGrab = 32
+	crossGrab    = 8
+)
 
-// fromInjector refills worker w from the central injector: it returns one
-// task and moves a fair share of the backlog (n/workers, capped) onto w's
-// own deque, amortising the injector lock over the whole chunk.
-func (s *stealScheduler) fromInjector(w int) *task {
-	if s.injLen.Load() == 0 {
+// refill pulls from domain d's injector on behalf of worker w: it returns
+// one task and moves a fair share of the backlog (n/workers, capped) onto
+// w's own deque, amortising the injector lock over the whole chunk. cross
+// marks a raid on another domain's injector (smaller cap, counted as
+// cross-domain traffic for w's home domain).
+func (s *stealScheduler) refill(w, d int, cross bool) *task {
+	inj := &s.injs[d]
+	if inj.n.Load() == 0 {
 		return nil // lock-free fast path for the common empty case
 	}
-	s.injMu.Lock()
-	n := s.inj.len()
+	inj.mu.Lock()
+	n := inj.q.len()
 	if n == 0 {
-		s.injMu.Unlock()
+		inj.mu.Unlock()
 		return nil
 	}
 	grab := n/len(s.deques) + 1
-	if grab > injectorGrab {
-		grab = injectorGrab
+	cap := injectorGrab
+	if cross {
+		cap = crossGrab
+	}
+	if grab > cap {
+		grab = cap
 	}
 	if grab > n {
 		grab = n // single-worker pools: n/1+1 would overshoot the ring
 	}
-	t := s.inj.pop()
-	d := s.deques[w]
+	t := inj.q.pop()
+	dq := s.deques[w]
 	for i := 1; i < grab; i++ {
-		d.pushBottom(s.inj.pop())
+		dq.pushBottom(inj.q.pop())
 	}
-	s.injLen.Add(int64(-grab))
-	s.injMu.Unlock()
+	inj.n.Add(int64(-grab))
+	inj.mu.Unlock()
+	if cross {
+		s.traffic[s.domOf[w]].crossRefill.Add(uint64(grab))
+	}
 	return t
 }
 
-// stealSweep tries every victim once, fast-class deques first: fast
-// workers prefer keeping critical work inside their own class, and slow
-// workers relieving a fast worker's backlog help the critical path drain —
-// the released successors of a critical task live on the fast worker's
-// deque, and stealing its oldest (least critical) entries keeps the fast
-// worker's LIFO end free for the path itself. Each range is swept from a
-// random offset. The second result reports whether any CAS lost a race
-// (so the caller must not park on this evidence alone).
-func (s *stealScheduler) stealSweep(w int) (*task, bool) {
-	t, c1 := s.sweepRange(w, 0, s.fastN)
-	if t != nil {
-		return t, false
+// crossInjectors raids the other domains' injectors (cross-domain
+// overflow), starting at a random domain so raids spread.
+func (s *stealScheduler) crossInjectors(w int) *task {
+	if s.nd <= 1 {
+		return nil
 	}
-	t, c2 := s.sweepRange(w, s.fastN, len(s.deques))
-	return t, c1 || c2
-}
-
-// sweepRange tries every victim in [lo, hi) once, starting at a random
-// offset within the range and skipping w itself.
-func (s *stealScheduler) sweepRange(w, lo, hi int) (*task, bool) {
-	n := hi - lo
-	if n <= 0 {
-		return nil, false
-	}
-	contended := false
-	off := lo + int(s.nextRand(w)%uint64(n))
-	for i := 0; i < n; i++ {
-		v := off + i
-		if v >= hi {
-			v -= n
+	own := int(s.domOf[w])
+	off := int(s.nextRand(w) % uint64(s.nd))
+	for i := 0; i < s.nd; i++ {
+		d := off + i
+		if d >= s.nd {
+			d -= s.nd
 		}
-		if v == w {
+		if d == own {
 			continue
 		}
-		t, retry := s.deques[v].stealTop()
-		if t != nil {
-			return t, false
+		if t := s.refill(w, d, true); t != nil {
+			return t
 		}
-		contended = contended || retry
 	}
-	return nil, contended
+	return nil
+}
+
+// forEachVictim visits worker w's victims in plan order for the tier range
+// [loTier, hiTier): tier-major, each tier rotated by a fresh random offset
+// so concurrent thieves don't convoy on one victim. visit returns true to
+// stop the walk. Within the range every victim is visited exactly once and
+// w itself never is — the property the sweep test checks.
+func (s *stealScheduler) forEachVictim(w, loTier, hiTier int, visit func(v int) bool) {
+	p := &s.victims[w]
+	for tier := loTier; tier < hiTier; tier++ {
+		lo, hi := int(p.seg[tier]), int(p.seg[tier+1])
+		n := hi - lo
+		if n == 0 {
+			continue
+		}
+		off := int(s.nextRand(w) % uint64(n))
+		for i := 0; i < n; i++ {
+			j := lo + off + i
+			if j >= hi {
+				j -= n
+			}
+			if visit(int(p.order[j])) {
+				return
+			}
+		}
+	}
+}
+
+// sweepTiers tries every victim deque in the tier range once — same-domain
+// tiers keep a steal inside the shared cache, cross-domain tiers are the
+// last resort; fast-class deques lead each tier because the released
+// successors of critical tasks live there and stealing their oldest (least
+// critical) entries keeps the fast LIFO end free for the path itself. The
+// second result reports whether any CAS lost a race (so the caller must
+// not park on this evidence alone).
+func (s *stealScheduler) sweepTiers(w, loTier, hiTier int) (*task, bool) {
+	var out *task
+	contended := false
+	s.forEachVictim(w, loTier, hiTier, func(v int) bool {
+		t, retry := s.deques[v].stealTop()
+		contended = contended || retry
+		if t == nil {
+			return false
+		}
+		if s.domOf[v] != s.domOf[w] {
+			s.traffic[s.domOf[w]].crossSteal.Add(1)
+		}
+		out = t
+		return true
+	})
+	return out, contended
 }
 
 // nextRand advances worker w's xorshift64 state.
@@ -520,6 +828,7 @@ func (s *stealScheduler) nextRand(w int) uint64 {
 }
 
 func (s *stealScheduler) pop(workerID int) (*task, bool) {
+	ownDom := int(s.domOf[workerID])
 	for {
 		// Claim the hinted submissions aimed at this worker first — they
 		// were routed here for this worker's cache (one lock-free check in
@@ -531,15 +840,28 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 			s.pending.Add(-1)
 			return t, false
 		}
-		if t := s.fromInjector(workerID); t != nil {
+		// The hierarchy walk outward: own domain's injector, same-domain
+		// deques, other domains' injectors (overflow), cross-domain deques,
+		// and finally anybody's submit buffer.
+		if t := s.refill(workerID, ownDom, false); t != nil {
 			s.pending.Add(-1)
 			return t, false
 		}
-		t, contended := s.stealSweep(workerID)
+		t, contended := s.sweepTiers(workerID, tierSameLo, tierSameHi)
 		if t != nil {
 			s.pending.Add(-1)
 			return t, true
 		}
+		if t := s.crossInjectors(workerID); t != nil {
+			s.pending.Add(-1)
+			return t, false
+		}
+		t, c2 := s.sweepTiers(workerID, tierSameHi, tierCrossHi)
+		if t != nil {
+			s.pending.Add(-1)
+			return t, true
+		}
+		contended = contended || c2
 		if t := s.stealSide(workerID); t != nil {
 			s.pending.Add(-1)
 			return t, true
@@ -551,15 +873,16 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 			stdruntime.Gosched()
 			continue
 		}
-		// Nothing anywhere. Park — unless a task was published since the
-		// sweep (the pending re-check under the lock closes the race with
-		// a concurrent push, whose pending increment precedes its parked
-		// check in seqcst order).
-		s.parkMu.Lock()
+		// Nothing anywhere. Park on the home domain's lot — unless a task
+		// was published since the sweep (the pending re-check under the
+		// lock closes the race with a concurrent push, whose pending
+		// increment precedes its parked check in seqcst order).
+		dp := &s.parks[ownDom]
+		dp.mu.Lock()
 		woken := false
 		slept := false
 		for {
-			if s.woken {
+			if s.woken.Load() {
 				woken = true
 				break
 			}
@@ -567,23 +890,28 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 			// pending.Add then parked.Load, so with this order one side
 			// always sees the other (seqcst). Checking pending first would
 			// let a push slip between the check and the registration with
-			// parked still 0 — a lost wakeup.
+			// parked still 0 — a lost wakeup. The domain count follows the
+			// global one for the same reason: by the time the pusher's wake
+			// scan reads dp.n this sleeper is registered in it.
 			s.parked.Add(1)
+			dp.n.Add(1)
 			if s.pending.Load() > 0 {
+				dp.n.Add(-1)
 				s.parked.Add(-1)
 				break
 			}
 			if s.rec != nil {
 				s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
 			}
-			s.parkCond.Wait()
+			dp.cond.Wait()
+			dp.n.Add(-1)
 			s.parked.Add(-1)
 			slept = true
 			if s.rec != nil {
 				s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
 			}
 		}
-		s.parkMu.Unlock()
+		dp.mu.Unlock()
 		if woken {
 			return nil, false
 		}
@@ -596,10 +924,23 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 }
 
 func (s *stealScheduler) wake() {
-	s.parkMu.Lock()
-	s.woken = true
-	s.parkMu.Unlock()
-	s.parkCond.Broadcast()
+	s.woken.Store(true)
+	for d := range s.parks {
+		dp := &s.parks[d]
+		dp.mu.Lock()
+		dp.cond.Broadcast()
+		dp.mu.Unlock()
+	}
+}
+
+// domainStatsInto implements domainStatsSource: the scheduler's share of
+// Stats.PerDomain — injector and cross-domain traffic.
+func (s *stealScheduler) domainStatsInto(ds []DomainStats) {
+	for d := 0; d < s.nd && d < len(ds); d++ {
+		ds[d].InjectorPushes = s.traffic[d].injPush.Load()
+		ds[d].CrossRefills = s.traffic[d].crossRefill.Load()
+		ds[d].CrossSteals = s.traffic[d].crossSteal.Load()
+	}
 }
 
 // catsScheduler is a central priority queue ordered by the tasks' dynamic
@@ -655,9 +996,24 @@ type catsScheduler struct {
 	// is the saturation signal that lets slow workers take critical work.
 	lastCrit        []bool
 	fastCritRunning int
-	woken           bool
-	rec             *flightrec.Recorder
+	// nd / domOf mirror the memory-domain topology (see classLayout): with
+	// nd > 1 a pop may prefer a near-priority entry whose data affinity
+	// (the domain that executed its predecessor) matches the popping
+	// worker's domain — criticality weighed against "the data is hot two
+	// domains away", bounded by catsAffinitySlack.
+	nd    int
+	domOf []int32
+	woken bool
+	rec   *flightrec.Recorder
 }
+
+// catsAffinitySlack bounds how much snapshot priority CATS will trade for
+// domain affinity: the heap's runner-up is dispatched ahead of the top
+// entry only when its data is hot in the popping worker's domain, the
+// top's is not, and the priority gap is at most this much. Critical-path
+// order is never inverted by more than the slack, so the paper's
+// criticality rule stays authoritative.
+const catsAffinitySlack = 1
 
 // catsEntry is one heap element: a task plus snapshots of its priority,
 // sequence number, and claim word at insertion. task.priority may have
@@ -675,12 +1031,53 @@ type catsEntry struct {
 	prio  int64
 	seq   int64
 	claim uint64
+	// aff snapshots the task's data affinity at insertion: the worker that
+	// executed its latest-finishing predecessor (-1 = none). Snapshotted
+	// for the same pooling reason as seq — a stale entry must not read a
+	// recycled record.
+	aff int32
 }
 
 func newCATSScheduler(layout classLayout, rec *flightrec.Recorder) *catsScheduler {
-	s := &catsScheduler{fastN: layout.fastN, lastCrit: make([]bool, layout.fastN), rec: rec}
+	s := &catsScheduler{
+		fastN:    layout.fastN,
+		lastCrit: make([]bool, layout.fastN),
+		nd:       layout.domainCount(),
+		domOf:    layout.domainOf,
+		rec:      rec,
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// entryDomain maps an entry's affinity snapshot to a domain (-1 = none).
+func (s *catsScheduler) entryDomain(e catsEntry) int {
+	if e.aff < 0 || int(e.aff) >= len(s.domOf) {
+		return -1
+	}
+	return int(s.domOf[e.aff])
+}
+
+// popFor pops the entry heap h offers worker w, applying the bounded
+// domain-affinity preference: when the top entry's data is cold for w but
+// the runner-up's is hot in w's domain and the priority gap is within
+// catsAffinitySlack, the runner-up goes first and the top waits one pop.
+// Single-domain pools always take the top. Caller holds s.mu.
+func (s *catsScheduler) popFor(h *catsHeap, w int) catsEntry {
+	e := h.pop()
+	if s.nd <= 1 || len(*h) == 0 || len(s.domOf) == 0 {
+		return e
+	}
+	wd := int(s.domOf[w])
+	if s.entryDomain(e) == wd {
+		return e
+	}
+	if n := (*h)[0]; s.entryDomain(n) == wd && e.prio-n.prio <= catsAffinitySlack {
+		n = h.pop()
+		h.push(e)
+		return n
+	}
+	return e
 }
 
 // before reports heap order: higher snapshot priority first, then earlier
@@ -745,6 +1142,7 @@ func (s *catsScheduler) insert(t *task) {
 		prio:  atomic.LoadInt64(&t.priority),
 		seq:   atomic.LoadInt64(&t.seq),
 		claim: atomic.LoadUint64(&t.readyClaim),
+		aff:   atomic.LoadInt32(&t.affinity),
 	}
 	if e.prio > 0 {
 		s.crit.push(e)
@@ -795,10 +1193,10 @@ func (s *catsScheduler) take(workerID int) (e catsEntry, fromCrit, ok bool) {
 		// Fast class: most critical work first, help with plain when the
 		// critical heap is dry.
 		if len(s.crit) > 0 {
-			return s.crit.pop(), true, true
+			return s.popFor(&s.crit, workerID), true, true
 		}
 		if len(s.plain) > 0 {
-			return s.plain.pop(), false, true
+			return s.popFor(&s.plain, workerID), false, true
 		}
 		return catsEntry{}, false, false
 	}
@@ -807,10 +1205,10 @@ func (s *catsScheduler) take(workerID int) (e catsEntry, fromCrit, ok bool) {
 	// worker than a saturated fast class, but never while a fast worker
 	// is idle or about to come back for it.
 	if len(s.plain) > 0 {
-		return s.plain.pop(), false, true
+		return s.popFor(&s.plain, workerID), false, true
 	}
 	if len(s.crit) > 0 && s.fastCritRunning == s.fastN {
-		return s.crit.pop(), true, true
+		return s.popFor(&s.crit, workerID), true, true
 	}
 	return catsEntry{}, false, false
 }

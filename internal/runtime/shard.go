@@ -24,6 +24,13 @@ type depShard struct {
 	// task records pooled, a referenced record may have been recycled for
 	// an unrelated task by the time a later registration consults it, and
 	// the generation check (linkPreds) filters those dead entries out.
+	// These references are also the per-shard key→domain affinity map:
+	// each referenced record carries the worker (and hence domain) that
+	// executed it (task.exec), so a registration consulting a key's last
+	// writer learns where that key's data is hot — linkPreds turns that
+	// into the task's affinity, which CATS weighs against criticality and
+	// the steal scheduler's injector placement routes by. No second
+	// structure is needed: the renamer state already indexes by key.
 	lastWriter  map[any]taskRef
 	readersTail map[any][]taskRef
 	// tasks is this shard's slab of the task log (tasks whose log shard is

@@ -10,8 +10,8 @@ import (
 
 // Spec configures the throughput experiment through the raa registry.
 type Spec struct {
-	// Scenarios: parallel, fanout, chain, random, steal, longrun, hetero;
-	// empty = all.
+	// Scenarios: parallel, fanout, chain, random, steal, longrun, hetero,
+	// locality, topology; empty = all.
 	Scenarios []string `json:"scenarios,omitempty"`
 	// Schedulers: worksteal, fifo, cats; empty = all.
 	Schedulers []string `json:"schedulers,omitempty"`
@@ -40,9 +40,15 @@ type Spec struct {
 	// Windows is the locality scenario's locality-window sweep (0 =
 	// runtime default, negative = locality off; empty = [-1, 0]).
 	Windows []int `json:"windows,omitempty"`
-	// PayloadKB is the locality scenario's per-chain payload size in KiB
-	// (0 = 32).
+	// PayloadKB is the locality and topology scenarios' per-chain payload
+	// size in KiB (0 = 32).
 	PayloadKB int `json:"payload_kb,omitempty"`
+	// Domains is the topology scenario's memory-domain count for the
+	// domain-aware variant (0 = 2).
+	Domains int `json:"domains,omitempty"`
+	// PairRounds is the locality and topology scenarios' paired-round
+	// count (0 = 3); speedups are medians of per-round paired ratios.
+	PairRounds int `json:"pair_rounds,omitempty"`
 	// Seed makes the random dependence streams reproducible.
 	Seed int64 `json:"seed"`
 }
@@ -109,6 +115,8 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 		SlowFactor:  s.SlowFactor,
 		Windows:     s.Windows,
 		PayloadKB:   s.PayloadKB,
+		Domains:     s.Domains,
+		PairRounds:  s.PairRounds,
 		Seed:        s.Seed,
 	})
 	if err != nil {
@@ -127,6 +135,11 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 			// into the key so on/off cells don't collide.
 			key += fmt.Sprintf("_win%d", p.Window)
 		}
+		if p.Scenario == ScenarioTopology {
+			// The domain count is the topology scenario's axis: dom1 is the
+			// flat baseline, dom<N> the domain-aware variant.
+			key += fmt.Sprintf("_dom%d", p.Domains)
+		}
 		res.Metrics[key+"_tasks_per_sec"] = p.TasksPerSec
 		// Executed is deterministic: it must always equal the task count,
 		// whatever the sharding and batching did.
@@ -136,8 +149,19 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 			// ran on the fast worker class.
 			res.Metrics[key+"_crit_on_fast"] = p.CritOnFast
 		}
-		if p.Scenario == ScenarioLocality {
+		if p.Scenario == ScenarioLocality || p.Scenario == ScenarioTopology {
 			res.Metrics[key+"_ns_per_task"] = p.NsPerTask
+			if p.Speedup > 0 {
+				// The drift-cancelled verdict: median of per-round paired
+				// ratios over this cell's baseline arm.
+				res.Metrics[key+"_speedup"] = p.Speedup
+			}
+		}
+		if p.Scenario == ScenarioTopology {
+			// Cross-domain traffic is the topology scenario's first-class
+			// metric: the fraction of pool-released dispatches that crossed
+			// a memory-domain boundary.
+			res.Metrics[key+"_cross_domain_frac"] = p.CrossDomainFrac
 		}
 	}
 	for _, n := range summarize(pts) {
@@ -157,19 +181,19 @@ func Table(pts []Point) *stats.Table {
 			shardCols = append(shardCols, p.Shards)
 		}
 	}
-	headers := []string{"scenario", "scheduler", "mode", "window"}
+	headers := []string{"scenario", "scheduler", "mode", "variant"}
 	for _, s := range shardCols {
 		headers = append(headers, fmt.Sprintf("%d-shard", s))
 	}
 	t := stats.NewTable("Submit throughput (Ktasks/s)", headers...)
 	type rowKey struct {
 		scenario, sched, mode string
-		window                int
+		window, domains       int
 	}
 	cells := map[rowKey]map[int]float64{}
 	var order []rowKey
 	for _, p := range pts {
-		k := rowKey{p.Scenario, p.Scheduler, p.Mode, p.Window}
+		k := rowKey{p.Scenario, p.Scheduler, p.Mode, p.Window, p.Domains}
 		if cells[k] == nil {
 			cells[k] = map[int]float64{}
 			order = append(order, k)
@@ -177,7 +201,7 @@ func Table(pts []Point) *stats.Table {
 		cells[k][p.Shards] = p.TasksPerSec
 	}
 	for _, k := range order {
-		row := []string{k.scenario, k.sched, k.mode, windowLabel(k.scenario, k.window)}
+		row := []string{k.scenario, k.sched, k.mode, variantLabel(k.scenario, k.window, k.domains)}
 		for _, s := range shardCols {
 			if v, ok := cells[k][s]; ok {
 				row = append(row, fmt.Sprintf("%.0f", v/1e3))
@@ -190,20 +214,29 @@ func Table(pts []Point) *stats.Table {
 	return t
 }
 
-// windowLabel renders the locality-window axis of a table row: only the
-// locality scenario sweeps it, "def" is the runtime default, "off" the
-// disabled (central-injector) baseline.
-func windowLabel(scenario string, window int) string {
-	if scenario != ScenarioLocality {
-		return "-"
-	}
-	switch {
-	case window < 0:
-		return "off"
-	case window == 0:
-		return "def"
+// variantLabel renders a table row's paired-measurement axis: the locality
+// scenario sweeps the window ("def" is the runtime default, "off" the
+// disabled central-injector baseline), the topology scenario the domain
+// count ("flat" is the single-domain baseline); other scenarios have no
+// variant axis.
+func variantLabel(scenario string, window, domains int) string {
+	switch scenario {
+	case ScenarioLocality:
+		switch {
+		case window < 0:
+			return "off"
+		case window == 0:
+			return "def"
+		default:
+			return fmt.Sprintf("win%d", window)
+		}
+	case ScenarioTopology:
+		if domains <= 1 {
+			return "flat"
+		}
+		return fmt.Sprintf("%ddom", domains)
 	default:
-		return fmt.Sprintf("%d", window)
+		return "-"
 	}
 }
 
@@ -212,25 +245,25 @@ func windowLabel(scenario string, window int) string {
 // per-task submission, at matched configurations.
 func summarize(pts []Point) []string {
 	type cfg struct {
-		scenario, sched, mode string
-		shards, window        int
+		scenario, sched, mode   string
+		shards, window, domains int
 	}
 	rate := map[cfg]float64{}
 	for _, p := range pts {
-		rate[cfg{p.Scenario, p.Scheduler, p.Mode, p.Shards, p.Window}] = p.TasksPerSec
+		rate[cfg{p.Scenario, p.Scheduler, p.Mode, p.Shards, p.Window, p.Domains}] = p.TasksPerSec
 	}
 	shardGain := map[string]float64{}
 	batchGain := map[string]float64{}
 	for c, v := range rate {
 		if c.shards > 1 {
-			if base := rate[cfg{c.scenario, c.sched, c.mode, 1, c.window}]; base > 0 {
+			if base := rate[cfg{c.scenario, c.sched, c.mode, 1, c.window, c.domains}]; base > 0 {
 				if g := v / base; g > shardGain[c.scenario] {
 					shardGain[c.scenario] = g
 				}
 			}
 		}
 		if c.mode == "batch" {
-			if base := rate[cfg{c.scenario, c.sched, "single", c.shards, c.window}]; base > 0 {
+			if base := rate[cfg{c.scenario, c.sched, "single", c.shards, c.window, c.domains}]; base > 0 {
 				if g := v / base; g > batchGain[c.scenario] {
 					batchGain[c.scenario] = g
 				}
@@ -247,49 +280,45 @@ func summarize(pts []Point) []string {
 		}
 	}
 	notes = append(notes, localityNotes(pts)...)
+	notes = append(notes, topologyNotes(pts)...)
 	notes = append(notes, heteroNotes(pts)...)
 	return notes
 }
 
-// localityNotes summarises the locality scenario: per scheduler, the best
-// locality-on speedup over the locality-off baseline at a matched
-// (shards, mode) configuration, with the corresponding ns/task pair.
+// localityNotes summarises the locality scenario: the best locality-on
+// cell's drift-cancelled speedup (the median of per-round paired ratios —
+// Point.Speedup) over its locality-off baseline, with the ns/task view.
 func localityNotes(pts []Point) []string {
-	type cell struct {
-		sched, mode string
-		shards      int
-	}
-	on := map[cell]Point{}
-	off := map[cell]Point{}
+	var best Point
 	for _, p := range pts {
-		if p.Scenario != ScenarioLocality {
-			continue
-		}
-		c := cell{p.Scheduler, p.Mode, p.Shards}
-		if p.Window < 0 {
-			off[c] = p
-		} else if prev, ok := on[c]; !ok || p.TasksPerSec > prev.TasksPerSec {
-			on[c] = p
+		if p.Scenario == ScenarioLocality && p.Speedup > best.Speedup {
+			best = p
 		}
 	}
-	var notes []string
-	var best float64
-	var bestOn, bestOff Point
-	for c, p := range on {
-		base, ok := off[c]
-		if !ok || base.TasksPerSec <= 0 {
-			continue
-		}
-		if g := p.TasksPerSec / base.TasksPerSec; g > best {
-			best, bestOn, bestOff = g, p, base
+	if best.Speedup <= 0 {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"locality: worker-local successor placement %.2fx over the injector baseline (median of paired rounds; %s/%s, %.0f ns/task)",
+		best.Speedup, best.Scheduler, best.Mode, best.NsPerTask)}
+}
+
+// topologyNotes summarises the topology scenario: the best domain-aware
+// cell's drift-cancelled speedup over the flat single-domain baseline,
+// plus how much of its traffic stayed inside a domain.
+func topologyNotes(pts []Point) []string {
+	var best Point
+	for _, p := range pts {
+		if p.Scenario == ScenarioTopology && p.Domains > 1 && p.Speedup > best.Speedup {
+			best = p
 		}
 	}
-	if best > 0 {
-		notes = append(notes, fmt.Sprintf(
-			"locality: worker-local successor placement %.2fx over the injector baseline (%s/%s, %.0f vs %.0f ns/task)",
-			best, bestOn.Scheduler, bestOn.Mode, bestOn.NsPerTask, bestOff.NsPerTask))
+	if best.Speedup <= 0 {
+		return nil
 	}
-	return notes
+	return []string{fmt.Sprintf(
+		"topology: %d-domain hierarchy-aware placement %.2fx over the flat baseline (median of paired rounds; %s/%s, %.1f%% of dispatches crossed a domain)",
+		best.Domains, best.Speedup, best.Scheduler, best.Mode, best.CrossDomainFrac*100)}
 }
 
 // heteroNotes summarises the hetero scenario's placement story: per

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,9 +71,21 @@ const (
 	// the payload out of the producer's still-warm cache; with the window
 	// disabled every release detours through the shared injector and the
 	// payload bounces between workers. The scenario is swept over the
-	// locality-window axis (Config.Windows, default off-vs-default) so the
-	// cells are directly the locality-on vs locality-off comparison.
+	// locality-window axis (Config.Windows, default off-vs-default), and
+	// the on/off cells are measured as drift-cancelling paired rounds
+	// (Point.Speedup is the median of per-round ratios) rather than two
+	// back-to-back runs, so machine drift between cells cancels out.
 	ScenarioLocality = "locality"
+	// ScenarioTopology is the memory-hierarchy placement workload: the
+	// locality chain shape run on a pool split into Config.Domains memory
+	// domains (WithTopology) versus the same pool flattened into a single
+	// domain (the domain-blind baseline). The domain-aware variant routes
+	// successor spill, steals, and injection domain-first; the paired
+	// measurement reports its speedup over the flat baseline and the
+	// fraction of its dispatches that crossed a domain boundary
+	// (Point.CrossDomainFrac) — cross-domain traffic is the first-class
+	// metric, not just the rate.
+	ScenarioTopology = "topology"
 )
 
 // stealFan is the children-per-root fan-out of ScenarioSteal.
@@ -101,14 +114,27 @@ const (
 	defaultHeteroGrain = 256
 )
 
-// defaultPayloadKB is ScenarioLocality's per-chain payload size when
-// Config.PayloadKB is unset: 32 KiB, the canonical L1d size, so a link
-// that runs on its producer's core finds the whole payload resident.
+// defaultPayloadKB is ScenarioLocality's and ScenarioTopology's per-chain
+// payload size when Config.PayloadKB is unset: 32 KiB, the canonical L1d
+// size, so a link that runs on its producer's core finds the whole payload
+// resident.
 const defaultPayloadKB = 32
+
+// Paired-measurement defaults (ScenarioLocality and ScenarioTopology).
+const (
+	// defaultPairRounds is the paired-round count when Config.PairRounds is
+	// unset: each round runs every variant twice in palindrome order, and
+	// the reported speedup is the median of the per-round ratios — three
+	// rounds is the smallest count with a non-trivial median.
+	defaultPairRounds = 3
+	// defaultTopologyDomains is ScenarioTopology's domain count when
+	// Config.Domains is unset.
+	defaultTopologyDomains = 2
+)
 
 // Scenarios lists every scenario in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero, ScenarioLocality}
+	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero, ScenarioLocality, ScenarioTopology}
 }
 
 // Config parameterises a sweep.
@@ -150,9 +176,17 @@ type Config struct {
 	// baseline). Empty defaults to [-1, 0] — locality off vs on. Other
 	// scenarios always run at the runtime default.
 	Windows []int
-	// PayloadKB is ScenarioLocality's per-chain payload size in KiB
-	// (0 = 32, one L1d worth).
+	// PayloadKB is ScenarioLocality's and ScenarioTopology's per-chain
+	// payload size in KiB (0 = 32, one L1d worth).
 	PayloadKB int
+	// Domains is ScenarioTopology's memory-domain count for the
+	// domain-aware variant (0 = 2); clamped to [1, Workers].
+	Domains int
+	// PairRounds is the paired-round count of the locality and topology
+	// scenarios' drift-cancelling measurement (0 = 3). Each round runs
+	// every variant twice, in palindrome order, and the reported speedup
+	// is the median of the per-round baseline/variant ratios.
+	PairRounds int
 	// Seed makes the random-DAG dependence streams reproducible.
 	Seed int64
 }
@@ -181,6 +215,18 @@ type Point struct {
 	// Window is the locality window this cell ran under (ScenarioLocality
 	// only): 0 is the runtime default, negative is locality disabled.
 	Window int
+	// Domains is the memory-domain count this cell ran under
+	// (ScenarioTopology only): 1 is the flat domain-blind baseline.
+	Domains int
+	// Speedup is the drift-cancelled speedup of this cell over its paired
+	// baseline (locality-off, or the single-domain topology), reported as
+	// the median of per-round ratios. 0 on baseline cells and on scenarios
+	// that are not measured in paired rounds.
+	Speedup float64
+	// CrossDomainFrac is the fraction of this cell's pool-released
+	// dispatches that crossed a memory-domain boundary (ScenarioTopology
+	// only; 0 by definition on the single-domain baseline).
+	CrossDomainFrac float64
 	// NsPerTask is the headline latency view of the rate: Elapsed/Tasks in
 	// nanoseconds.
 	NsPerTask float64
@@ -241,25 +287,26 @@ func Run(ctx context.Context, cfg Config) ([]Point, error) {
 			}
 			for _, shards := range cfg.Shards {
 				for _, mode := range modes {
-					// Only the locality scenario sweeps the window axis;
-					// everything else runs at the runtime default.
-					wins := []int{0}
-					if scenario == ScenarioLocality {
-						wins = cfg.Windows
-						if len(wins) == 0 {
-							wins = []int{-1, 0} // locality off vs on
-						}
+					if err := ctx.Err(); err != nil {
+						return nil, err
 					}
-					for _, win := range wins {
-						if err := ctx.Err(); err != nil {
-							return nil, err
-						}
-						p, err := runOne(ctx, scenario, kind, shards, mode, win, cfg, &st)
+					// The locality and topology scenarios compare variants
+					// (window off/on, flat/domain-aware) and are measured as
+					// drift-cancelling paired rounds producing one Point per
+					// variant; every other scenario is a single run.
+					if scenario == ScenarioLocality || scenario == ScenarioTopology {
+						ps, err := runPaired(ctx, scenario, kind, shards, mode, cfg, &st)
 						if err != nil {
 							return nil, err
 						}
-						out = append(out, p)
+						out = append(out, ps...)
+						continue
 					}
+					p, err := runOne(ctx, scenario, kind, shards, mode, cfg, &st)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, p)
 				}
 			}
 		}
@@ -276,16 +323,13 @@ func validScenario(name string) error {
 	return fmt.Errorf("throughput: unknown scenario %q (valid: %v)", name, Scenarios())
 }
 
-// runOne measures one (scenario, scheduler, shards, mode, window) cell.
-func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, shards int, mode string, window int, cfg Config, st *runtime.Stats) (Point, error) {
+// runOne measures one (scenario, scheduler, shards, mode) cell.
+func runOne(ctx context.Context, scenario string, kind runtime.SchedulerKind, shards int, mode string, cfg Config, st *runtime.Stats) (Point, error) {
 	if scenario == ScenarioLongRun {
 		return runLongRun(ctx, kind, shards, mode, cfg, st)
 	}
 	if scenario == ScenarioHetero {
 		return runHetero(ctx, kind, shards, mode, cfg, st)
-	}
-	if scenario == ScenarioLocality {
-		return runLocality(ctx, kind, shards, mode, window, cfg, st)
 	}
 	rt := runtime.New(
 		runtime.WithWorkers(cfg.Workers),
@@ -532,15 +576,116 @@ func runHetero(ctx context.Context, kind runtime.SchedulerKind, shards int, mode
 	return p, nil
 }
 
-// runLocality measures the ScenarioLocality cell: cfg.Workers independent
-// producer→consumer chains, each link re-touching its chain's cache-sized
-// payload, run under the given locality window (0 = runtime default,
-// negative = locality disabled). With locality on, a completing link's
-// successor lands on the completing worker's own deque and consumes the
-// payload out of that worker's warm cache; with it off every hand-off
-// detours through the shared injector — the measured gap is the price of
-// ignoring producer→consumer affinity the runtime knows about.
-func runLocality(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, window int, cfg Config, st *runtime.Stats) (Point, error) {
+// pairedVariant is one arm of a drift-cancelling paired measurement: the
+// runtime options the arm runs under, plus the axis identity (locality
+// window or domain count) of the Point it produces. Exactly one variant of
+// a set is the baseline the others' speedups are taken against.
+type pairedVariant struct {
+	window   int
+	domains  int
+	baseline bool
+	opts     []runtime.Option
+}
+
+// localityVariants builds ScenarioLocality's measurement arms: one per
+// configured locality window (default off-vs-on). The baseline is the
+// first locality-off (negative) window, or the first window when none is
+// disabled.
+func localityVariants(kind runtime.SchedulerKind, shards int, cfg Config) []pairedVariant {
+	wins := cfg.Windows
+	if len(wins) == 0 {
+		wins = []int{-1, 0} // locality off vs on
+	}
+	vs := make([]pairedVariant, 0, len(wins))
+	for _, w := range wins {
+		opts := []runtime.Option{
+			runtime.WithWorkers(cfg.Workers),
+			runtime.WithScheduler(kind),
+			runtime.WithShards(shards),
+		}
+		if w != 0 {
+			opts = append(opts, runtime.WithLocalityWindow(w))
+		}
+		vs = append(vs, pairedVariant{window: w, opts: opts})
+	}
+	base := 0
+	for i := range vs {
+		if vs[i].window < 0 {
+			base = i
+			break
+		}
+	}
+	vs[base].baseline = true
+	return vs
+}
+
+// topologyVariants builds ScenarioTopology's measurement arms: the pool
+// flattened into a single memory domain (the domain-blind baseline, in
+// which every domain-aware path collapses to the flat behaviour) versus
+// the same pool split evenly into cfg.Domains domains.
+func topologyVariants(kind runtime.SchedulerKind, shards int, cfg Config) []pairedVariant {
+	nd := cfg.Domains
+	if nd <= 0 {
+		nd = defaultTopologyDomains
+	}
+	if nd > cfg.Workers {
+		nd = cfg.Workers
+	}
+	doms := make([]runtime.Domain, nd)
+	base, extra := cfg.Workers/nd, cfg.Workers%nd
+	for i := range doms {
+		doms[i].Count = base
+		if i < extra {
+			doms[i].Count++
+		}
+	}
+	common := func(topo ...runtime.Domain) []runtime.Option {
+		return []runtime.Option{
+			runtime.WithWorkers(cfg.Workers),
+			runtime.WithScheduler(kind),
+			runtime.WithShards(shards),
+			runtime.WithTopology(topo...),
+		}
+	}
+	return []pairedVariant{
+		{domains: 1, baseline: true, opts: common(runtime.Domain{Name: "flat", Count: cfg.Workers})},
+		{domains: nd, opts: common(doms...)},
+	}
+}
+
+// runPaired measures ScenarioLocality's or ScenarioTopology's variants as
+// drift-cancelling paired rounds over one (scheduler, shards, mode) cell.
+// Each round runs every variant twice — forward then reverse, a palindrome
+// — on a fresh runtime per leg, so slow machine drift hits all variants
+// symmetrically and cancels in the per-round ratio; the reported Speedup
+// is the median of the per-round baseline/variant elapsed ratios, robust
+// to the occasional disturbed round that made single-pair measurements
+// swing run to run. Points carry the per-variant totals (all legs summed).
+func runPaired(ctx context.Context, scenario string, kind runtime.SchedulerKind, shards int, mode string, cfg Config, st *runtime.Stats) ([]Point, error) {
+	var variants []pairedVariant
+	if scenario == ScenarioTopology {
+		variants = topologyVariants(kind, shards, cfg)
+	} else {
+		variants = localityVariants(kind, shards, cfg)
+	}
+	baseIdx := 0
+	for i := range variants {
+		if variants[i].baseline {
+			baseIdx = i
+		}
+	}
+	rounds := cfg.PairRounds
+	if rounds <= 0 {
+		rounds = defaultPairRounds
+	}
+	// Never spread the workload thinner than one task per leg: tiny task
+	// counts shrink the round count instead of producing empty legs.
+	if maxRounds := cfg.Tasks / 2; rounds > maxRounds {
+		rounds = maxRounds
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
 	chains := cfg.Workers
 	if chains < 1 {
 		chains = 1
@@ -550,18 +695,10 @@ func runLocality(ctx context.Context, kind runtime.SchedulerKind, shards int, mo
 		payloadKB = defaultPayloadKB
 	}
 	words := payloadKB * 1024 / 8
-	opts := []runtime.Option{
-		runtime.WithWorkers(cfg.Workers),
-		runtime.WithScheduler(kind),
-		runtime.WithShards(shards),
-	}
-	if window != 0 {
-		opts = append(opts, runtime.WithLocalityWindow(window))
-	}
-	rt := runtime.New(opts...)
-	// One payload and one reusable body per chain; the body walks the whole
-	// payload, so a link scheduled away from its producer's core pays the
-	// full transfer.
+	// One payload and one reusable body per chain, shared by every leg of
+	// every variant so all arms chase identical bytes; the body walks the
+	// whole payload, so a link scheduled away from its producer's cache
+	// pays the full transfer.
 	bodies := make([]runtime.Body, chains)
 	for c := 0; c < chains; c++ {
 		buf := make([]uint64, words)
@@ -576,14 +713,117 @@ func runLocality(ctx context.Context, kind runtime.SchedulerKind, shards int, mo
 		}
 	}
 
-	start := time.Now()
+	type acc struct {
+		elapsed      time.Duration
+		roundElapsed time.Duration
+		executed     uint64
+		dispatched   uint64
+		cross        uint64
+		ratios       []float64
+	}
+	accs := make([]acc, len(variants))
+	resolved := 0
+	runLeg := func(vi, n int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rt := runtime.New(variants[vi].opts...)
+		start := time.Now()
+		if err := submitChains(ctx, rt, mode, n, chains, bodies); err != nil {
+			rt.Shutdown()
+			return err
+		}
+		if err := rt.WaitCtx(ctx); err != nil {
+			rt.Shutdown()
+			return err
+		}
+		el := time.Since(start)
+		rt.StatsInto(st)
+		resolved = rt.Shards()
+		rt.Shutdown()
+		if st.Executed != uint64(n) {
+			return fmt.Errorf("throughput: %s/%s shards=%d %s lost tasks: executed %d of %d",
+				scenario, kind, resolved, mode, st.Executed, n)
+		}
+		a := &accs[vi]
+		a.elapsed += el
+		a.roundElapsed += el
+		a.executed += st.Executed
+		for _, ds := range st.PerDomain {
+			a.dispatched += ds.LocalDispatched + ds.CrossDispatched
+			a.cross += ds.CrossDispatched
+		}
+		return nil
+	}
+	remaining := cfg.Tasks
+	for r := 0; r < rounds; r++ {
+		// Spread the configured task count exactly over the rounds (every
+		// variant executes cfg.Tasks in total) and split each round's share
+		// over the variant's two legs.
+		roundTasks := remaining / (rounds - r)
+		remaining -= roundTasks
+		legA := roundTasks / 2
+		legB := roundTasks - legA
+		for i := range accs {
+			accs[i].roundElapsed = 0
+		}
+		for vi := 0; vi < len(variants); vi++ {
+			if err := runLeg(vi, legA); err != nil {
+				return nil, err
+			}
+		}
+		for vi := len(variants) - 1; vi >= 0; vi-- {
+			if err := runLeg(vi, legB); err != nil {
+				return nil, err
+			}
+		}
+		base := accs[baseIdx].roundElapsed
+		for vi := range variants {
+			if vi == baseIdx || accs[vi].roundElapsed <= 0 {
+				continue
+			}
+			accs[vi].ratios = append(accs[vi].ratios, float64(base)/float64(accs[vi].roundElapsed))
+		}
+	}
+
+	total := cfg.Tasks
+	pts := make([]Point, 0, len(variants))
+	for vi, v := range variants {
+		a := accs[vi]
+		p := Point{
+			Scenario:    scenario,
+			Scheduler:   kind.String(),
+			Shards:      resolved,
+			Mode:        mode,
+			Tasks:       total,
+			Elapsed:     a.elapsed,
+			TasksPerSec: float64(total) / a.elapsed.Seconds(),
+			NsPerTask:   float64(a.elapsed.Nanoseconds()) / float64(total),
+			Executed:    a.executed,
+			Window:      v.window,
+			Domains:     v.domains,
+		}
+		if vi != baseIdx {
+			p.Speedup = medianOf(a.ratios)
+		}
+		if scenario == ScenarioTopology && a.dispatched > 0 {
+			p.CrossDomainFrac = float64(a.cross) / float64(a.dispatched)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// submitChains submits n chain links in round-robin waves — one wave holds
+// the next link of every chain, InOut-serialised per chain, so the chains
+// progress together and every worker has its own chain hot — per-task or
+// batched according to mode.
+func submitChains(ctx context.Context, rt *runtime.Runtime, mode string, n, chains int, bodies []runtime.Body) error {
 	submitted := 0
 	specs := make([]runtime.TaskSpec, 0, chains)
-	for submitted < cfg.Tasks {
-		// One wave: the next link of every chain, round-robin, so the
-		// chains progress together and every worker has its own chain hot.
+	for submitted < n {
 		specs = specs[:0]
-		for c := 0; c < chains && submitted+len(specs) < cfg.Tasks; c++ {
+		for c := 0; c < chains && submitted+len(specs) < n; c++ {
 			specs = append(specs, runtime.TaskSpec{
 				Name: "link", Cost: 1, Body: bodies[c],
 				Deps: []runtime.Dep{runtime.InOut(int64(c))},
@@ -591,29 +831,33 @@ func runLocality(ctx context.Context, kind runtime.SchedulerKind, shards int, mo
 		}
 		if mode == "batch" {
 			if _, err := rt.SubmitBatchCtx(ctx, specs); err != nil {
-				rt.Shutdown()
-				return Point{}, err
+				return err
 			}
 		} else {
 			for _, sp := range specs {
 				if _, err := rt.SubmitCtx(ctx, sp.Name, sp.Cost, sp.Body, sp.Deps...); err != nil {
-					rt.Shutdown()
-					return Point{}, err
+					return err
 				}
 			}
 		}
 		submitted += len(specs)
 	}
-	if err := rt.WaitCtx(ctx); err != nil {
-		rt.Shutdown()
-		return Point{}, err
+	return nil
+}
+
+// medianOf returns the median of xs (0 when empty) — the drift-robust
+// aggregate of the per-round paired ratios.
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
 	}
-	p, err := finishPoint(rt, ScenarioLocality, kind, mode, cfg, start, st)
-	if err != nil {
-		return Point{}, err
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
 	}
-	p.Window = window
-	return p, nil
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // produce submits n tasks of the scenario's dependence shape from one
