@@ -107,6 +107,30 @@ func BenchmarkDispatchStealFan(b *testing.B) {
 	benchcases.DispatchStealFan(b)
 }
 
+// BenchmarkStatsInto measures the monitoring read path the adaptive
+// controller and external pollers share: one coherent Stats snapshot of a
+// live pool, taken into a caller-owned buffer. CI's alloc-budget gate
+// holds this at zero allocs/op — an observer that allocates on every
+// sample would perturb the zero-alloc steady state it is watching.
+func BenchmarkStatsInto(b *testing.B) {
+	rt := runtime.New(
+		runtime.WithWorkers(4),
+		runtime.WithAdaptive(runtime.AdaptiveOptions{}),
+	)
+	defer rt.Shutdown()
+	for i := 0; i < 256; i++ {
+		rt.Submit("t", 1, func() {}, runtime.InOut("k"))
+	}
+	rt.Wait()
+	var st runtime.Stats
+	rt.StatsInto(&st) // warm: first call sizes the per-worker slices
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.StatsInto(&st)
+	}
+}
+
 // BenchmarkLocalityChain measures worker-local successor placement on the
 // producer→consumer cache-affinity workload (see benchcases.LocalityChain)
 // with the locality window on (default) vs off (injector baseline).

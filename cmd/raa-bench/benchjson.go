@@ -61,6 +61,17 @@ type benchSnapshot struct {
 	// median of per-round ratios from position-balanced alternation (see
 	// recordPaired). The always-on budget says this stays below 1.10.
 	FlightOverhead float64 `json:"flight_recorder_overhead"`
+	// AdaptiveSpeedup is the adaptive scenario's verdict from the
+	// registered throughput experiment: worksteal+WithAdaptive over the
+	// BEST static arm (worksteal with and without locality, cats) on the
+	// phase-shifting hetero workload — the minimum over static arms of the
+	// median per-round paired ratio, so > 1 means online adaptation beat
+	// every static configuration.
+	AdaptiveSpeedup float64 `json:"adaptive_speedup"`
+	// AdaptiveDecisions is the number of policy changes the controller
+	// applied while earning AdaptiveSpeedup — evidence the speedup came
+	// from adaptation, not a lucky fixed setting.
+	AdaptiveDecisions float64 `json:"adaptive_decisions"`
 }
 
 // record runs one benchmark function and files its result. It honours
@@ -258,6 +269,12 @@ func runBenchJSON(ctx context.Context, path string) error {
 		return err
 	}
 	snap.TopologyCrossFrac = cross
+	speedup, decisions, err := adaptiveVerdict(ctx)
+	if err != nil {
+		return err
+	}
+	snap.AdaptiveSpeedup = speedup
+	snap.AdaptiveDecisions = decisions
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -272,9 +289,32 @@ func runBenchJSON(ctx context.Context, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx, topology %.2fx, cross-domain %.1f%%)\n",
-		path, len(snap.Benchmarks), snap.CritOnFast, snap.LocalitySpeedup, snap.TopologySpeedup, snap.TopologyCrossFrac*100)
+	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx, topology %.2fx, cross-domain %.1f%%, adaptive %.2fx/%.0f decisions)\n",
+		path, len(snap.Benchmarks), snap.CritOnFast, snap.LocalitySpeedup, snap.TopologySpeedup, snap.TopologyCrossFrac*100,
+		snap.AdaptiveSpeedup, snap.AdaptiveDecisions)
 	return nil
+}
+
+// adaptiveVerdict runs the throughput experiment's adaptive scenario at
+// quick scale (grain forced back to the scenario's own default — the quick
+// spec's tiny grain would drown the placement signal in scheduling
+// overhead) and extracts the adaptive arm's speedup over the best static
+// arm plus the controller's applied-decision count.
+func adaptiveVerdict(ctx context.Context) (speedup, decisions float64, _ error) {
+	res, err := raa.RunQuick(ctx, "throughput",
+		[]byte(`{"scenarios": ["adaptive"], "shards": [1], "grain": 0, "batch": 0}`))
+	if err != nil {
+		return 0, 0, err
+	}
+	for k, v := range res.Metrics {
+		if strings.HasSuffix(k, "_speedup") && v > speedup {
+			speedup = v
+		}
+		if strings.HasSuffix(k, "_decisions") && v > decisions {
+			decisions = v
+		}
+	}
+	return speedup, decisions, nil
 }
 
 // heteroCritOnFast runs the throughput experiment's hetero scenario under

@@ -35,6 +35,15 @@ const (
 	// context) and its successors are about to be released. Arg is the
 	// claim word before any recycle-time generation bump.
 	KindComplete
+	// KindSignals: the adaptive controller sampled the runtime's signals
+	// layer. Arg is the sample epoch; every KindAdapt decision carries the
+	// epoch of the sample it was reasoned from, which the verifier matches
+	// against the latest KindSignals.
+	KindSignals
+	// KindAdapt: the adaptive controller applied one policy decision. Arg
+	// is the epoch of the triggering sample, Arg2 a PackAdapt word (rule
+	// identifier plus old and new setting).
+	KindAdapt
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +63,10 @@ func (k Kind) String() string {
 		return "wake"
 	case KindComplete:
 		return "complete"
+	case KindSignals:
+		return "signals"
+	case KindAdapt:
+		return "adapt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -169,4 +182,63 @@ func PackDispatchDomains(v uint64, home, exec int) uint64 {
 func DispatchDomains(arg2 uint64) (home, exec int) {
 	return int((arg2>>dispatchHomeDomShift)&dispatchDomMask) - 1,
 		int((arg2>>dispatchExecDomShift)&dispatchDomMask) - 1
+}
+
+// The adaptive-controller rule identifiers carried in KindAdapt events.
+const (
+	// AdaptWindow: the effective locality window was retuned.
+	AdaptWindow uint8 = 1 + iota
+	// AdaptClassMask: the active worker-class set changed (old/new are the
+	// masks).
+	AdaptClassMask
+	// AdaptCritFirst: criticality-first placement was switched (old/new
+	// are 0/1).
+	AdaptCritFirst
+	// AdaptRefill: the injector refill chunk was retuned.
+	AdaptRefill
+)
+
+// AdaptRuleName renders a KindAdapt rule identifier for dumps.
+func AdaptRuleName(rule uint8) string {
+	switch rule {
+	case AdaptWindow:
+		return "window"
+	case AdaptClassMask:
+		return "classmask"
+	case AdaptCritFirst:
+		return "critfirst"
+	case AdaptRefill:
+		return "refill"
+	default:
+		return fmt.Sprintf("rule(%d)", rule)
+	}
+}
+
+// Adapt Arg2 layout: rule in the low byte, then two 28-bit settings.
+const (
+	adaptOldShift   = 8
+	adaptNewShift   = 36
+	adaptValueMask  = 0xfffffff
+	adaptRuleMaskV  = 0xff
+	maxAdaptSetting = adaptValueMask
+)
+
+// PackAdapt encodes one applied decision into Event.Arg2: which rule
+// fired and the setting's old and new values (28 bits each — window,
+// chunk, and mask values all fit; larger values saturate).
+func PackAdapt(rule uint8, old, new uint64) uint64 {
+	if old > maxAdaptSetting {
+		old = maxAdaptSetting
+	}
+	if new > maxAdaptSetting {
+		new = maxAdaptSetting
+	}
+	return uint64(rule) | old<<adaptOldShift | new<<adaptNewShift
+}
+
+// AdaptInfo decodes a PackAdapt word.
+func AdaptInfo(arg2 uint64) (rule uint8, old, new uint64) {
+	return uint8(arg2 & adaptRuleMaskV),
+		(arg2 >> adaptOldShift) & adaptValueMask,
+		(arg2 >> adaptNewShift) & adaptValueMask
 }

@@ -42,6 +42,11 @@ const (
 	// absorb the task). Steals are exempt: they are the sanctioned
 	// cross-domain load-balancing mechanism. Requires Options.DomainOf.
 	DomainGating
+	// AdaptProvenance: an adaptive-controller decision event arrived whose
+	// sample epoch does not match the latest signals event — the controller
+	// applied a policy change it cannot account for with a sample, or the
+	// signals event was lost without a ring gap.
+	AdaptProvenance
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +62,8 @@ func (i Invariant) String() string {
 		return "starvation"
 	case DomainGating:
 		return "domain-gating"
+	case AdaptProvenance:
+		return "adapt-provenance"
 	default:
 		return fmt.Sprintf("Invariant(%d)", int(i))
 	}
@@ -153,6 +160,11 @@ type Stats struct {
 	Starvations uint64
 	// DomainGating counts DomainGating violations.
 	DomainGating uint64
+	// AdaptProvenance counts AdaptProvenance violations.
+	AdaptProvenance uint64
+	// AdaptDecisions counts adaptive-controller decision events consumed —
+	// context for the provenance counter, not a violation.
+	AdaptDecisions uint64
 	// Total is the sum of all violation counters.
 	Total uint64
 }
@@ -189,6 +201,12 @@ type Checker struct {
 	domains [][]int32
 	parkSeq map[int32]uint64
 	domSusp map[int]*domSuspicion
+
+	// Adapt-provenance state: the epoch of the latest signals event, valid
+	// only while haveSig holds (a ring gap may have swallowed the signals
+	// event a later decision refers to, so gaps reset it).
+	sigEpoch uint64
+	haveSig  bool
 }
 
 // domSuspicion is one pending domain-gating anomaly: a cross-domain
@@ -241,7 +259,7 @@ func (c *Checker) Stats() Stats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Tracked = len(c.tasks)
-	s.Total = s.DispatchNotReady + s.ClaimRegressions + s.ClassGating + s.Starvations + s.DomainGating
+	s.Total = s.DispatchNotReady + s.ClaimRegressions + s.ClassGating + s.Starvations + s.DomainGating + s.AdaptProvenance
 	return s
 }
 
@@ -258,6 +276,8 @@ func (c *Checker) report(v Violation) {
 		c.stats.Starvations++
 	case DomainGating:
 		c.stats.DomainGating++
+	case AdaptProvenance:
+		c.stats.AdaptProvenance++
 	}
 	if c.opts.OnViolation != nil {
 		c.opts.OnViolation(v)
@@ -285,6 +305,9 @@ func (c *Checker) Feed(events []flightrec.Event, gap bool) {
 			clear(c.parkSeq)
 			clear(c.domSusp)
 		}
+		// The signals event a post-gap decision refers to may be in the lost
+		// window.
+		c.haveSig = false
 	}
 	c.expireAwaits()
 	c.expireDomSusp()
@@ -478,6 +501,28 @@ func (c *Checker) consume(e *flightrec.Event) {
 		}
 	case flightrec.KindSteal:
 		// Timeline marker: no per-task invariant.
+	case flightrec.KindSignals:
+		c.sigEpoch = e.Arg
+		c.haveSig = true
+	case flightrec.KindAdapt:
+		c.stats.AdaptDecisions++
+		// The controller records a decision strictly after the signals event
+		// of the sample it was reasoned from, on the same lane, so in the
+		// merged order every adapt must match the latest signals epoch. A
+		// mismatch means a decision without a sample to justify it.
+		if !c.haveSig {
+			if !c.lax {
+				c.report(Violation{Invariant: AdaptProvenance, Task: 0, Worker: e.Worker, Seq: e.Seq,
+					Detail: fmt.Sprintf("adapt decision (epoch %d) with no signals sample recorded", e.Arg)})
+			}
+			return
+		}
+		if e.Arg != c.sigEpoch {
+			rule, old, new := flightrec.AdaptInfo(e.Arg2)
+			c.report(Violation{Invariant: AdaptProvenance, Task: 0, Worker: e.Worker, Seq: e.Seq,
+				Detail: fmt.Sprintf("adapt decision %s %d→%d reasoned from epoch %d but latest sample is epoch %d",
+					flightrec.AdaptRuleName(rule), old, new, e.Arg, c.sigEpoch)})
+		}
 	}
 }
 

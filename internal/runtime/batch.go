@@ -109,8 +109,7 @@ func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskI
 	// dependences work.
 	r.lockShards(mask)
 	for _, t := range tasks {
-		r.trackDeps(t)
-		r.linkPreds(t)
+		r.linkPreds(t, r.trackDeps(t))
 		// Same event discipline as the single-task path: submit-only for
 		// tasks that stay pending, recorded before the final decrement and
 		// on a lane serialised by a shard of the union the batch holds.

@@ -20,6 +20,7 @@
 //	    runtime.WithQueueBound(256),         // backpressure; 0 = unbounded
 //	    runtime.WithShards(16),              // dependence-tracker shards; 0 = auto
 //	    runtime.WithLocalityWindow(32),      // worker-local successor window
+//	    runtime.WithAdaptive(runtime.AdaptiveOptions{}), // online self-tuning
 //	    runtime.WithTraceRetention(),        // keep the task trace for Graph
 //	)
 //
@@ -106,4 +107,24 @@
 // context take the same worker-local path. The throughput experiment's
 // locality scenario measures the effect against the window-disabled
 // baseline.
+//
+// # Adaptive control
+//
+// WithAdaptive turns the static knobs above into a closed loop — the
+// paper's self-aware runtime. A signals layer of lock-free counters
+// (per-worker executed/steal/home-hit words, injector and parking
+// traffic, a queue-depth histogram) is sampled allocation-free every
+// AdaptiveOptions.Period by a background controller, which diffs
+// consecutive snapshots and runs pure rules over the deltas: a serial
+// phase narrows the active-class mask to the fast class (slow workers
+// gate-park until the mask widens), a fan-out phase shrinks the locality
+// window and grows the injector refill chunk, a chain phase grows the
+// window back, and priority-hinted phases toggle criticality-first
+// dispatch. Each knob changes only after its proposal has held for
+// Hysteresis consecutive samples, every applied decision is recorded in
+// the flight recorder (KindAdapt, preceded by the KindSignals snapshot
+// event the verifier's AdaptProvenance invariant demands), and
+// Stats.Adaptive reports the live policy plus sample/decision counts.
+// The throughput experiment's adaptive scenario pits this controller
+// against every static configuration on a phase-shifting workload.
 package runtime

@@ -153,7 +153,7 @@ func TestFastClassCoversTopSpeedTies(t *testing.T) {
 // to critical work only once the whole fast class is running critical
 // tasks.
 func TestCATSSlowWorkerPrefersPlainThenFallsBack(t *testing.T) {
-	s := newCATSScheduler(classLayout{workers: 3, fastN: 1}, nil)
+	s := newTestCATS(classLayout{workers: 3, fastN: 1})
 	crit1 := &task{priority: 5, seq: 0}
 	crit2 := &task{priority: 4, seq: 1}
 	plain := &task{priority: 0, seq: 2}
@@ -200,7 +200,7 @@ func TestCATSSlowWorkerPrefersPlainThenFallsBack(t *testing.T) {
 // With a fast worker idle in pop, a critical task must reach it, not a
 // slow worker that is also waiting.
 func TestCATSCriticalTaskGoesToIdleFastWorker(t *testing.T) {
-	s := newCATSScheduler(classLayout{workers: 3, fastN: 1}, nil)
+	s := newTestCATS(classLayout{workers: 3, fastN: 1})
 	fastGot := make(chan *task, 1)
 	slowGot := make(chan *task, 1)
 	go func() { tk, _ := s.pop(0); fastGot <- tk }()

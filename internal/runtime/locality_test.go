@@ -14,7 +14,7 @@ import (
 // a full deque must spill too.
 func TestLocalityWindowSpillsToInjector(t *testing.T) {
 	const window = 4
-	s := newStealScheduler(homogeneousLayout(2), window, nil)
+	s := newTestSteal(homogeneousLayout(2), window)
 	tasks := make([]task, 10)
 	ts := make([]*task, len(tasks))
 	for i := range tasks {
@@ -47,7 +47,7 @@ func TestLocalityWindowSpillsToInjector(t *testing.T) {
 // central injector — the baseline the locality experiment compares
 // against.
 func TestLocalityDisabledRoutesCentrally(t *testing.T) {
-	s := newStealScheduler(homogeneousLayout(2), 0, nil)
+	s := newTestSteal(homogeneousLayout(2), 0)
 	s.push(&task{}, 0)
 	s.pushBatch([]*task{{}, {}}, 0)
 	if got := s.deques[0].size(); got != 0 {
@@ -61,7 +61,7 @@ func TestLocalityDisabledRoutesCentrally(t *testing.T) {
 // An out-of-range hint (a submitting goroutine, hint -1) must never touch
 // a deque whatever the window.
 func TestLocalityIgnoresInvalidHint(t *testing.T) {
-	s := newStealScheduler(homogeneousLayout(2), 8, nil)
+	s := newTestSteal(homogeneousLayout(2), 8)
 	s.push(&task{}, -1)
 	s.pushBatch([]*task{{}, {}}, 7)
 	for w, d := range s.deques {
@@ -117,7 +117,7 @@ func TestSubmitHintResolution(t *testing.T) {
 // stay stealable by other workers.
 func TestSubmitLocalSideBuffer(t *testing.T) {
 	const window = 4
-	s := newStealScheduler(homogeneousLayout(2), window, nil)
+	s := newTestSteal(homogeneousLayout(2), window)
 	tasks := make([]task, window+2)
 	for i := range tasks[:window] {
 		if !s.submitLocal(&tasks[i], 0) {
@@ -148,7 +148,7 @@ func TestSubmitLocalSideBuffer(t *testing.T) {
 		t.Fatalf("side buffer holds %d after drain, want 0", got)
 	}
 	// Disabled locality refuses outright.
-	off := newStealScheduler(homogeneousLayout(2), 0, nil)
+	off := newTestSteal(homogeneousLayout(2), 0)
 	if off.submitLocal(&tasks[0], 0) {
 		t.Fatal("submitLocal accepted with locality disabled")
 	}

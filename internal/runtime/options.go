@@ -21,6 +21,7 @@ type options struct {
 	retainTrace bool
 	localWindow int
 	flight      *flightrec.Options
+	adaptive    *AdaptiveOptions
 }
 
 // defaultLocalityWindow is the locality window a runtime uses when

@@ -212,11 +212,6 @@ type task struct {
 	// logShard is the shard whose task log records t (retention only).
 	logShard int32
 
-	// preds is registration scratch: trackDeps collects predecessor refs
-	// here and linkPreds consumes them. Only the submitting goroutine
-	// touches it, and the capacity is kept across recycles.
-	preds []taskRef
-
 	// home is the worker the task was released toward: the completing
 	// worker for successor releases, the hinted worker for body-context
 	// submissions, -1 for external submissions. Stamped inside the ready
@@ -289,11 +284,20 @@ func (t *task) clearDeps() {
 	t.ndeps = 0
 }
 
-// addSucc records a successor edge. Caller holds t.mu.
+// addSucc records a successor edge. Caller holds t.mu. The first spill
+// past the inline slots allocates a capacity-8 overflow directly: pooled
+// records serve as wide-fan roots only occasionally (role assignment
+// drifts as records rotate through the freelist), and jumping straight to
+// a useful capacity instead of doubling up from one element keeps those
+// first-service growth allocations from trickling through the steady
+// state.
 func (t *task) addSucc(s *task) {
 	if int(t.nsuccs) < inlineArity {
 		t.succsInl[t.nsuccs] = s
 	} else {
+		if t.succsOvf == nil {
+			t.succsOvf = make([]*task, 0, 8)
+		}
 		t.succsOvf = append(t.succsOvf, s)
 	}
 	t.nsuccs++
@@ -339,6 +343,9 @@ type Stats struct {
 	// FlightEvents is the total number of events the flight recorder has
 	// captured (0 without WithFlightRecorder).
 	FlightEvents uint64
+	// Adaptive is the policy-layer snapshot: the live policy words plus,
+	// with WithAdaptive, the controller's sample and decision counters.
+	Adaptive AdaptiveStats
 }
 
 // Placement identifies the pool worker executing a task body, delivered
@@ -478,14 +485,28 @@ type Runtime struct {
 	errMu    sync.Mutex
 	firstErr error
 
-	executed  uint64
-	steals    uint64
-	skipped   uint64
-	perWorker []uint64
+	// sig is the signals layer — the single source of truth for execution
+	// counters (per-worker, padded, owner-bumped) that Stats, the sampler,
+	// and the adaptive controller all read. pol is the policy layer: the
+	// cached atomic words the schedulers consult for every placement
+	// decision. sample/sampleMu serve StatsInto: one reusable epoch
+	// snapshot instead of per-call aggregation.
+	sig      *signals
+	pol      *policyWords
+	sampleMu sync.Mutex
+	sample   signalSample
 
-	// pool is the task-record freelist. Without trace retention, complete
-	// retires each finished record here and newTask reuses it, so the
+	// ctrl is the adaptive controller (nil without WithAdaptive). It is
+	// the single writer of the policy words once running.
+	ctrl *adaptiveController
+
+	// free and pool are the two tiers of the task-record freelist. Without
+	// trace retention, complete retires each finished record — first into
+	// the fixed-capacity lock-free ring (GC-immune, so the steady state
+	// stays allocation-free across collections), overflowing into the
+	// sync.Pool (GC-reclaimable) — and newTask reuses it, so the
 	// steady-state submit→execute→complete path allocates nothing.
+	free *taskFreelist
 	pool sync.Pool
 
 	closed   int32 // Submit guard, set at Shutdown entry
@@ -503,13 +524,14 @@ func New(opts ...Option) *Runtime {
 	o.workers = len(classOf)
 	domains, domainOf := o.resolveTopology(o.workers)
 	r := &Runtime{
-		opts:      o,
-		classes:   classes,
-		classOf:   classOf,
-		domains:   domains,
-		domainOf:  domainOf,
-		shards:    newShards(resolveShards(o.shards)),
-		perWorker: make([]uint64, o.workers),
+		opts:     o,
+		classes:  classes,
+		classOf:  classOf,
+		domains:  domains,
+		domainOf: domainOf,
+		shards:   newShards(resolveShards(o.shards)),
+		sig:      newSignals(o.workers),
+		pol:      newPolicyWords(o.localWindow, len(classes)),
 	}
 	if len(domains) > 1 {
 		r.domCounts = make([]domainCounters, len(domains))
@@ -517,6 +539,15 @@ func New(opts ...Option) *Runtime {
 	if o.queueBound > 0 {
 		r.slots = make(chan struct{}, o.queueBound)
 	}
+	// Ring capacity covers twice the queue bound — every outstanding record
+	// plus the transient excess that recycle/slot races create — or a
+	// generous default for unbounded pools; bursts past it overflow to the
+	// sync.Pool tier.
+	freeCap := 2048
+	if o.queueBound > 0 {
+		freeCap = 2 * o.queueBound
+	}
+	r.free = newTaskFreelist(freeCap)
 	r.waitCond = sync.NewCond(&r.waitMu)
 	if o.flight != nil {
 		// One submit lane per tracker shard: the submit path records a
@@ -524,15 +555,16 @@ func New(opts ...Option) *Runtime {
 		// so the lane needs no locking of its own.
 		r.rec = flightrec.NewWithLanes(o.workers, len(r.shards), *o.flight)
 	}
-	layout := classLayout{workers: o.workers, fastN: fastN, domains: len(domains), domainOf: domainOf}
+	layout := classLayout{workers: o.workers, fastN: fastN, classOf: classOf,
+		domains: len(domains), domainOf: domainOf}
 	switch o.scheduler {
 	case FIFO:
-		r.sched = newFIFOScheduler(r.rec)
+		r.sched = newFIFOScheduler(layout, r.pol, r.sig, r.rec)
 	case CATS:
-		r.sched = newCATSScheduler(layout, r.rec)
+		r.sched = newCATSScheduler(layout, r.pol, r.sig, r.rec)
 		r.schedSelfRecords = r.rec != nil
 	default:
-		r.sched = newStealScheduler(layout, o.localWindow, r.rec)
+		r.sched = newStealScheduler(layout, r.pol, r.sig, r.rec)
 		// Only the steal scheduler's placement honours the domain
 		// hierarchy; FIFO pops are domain-blind and CATS's criticality
 		// order overrides affinity, so stamping domains into their events
@@ -543,6 +575,10 @@ func New(opts ...Option) *Runtime {
 	for w := 0; w < o.workers; w++ {
 		r.wg.Add(1)
 		go r.worker(w)
+	}
+	if o.adaptive != nil {
+		r.ctrl = newAdaptiveController(r, *o.adaptive)
+		go r.ctrl.run()
 	}
 	return r
 }
@@ -653,8 +689,7 @@ func (r *Runtime) submit(ctx context.Context, name string, cost float64, priorit
 	t := r.newTask(ctx, name, cost, priority, fn, plain, deps)
 	mask := r.shardPlan(t)
 	r.lockShards(mask)
-	r.trackDeps(t)
-	r.linkPreds(t)
+	r.linkPreds(t, r.trackDeps(t))
 	// Flight recorder: a task that stays pending gets a submit event; an
 	// immediately-ready one gets only its ready event (submission implied),
 	// keeping the hot path at one event per submit. The submit event must
@@ -719,9 +754,13 @@ func (r *Runtime) recordSubmitLocked(t *task, mask uint64) {
 // outstanding. Must be called with the gate's read side held so the
 // increment is ordered before any concurrent Shutdown drain.
 func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priority int, fn Body, plain func(), deps []Dep) *task {
-	t, ok := r.pool.Get().(*task)
-	if !ok {
-		t = &task{}
+	t := r.free.get()
+	if t == nil {
+		var ok bool
+		t, ok = r.pool.Get().(*task)
+		if !ok {
+			t = &task{}
+		}
 	}
 	seq := atomic.AddInt64(&r.seq, 1) - 1
 	t.id = TaskID(seq)
@@ -742,27 +781,42 @@ func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priori
 	atomic.StoreInt32(&t.exec, -1)
 	atomic.StoreInt64(&t.seq, seq)
 	t.setDeps(deps)
+	if priority > 0 {
+		// Phase signal for the adaptive controller: the workload is using
+		// priority hints, so criticality-first placement has traction.
+		r.sig.critSubmit.Add(1)
+	}
 	atomic.AddInt64(&r.outstanding, 1)
 	return t
 }
 
 // trackDeps runs the renamer for t: it resolves RAW/WAR/WAW hazards
 // against the per-key tracking state, updates that state, and appends t to
-// the shard task log. Predecessor references are collected into t.preds
-// for linkPreds. Every shard t's keys hash to (plus the log shard) must be
-// locked by the caller.
-func (r *Runtime) trackDeps(t *task) {
-	t.preds = t.preds[:0]
+// the shard task log. Predecessor references are collected into the log
+// shard's predScratch — returned for linkPreds to consume while the shard
+// is still locked. Every shard t's keys hash to (plus the log shard) must
+// be locked by the caller.
+func (r *Runtime) trackDeps(t *task) []taskRef {
+	if len(t.deps()) == 0 {
+		if r.opts.retainTrace {
+			r.shards[t.logShard].tasks = append(r.shards[t.logShard].tasks, t)
+		}
+		return nil
+	}
+	// The log shard is deps[0].Key's shard, so it is always in the caller's
+	// lock mask when deps exist — its scratch is exclusively ours here.
+	ls := r.shards[t.logShard]
+	preds := ls.predScratch[:0]
 	addPred := func(p taskRef) {
 		if p.t == nil || p.t == t {
 			return
 		}
-		for _, q := range t.preds {
+		for _, q := range preds {
 			if q.t == p.t {
 				return
 			}
 		}
-		t.preds = append(t.preds, p)
+		preds = append(preds, p)
 	}
 	self := t.ref()
 	for _, d := range t.deps() {
@@ -794,8 +848,10 @@ func (r *Runtime) trackDeps(t *task) {
 		}
 	}
 	if r.opts.retainTrace {
-		r.shards[t.logShard].tasks = append(r.shards[t.logShard].tasks, t)
+		ls.tasks = append(ls.tasks, t)
 	}
+	ls.predScratch = preds // write back so the grown capacity is kept
+	return preds
 }
 
 // linkPreds registers the dependence edges collected by trackDeps. npreds
@@ -810,9 +866,9 @@ func (r *Runtime) trackDeps(t *task) {
 // is dead and no other field of the record may be read — the generation
 // bump happens inside complete's critical section, which makes this check
 // exact, not best-effort.
-func (r *Runtime) linkPreds(t *task) {
+func (r *Runtime) linkPreds(t *task, preds []taskRef) {
 	atomic.StoreInt32(&t.npreds, 1)
-	for _, ref := range t.preds {
+	for _, ref := range preds {
 		p := ref.t
 		p.mu.Lock()
 		if claimGen(atomic.LoadUint64(&p.claim)) != claimGen(ref.claim) {
@@ -845,12 +901,11 @@ func (r *Runtime) linkPreds(t *task) {
 		}
 		p.mu.Unlock()
 	}
-	// Clear the scratch so completed predecessors are not pinned by this
-	// record (the capacity is kept for the next registration).
-	for i := range t.preds {
-		t.preds[i] = taskRef{}
+	// Clear the scratch so completed predecessors are not pinned by the
+	// shard (the capacity is kept for the next registration).
+	for i := range preds {
+		preds[i] = taskRef{}
 	}
-	t.preds = t.preds[:0]
 }
 
 // setErr captures the first task failure.
@@ -939,8 +994,17 @@ func (r *Runtime) worker(id int) {
 			}
 			continue
 		}
+		mySig := &r.sig.workers[id]
 		if stole {
-			atomic.AddUint64(&r.steals, 1)
+			atomic.AddUint64(&mySig.steals, 1)
+		}
+		// Locality signal: did the task run where its release aimed it?
+		if home := t.home; home >= 0 {
+			if int(home) == id {
+				atomic.AddUint64(&mySig.homeHit, 1)
+			} else {
+				atomic.AddUint64(&mySig.homeMiss, 1)
+			}
 		}
 		if r.rec != nil {
 			if stole {
@@ -996,7 +1060,7 @@ func (r *Runtime) worker(id int) {
 		t.mu.Unlock()
 		if err := t.ctx.Err(); err != nil {
 			// Cancelled before starting: skip the body, record why.
-			atomic.AddUint64(&r.skipped, 1)
+			atomic.AddUint64(&mySig.skipped, 1)
 			r.setErr(err)
 		} else {
 			switch {
@@ -1027,8 +1091,7 @@ func (r *Runtime) worker(id int) {
 			case t.plainFn != nil:
 				t.plainFn()
 			}
-			atomic.AddUint64(&r.executed, 1)
-			atomic.AddUint64(&r.perWorker[id], 1)
+			atomic.AddUint64(&mySig.executed, 1)
 		}
 		if obs != nil {
 			obs.taskDone(id)
@@ -1153,6 +1216,14 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 		ready[i] = nil
 	}
 	sc.ready = ready[:0]
+	// Retire the record BEFORE releasing the backpressure slot: the slot
+	// send unblocks a waiting submitter, and if the record is not in the
+	// freelist by the time that submitter reaches newTask, it allocates a
+	// fresh one — a leak of exactly one record per race, which is where the
+	// old steady-state benchmarks' residual bytes/op came from.
+	if recycle && !r.free.put(t) {
+		r.pool.Put(t)
+	}
 	if r.slots != nil {
 		<-r.slots
 	}
@@ -1160,9 +1231,6 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 		r.waitMu.Lock()
 		r.waitCond.Broadcast()
 		r.waitMu.Unlock()
-	}
-	if recycle {
-		r.pool.Put(t)
 	}
 }
 
@@ -1216,6 +1284,12 @@ func (r *Runtime) Shutdown() {
 	atomic.StoreInt32(&r.shutdown, 1)
 	r.sched.wake()
 	r.wg.Wait()
+	if r.ctrl != nil {
+		// Stop the controller after the workers: it may keep adapting while
+		// the pool drains (that is the point), but must not race the
+		// recorder's Close below.
+		r.ctrl.halt()
+	}
 	if r.rec != nil {
 		// Stop the recorder's clock; the rings stay readable for post-run
 		// snapshots (Tail, the bench tool's -flight-dump).
@@ -1235,31 +1309,42 @@ func (r *Runtime) Stats() Stats {
 // StatsInto fills s with a snapshot of the execution counters, reusing the
 // capacity of s.PerWorker and s.PerClass when they are large enough — the
 // allocation-free variant of Stats for hot reporting loops (periodic
-// metrics exporters, per-round experiment sampling).
+// metrics exporters, per-round experiment sampling). The snapshot is one
+// signals-layer epoch sample: the per-worker and per-class aggregation is
+// done once into the runtime's reusable sample and copied out, rather
+// than recomputed from scattered fields.
 func (r *Runtime) StatsInto(s *Stats) {
-	s.Submitted = uint64(atomic.LoadInt64(&r.seq))
-	s.Executed = atomic.LoadUint64(&r.executed)
-	s.Steals = atomic.LoadUint64(&r.steals)
-	s.Skipped = atomic.LoadUint64(&r.skipped)
+	r.sampleMu.Lock()
+	defer r.sampleMu.Unlock()
+	smp := &r.sample
+	r.sampleSignals(smp)
+	s.Submitted = smp.Submitted
+	s.Executed = smp.Executed
+	s.Steals = smp.Steals
+	s.Skipped = smp.Skipped
 	s.FlightEvents = 0
 	if r.rec != nil {
 		s.FlightEvents = r.rec.EventCount()
 	}
-	if cap(s.PerWorker) < len(r.perWorker) {
-		s.PerWorker = make([]uint64, len(r.perWorker))
+	s.Adaptive = AdaptiveStats{
+		Window:        r.pol.window.Load(),
+		RefillChunk:   r.pol.refillChunk.Load(),
+		CritFirst:     r.pol.critFirst.Load() != 0,
+		ActiveClasses: r.pol.classMask.Load(),
 	}
-	s.PerWorker = s.PerWorker[:len(r.perWorker)]
-	if cap(s.PerClass) < len(r.classes) {
-		s.PerClass = make([]uint64, len(r.classes))
+	if r.ctrl != nil {
+		r.ctrl.statsInto(&s.Adaptive)
 	}
-	s.PerClass = s.PerClass[:len(r.classes)]
-	for i := range s.PerClass {
-		s.PerClass[i] = 0
+	if cap(s.PerWorker) < len(smp.PerWorker) {
+		s.PerWorker = make([]uint64, len(smp.PerWorker))
 	}
-	for i := range r.perWorker {
-		s.PerWorker[i] = atomic.LoadUint64(&r.perWorker[i])
-		s.PerClass[r.classOf[i]] += s.PerWorker[i]
+	s.PerWorker = s.PerWorker[:len(smp.PerWorker)]
+	copy(s.PerWorker, smp.PerWorker)
+	if cap(s.PerClass) < len(smp.PerClass) {
+		s.PerClass = make([]uint64, len(smp.PerClass))
 	}
+	s.PerClass = s.PerClass[:len(smp.PerClass)]
+	copy(s.PerClass, smp.PerClass)
 	if cap(s.PerDomain) < len(r.domains) {
 		s.PerDomain = make([]DomainStats, len(r.domains))
 	}
@@ -1267,8 +1352,8 @@ func (r *Runtime) StatsInto(s *Stats) {
 	for i := range s.PerDomain {
 		s.PerDomain[i] = DomainStats{Workers: r.domains[i].Count}
 	}
-	for w := range r.perWorker {
-		s.PerDomain[r.domainOf[w]].Dispatched += s.PerWorker[w]
+	for w := range smp.PerWorker {
+		s.PerDomain[r.domainOf[w]].Dispatched += smp.PerWorker[w]
 	}
 	if r.domCounts != nil {
 		for i := range s.PerDomain {

@@ -87,6 +87,9 @@ type classLayout struct {
 	// fastN is the number of fast-class workers: those whose class ties
 	// the pool's top speed, always ≥ 1.
 	fastN int
+	// classOf maps workerID → class index (nil = every worker class 0);
+	// the policy layer's class gate is keyed by it.
+	classOf []int
 	// domains is the memory-domain count (0 or 1 = single domain);
 	// domainOf maps workerID → domain index (nil = all domain 0).
 	domains  int
@@ -96,6 +99,14 @@ type classLayout struct {
 // homogeneousLayout is the layout of a single-class, single-domain pool.
 func homogeneousLayout(workers int) classLayout {
 	return classLayout{workers: workers, fastN: workers}
+}
+
+// class maps a worker ID to its class index.
+func (l classLayout) class(w int) int {
+	if l.classOf == nil {
+		return 0
+	}
+	return l.classOf[w]
 }
 
 // domainCount is the number of memory domains, always ≥ 1.
@@ -118,25 +129,46 @@ func (l classLayout) domain(w int) int {
 // buffer. Popped slots are nilled and oversized buffers shrink, so the
 // queue never pins dead task pointers (the old queue[1:] slide kept every
 // popped *task alive in the backing array).
+//
+// The policy layer's class gate applies at pop: a worker whose class bit
+// is clear in the policy mask waits without consuming queued work. While
+// any class is gated, push wakeups broadcast instead of signalling (see
+// kick) so a signal can never be swallowed by a gated worker and die
+// there with active workers still parked.
 type fifoScheduler struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue taskRing
-	woken bool
-	rec   *flightrec.Recorder
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   taskRing
+	woken   bool
+	pol     *policyWords
+	sig     *signals
+	classOf func(int) int
+	rec     *flightrec.Recorder
 }
 
-func newFIFOScheduler(rec *flightrec.Recorder) *fifoScheduler {
-	s := &fifoScheduler{rec: rec}
+func newFIFOScheduler(layout classLayout, pol *policyWords, sig *signals, rec *flightrec.Recorder) *fifoScheduler {
+	s := &fifoScheduler{pol: pol, sig: sig, classOf: layout.class, rec: rec}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// kick delivers a push wakeup: one signal in the ungated steady state, a
+// broadcast while any class is parked at the gate (gated workers that
+// wake just go back to waiting; the broadcast guarantees an active worker
+// hears about the work too).
+func (s *fifoScheduler) kick() {
+	if s.pol.gated() {
+		s.cond.Broadcast()
+	} else {
+		s.cond.Signal()
+	}
 }
 
 func (s *fifoScheduler) push(t *task, _ int) {
 	s.mu.Lock()
 	s.queue.push(t)
 	s.mu.Unlock()
-	s.cond.Signal()
+	s.kick()
 }
 
 func (s *fifoScheduler) pushBatch(ts []*task, _ int) {
@@ -149,28 +181,33 @@ func (s *fifoScheduler) pushBatch(ts []*task, _ int) {
 	}
 	s.mu.Unlock()
 	if len(ts) == 1 {
-		s.cond.Signal()
+		s.kick()
 	} else {
 		s.cond.Broadcast()
 	}
 }
 
 func (s *fifoScheduler) pop(workerID int) (*task, bool) {
+	class := s.classOf(workerID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.queue.len() == 0 {
+	for {
+		if s.pol.classActive(class) && s.queue.len() > 0 {
+			return s.queue.pop(), false
+		}
 		if s.woken {
 			return nil, false
 		}
+		s.sig.parks.Add(1)
 		if s.rec != nil {
 			s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
 		}
 		s.cond.Wait()
+		s.sig.wakes.Add(1)
 		if s.rec != nil {
 			s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
 		}
 	}
-	return s.queue.pop(), false
 }
 
 func (s *fifoScheduler) wake() {
@@ -178,6 +215,24 @@ func (s *fifoScheduler) wake() {
 	s.woken = true
 	s.mu.Unlock()
 	s.cond.Broadcast()
+}
+
+// policyChanged implements policyNotifier: gated workers re-examine the
+// class mask. The broadcast is made under the queue mutex so it cannot
+// slip between a worker's mask check and its Wait.
+func (s *fifoScheduler) policyChanged() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// reportDepths implements depthReporter: the central queue is the only
+// queue.
+func (s *fifoScheduler) reportDepths(smp *signalSample) {
+	s.mu.Lock()
+	n := int64(s.queue.len())
+	s.mu.Unlock()
+	smp.noteDepth(n)
 }
 
 // stealScheduler is the multi-core dispatch path: one Chase–Lev deque per
@@ -247,16 +302,46 @@ type stealScheduler struct {
 	// Stats.PerDomain.
 	traffic []domainTraffic
 
-	// window is the locality window: a push carrying a worker hint goes to
-	// that worker's own deque only while the deque holds fewer than window
-	// tasks, and spills past it — first to same-domain siblings' submit
-	// buffers (multi-domain pools only), then to the domain injector — so
-	// a completing worker keeps its successors hot in cache without
-	// hoarding a wide fan that the rest of the pool would have to steal
-	// back one CAS at a time. window <= 0 disables the locality path
-	// entirely (every release goes through the injector — the
-	// central-queue baseline).
-	window int64
+	// pol is the policy layer this scheduler consults on every hot path:
+	// pol.window is the locality window — a push carrying a worker hint
+	// goes to that worker's own deque only while the deque holds fewer
+	// than window tasks, and spills past it — first to same-domain
+	// siblings' submit buffers (multi-domain pools only), then to the
+	// domain injector — so a completing worker keeps its successors hot in
+	// cache without hoarding a wide fan that the rest of the pool would
+	// have to steal back one CAS at a time (window <= 0 disables the
+	// locality path entirely: every release goes through the injector, the
+	// central-queue baseline). pol.refillChunk caps the own-domain
+	// injector refill, pol.critFirst switches the crit heap on, and
+	// pol.classMask gates worker classes (see pop).
+	pol *policyWords
+	// sig is the runtime's signals layer; the scheduler bumps its
+	// injector-pressure and park/wake counters at the slow-path sites that
+	// already exist for the flight recorder.
+	sig *signals
+	// classOf maps workerID → class index for the policy gate.
+	classOf func(int) int
+
+	// gateMu/gateCond form the class gate: a worker whose class bit is
+	// clear in pol.classMask parks here (outside the domain parking lots
+	// and the pending/parked protocol — a gated worker is withdrawn from
+	// the pool, not idle). Its deque and submit buffer stay stealable by
+	// active workers, and its queued tasks stay counted in pending, so no
+	// active worker can park while a gated worker's work remains.
+	gateMu   sync.Mutex
+	gateCond *sync.Cond
+
+	// crit is the criticality-first heap, live while pol.critFirst is set:
+	// ready tasks with positive priority are routed here instead of the
+	// deques, fast-class workers drain it before their own deque and slow
+	// workers only when every other source is dry — the CATS placement
+	// rule as a switchable mode. Entries are unique (no bump reinsertion
+	// on this scheduler), so no claim machinery is needed; critN mirrors
+	// the heap size for the lock-free empty check every pop makes, and the
+	// heap keeps draining after the mode switches off.
+	critMu sync.Mutex
+	crit   catsHeap
+	critN  atomic.Int64
 
 	// side holds one submit buffer per worker: the landing zone for
 	// hinted submissions (tasks submitted with a worker's body context,
@@ -370,7 +455,7 @@ type paddedRand struct {
 	_     [7]uint64
 }
 
-func newStealScheduler(layout classLayout, window int, rec *flightrec.Recorder) *stealScheduler {
+func newStealScheduler(layout classLayout, pol *policyWords, sig *signals, rec *flightrec.Recorder) *stealScheduler {
 	nd := layout.domainCount()
 	s := &stealScheduler{
 		deques:  make([]*wsDeque, layout.workers),
@@ -383,7 +468,9 @@ func newStealScheduler(layout classLayout, window int, rec *flightrec.Recorder) 
 		parks:   make([]domainPark, nd),
 		traffic: make([]domainTraffic, nd),
 		victims: buildVictimPlans(layout),
-		window:  int64(window),
+		pol:     pol,
+		sig:     sig,
+		classOf: layout.class,
 		side:    make([]sideBuf, layout.workers),
 		rec:     rec,
 	}
@@ -397,16 +484,18 @@ func newStealScheduler(layout classLayout, window int, rec *flightrec.Recorder) 
 	for d := range s.parks {
 		s.parks[d].cond = sync.NewCond(&s.parks[d].mu)
 	}
+	s.gateCond = sync.NewCond(&s.gateMu)
 	return s
 }
 
 // localRoom reports how many more tasks worker w's deque may take through
-// the locality path (0 when the hint is invalid or locality is disabled).
-func (s *stealScheduler) localRoom(workerHint int) int64 {
-	if workerHint < 0 || workerHint >= len(s.deques) || s.window <= 0 {
+// the locality path (0 when the hint is invalid or locality is disabled)
+// under the given effective window.
+func (s *stealScheduler) localRoom(workerHint int, win int64) int64 {
+	if workerHint < 0 || workerHint >= len(s.deques) || win <= 0 {
 		return 0
 	}
-	room := s.window - s.deques[workerHint].size()
+	room := win - s.deques[workerHint].size()
 	if room < 0 {
 		return 0
 	}
@@ -418,23 +507,66 @@ func (s *stealScheduler) push(t *task, workerHint int) {
 	s.wakeWorkers(1, s.route(t, workerHint))
 }
 
-// route places one ready task — same-worker deque while the locality
-// window has room, same-domain sibling submit buffer, domain injector —
-// and returns the domain it landed in, the wake scan's routing preference.
+// route places one ready task — crit heap when criticality-first is on
+// and the task carries positive priority, otherwise same-worker deque
+// while the locality window has room, same-domain sibling submit buffer,
+// domain injector — and returns the domain it landed in, the wake scan's
+// routing preference.
 func (s *stealScheduler) route(t *task, workerHint int) int {
-	if s.localRoom(workerHint) > 0 {
+	if s.pol.critFirst.Load() != 0 && atomic.LoadInt64(&t.priority) > 0 {
+		s.pushCrit(t)
+		if workerHint >= 0 && workerHint < len(s.deques) {
+			return int(s.domOf[workerHint])
+		}
+		return -1
+	}
+	win := s.pol.window.Load()
+	if s.localRoom(workerHint, win) > 0 {
 		s.deques[workerHint].pushBottom(t)
 		return int(s.domOf[workerHint])
 	}
 	if workerHint >= 0 && workerHint < len(s.deques) {
 		d := int(s.domOf[workerHint])
-		if s.spillSibling(t, workerHint, d) {
+		if s.spillSibling(t, workerHint, d, win) {
 			return d
 		}
 		s.inject(t, d)
 		return d
 	}
 	return s.injectPlaced(t)
+}
+
+// pushCrit inserts a positive-priority task into the crit heap. The
+// caller accounts it in pending like any other ready task.
+func (s *stealScheduler) pushCrit(t *task) {
+	e := catsEntry{
+		t:    t,
+		prio: atomic.LoadInt64(&t.priority),
+		seq:  atomic.LoadInt64(&t.seq),
+		aff:  atomic.LoadInt32(&t.affinity),
+	}
+	s.critMu.Lock()
+	s.crit.push(e)
+	s.critMu.Unlock()
+	s.critN.Add(1)
+}
+
+// popCrit takes the most critical queued entry, nil when the heap is
+// empty (one lock-free load in the steady state — critN is 0 whenever
+// criticality-first has been off long enough for the heap to drain).
+func (s *stealScheduler) popCrit() *task {
+	if s.critN.Load() == 0 {
+		return nil
+	}
+	s.critMu.Lock()
+	if len(s.crit) == 0 {
+		s.critMu.Unlock()
+		return nil
+	}
+	e := s.crit.pop()
+	s.critMu.Unlock()
+	s.critN.Add(-1)
+	return e.t
 }
 
 // spillSibling extends the locality window across the releasing worker's
@@ -444,8 +576,8 @@ func (s *stealScheduler) route(t *task, workerHint int) int {
 // stays inside the domain's shared cache even when its producer is
 // saturated. Single-domain pools skip this tier entirely (same-domain
 // means nothing there), preserving the flat window→injector behaviour.
-func (s *stealScheduler) spillSibling(t *task, workerHint, d int) bool {
-	if s.nd <= 1 || s.window <= 0 {
+func (s *stealScheduler) spillSibling(t *task, workerHint, d int, win int64) bool {
+	if s.nd <= 1 || win <= 0 {
 		return false
 	}
 	for _, v := range s.members[d] {
@@ -453,11 +585,11 @@ func (s *stealScheduler) spillSibling(t *task, workerHint, d int) bool {
 			continue
 		}
 		b := &s.side[v]
-		if b.n.Load() >= s.window {
+		if b.n.Load() >= win {
 			continue
 		}
 		b.mu.Lock()
-		if int64(b.q.len()) >= s.window {
+		if int64(b.q.len()) >= win {
 			b.mu.Unlock()
 			continue
 		}
@@ -477,6 +609,7 @@ func (s *stealScheduler) inject(t *task, d int) {
 	inj.mu.Unlock()
 	inj.n.Add(1)
 	s.traffic[d].injPush.Add(1)
+	s.sig.injPush.Add(1)
 }
 
 // injectPlaced routes a hint-less task to an injector and returns the
@@ -504,7 +637,13 @@ func (s *stealScheduler) injectPlaced(t *task) int {
 // back to the waking push, which lets a parked worker come steal the
 // older entries (FIFO top) while the owner continues its chain.
 func (s *stealScheduler) pushOwned(t *task, workerID int) bool {
-	if s.window <= 0 {
+	if s.pol.window.Load() <= 0 {
+		return false
+	}
+	// Criticality-first: a positive-priority successor belongs on the crit
+	// heap where a fast worker will find it, not hidden on this worker's
+	// deque — decline, and let the waking push route it.
+	if s.pol.critFirst.Load() != 0 && atomic.LoadInt64(&t.priority) > 0 {
 		return false
 	}
 	d := s.deques[workerID]
@@ -521,12 +660,13 @@ func (s *stealScheduler) pushOwned(t *task, workerID int) bool {
 // from any goroutine. Returns false — caller routes centrally — when the
 // hint is invalid, locality is disabled, or the buffer is full.
 func (s *stealScheduler) submitLocal(t *task, workerID int) bool {
-	if workerID < 0 || workerID >= len(s.side) || s.window <= 0 {
+	win := s.pol.window.Load()
+	if workerID < 0 || workerID >= len(s.side) || win <= 0 {
 		return false
 	}
 	b := &s.side[workerID]
 	b.mu.Lock()
-	if int64(b.q.len()) >= s.window {
+	if int64(b.q.len()) >= win {
 		b.mu.Unlock()
 		return false
 	}
@@ -541,12 +681,13 @@ func (s *stealScheduler) submitLocal(t *task, workerID int) bool {
 // submitLocalBatch implements localSubmitter: takes a window-bounded
 // prefix of ts into the worker's submit buffer and returns how many.
 func (s *stealScheduler) submitLocalBatch(ts []*task, workerID int) int {
-	if workerID < 0 || workerID >= len(s.side) || s.window <= 0 || len(ts) == 0 {
+	win := s.pol.window.Load()
+	if workerID < 0 || workerID >= len(s.side) || win <= 0 || len(ts) == 0 {
 		return 0
 	}
 	b := &s.side[workerID]
 	b.mu.Lock()
-	room := s.window - int64(b.q.len())
+	room := win - int64(b.q.len())
 	take := len(ts)
 	if int64(take) > room {
 		take = int(room)
@@ -610,14 +751,35 @@ func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
 	if len(ts) == 0 {
 		return
 	}
-	s.pending.Add(int64(len(ts)))
+	n := len(ts)
+	s.pending.Add(int64(n))
+	// Criticality-first: peel the positive-priority tasks off to the crit
+	// heap (compacting the rest in place — ts is the caller's reusable
+	// scratch, already scrubbed after this call returns).
+	if s.pol.critFirst.Load() != 0 {
+		kept := 0
+		for _, t := range ts {
+			if atomic.LoadInt64(&t.priority) > 0 {
+				s.pushCrit(t)
+			} else {
+				ts[kept] = t
+				kept++
+			}
+		}
+		ts = ts[:kept]
+		if len(ts) == 0 {
+			s.wakeWorkers(n, -1)
+			return
+		}
+	}
 	// Fill the hinted worker's deque up to the locality window, then walk
 	// outward: same-domain sibling buffers, then the injector — so a wide
 	// fan still spreads across the pool without every other worker
 	// stealing it back one task at a time, but spreads domain-first.
+	win := s.pol.window.Load()
 	local := 0
 	dom := -1
-	if room := s.localRoom(workerHint); room > 0 {
+	if room := s.localRoom(workerHint, win); room > 0 {
 		local = len(ts)
 		if int64(local) > room {
 			local = int(room)
@@ -631,7 +793,7 @@ func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
 	rest := ts[local:]
 	if len(rest) > 0 && workerHint >= 0 && workerHint < len(s.deques) {
 		dom = int(s.domOf[workerHint])
-		for len(rest) > 0 && s.spillSibling(rest[0], workerHint, dom) {
+		for len(rest) > 0 && s.spillSibling(rest[0], workerHint, dom, win) {
 			rest = rest[1:]
 		}
 	}
@@ -649,9 +811,10 @@ func (s *stealScheduler) pushBatch(ts []*task, workerHint int) {
 			inj.mu.Unlock()
 			inj.n.Add(int64(len(rest)))
 			s.traffic[dom].injPush.Add(uint64(len(rest)))
+			s.sig.injPush.Add(uint64(len(rest)))
 		}
 	}
-	s.wakeWorkers(len(ts), dom)
+	s.wakeWorkers(n, dom)
 }
 
 // wakeWorkers unparks up to n workers if any are parked, scanning the
@@ -694,10 +857,12 @@ func (s *stealScheduler) wakeWorkers(n, pref int) {
 	}
 }
 
-// injectorGrab caps how much of the injector backlog one refill moves into
-// a worker's deque; crossGrab is the smaller cap used when raiding ANOTHER
-// domain's injector — cross-domain overflow relieves an overloaded domain
-// without bulk-migrating its backlog away from the caches it was aimed at.
+// injectorGrab is the default own-domain refill chunk (the initial value
+// of the policy layer's refillChunk word, which the adaptive controller
+// may retune); crossGrab is the smaller fixed cap used when raiding
+// ANOTHER domain's injector — cross-domain overflow relieves an
+// overloaded domain without bulk-migrating its backlog away from the
+// caches it was aimed at.
 const (
 	injectorGrab = 32
 	crossGrab    = 8
@@ -720,7 +885,7 @@ func (s *stealScheduler) refill(w, d int, cross bool) *task {
 		return nil
 	}
 	grab := n/len(s.deques) + 1
-	cap := injectorGrab
+	cap := int(s.pol.refillChunk.Load())
 	if cross {
 		cap = crossGrab
 	}
@@ -829,7 +994,46 @@ func (s *stealScheduler) nextRand(w int) uint64 {
 
 func (s *stealScheduler) pop(workerID int) (*task, bool) {
 	ownDom := int(s.domOf[workerID])
+	fast := workerID < s.fastN
+	class := s.classOf(workerID)
 	for {
+		// The policy class gate: a worker whose class is inactive parks
+		// outside the pool until the mask widens. Anything it still holds
+		// locally must be handed off first — pending counts it, but parked
+		// peers are only woken by new pushes (pushOwned in particular wakes
+		// nobody, betting the owner pops next), so a task left in the gating
+		// worker's deque or submit buffer would strand with every
+		// active-class worker already asleep. Spill it to the injector and
+		// wake for it; a hinted submission landing in the side buffer after
+		// the spill is covered by submitLocal's own wake plus stealSide.
+		if !s.pol.classActive(class) {
+			n := s.evacuate(workerID)
+			if n == 0 && s.pending.Load() > 0 {
+				// This worker may be here because a pusher's wake signal
+				// landed on it while work sits elsewhere (injector, another
+				// deque). Pass the wake along rather than absorbing it: the
+				// next lot waiter either takes the work or, gated too,
+				// relays again until an active-class worker gets it.
+				n = 1
+			}
+			if n > 0 {
+				s.wakeWorkers(n, ownDom)
+			}
+			if s.gatePark(workerID, class) {
+				return nil, false // shutdown wake
+			}
+			continue
+		}
+		// Criticality-first: fast-class workers serve the crit heap before
+		// anything local — the CATS rule that the most critical ready task
+		// belongs on the fastest core, switched by the policy layer (one
+		// lock-free load when the mode is off and the heap long drained).
+		if fast {
+			if t := s.popCrit(); t != nil {
+				s.pending.Add(-1)
+				return t, false
+			}
+		}
 		// Claim the hinted submissions aimed at this worker first — they
 		// were routed here for this worker's cache (one lock-free check in
 		// the common empty case).
@@ -866,6 +1070,15 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 			s.pending.Add(-1)
 			return t, true
 		}
+		// Slow-class last resort under criticality-first: with every other
+		// source dry, running a critical task on a slow worker beats
+		// leaving it queued while this worker parks.
+		if !fast {
+			if t := s.popCrit(); t != nil {
+				s.pending.Add(-1)
+				return t, false
+			}
+		}
 		if contended {
 			// Someone holds work we raced for; try again without parking —
 			// but yield first so the holder can make progress when cores
@@ -900,6 +1113,7 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 				s.parked.Add(-1)
 				break
 			}
+			s.sig.parks.Add(1)
 			if s.rec != nil {
 				s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
 			}
@@ -907,6 +1121,7 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 			dp.n.Add(-1)
 			s.parked.Add(-1)
 			slept = true
+			s.sig.wakes.Add(1)
 			if s.rec != nil {
 				s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
 			}
@@ -923,6 +1138,60 @@ func (s *stealScheduler) pop(workerID int) (*task, bool) {
 	}
 }
 
+// evacuate spills everything a gating worker still owns — its submit
+// buffer and then its deque — to the home domain's injector and returns
+// how many tasks moved, so an active-class worker can be woken to refill
+// from there.
+func (s *stealScheduler) evacuate(workerID int) int {
+	if s.side[workerID].n.Load() > 0 {
+		s.drainSide(workerID)
+	}
+	d := int(s.domOf[workerID])
+	n := 0
+	for {
+		t := s.deques[workerID].popBottom()
+		if t == nil {
+			break
+		}
+		s.inject(t, d)
+		n++
+	}
+	return n
+}
+
+// gatePark blocks workerID at the class gate until its class is active
+// again (false) or the pool is waking for shutdown (true).
+func (s *stealScheduler) gatePark(workerID, class int) (shutdown bool) {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	for {
+		if s.woken.Load() {
+			return true
+		}
+		if s.pol.classActive(class) {
+			return false
+		}
+		s.sig.parks.Add(1)
+		if s.rec != nil {
+			s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
+		}
+		s.gateCond.Wait()
+		s.sig.wakes.Add(1)
+		if s.rec != nil {
+			s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
+		}
+	}
+}
+
+// policyChanged implements policyNotifier: gated workers re-examine the
+// class mask. The broadcast is made under the gate mutex so it cannot
+// slip between a parking worker's mask check and its Wait.
+func (s *stealScheduler) policyChanged() {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	s.gateCond.Broadcast()
+}
+
 func (s *stealScheduler) wake() {
 	s.woken.Store(true)
 	for d := range s.parks {
@@ -930,6 +1199,26 @@ func (s *stealScheduler) wake() {
 		dp.mu.Lock()
 		dp.cond.Broadcast()
 		dp.mu.Unlock()
+	}
+	s.gateMu.Lock()
+	s.gateCond.Broadcast()
+	s.gateMu.Unlock()
+}
+
+// reportDepths implements depthReporter: every deque, injector, submit
+// buffer, and the crit heap.
+func (s *stealScheduler) reportDepths(smp *signalSample) {
+	for _, d := range s.deques {
+		smp.noteDepth(d.size())
+	}
+	for i := range s.injs {
+		smp.noteDepth(s.injs[i].n.Load())
+	}
+	for i := range s.side {
+		smp.noteDepth(s.side[i].n.Load())
+	}
+	if n := s.critN.Load(); n > 0 {
+		smp.noteDepth(n)
 	}
 }
 
@@ -1004,7 +1293,13 @@ type catsScheduler struct {
 	nd    int
 	domOf []int32
 	woken bool
-	rec   *flightrec.Recorder
+	// pol/sig/classOf wire the policy class gate and signal counters: an
+	// inactive class's workers wait without taking work (CATS's native
+	// criticality gating is unaffected — the class gate composes on top).
+	pol     *policyWords
+	sig     *signals
+	classOf func(int) int
+	rec     *flightrec.Recorder
 }
 
 // catsAffinitySlack bounds how much snapshot priority CATS will trade for
@@ -1038,16 +1333,30 @@ type catsEntry struct {
 	aff int32
 }
 
-func newCATSScheduler(layout classLayout, rec *flightrec.Recorder) *catsScheduler {
+func newCATSScheduler(layout classLayout, pol *policyWords, sig *signals, rec *flightrec.Recorder) *catsScheduler {
 	s := &catsScheduler{
 		fastN:    layout.fastN,
 		lastCrit: make([]bool, layout.fastN),
 		nd:       layout.domainCount(),
 		domOf:    layout.domainOf,
+		pol:      pol,
+		sig:      sig,
+		classOf:  layout.class,
 		rec:      rec,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// kick delivers a push wakeup: one signal in the ungated steady state, a
+// broadcast while any class is parked at the gate (so the wakeup cannot
+// die on a gated worker).
+func (s *catsScheduler) kick() {
+	if s.pol.gated() {
+		s.cond.Broadcast()
+	} else {
+		s.cond.Signal()
+	}
 }
 
 // entryDomain maps an entry's affinity snapshot to a domain (-1 = none).
@@ -1155,7 +1464,7 @@ func (s *catsScheduler) push(t *task, _ int) {
 	s.mu.Lock()
 	s.insert(t)
 	s.mu.Unlock()
-	s.cond.Signal()
+	s.kick()
 }
 
 func (s *catsScheduler) pushBatch(ts []*task, _ int) {
@@ -1168,7 +1477,7 @@ func (s *catsScheduler) pushBatch(ts []*task, _ int) {
 	}
 	s.mu.Unlock()
 	if len(ts) == 1 {
-		s.cond.Signal()
+		s.kick()
 	} else {
 		s.cond.Broadcast()
 	}
@@ -1183,7 +1492,7 @@ func (s *catsScheduler) bump(t *task) {
 	s.mu.Lock()
 	s.insert(t)
 	s.mu.Unlock()
-	s.cond.Signal()
+	s.kick()
 }
 
 // take pops the best entry workerID's class may dispatch right now,
@@ -1231,9 +1540,28 @@ func (s *catsScheduler) taskDone(workerID int) {
 
 func (s *catsScheduler) pop(workerID int) (*task, bool) {
 	fast := workerID < s.fastN
+	class := s.classOf(workerID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		// The policy class gate: an inactive class's worker waits without
+		// taking work and without joining the fastIdle baton accounting (a
+		// gated fast worker must not attract the critical-work signal).
+		if !s.pol.classActive(class) {
+			if s.woken {
+				return nil, false
+			}
+			s.sig.parks.Add(1)
+			if s.rec != nil {
+				s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
+			}
+			s.cond.Wait()
+			s.sig.wakes.Add(1)
+			if s.rec != nil {
+				s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
+			}
+			continue
+		}
 		if e, fromCrit, ok := s.take(workerID); ok {
 			// The claim CAS only succeeds against the exact claim word the
 			// entry snapshotted: a stale duplicate of an already-dispatched
@@ -1281,6 +1609,7 @@ func (s *catsScheduler) pop(workerID int) (*task, bool) {
 		if fast {
 			s.fastIdle++
 		}
+		s.sig.parks.Add(1)
 		if s.rec != nil {
 			s.rec.RecordWorker(workerID, flightrec.KindPark, 0, 0, 0)
 		}
@@ -1288,6 +1617,7 @@ func (s *catsScheduler) pop(workerID int) (*task, bool) {
 		if fast {
 			s.fastIdle--
 		}
+		s.sig.wakes.Add(1)
 		if s.rec != nil {
 			s.rec.RecordWorker(workerID, flightrec.KindWake, 0, 0, 0)
 		}
@@ -1299,4 +1629,22 @@ func (s *catsScheduler) wake() {
 	s.woken = true
 	s.mu.Unlock()
 	s.cond.Broadcast()
+}
+
+// policyChanged implements policyNotifier: gated workers re-examine the
+// class mask. The broadcast is made under the queue mutex so it cannot
+// slip between a worker's mask check and its Wait.
+func (s *catsScheduler) policyChanged() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// reportDepths implements depthReporter: the two heaps.
+func (s *catsScheduler) reportDepths(smp *signalSample) {
+	s.mu.Lock()
+	c, p := int64(len(s.crit)), int64(len(s.plain))
+	s.mu.Unlock()
+	smp.noteDepth(c)
+	smp.noteDepth(p)
 }

@@ -264,10 +264,38 @@ func TestTaskRingShrinksWhenMostlyEmpty(t *testing.T) {
 	}
 }
 
+// --- test constructors -------------------------------------------------------
+
+// layoutClassCount counts the classes a layout spans (1 for nil classOf).
+func layoutClassCount(l classLayout) int {
+	n := 1
+	for _, c := range l.classOf {
+		if c+1 > n {
+			n = c + 1
+		}
+	}
+	return n
+}
+
+// newTestSteal/newTestCATS/newTestFIFO build schedulers with a fresh
+// policy/signals pair, the way New wires them.
+func newTestSteal(l classLayout, window int) *stealScheduler {
+	return newStealScheduler(l, newPolicyWords(window, layoutClassCount(l)), newSignals(l.workers), nil)
+}
+
+func newTestCATS(l classLayout) *catsScheduler {
+	return newCATSScheduler(l, newPolicyWords(defaultLocalityWindow, layoutClassCount(l)), newSignals(l.workers), nil)
+}
+
+func newTestFIFO(workers int) *fifoScheduler {
+	l := homogeneousLayout(workers)
+	return newFIFOScheduler(l, newPolicyWords(defaultLocalityWindow, 1), newSignals(workers), nil)
+}
+
 // --- CATS heap ---------------------------------------------------------------
 
 func TestCATSHeapPopsByPriorityThenSeq(t *testing.T) {
-	s := newCATSScheduler(homogeneousLayout(4), nil)
+	s := newTestCATS(homogeneousLayout(4))
 	mk := func(prio int64, seq int64) *task { return &task{priority: prio, seq: seq} }
 	ts := []*task{mk(1, 0), mk(9, 1), mk(5, 2), mk(9, 3), mk(0, 4)}
 	for _, tk := range ts {
@@ -286,7 +314,7 @@ func TestCATSHeapPopsByPriorityThenSeq(t *testing.T) {
 // superseded entry must be discarded lazily, never dispatching the task a
 // second time.
 func TestCATSHeapBumpReinsertsAndDiscardsStale(t *testing.T) {
-	s := newCATSScheduler(homogeneousLayout(4), nil)
+	s := newTestCATS(homogeneousLayout(4))
 	t1 := &task{priority: 0, seq: 1}
 	t2 := &task{priority: 0, seq: 2}
 	s.push(t1, -1)
@@ -313,9 +341,9 @@ func TestCATSHeapBumpReinsertsAndDiscardsStale(t *testing.T) {
 
 func TestWakeUnblocksPoppingWorkers(t *testing.T) {
 	for _, mk := range []func() scheduler{
-		func() scheduler { return newFIFOScheduler(nil) },
-		func() scheduler { return newStealScheduler(homogeneousLayout(4), defaultLocalityWindow, nil) },
-		func() scheduler { return newCATSScheduler(homogeneousLayout(4), nil) },
+		func() scheduler { return newTestFIFO(4) },
+		func() scheduler { return newTestSteal(homogeneousLayout(4), defaultLocalityWindow) },
+		func() scheduler { return newTestCATS(homogeneousLayout(4)) },
 	} {
 		s := mk()
 		var wg sync.WaitGroup

@@ -39,6 +39,14 @@ type depShard struct {
 	// empty so completed tasks are collectable (and their records
 	// recyclable).
 	tasks []*task
+	// predScratch is the registration scratch trackDeps collects
+	// predecessor refs into and linkPreds consumes, valid only while this
+	// shard (the registering task's log shard) is locked. Living on the
+	// shard rather than the task record, its capacity converges to the
+	// workload's fan width once per shard instead of once per pooled
+	// record — records drifting into a wide-fan role for the first time
+	// were the last steady-state allocation trickle.
+	predScratch []taskRef
 }
 
 func newShards(n int) []*depShard {

@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// depthBuckets is the fixed size of the queue-depth histogram: bucket 0
+// holds empty queues, bucket i (1 ≤ i < depthBuckets-1) queues of depth
+// [2^(i-1), 2^i), and the last bucket everything deeper.
+const depthBuckets = 8
+
+// workerSig is one worker's slice of the signals layer: plain counters
+// the worker bumps with uncontended atomic adds on its own cache line.
+// The padding keeps neighbouring workers' counters off one line.
+type workerSig struct {
+	executed uint64 // tasks whose body ran on this worker
+	steals   uint64 // dispatches stolen from another worker's queue
+	skipped  uint64 // tasks skipped on an already-cancelled context
+	homeHit  uint64 // dispatches executed on the worker they were released toward
+	homeMiss uint64 // dispatches that migrated away from their release target
+	_        [3]uint64
+}
+
+// signals is the runtime's self-observation layer: the one set of cheap
+// counters every hot path already touches, from which both the public
+// Stats snapshot and the adaptive controller's samples are derived. The
+// per-worker counters live in workers (padded, owner-bumped); the
+// cross-cutting ones — injector pressure, park/wake churn, critical
+// submissions — are single atomics bumped at the schedulers' slow-path
+// sites only, so the busy steady state never contends on them.
+type signals struct {
+	workers []workerSig
+	// injPush counts tasks routed through a central injector (steal
+	// scheduler only): the pressure signal that distinguishes a fan-out
+	// phase (releases overflow the locality path) from a chain phase.
+	injPush atomic.Uint64
+	// parks and wakes count worker park/wake transitions across all
+	// schedulers and the class gate — the churn signal of a pool that is
+	// under-loaded (or thrashing between phases).
+	parks atomic.Uint64
+	wakes atomic.Uint64
+	// critSubmit counts submissions carrying a positive priority hint —
+	// the phase signal for switching criticality-first placement on.
+	critSubmit atomic.Uint64
+	// epoch numbers sampleSignals snapshots; the flight-recorder signals
+	// event carries it, and the verifier matches decision events to the
+	// sample epoch they were reasoned from.
+	epoch atomic.Uint64
+}
+
+func newSignals(workers int) *signals {
+	return &signals{workers: make([]workerSig, workers)}
+}
+
+// signalSample is one epoch snapshot of the signals layer — everything
+// the adaptive controller reasons from, and the aggregation StatsInto
+// serves. Counters are cumulative (the controller diffs consecutive
+// samples); PerWorker/PerClass reuse their capacity across samples, so a
+// warmed sample is refilled with zero allocations.
+type signalSample struct {
+	Epoch      uint64
+	Submitted  uint64
+	Executed   uint64
+	Steals     uint64
+	Skipped    uint64
+	HomeHit    uint64
+	HomeMiss   uint64
+	InjPush    uint64
+	Parks      uint64
+	Wakes      uint64
+	CritSubmit uint64
+	// Pending is the number of queued (ready, undispatched) tasks at
+	// sample time — the sum over Depth.
+	Pending int64
+	// PerWorker and PerClass are cumulative executed counts by worker and
+	// by class.
+	PerWorker []uint64
+	PerClass  []uint64
+	// Depth is the queue-depth histogram over the scheduler's queues at
+	// sample time (see depthBuckets): a deep tail means a fan-out phase, a
+	// near-empty histogram a chain or idle phase.
+	Depth [depthBuckets]uint32
+}
+
+// depthReporter is implemented by schedulers that expose their queue
+// depths to the sampler: reportDepths calls smp.noteDepth once per queue
+// with its current length. The sample pointer is passed rather than a
+// yield closure so the sampler stays allocation-free — a closure literal
+// capturing the sample escapes and costs one allocation per snapshot.
+// Optional: the sampler type-asserts; without it the depth histogram
+// stays zero.
+type depthReporter interface {
+	reportDepths(smp *signalSample)
+}
+
+// noteDepth folds one queue's depth into the snapshot's histogram and
+// pending total.
+func (s *signalSample) noteDepth(n int64) {
+	s.Depth[depthBucket(n)]++
+	s.Pending += n
+}
+
+// depthBucket maps a queue depth to its histogram bucket.
+func depthBucket(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(n))
+	if b > depthBuckets-1 {
+		b = depthBuckets - 1
+	}
+	return b
+}
+
+// sampleSignals fills s with an epoch-stamped snapshot of the signals
+// layer, reusing s's slice capacity — allocation-free once s has been
+// warmed to the pool's worker and class counts. Each call advances the
+// epoch.
+func (r *Runtime) sampleSignals(s *signalSample) {
+	sig := r.sig
+	s.Epoch = sig.epoch.Add(1)
+	s.Submitted = uint64(atomic.LoadInt64(&r.seq))
+	s.InjPush = sig.injPush.Load()
+	s.Parks = sig.parks.Load()
+	s.Wakes = sig.wakes.Load()
+	s.CritSubmit = sig.critSubmit.Load()
+	if cap(s.PerWorker) < len(sig.workers) {
+		s.PerWorker = make([]uint64, len(sig.workers))
+	}
+	s.PerWorker = s.PerWorker[:len(sig.workers)]
+	if cap(s.PerClass) < len(r.classes) {
+		s.PerClass = make([]uint64, len(r.classes))
+	}
+	s.PerClass = s.PerClass[:len(r.classes)]
+	for i := range s.PerClass {
+		s.PerClass[i] = 0
+	}
+	s.Executed, s.Steals, s.Skipped, s.HomeHit, s.HomeMiss = 0, 0, 0, 0, 0
+	for i := range sig.workers {
+		w := &sig.workers[i]
+		e := atomic.LoadUint64(&w.executed)
+		s.PerWorker[i] = e
+		s.PerClass[r.classOf[i]] += e
+		s.Executed += e
+		s.Steals += atomic.LoadUint64(&w.steals)
+		s.Skipped += atomic.LoadUint64(&w.skipped)
+		s.HomeHit += atomic.LoadUint64(&w.homeHit)
+		s.HomeMiss += atomic.LoadUint64(&w.homeMiss)
+	}
+	s.Depth = [depthBuckets]uint32{}
+	s.Pending = 0
+	if dr, ok := r.sched.(depthReporter); ok {
+		dr.reportDepths(s)
+	}
+}

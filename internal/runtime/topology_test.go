@@ -150,7 +150,7 @@ func TestVictimSweepDomainFirstProperty(t *testing.T) {
 			fastN = 1 + rng.Intn(workers-1)
 		}
 		layout := classLayout{workers: workers, fastN: fastN, domains: len(domains), domainOf: domainOf}
-		s := newStealScheduler(layout, 0, nil)
+		s := newTestSteal(layout, 0)
 		desc := func() string {
 			return fmt.Sprintf("trial %d: workers=%d fastN=%d domains=%v domainOf=%v",
 				trial, workers, fastN, domains, domainOf)

@@ -11,7 +11,7 @@ import (
 // Spec configures the throughput experiment through the raa registry.
 type Spec struct {
 	// Scenarios: parallel, fanout, chain, random, steal, longrun, hetero,
-	// locality, topology; empty = all.
+	// locality, topology, adaptive; empty = all.
 	Scenarios []string `json:"scenarios,omitempty"`
 	// Schedulers: worksteal, fifo, cats; empty = all.
 	Schedulers []string `json:"schedulers,omitempty"`
@@ -163,6 +163,18 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 			// a memory-domain boundary.
 			res.Metrics[key+"_cross_domain_frac"] = p.CrossDomainFrac
 		}
+		if p.Scenario == ScenarioAdaptive {
+			res.Metrics[key+"_ns_per_task"] = p.NsPerTask
+			if p.Speedup > 0 {
+				// The adaptive verdict: the minimum over the static arms of
+				// the median per-round paired ratio — > 1 means the
+				// controller beat every static configuration.
+				res.Metrics[key+"_speedup"] = p.Speedup
+			}
+			if p.AdaptiveDecisions > 0 {
+				res.Metrics[key+"_decisions"] = float64(p.AdaptiveDecisions)
+			}
+		}
 	}
 	for _, n := range summarize(pts) {
 		res.Notes = append(res.Notes, n)
@@ -282,7 +294,27 @@ func summarize(pts []Point) []string {
 	notes = append(notes, localityNotes(pts)...)
 	notes = append(notes, topologyNotes(pts)...)
 	notes = append(notes, heteroNotes(pts)...)
+	notes = append(notes, adaptiveNotes(pts)...)
 	return notes
+}
+
+// adaptiveNotes summarises the adaptive scenario: the controller arm's
+// worst-case advantage over the static arms (Point.Speedup is already the
+// minimum over arms of the median per-round ratio) and how many policy
+// decisions produced it.
+func adaptiveNotes(pts []Point) []string {
+	var best Point
+	for _, p := range pts {
+		if p.Scenario == ScenarioAdaptive && p.Speedup > best.Speedup {
+			best = p
+		}
+	}
+	if best.Speedup <= 0 {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"adaptive: the monitor→reason→adapt controller beat every static arm by ≥ %.2fx (median of paired rounds; %s mode, %d decisions applied)",
+		best.Speedup, best.Mode, best.AdaptiveDecisions)}
 }
 
 // localityNotes summarises the locality scenario: the best locality-on

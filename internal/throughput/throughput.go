@@ -86,6 +86,21 @@ const (
 	// (Point.CrossDomainFrac) — cross-domain traffic is the first-class
 	// metric, not just the rate.
 	ScenarioTopology = "topology"
+	// ScenarioAdaptive is the phase-shifting workload the adaptive
+	// controller is built for, run on an asymmetric (fast+slow-class) pool:
+	// legs alternate serial chain segments (InOut links with speed-scaled
+	// bodies and no priority hints, so no static scheduler gets placement
+	// help) with wide fan bursts and short idle gaps. No single static
+	// configuration fits both phases — chains want the slow class parked so
+	// links stop landing on workers that hold them SlowFactor× longer, fans
+	// want the whole pool — so the scenario compares static arms (worksteal
+	// with and without locality, cats) against worksteal+WithAdaptive as
+	// drift-cancelling paired rounds. The adaptive arm's Point.Speedup is
+	// the minimum over the static arms of the median per-round ratio: > 1
+	// means adaptation beat every static setting, not just the weakest.
+	// Unlike the other scenarios this one does not sweep the scheduler
+	// axis — the scheduler configurations are its arms.
+	ScenarioAdaptive = "adaptive"
 )
 
 // stealFan is the children-per-root fan-out of ScenarioSteal.
@@ -134,7 +149,7 @@ const (
 
 // Scenarios lists every scenario in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero, ScenarioLocality, ScenarioTopology}
+	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero, ScenarioLocality, ScenarioTopology, ScenarioAdaptive}
 }
 
 // Config parameterises a sweep.
@@ -227,6 +242,11 @@ type Point struct {
 	// dispatches that crossed a memory-domain boundary (ScenarioTopology
 	// only; 0 by definition on the single-domain baseline).
 	CrossDomainFrac float64
+	// AdaptiveDecisions is the number of policy changes the adaptive
+	// controller applied over this cell's legs (ScenarioAdaptive's adaptive
+	// arm only) — the evidence that a reported speedup came from online
+	// adaptation rather than a lucky static setting.
+	AdaptiveDecisions uint64
 	// NsPerTask is the headline latency view of the rate: Elapsed/Tasks in
 	// nanoseconds.
 	NsPerTask float64
@@ -279,6 +299,23 @@ func Run(ctx context.Context, cfg Config) ([]Point, error) {
 	for _, scenario := range cfg.Scenarios {
 		if err := validScenario(scenario); err != nil {
 			return nil, err
+		}
+		// The adaptive scenario's arms are scheduler configurations, so it
+		// skips the scheduler axis and runs once per (shards, mode) cell.
+		if scenario == ScenarioAdaptive {
+			for _, shards := range cfg.Shards {
+				for _, mode := range modes {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					ps, err := runAdaptive(ctx, shards, mode, cfg, &st)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, ps...)
+				}
+			}
+			continue
 		}
 		for _, schedName := range cfg.Schedulers {
 			kind, err := runtime.SchedulerByName(schedName)
@@ -812,6 +849,261 @@ func runPaired(ctx context.Context, scenario string, kind runtime.SchedulerKind,
 		pts = append(pts, p)
 	}
 	return pts, nil
+}
+
+// ScenarioAdaptive's phase shape: each segment pair is one serial chain of
+// adaptiveChainLinks speed-scaled links followed by a fan burst of
+// 2×Workers fixed-grain tasks, with an adaptiveIdleGap pause after each
+// pair (and one before the first) — the quiet beat in which the adaptive
+// arm's controller observes the phase and retunes before the next segment
+// starts.
+const (
+	adaptiveChainLinks = 64
+	adaptiveIdleGap    = 500 * time.Microsecond
+	// defaultAdaptiveGrain is the per-link spin grain when Config.Grain is
+	// unset: heavy enough that a chain segment's wall time dwarfs
+	// submission and hand-off overhead, so the measured ratio is placement,
+	// not bookkeeping.
+	defaultAdaptiveGrain = 8192
+	// The adaptive arm's controller settings: a tight sampling period and
+	// minimum hysteresis, so a phase is recognised within the idle gap
+	// separating two segments.
+	adaptivePeriod     = 100 * time.Microsecond
+	adaptiveHysteresis = 1
+)
+
+// adaptiveArm is one arm of ScenarioAdaptive: a full scheduler
+// configuration (the arms ARE the comparison axis) identified by the name
+// reported in Point.Scheduler.
+type adaptiveArm struct {
+	name     string
+	adaptive bool
+	opts     []runtime.Option
+}
+
+// adaptiveArms builds the scenario's arms on the hetero pool: the static
+// configurations a tuner could have frozen — worksteal as shipped,
+// worksteal with the locality window off, and cats — against worksteal
+// under adaptive control.
+func adaptiveArms(shards int, cfg Config) []adaptiveArm {
+	fast, slow, factor := heteroPool(cfg)
+	common := func(extra ...runtime.Option) []runtime.Option {
+		return append([]runtime.Option{
+			runtime.WithWorkerClasses(
+				runtime.WorkerClass{Name: "fast", Count: fast, Speed: 1},
+				runtime.WorkerClass{Name: "slow", Count: slow, Speed: 1 / factor},
+			),
+			runtime.WithShards(shards),
+		}, extra...)
+	}
+	return []adaptiveArm{
+		{name: "worksteal", opts: common(runtime.WithScheduler(runtime.WorkSteal))},
+		{name: "worksteal-nolocal", opts: common(runtime.WithScheduler(runtime.WorkSteal), runtime.WithLocalityWindow(-1))},
+		{name: "cats", opts: common(runtime.WithScheduler(runtime.CATS))},
+		{name: "adaptive", adaptive: true, opts: common(
+			runtime.WithScheduler(runtime.WorkSteal),
+			runtime.WithAdaptive(runtime.AdaptiveOptions{Period: adaptivePeriod, Hysteresis: adaptiveHysteresis}),
+		)},
+	}
+}
+
+// runAdaptive measures ScenarioAdaptive over one (shards, mode) cell as
+// drift-cancelling paired rounds (palindrome legs, like runPaired): every
+// arm executes the same phase-shifting workload, and each round
+// contributes one static/adaptive elapsed ratio per static arm. The
+// adaptive arm's Point carries Speedup = min over static arms of the
+// median per-round ratio, and the controller's total applied-decision
+// count; static arms report no speedup (they are the baselines).
+func runAdaptive(ctx context.Context, shards int, mode string, cfg Config, st *runtime.Stats) ([]Point, error) {
+	arms := adaptiveArms(shards, cfg)
+	adaptIdx := 0
+	for i := range arms {
+		if arms[i].adaptive {
+			adaptIdx = i
+		}
+	}
+	grain := cfg.Grain
+	if grain <= 0 {
+		grain = defaultAdaptiveGrain
+	}
+	// Chain links simulate the asymmetry the class-gating rule exists for:
+	// a link spins SlowFactor× longer on a slow worker. Fan tasks spin a
+	// fixed grain — any worker serves a burst equally well.
+	chainBody := func(ctx context.Context) error {
+		speed := 1.0
+		if pl, ok := runtime.TaskPlacement(ctx); ok {
+			speed = pl.Speed
+		}
+		x := uint64(grain)
+		for i := 0; i < int(float64(grain)/speed); i++ {
+			x = x*1664525 + 1013904223
+		}
+		atomic.AddUint64(&sink, x)
+		return nil
+	}
+	fanBody := taskBody(grain)
+
+	type acc struct {
+		elapsed      time.Duration
+		roundElapsed time.Duration
+		executed     uint64
+		decisions    uint64
+		ratios       []float64
+	}
+	accs := make([]acc, len(arms))
+	resolved := 0
+	runLeg := func(ai, n int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rt := runtime.New(arms[ai].opts...)
+		start := time.Now()
+		time.Sleep(adaptiveIdleGap)
+		remaining := n
+		for seg := 0; remaining > 0; seg++ {
+			links := adaptiveChainLinks
+			if links > remaining {
+				links = remaining
+			}
+			if err := submitAdaptiveSegment(ctx, rt, mode, "link", links, int64(seg), chainBody); err != nil {
+				rt.Shutdown()
+				return err
+			}
+			if err := rt.WaitCtx(ctx); err != nil {
+				rt.Shutdown()
+				return err
+			}
+			remaining -= links
+			if remaining > 0 {
+				fan := 2 * cfg.Workers
+				if fan > remaining {
+					fan = remaining
+				}
+				if err := submitAdaptiveSegment(ctx, rt, mode, "fan", fan, -1, fanBody); err != nil {
+					rt.Shutdown()
+					return err
+				}
+				if err := rt.WaitCtx(ctx); err != nil {
+					rt.Shutdown()
+					return err
+				}
+				remaining -= fan
+			}
+			time.Sleep(adaptiveIdleGap)
+		}
+		el := time.Since(start)
+		rt.StatsInto(st)
+		resolved = rt.Shards()
+		rt.Shutdown()
+		if st.Executed != uint64(n) {
+			return fmt.Errorf("throughput: %s/%s shards=%d %s lost tasks: executed %d of %d",
+				ScenarioAdaptive, arms[ai].name, resolved, mode, st.Executed, n)
+		}
+		a := &accs[ai]
+		a.elapsed += el
+		a.roundElapsed += el
+		a.executed += st.Executed
+		a.decisions += st.Adaptive.Decisions
+		return nil
+	}
+
+	rounds := cfg.PairRounds
+	if rounds <= 0 {
+		rounds = defaultPairRounds
+	}
+	if maxRounds := cfg.Tasks / 2; rounds > maxRounds {
+		rounds = maxRounds
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	remaining := cfg.Tasks
+	for r := 0; r < rounds; r++ {
+		roundTasks := remaining / (rounds - r)
+		remaining -= roundTasks
+		legA := roundTasks / 2
+		legB := roundTasks - legA
+		for i := range accs {
+			accs[i].roundElapsed = 0
+		}
+		for ai := 0; ai < len(arms); ai++ {
+			if err := runLeg(ai, legA); err != nil {
+				return nil, err
+			}
+		}
+		for ai := len(arms) - 1; ai >= 0; ai-- {
+			if err := runLeg(ai, legB); err != nil {
+				return nil, err
+			}
+		}
+		ad := accs[adaptIdx].roundElapsed
+		if ad <= 0 {
+			continue
+		}
+		for ai := range arms {
+			if ai == adaptIdx || accs[ai].roundElapsed <= 0 {
+				continue
+			}
+			accs[ai].ratios = append(accs[ai].ratios, float64(accs[ai].roundElapsed)/float64(ad))
+		}
+	}
+
+	total := cfg.Tasks
+	pts := make([]Point, 0, len(arms))
+	speedup := 0.0
+	for ai := range arms {
+		if ai == adaptIdx {
+			continue
+		}
+		m := medianOf(accs[ai].ratios)
+		if speedup == 0 || m < speedup {
+			speedup = m
+		}
+	}
+	for ai, arm := range arms {
+		a := accs[ai]
+		p := Point{
+			Scenario:    ScenarioAdaptive,
+			Scheduler:   arm.name,
+			Shards:      resolved,
+			Mode:        mode,
+			Tasks:       total,
+			Elapsed:     a.elapsed,
+			TasksPerSec: float64(total) / a.elapsed.Seconds(),
+			NsPerTask:   float64(a.elapsed.Nanoseconds()) / float64(total),
+			Executed:    a.executed,
+		}
+		if arm.adaptive {
+			p.Speedup = speedup
+			p.AdaptiveDecisions = a.decisions
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// submitAdaptiveSegment submits one phase segment and is mode-aware: a
+// chain segment (key ≥ 0) serialises its n tasks InOut on the segment key,
+// a fan segment (key < 0) submits n independent tasks.
+func submitAdaptiveSegment(ctx context.Context, rt *runtime.Runtime, mode, name string, n int, key int64, body runtime.Body) error {
+	var deps []runtime.Dep
+	if key >= 0 {
+		deps = []runtime.Dep{runtime.InOut(key)}
+	}
+	if mode == "batch" {
+		specs := make([]runtime.TaskSpec, n)
+		for i := range specs {
+			specs[i] = runtime.TaskSpec{Name: name, Cost: 1, Body: body, Deps: deps}
+		}
+		_, err := rt.SubmitBatchCtx(ctx, specs)
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := rt.SubmitCtx(ctx, name, 1, body, deps...); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // submitChains submits n chain links in round-robin waves — one wave holds

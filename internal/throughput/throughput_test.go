@@ -27,9 +27,11 @@ func TestRunAllScenarios(t *testing.T) {
 		t.Fatal(err)
 	}
 	// scenarios × schedulers × shards × modes(single, batch); the locality
-	// scenario additionally sweeps its two default window cells (off, on)
-	// and the topology scenario its two variant cells (flat, domain-aware).
-	want := (len(Scenarios()) + 2) * 1 * 2 * 2
+	// scenario additionally sweeps its two default window cells (off, on),
+	// the topology scenario its two variant cells (flat, domain-aware), and
+	// the adaptive scenario runs four arms per (shards, mode) cell instead
+	// of the scheduler axis (three extra rows at one configured scheduler).
+	want := (len(Scenarios()) + 2 + 3) * 1 * 2 * 2
 	if len(pts) != want {
 		t.Fatalf("got %d points, want %d", len(pts), want)
 	}
@@ -167,11 +169,11 @@ func TestSummarizeNotes(t *testing.T) {
 	}
 	notes := summarize(pts)
 	// Shard + batch gain per scenario, one locality on-vs-off note, one
-	// topology aware-vs-flat note, plus one hetero placement note per
-	// scheduler in the sweep (a single scheduler here, and no
-	// cats-vs-fifo speedup note without both in the sweep).
-	if want := 2*len(Scenarios()) + 3; len(notes) != want {
-		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario + locality + topology + hetero placement):\n%v",
+	// topology aware-vs-flat note, one hetero placement note per scheduler
+	// in the sweep (a single scheduler here, and no cats-vs-fifo speedup
+	// note without both in the sweep), plus the adaptive controller note.
+	if want := 2*len(Scenarios()) + 4; len(notes) != want {
+		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario + locality + topology + hetero placement + adaptive):\n%v",
 			len(notes), want, notes)
 	}
 	foundHetero, foundLocality := false, false
@@ -280,6 +282,49 @@ func TestTopologyScenarioCells(t *testing.T) {
 	}
 	if !doms[1] || !doms[2] {
 		t.Fatalf("sweep missing the flat/aware cells: %v", doms)
+	}
+}
+
+// The adaptive scenario must produce one cell per arm (three static, one
+// adaptive), execute every task in each, and report the paired speedup and
+// the controller's decision count on the adaptive arm only.
+func TestAdaptiveScenarioCells(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scenarios = []string{ScenarioAdaptive}
+	cfg.Shards = []int{1}
+	cfg.Tasks = 400
+	cfg.Workers = 4
+	pts, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 2; len(pts) != want { // 4 arms × 2 modes
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	arms := map[string]bool{}
+	for _, p := range pts {
+		arms[p.Scheduler] = true
+		if p.Executed != uint64(cfg.Tasks) {
+			t.Errorf("adaptive/%s %s: executed %d, want %d", p.Scheduler, p.Mode, p.Executed, cfg.Tasks)
+		}
+		if p.Scheduler == "adaptive" {
+			if p.Speedup <= 0 {
+				t.Errorf("adaptive arm (%s mode) missing its paired speedup", p.Mode)
+			}
+			if p.AdaptiveDecisions == 0 {
+				t.Errorf("adaptive arm (%s mode) applied no policy decisions", p.Mode)
+			}
+		} else {
+			if p.Speedup != 0 || p.AdaptiveDecisions != 0 {
+				t.Errorf("static arm %s (%s mode) carries adaptive verdicts (%v, %d)",
+					p.Scheduler, p.Mode, p.Speedup, p.AdaptiveDecisions)
+			}
+		}
+	}
+	for _, a := range []string{"worksteal", "worksteal-nolocal", "cats", "adaptive"} {
+		if !arms[a] {
+			t.Fatalf("sweep missing arm %q: %v", a, arms)
+		}
 	}
 }
 
