@@ -72,6 +72,10 @@ type benchSnapshot struct {
 	// applied while earning AdaptiveSpeedup — evidence the speedup came
 	// from adaptation, not a lucky fixed setting.
 	AdaptiveDecisions float64 `json:"adaptive_decisions"`
+	// ServeSubmitP99NS is the service layer's end-to-end submit tail: the
+	// p99 round-trip of POST /v1/graphs (encode → admission → queue → 202)
+	// over a loopback httptest server, in nanoseconds (see servebench.go).
+	ServeSubmitP99NS float64 `json:"serve_submit_p99_ns"`
 }
 
 // record runs one benchmark function and files its result. It honours
@@ -276,6 +280,14 @@ func runBenchJSON(ctx context.Context, path string) error {
 	snap.AdaptiveSpeedup = speedup
 	snap.AdaptiveDecisions = decisions
 
+	// The service-layer tail, through the same e2e harness the serve
+	// tests use (loopback HTTP, real admission, real pool).
+	p99, err := serveSubmitP99(ctx)
+	if err != nil {
+		return err
+	}
+	snap.ServeSubmitP99NS = p99
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -289,9 +301,9 @@ func runBenchJSON(ctx context.Context, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx, topology %.2fx, cross-domain %.1f%%, adaptive %.2fx/%.0f decisions)\n",
+	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx, topology %.2fx, cross-domain %.1f%%, adaptive %.2fx/%.0f decisions, serve p99 %.0fµs)\n",
 		path, len(snap.Benchmarks), snap.CritOnFast, snap.LocalitySpeedup, snap.TopologySpeedup, snap.TopologyCrossFrac*100,
-		snap.AdaptiveSpeedup, snap.AdaptiveDecisions)
+		snap.AdaptiveSpeedup, snap.AdaptiveDecisions, snap.ServeSubmitP99NS/1e3)
 	return nil
 }
 

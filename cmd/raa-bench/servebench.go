@@ -1,0 +1,75 @@
+// The serve-layer benchmark: end-to-end submit latency through the
+// raa-serve HTTP surface (encode → admission → queue → 202), measured
+// over a loopback httptest server with the same harness the e2e tests
+// use. The p99 — not the mean — is the service-level number: admission
+// runs under the server lock, so the tail is where contention and GC
+// pauses would show up.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/servetest"
+)
+
+// serveSubmitP99 boots a loopback server, pushes warm+measured
+// single-task submissions through one tenant, and returns the p99
+// submit round-trip in nanoseconds. Every submission must be admitted:
+// a deferral or rejection means the harness config is wrong for the
+// measurement, not that the tail is long.
+func serveSubmitP99(ctx context.Context) (float64, error) {
+	const (
+		warmup   = 100
+		measured = 1000
+	)
+	h, err := servetest.New(serve.Config{
+		// Generous flow control: the benchmark measures the submit path,
+		// not the shedding policy, so nothing may defer or reject.
+		TenantQuota: 1 << 16,
+		QueueCap:    1 << 16,
+		SoftBacklog: 1 << 30,
+		HardBacklog: 1 << 30,
+		JobHistory:  2 * (warmup + measured),
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer h.Close()
+	c := h.Client("bench")
+	graph := serve.GraphRequest{
+		Tasks: []serve.TaskRequest{{Op: "noop"}},
+	}
+	lat := make([]float64, 0, measured)
+	for i := 0; i < warmup+measured; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		sub, err := c.Submit(graph)
+		rt := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if sub.Code != http.StatusAccepted {
+			return 0, fmt.Errorf("serve bench submit %d: verdict %d %s/%s, want 202",
+				i, sub.Code, sub.Response.Status, sub.Response.Reason)
+		}
+		if i >= warmup {
+			lat = append(lat, float64(rt.Nanoseconds()))
+		}
+	}
+	// Let the pool finish before tearing down — the measurement is done,
+	// and a drained exit keeps the run from racing its own teardown.
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := h.DrainAndClose(dctx); err != nil {
+		return 0, err
+	}
+	sort.Float64s(lat)
+	return lat[(len(lat)*99+99)/100-1], nil
+}

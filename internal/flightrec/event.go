@@ -44,7 +44,39 @@ const (
 	// is the epoch of the triggering sample, Arg2 a PackAdapt word (rule
 	// identifier plus old and new setting).
 	KindAdapt
+	// KindMarker: a request-scoped timeline marker recorded by a layer
+	// above the runtime (the serve front end stamps one per job phase
+	// transition), so a merged timeline can be cut along request
+	// boundaries. Task carries the request/job identifier, Arg a
+	// Marker* phase code, Arg2 a caller-defined correlation word (the
+	// serve layer packs a tenant hash). The invariant checker ignores
+	// markers — they carry provenance, not scheduler state.
+	KindMarker
 )
+
+// Marker phase codes carried in a KindMarker event's Arg word.
+const (
+	// MarkerAdmit: the request was admitted and queued.
+	MarkerAdmit uint64 = 1 + iota
+	// MarkerLaunch: the request's task graph was submitted to the pool.
+	MarkerLaunch
+	// MarkerDone: the request's last task finished.
+	MarkerDone
+)
+
+// MarkerPhaseName renders a marker phase code for dumps.
+func MarkerPhaseName(phase uint64) string {
+	switch phase {
+	case MarkerAdmit:
+		return "admit"
+	case MarkerLaunch:
+		return "launch"
+	case MarkerDone:
+		return "done"
+	default:
+		return fmt.Sprintf("phase(%d)", phase)
+	}
+}
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -67,6 +99,8 @@ func (k Kind) String() string {
 		return "signals"
 	case KindAdapt:
 		return "adapt"
+	case KindMarker:
+		return "marker"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -24,6 +24,14 @@ type TaskSpec struct {
 	Fn func()
 	// Deps are the task's dependence annotations.
 	Deps []Dep
+	// OnDone, if set, is called exactly once on the executing worker when
+	// the task finishes: with the body's error after it returns, or with
+	// the context's error when a cancelled context made the runtime skip
+	// the body. It runs before the task record can be recycled and must
+	// not block — it is on the worker's dispatch path. Service layers use
+	// it for per-graph completion accounting over a shared pool, where the
+	// global Wait is the wrong granularity.
+	OnDone func(error)
 }
 
 // SubmitBatch submits a slice of tasks in one registration pass and
@@ -100,6 +108,9 @@ func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskI
 	var mask uint64
 	for i, sp := range specs {
 		t := r.newTask(ctx, sp.Name, sp.Cost, sp.Priority, sp.Body, sp.Fn, sp.Deps)
+		// Set before linkPreds can publish the task: a predecessor completing
+		// right after the shard section may release (and execute) it.
+		t.onDone = sp.OnDone
 		tasks[i] = t
 		ids[i] = t.id
 		mask |= r.shardPlan(t)

@@ -185,6 +185,12 @@ type task struct {
 	fn         Body
 	plainFn    func() // plain-function body (Submit); fn wins when both are set
 	ctx        context.Context
+	// onDone is the batch path's per-task completion hook (TaskSpec.OnDone):
+	// called exactly once on the executing worker after the body returns (or
+	// after the skip decision on a cancelled context), strictly before the
+	// record can be recycled. Only the dispatching worker reads it, so plain
+	// access suffices.
+	onDone func(error)
 
 	mu    sync.Mutex
 	state taskState
@@ -770,6 +776,7 @@ func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priori
 	t.fn = fn
 	t.plainFn = plain
 	t.ctx = ctx
+	t.onDone = nil // recycled records must not inherit a hook
 	t.state = statePending
 	t.home = -1
 	// Atomic: a late scheduler push for the task that previously occupied
@@ -1058,10 +1065,12 @@ func (r *Runtime) worker(id int) {
 		t.mu.Lock()
 		t.state = stateRunning
 		t.mu.Unlock()
+		var taskErr error
 		if err := t.ctx.Err(); err != nil {
 			// Cancelled before starting: skip the body, record why.
 			atomic.AddUint64(&mySig.skipped, 1)
 			r.setErr(err)
+			taskErr = err
 		} else {
 			switch {
 			case t.fn != nil:
@@ -1087,11 +1096,19 @@ func (r *Runtime) worker(id int) {
 				}
 				if err := t.fn(pc); err != nil {
 					r.setErr(fmt.Errorf("task %s: %w", t.name, err))
+					taskErr = err
 				}
 			case t.plainFn != nil:
 				t.plainFn()
 			}
 			atomic.AddUint64(&mySig.executed, 1)
+		}
+		// The per-task completion hook fires here — after the body (or the
+		// skip decision) and before complete() can recycle the record — so
+		// a service layer can account for every admitted task exactly once,
+		// executed and skipped alike.
+		if t.onDone != nil {
+			t.onDone(taskErr)
 		}
 		if obs != nil {
 			obs.taskDone(id)
@@ -1137,6 +1154,7 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 	t.fn = nil
 	t.plainFn = nil
 	t.ctx = nil
+	t.onDone = nil
 	if recycle {
 		t.name = ""
 		t.clearDeps()
@@ -1232,6 +1250,15 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 		r.waitCond.Broadcast()
 		r.waitMu.Unlock()
 	}
+}
+
+// Backlog reports the number of submitted tasks that have not yet
+// finished — pending, queued, and running alike. It is a single atomic
+// read, cheap enough for per-request admission decisions (the serve
+// layer's controller polls it on every submit), where a full StatsInto
+// snapshot would be disproportionate.
+func (r *Runtime) Backlog() int64 {
+	return atomic.LoadInt64(&r.outstanding)
 }
 
 // Wait blocks until every submitted task has finished (OmpSs taskwait).

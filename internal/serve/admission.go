@@ -1,0 +1,118 @@
+package serve
+
+// Verdict is the admission controller's decision for one submission.
+type Verdict uint8
+
+// The admission verdicts. Admit queues the job; Defer asks the client to
+// retry after a delay (503 + Retry-After — the condition clears when work
+// drains); Reject refuses outright (429 — retrying without changing the
+// request or waiting for quota is pointless); Unavailable is the draining
+// server's terminal 503.
+const (
+	// VerdictAdmit: the job is accepted and queued.
+	VerdictAdmit Verdict = iota
+	// VerdictDefer: transient pressure — retry after the advertised delay.
+	VerdictDefer
+	// VerdictReject: the request exceeds a hard limit right now.
+	VerdictReject
+	// VerdictUnavailable: the server is draining and admits nothing.
+	VerdictUnavailable
+)
+
+// String renders the verdict for metrics labels and logs.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAdmit:
+		return "admit"
+	case VerdictDefer:
+		return "defer"
+	case VerdictReject:
+		return "reject"
+	case VerdictUnavailable:
+		return "unavailable"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// admissionInputs is everything the admission ladder looks at, gathered
+// under the server's lock so one decision sees one consistent snapshot.
+type admissionInputs struct {
+	// draining: the server has stopped admitting (graceful drain).
+	draining bool
+	// lane is the submission's priority lane.
+	lane Lane
+	// cost is the graph's token cost (its task count).
+	cost int64
+	// quota is the tenant's total token quota.
+	quota int64
+	// inFlight is the tenant's tokens currently held by admitted jobs.
+	inFlight int64
+	// queueDepth and queueCap describe the tenant's job queue.
+	queueDepth, queueCap int
+	// backpressured: the tenant queue's high watermark has latched and
+	// the low watermark has not yet cleared it.
+	backpressured bool
+	// poolBacklog is the shared runtime's outstanding-task count, and
+	// softBacklog/hardBacklog the config thresholds it is judged against.
+	poolBacklog, softBacklog, hardBacklog int64
+}
+
+// decision is a verdict plus the reason that produced it.
+type decision struct {
+	verdict Verdict
+	// reason names the rule that fired, for counters and response bodies.
+	reason string
+}
+
+// decide is the admission state machine: a pure function from one
+// snapshot of inputs to a verdict, so every cell of the
+// verdict × backlog × quota × queue-state table is testable without a
+// server, a clock, or a sleep. Rules are ordered most- to least-severe;
+// the first that fires wins.
+//
+// The ladder:
+//
+//	draining                                   → unavailable
+//	cost > quota (can never fit)               → reject  "graph-exceeds-quota"
+//	tenant queue full                          → reject  "queue-full"
+//	pool backlog ≥ hard, telemetry lane        → reject  "overload"
+//	pool backlog ≥ hard, data lane             → defer   "overload"
+//	in-flight + cost > quota (fits later)      → defer   "quota"
+//	tenant backpressured, non-control lane     → defer   "backpressure"
+//	pool backlog ≥ soft, telemetry lane        → defer   "overload"
+//	otherwise                                  → admit
+//
+// Control-lane traffic is only ever stopped by the hard per-tenant limits
+// (drain, queue capacity, quota) — never by shared-pool pressure, so a
+// tenant can always coordinate with the service while its data work is
+// being shed.
+func decide(in admissionInputs) decision {
+	if in.draining {
+		return decision{VerdictUnavailable, "draining"}
+	}
+	if in.cost > in.quota {
+		return decision{VerdictReject, "graph-exceeds-quota"}
+	}
+	if in.queueDepth >= in.queueCap {
+		return decision{VerdictReject, "queue-full"}
+	}
+	if in.hardBacklog > 0 && in.poolBacklog >= in.hardBacklog {
+		switch in.lane {
+		case LaneTelemetry:
+			return decision{VerdictReject, "overload"}
+		case LaneData:
+			return decision{VerdictDefer, "overload"}
+		}
+	}
+	if in.inFlight+in.cost > in.quota {
+		return decision{VerdictDefer, "quota"}
+	}
+	if in.backpressured && in.lane != LaneControl {
+		return decision{VerdictDefer, "backpressure"}
+	}
+	if in.softBacklog > 0 && in.poolBacklog >= in.softBacklog && in.lane == LaneTelemetry {
+		return decision{VerdictDefer, "overload"}
+	}
+	return decision{VerdictAdmit, "admit"}
+}

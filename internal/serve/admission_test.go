@@ -1,0 +1,134 @@
+package serve
+
+import "testing"
+
+// base returns admission inputs that admit: a light tenant on an idle
+// pool. Each table case perturbs exactly the dimensions it is about.
+func base() admissionInputs {
+	return admissionInputs{
+		lane:        LaneData,
+		cost:        4,
+		quota:       64,
+		inFlight:    0,
+		queueDepth:  0,
+		queueCap:    16,
+		poolBacklog: 0,
+		softBacklog: 100,
+		hardBacklog: 400,
+	}
+}
+
+// TestAdmissionLadder walks the admission state machine through every
+// verdict × backlog level × quota state × queue state × lane cell that
+// matters, as a pure function — no server, no clock, no sleeps.
+func TestAdmissionLadder(t *testing.T) {
+	type tc struct {
+		name    string
+		mutate  func(*admissionInputs)
+		verdict Verdict
+		reason  string
+	}
+	cases := []tc{
+		// The happy path, per lane.
+		{"admit_data", func(in *admissionInputs) {}, VerdictAdmit, "admit"},
+		{"admit_control", func(in *admissionInputs) { in.lane = LaneControl }, VerdictAdmit, "admit"},
+		{"admit_telemetry", func(in *admissionInputs) { in.lane = LaneTelemetry }, VerdictAdmit, "admit"},
+
+		// Draining wins over everything, every lane.
+		{"drain_data", func(in *admissionInputs) { in.draining = true }, VerdictUnavailable, "draining"},
+		{"drain_control", func(in *admissionInputs) { in.draining = true; in.lane = LaneControl }, VerdictUnavailable, "draining"},
+		{"drain_over_quota", func(in *admissionInputs) { in.draining = true; in.cost = 1000 }, VerdictUnavailable, "draining"},
+
+		// Quota: a graph that can never fit rejects; one that fits once
+		// work drains defers; boundary cases land exactly.
+		{"graph_larger_than_quota", func(in *admissionInputs) { in.cost = 65 }, VerdictReject, "graph-exceeds-quota"},
+		{"graph_exactly_quota", func(in *admissionInputs) { in.cost = 64 }, VerdictAdmit, "admit"},
+		{"quota_exhausted_defers", func(in *admissionInputs) { in.inFlight = 61 }, VerdictDefer, "quota"},
+		{"quota_exact_fit_admits", func(in *admissionInputs) { in.inFlight = 60 }, VerdictAdmit, "admit"},
+		{"quota_defers_even_control", func(in *admissionInputs) { in.inFlight = 64; in.lane = LaneControl }, VerdictDefer, "quota"},
+
+		// Queue capacity is a hard edge for every lane.
+		{"queue_full_rejects", func(in *admissionInputs) { in.queueDepth = 16 }, VerdictReject, "queue-full"},
+		{"queue_full_rejects_control", func(in *admissionInputs) { in.queueDepth = 16; in.lane = LaneControl }, VerdictReject, "queue-full"},
+		{"queue_almost_full_admits", func(in *admissionInputs) { in.queueDepth = 15 }, VerdictAdmit, "admit"},
+
+		// Watermark backpressure defers data and telemetry, not control.
+		{"backpressure_defers_data", func(in *admissionInputs) { in.backpressured = true }, VerdictDefer, "backpressure"},
+		{"backpressure_defers_telemetry", func(in *admissionInputs) { in.backpressured = true; in.lane = LaneTelemetry }, VerdictDefer, "backpressure"},
+		{"backpressure_spares_control", func(in *admissionInputs) { in.backpressured = true; in.lane = LaneControl }, VerdictAdmit, "admit"},
+
+		// Pool backlog, soft level: telemetry defers, data and control ride.
+		{"soft_backlog_admits_data", func(in *admissionInputs) { in.poolBacklog = 100 }, VerdictAdmit, "admit"},
+		{"soft_backlog_defers_telemetry", func(in *admissionInputs) { in.poolBacklog = 100; in.lane = LaneTelemetry }, VerdictDefer, "overload"},
+		{"below_soft_admits_telemetry", func(in *admissionInputs) { in.poolBacklog = 99; in.lane = LaneTelemetry }, VerdictAdmit, "admit"},
+
+		// Pool backlog, hard level: telemetry rejects, data defers,
+		// control still admits.
+		{"hard_backlog_defers_data", func(in *admissionInputs) { in.poolBacklog = 400 }, VerdictDefer, "overload"},
+		{"hard_backlog_rejects_telemetry", func(in *admissionInputs) { in.poolBacklog = 400; in.lane = LaneTelemetry }, VerdictReject, "overload"},
+		{"hard_backlog_admits_control", func(in *admissionInputs) { in.poolBacklog = 400; in.lane = LaneControl }, VerdictAdmit, "admit"},
+		{"below_hard_admits_data", func(in *admissionInputs) { in.poolBacklog = 399 }, VerdictAdmit, "admit"},
+
+		// Severity ordering: harder rules fire first when several hold.
+		{"queue_full_beats_quota_defer", func(in *admissionInputs) { in.queueDepth = 16; in.inFlight = 64 }, VerdictReject, "queue-full"},
+		{"never_fits_beats_queue_full", func(in *admissionInputs) { in.cost = 65; in.queueDepth = 16 }, VerdictReject, "graph-exceeds-quota"},
+		{"hard_overload_beats_quota_defer", func(in *admissionInputs) { in.poolBacklog = 400; in.inFlight = 64 }, VerdictDefer, "overload"},
+		{"quota_defer_beats_backpressure", func(in *admissionInputs) { in.inFlight = 64; in.backpressured = true }, VerdictDefer, "quota"},
+
+		// Thresholds disabled (0) never fire.
+		{"zero_thresholds_ignore_backlog", func(in *admissionInputs) {
+			in.softBacklog, in.hardBacklog = 0, 0
+			in.poolBacklog = 1 << 40
+			in.lane = LaneTelemetry
+		}, VerdictAdmit, "admit"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := base()
+			c.mutate(&in)
+			d := decide(in)
+			if d.verdict != c.verdict || d.reason != c.reason {
+				t.Fatalf("decide(%+v) = %s/%s, want %s/%s", in, d.verdict, d.reason, c.verdict, c.reason)
+			}
+		})
+	}
+}
+
+// TestVerdictStrings pins the metrics-label names.
+func TestVerdictStrings(t *testing.T) {
+	want := map[Verdict]string{
+		VerdictAdmit:       "admit",
+		VerdictDefer:       "defer",
+		VerdictReject:      "reject",
+		VerdictUnavailable: "unavailable",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}
+
+// TestParseLane pins the wire names and the default.
+func TestParseLane(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		lane Lane
+		ok   bool
+	}{
+		{"control", LaneControl, true},
+		{"data", LaneData, true},
+		{"", LaneData, true},
+		{"telemetry", LaneTelemetry, true},
+		{"bulk", LaneData, false},
+	} {
+		l, err := ParseLane(c.in)
+		if (err == nil) != c.ok || (c.ok && l != c.lane) {
+			t.Errorf("ParseLane(%q) = %v, %v; want %v, ok=%v", c.in, l, err, c.lane, c.ok)
+		}
+	}
+	if LaneControl.Priority() <= LaneData.Priority() || LaneData.Priority() <= LaneTelemetry.Priority() {
+		t.Errorf("lane priorities not strictly ordered: %d %d %d",
+			LaneControl.Priority(), LaneData.Priority(), LaneTelemetry.Priority())
+	}
+}

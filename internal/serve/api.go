@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Lane is a request's priority lane. Lanes order both admission severity
+// and dispatch: control traffic (session/coordination graphs) outranks
+// data (the actual work), which outranks telemetry (best-effort
+// background reporting). The lane maps onto the runtime's submit
+// priority hint, so a criticality-aware scheduler sees the same ranking.
+type Lane uint8
+
+// The three lanes, most to least privileged.
+const (
+	// LaneControl is for small coordination graphs; it bypasses
+	// backpressure deferral and is the last lane shed under overload.
+	LaneControl Lane = iota
+	// LaneData is the default lane for work graphs.
+	LaneData
+	// LaneTelemetry is best-effort: first deferred, first rejected.
+	LaneTelemetry
+
+	laneCount = 3
+)
+
+// String renders the lane's wire name.
+func (l Lane) String() string {
+	switch l {
+	case LaneControl:
+		return "control"
+	case LaneData:
+		return "data"
+	case LaneTelemetry:
+		return "telemetry"
+	default:
+		return fmt.Sprintf("lane(%d)", int(l))
+	}
+}
+
+// Priority is the runtime submit-priority hint the lane maps to.
+func (l Lane) Priority() int {
+	switch l {
+	case LaneControl:
+		return 100
+	case LaneData:
+		return 10
+	default:
+		return 0
+	}
+}
+
+// ParseLane resolves a wire lane name; the empty string is LaneData.
+func ParseLane(s string) (Lane, error) {
+	switch s {
+	case "control":
+		return LaneControl, nil
+	case "data", "":
+		return LaneData, nil
+	case "telemetry":
+		return LaneTelemetry, nil
+	default:
+		return LaneData, fmt.Errorf("unknown lane %q (want control, data, or telemetry)", s)
+	}
+}
+
+// DepRequest is one dependence annotation of a task in a submitted graph.
+// Keys are names local to the job: the server namespaces them per job
+// before they reach the runtime's dependence tracker, so tenants cannot
+// construct cross-job (let alone cross-tenant) hazards.
+type DepRequest struct {
+	// Key is the job-local dependence key.
+	Key string `json:"key"`
+	// Mode is "in", "out", or "inout".
+	Mode string `json:"mode"`
+}
+
+// TaskRequest is one task of a submitted graph.
+type TaskRequest struct {
+	// Name is an optional task label (shows up in runtime errors).
+	Name string `json:"name,omitempty"`
+	// Op names the operation to run; see Config.Ops and the built-ins
+	// (noop, spin, sleep, fail).
+	Op string `json:"op"`
+	// Amount parameterises the op (spin iterations, sleep nanoseconds).
+	Amount int64 `json:"amount,omitempty"`
+	// Cost is the abstract work estimate for criticality analysis.
+	Cost float64 `json:"cost,omitempty"`
+	// Deps are the task's dependence annotations.
+	Deps []DepRequest `json:"deps,omitempty"`
+}
+
+// GraphRequest is the body of POST /v1/graphs: one task graph to run on
+// behalf of one tenant.
+type GraphRequest struct {
+	// Tenant identifies the submitting tenant; the X-RAA-Tenant header
+	// wins when both are set.
+	Tenant string `json:"tenant,omitempty"`
+	// Lane is the graph's priority lane name (default "data").
+	Lane string `json:"lane,omitempty"`
+	// Tasks is the graph, in submission (program) order.
+	Tasks []TaskRequest `json:"tasks"`
+}
+
+// SubmitResponse is the body returned by POST /v1/graphs for every
+// verdict: 202 admitted, 503+Retry-After deferred (or draining), 429
+// rejected.
+type SubmitResponse struct {
+	// Job is the job identifier (admitted submissions only).
+	Job string `json:"job,omitempty"`
+	// Status is "queued", "deferred", or "rejected".
+	Status string `json:"status"`
+	// Reason names the admission rule behind a non-admit verdict.
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterMS mirrors the Retry-After header for deferred verdicts.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	// Job is the job identifier.
+	Job string `json:"job"`
+	// Tenant is the owning tenant.
+	Tenant string `json:"tenant"`
+	// Lane is the job's lane name.
+	Lane string `json:"lane"`
+	// State is "queued", "running", "done", "failed", or "cancelled".
+	State string `json:"state"`
+	// Tasks is the graph's task count (its token cost).
+	Tasks int `json:"tasks"`
+	// Error carries the first task error of a failed job.
+	Error string `json:"error,omitempty"`
+	// DoneSeq is the job's global completion index (1 = first job the
+	// server finished), 0 while non-terminal. Fairness assertions are
+	// built on it: it orders completions without comparing clocks.
+	DoneSeq uint64 `json:"done_seq,omitempty"`
+	// LatencyMS is admission-to-terminal latency, 0 while non-terminal.
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx error reply.
+type ErrorResponse struct {
+	// Error describes what was wrong with the request.
+	Error string `json:"error"`
+}
+
+// Op is one executable operation a task of a submitted graph can name.
+// Amount is the request's op parameter; the context is the job's (it is
+// cancelled when the job is), and ops that wait must honour it.
+type Op func(ctx context.Context, amount int64) error
+
+// builtinOps are the operations every server understands. They are
+// synthetic by design: the service executes task *graphs* — the
+// structure, placement, and flow control are the product; the body is a
+// calibrated amount of work.
+func builtinOps() map[string]Op {
+	return map[string]Op{
+		"noop": func(context.Context, int64) error { return nil },
+		"spin": func(_ context.Context, amount int64) error {
+			// Deterministic CPU work: amount iterations of a loop the
+			// compiler cannot elide through the sink.
+			var x uint64
+			for i := int64(0); i < amount; i++ {
+				x += uint64(i) ^ (x >> 3)
+			}
+			spinSink.Store(x)
+			return nil
+		},
+		"sleep": func(ctx context.Context, amount int64) error {
+			t := time.NewTimer(time.Duration(amount))
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+		"fail": func(context.Context, int64) error {
+			return fmt.Errorf("task failed by request")
+		},
+	}
+}
+
+// spinSink defeats dead-code elimination of the spin op's loop.
+var spinSink atomic.Uint64
+
+// compileGraph validates a graph request and lowers it to runtime task
+// specs. Bodies are bound to ops here; the per-task OnDone completion
+// hooks are attached at launch time, when the job object exists.
+func (s *Server) compileGraph(req *GraphRequest, lane Lane) ([]runtime.TaskSpec, error) {
+	if len(req.Tasks) == 0 {
+		return nil, fmt.Errorf("graph has no tasks")
+	}
+	if len(req.Tasks) > s.cfg.MaxGraphTasks {
+		return nil, fmt.Errorf("graph has %d tasks, limit is %d", len(req.Tasks), s.cfg.MaxGraphTasks)
+	}
+	specs := make([]runtime.TaskSpec, len(req.Tasks))
+	for i, tr := range req.Tasks {
+		op, ok := s.ops[tr.Op]
+		if !ok {
+			return nil, fmt.Errorf("task %d: unknown op %q", i, tr.Op)
+		}
+		if tr.Amount < 0 {
+			return nil, fmt.Errorf("task %d: negative amount", i)
+		}
+		deps := make([]runtime.Dep, len(tr.Deps))
+		for j, d := range tr.Deps {
+			if d.Key == "" {
+				return nil, fmt.Errorf("task %d: dep %d has empty key", i, j)
+			}
+			key := jobKey{name: d.Key} // job number stamped at launch
+			switch d.Mode {
+			case "in":
+				deps[j] = runtime.In(key)
+			case "out":
+				deps[j] = runtime.Out(key)
+			case "inout":
+				deps[j] = runtime.InOut(key)
+			default:
+				return nil, fmt.Errorf("task %d: dep %d has unknown mode %q (want in, out, or inout)", i, j, d.Mode)
+			}
+		}
+		amount := tr.Amount
+		body := op
+		specs[i] = runtime.TaskSpec{
+			Name:     tr.Name,
+			Cost:     tr.Cost,
+			Priority: lane.Priority(),
+			Body: func(ctx context.Context) error {
+				return body(ctx, amount)
+			},
+			Deps: deps,
+		}
+	}
+	return specs, nil
+}
+
+// jobKey namespaces a graph's dependence keys per job, isolating tenants
+// (and jobs of one tenant) from each other in the dependence tracker.
+type jobKey struct {
+	job  uint64
+	name string
+}
+
+// stampJobKeys rewrites the compiled specs' dependence keys with the
+// job's identity. Compilation happens before admission (a malformed graph
+// must 400 without burning quota), so the job number does not exist yet;
+// this runs at launch.
+func stampJobKeys(specs []runtime.TaskSpec, job uint64) {
+	for i := range specs {
+		for j := range specs[i].Deps {
+			k := specs[i].Deps[j].Key.(jobKey)
+			k.job = job
+			specs[i].Deps[j].Key = k
+		}
+	}
+}

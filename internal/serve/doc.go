@@ -1,0 +1,59 @@
+// Package serve is the runtime's network front end: a multi-tenant task
+// service that accepts JSON task graphs over HTTP and runs them on one
+// shared pool (package internal/runtime), with the flow-control
+// machinery a shared substrate needs at its service boundary.
+//
+// # Request path
+//
+// A graph enters through POST /v1/graphs and crosses four layers:
+//
+//	admission  → per-tenant queue  → dispatcher  → shared runtime pool
+//
+// Admission is a pure verdict ladder (see decide) over one locked
+// snapshot: the tenant's token quota (a job holds one token per task
+// until terminal), the tenant queue's depth and watermark latch, and
+// the pool's backlog (Runtime.Backlog). The verdict is admit (202),
+// defer (503 + Retry-After — transient, retry later), or reject (429 —
+// over a hard limit). A draining server answers 503 for everything new.
+//
+// Admitted jobs wait in their tenant's bounded queue, partitioned into
+// three priority lanes (control > data > telemetry). Backpressure is a
+// low/high watermark hysteresis over the queue depth: crossing high
+// latches deferral for data and telemetry submissions until the depth
+// falls back to low, so the tenant sees a stable backoff signal rather
+// than per-request flapping. The control lane bypasses backpressure and
+// shared-pool shedding — a tenant can always coordinate with the
+// service while its bulk work is being shed.
+//
+// The dispatcher is one goroutine that moves jobs into the pool: at
+// most Config.MaxRunningJobs concurrently (which is what gives the
+// queues real depth), lanes in strict priority order, and round-robin
+// across tenants within a lane — a greedy tenant saturates its own
+// queue, not its neighbours' latency. Lanes map to runtime submit
+// priorities, so a criticality-aware scheduler sees the same ranking
+// inside the pool.
+//
+// Per-job completion over the shared pool rides the runtime's
+// TaskSpec.OnDone hook: every task of a graph accounts itself exactly
+// once (executed or skipped), the last one closing the job. Graph
+// dependence keys are namespaced per job, so tenants cannot construct
+// cross-job hazards in the shared dependence tracker.
+//
+// # Lifecycle and observability
+//
+// SIGTERM-style shutdown is Drain then Close: Drain stops admission
+// (503), lets every admitted job finish, and returns when the
+// dispatcher goes idle; Close shuts the pool down. GET /healthz flips
+// to 503 at the start of a drain so load balancers stop routing first.
+//
+// GET /metrics exposes a Prometheus-text snapshot: the runtime's
+// StatsInto counters (including the adaptive controller's decisions),
+// admission verdicts, per-tenant queue depths, watermark latches, and
+// token usage. With Config.FlightRecorder, the server stamps
+// request-scoped timeline markers (admit/launch/done, tagged with the
+// job number and a tenant hash) into the pool's flight recorder, so a
+// merged timeline can be cut along request boundaries.
+//
+// Package servetest holds the httptest-based end-to-end harness the
+// test battery and the benchmark snapshot build on.
+package serve

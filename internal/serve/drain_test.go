@@ -1,0 +1,139 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/servetest"
+)
+
+// TestDrainFinishesInFlightAndRejectsNew is the graceful-drain
+// contract: once Drain begins, new submissions answer 503 with reason
+// "draining" and /healthz flips to 503, while every already-admitted
+// job — running AND still queued — runs to completion; Drain returns
+// only after the last one finishes.
+func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
+	g := newGates()
+	h := servetest.Start(t, serve.Config{
+		Workers:        2,
+		MaxRunningJobs: 2, // two gate jobs saturate dispatch, the third stays queued
+		Ops:            map[string]serve.Op{"gate": g.op},
+	})
+	c := h.Client("acme")
+
+	// Two jobs into the pool (blocked on gates), one admitted but queued.
+	j1 := c.MustSubmit(t, gateGraph(1, "data"))
+	j2 := c.MustSubmit(t, gateGraph(2, "data"))
+	waitEntered(t, g, 1)
+	waitEntered(t, g, 2)
+	j3 := c.MustSubmit(t, noopGraph(3, "data"))
+
+	// Begin the drain; it cannot complete while the gates hold.
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainErr <- h.Server.Drain(ctx)
+	}()
+
+	// The drain flag is visible immediately after Drain sets it; poll the
+	// health endpoint for the flip (bounded, no fixed sleep).
+	waitHealth(t, c, http.StatusServiceUnavailable)
+
+	// New submissions are refused with the draining verdict…
+	sub, err := c.Submit(noopGraph(1, "data"))
+	if err != nil {
+		t.Fatalf("submit during drain: %v", err)
+	}
+	if sub.Code != http.StatusServiceUnavailable || sub.Response.Reason != "draining" {
+		t.Fatalf("submit during drain = %d %s/%s, want 503 rejected/draining",
+			sub.Code, sub.Response.Status, sub.Response.Reason)
+	}
+	// …even on the control lane: drain outranks every privilege.
+	sub, err = c.Submit(noopGraph(1, "control"))
+	if err != nil {
+		t.Fatalf("control submit during drain: %v", err)
+	}
+	if sub.Code != http.StatusServiceUnavailable {
+		t.Fatalf("control submit during drain = %d, want 503", sub.Code)
+	}
+
+	// Drain must still be pending: the gate jobs hold it open.
+	select {
+	case err := <-drainErr:
+		t.Fatalf("drain completed with gates closed: %v", err)
+	default:
+	}
+
+	// Release the in-flight work; the drain must now complete…
+	g.Open(1)
+	g.Open(2)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// …with every admitted job — including the queued one — done.
+	for _, id := range []string{j1, j2, j3} {
+		st, err := c.Job(id, 0)
+		if err != nil {
+			t.Fatalf("job %s after drain: %v", id, err)
+		}
+		if st.State != "done" {
+			t.Fatalf("job %s after drain = %q, want done", id, st.State)
+		}
+	}
+
+	// The drained server stays drained.
+	sub, err = c.Submit(noopGraph(1, "data"))
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if sub.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain = %d, want 503", sub.Code)
+	}
+}
+
+// TestDrainIdempotentAndImmediateWhenIdle: draining an idle server
+// returns at once, and a second Drain observes the same completion.
+func TestDrainIdempotentAndImmediateWhenIdle(t *testing.T) {
+	h := servetest.Start(t, serve.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.Server.Drain(ctx); err != nil {
+		t.Fatalf("first drain: %v", err)
+	}
+	if err := h.Server.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// waitEntered fails the test if no task enters the gate within the budget.
+func waitEntered(t *testing.T, g *gates, gate int64) {
+	t.Helper()
+	select {
+	case <-g.Entered(gate):
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no task entered gate %d", gate)
+	}
+}
+
+// waitHealth polls /healthz until it reports the wanted status.
+func waitHealth(t *testing.T, c *servetest.Client, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, err := c.Healthz()
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		if code == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz stuck at %d, want %d", code, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,120 @@
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/servetest"
+)
+
+// TestFairnessGreedyCannotStarveLight: one tenant floods its queue with
+// far more work than the pool can absorb while a light tenant submits a
+// handful of identical jobs. Round-robin dispatch must interleave the
+// light tenant's jobs near the head of the schedule — asserted two
+// ways: by global completion order (clock-free) and by the per-tenant
+// mean completion-latency ratio.
+//
+// The dispatch schedule is pinned by plugging both running slots with
+// gate jobs while everything else is submitted, so the round-robin
+// rotation — not submission-time races — decides every subsequent
+// dispatch.
+func TestFairnessGreedyCannotStarveLight(t *testing.T) {
+	const (
+		greedyJobs = 32
+		lightJobs  = 6
+		spin       = 200_000 // per-job work: enough to keep the pool busy, ~ms scale
+	)
+	g := newGates()
+	h := servetest.Start(t, serve.Config{
+		Workers:        2,
+		MaxRunningJobs: 2,
+		TenantQuota:    greedyJobs + 4, // the flood must be admitted, not deferred
+		QueueCap:       greedyJobs + 4,
+		QueueHighWater: greedyJobs + 3, // keep watermark backpressure out of this test
+		QueueLowWater:  1,
+		Ops:            map[string]serve.Op{"gate": g.op},
+	})
+	greedy := h.Client("greedy")
+	light := h.Client("light")
+
+	spinGraph := serve.GraphRequest{
+		Lane:  "data",
+		Tasks: []serve.TaskRequest{{Op: "spin", Amount: spin}},
+	}
+
+	// Plug both running slots so the queues fill before dispatch starts.
+	plug1 := greedy.MustSubmit(t, gateGraph(1, "data"))
+	plug2 := greedy.MustSubmit(t, gateGraph(2, "data"))
+	waitEntered(t, g, 1)
+	waitEntered(t, g, 2)
+
+	var greedyIDs, lightIDs []string
+	for i := 0; i < greedyJobs; i++ {
+		greedyIDs = append(greedyIDs, greedy.MustSubmit(t, spinGraph))
+	}
+	for i := 0; i < lightJobs; i++ {
+		lightIDs = append(lightIDs, light.MustSubmit(t, spinGraph))
+	}
+	g.Open(1)
+	g.Open(2)
+
+	await := func(ids []string) []serve.JobStatus {
+		sts := make([]serve.JobStatus, len(ids))
+		for i, id := range ids {
+			st, err := h.Client("").Await(id, 60*time.Second)
+			if err != nil {
+				t.Fatalf("await %s: %v", id, err)
+			}
+			if st.State != "done" {
+				t.Fatalf("job %s = %q, want done", id, st.State)
+			}
+			sts[i] = st
+		}
+		return sts
+	}
+	lightSts := await(lightIDs)
+	greedySts := await(greedyIDs)
+	if _, err := h.Client("").Await(plug1, 30*time.Second); err != nil {
+		t.Fatalf("plug1: %v", err)
+	}
+	if _, err := h.Client("").Await(plug2, 30*time.Second); err != nil {
+		t.Fatalf("plug2: %v", err)
+	}
+
+	// Completion-order bound (clock-free): with 1:1 rotation the last
+	// light job is dispatched by round lightJobs, so it must finish among
+	// the first ~2*lightJobs + plugs + running-slack completions — far
+	// below the greedyJobs+lightJobs+2 total a starved tenant would see.
+	var maxLightSeq uint64
+	for _, st := range lightSts {
+		if st.DoneSeq == 0 {
+			t.Fatalf("light job %s has no completion index", st.Job)
+		}
+		if st.DoneSeq > maxLightSeq {
+			maxLightSeq = st.DoneSeq
+		}
+	}
+	bound := uint64(2*lightJobs + 2 + 4) // rotation + plugs + dispatch slack
+	if maxLightSeq > bound {
+		t.Errorf("light tenant's last completion index = %d, want ≤ %d (of %d total jobs)",
+			maxLightSeq, bound, greedyJobs+lightJobs+2)
+	}
+
+	// Latency-ratio bound: the greedy tenant's mean latency is dominated
+	// by its own queue, the light tenant's must not be.
+	mean := func(sts []serve.JobStatus) float64 {
+		var sum float64
+		for _, st := range sts {
+			sum += st.LatencyMS
+		}
+		return sum / float64(len(sts))
+	}
+	lightMean, greedyMean := mean(lightSts), mean(greedySts)
+	if lightMean > 0.5*greedyMean {
+		t.Errorf("light tenant mean latency %.2fms vs greedy %.2fms: ratio %.2f exceeds 0.5 — light tenant is being starved",
+			lightMean, greedyMean, lightMean/greedyMean)
+	}
+	t.Logf("fairness: light mean %.2fms, greedy mean %.2fms, light max done-seq %d/%d",
+		lightMean, greedyMean, maxLightSeq, greedyJobs+lightJobs+2)
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics is GET /metrics: a Prometheus-text (version 0.0.4)
+// exposition of the runtime's StatsInto snapshot plus the serve layer's
+// own admission, queue, and job gauges. Everything is rendered under one
+// lock acquisition so the page is a consistent snapshot; the StatsInto
+// buffer is reused across scrapes.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.mu.Lock()
+	s.rt.StatsInto(&s.statsBuf)
+	st := &s.statsBuf
+
+	// Pool counters.
+	counter(&b, "raa_pool_submitted_total", "Tasks submitted to the shared pool.", float64(st.Submitted))
+	counter(&b, "raa_pool_executed_total", "Task bodies executed.", float64(st.Executed))
+	counter(&b, "raa_pool_steals_total", "Tasks dispatched through a steal.", float64(st.Steals))
+	counter(&b, "raa_pool_skipped_total", "Tasks skipped on cancelled contexts.", float64(st.Skipped))
+	counter(&b, "raa_pool_flight_events_total", "Flight-recorder events captured.", float64(st.FlightEvents))
+	gauge(&b, "raa_pool_backlog", "Submitted tasks not yet finished.", float64(s.rt.Backlog()))
+	gauge(&b, "raa_pool_workers", "Workers in the shared pool.", float64(s.rt.Workers()))
+	head(&b, "raa_worker_executed_total", "Tasks executed, by worker.", "counter")
+	for wkr, n := range st.PerWorker {
+		fmt.Fprintf(&b, "raa_worker_executed_total{worker=\"%d\"} %d\n", wkr, n)
+	}
+
+	// Adaptive-controller snapshot (policy words are meaningful even
+	// without WithAdaptive; the decision counters need the controller).
+	ad := &st.Adaptive
+	gauge(&b, "raa_adaptive_enabled", "1 when the adaptive controller runs.", b2f(ad.Enabled))
+	gauge(&b, "raa_adaptive_window", "Live locality-window policy word.", float64(ad.Window))
+	gauge(&b, "raa_adaptive_refill_chunk", "Live injector refill-chunk policy word.", float64(ad.RefillChunk))
+	gauge(&b, "raa_adaptive_crit_first", "1 when criticality-first placement is on.", b2f(ad.CritFirst))
+	gauge(&b, "raa_adaptive_active_classes", "Live worker-class mask.", float64(ad.ActiveClasses))
+	counter(&b, "raa_adaptive_samples_total", "Signal samples the controller took.", float64(ad.Samples))
+	counter(&b, "raa_adaptive_decisions_total", "Policy decisions the controller applied.", float64(ad.Decisions))
+	head(&b, "raa_adaptive_rule_decisions_total", "Applied decisions, by rule.", "counter")
+	for _, rc := range [...]struct {
+		rule string
+		n    uint64
+	}{
+		{"window", ad.WindowChanges},
+		{"classmask", ad.ClassChanges},
+		{"critfirst", ad.ModeChanges},
+		{"refill", ad.RefillChanges},
+	} {
+		fmt.Fprintf(&b, "raa_adaptive_rule_decisions_total{rule=%q} %d\n", rc.rule, rc.n)
+	}
+
+	// Serve-layer admission and queue state.
+	head(&b, "raa_serve_admission_total", "Admission verdicts, by outcome.", "counter")
+	for v := VerdictAdmit; v <= VerdictUnavailable; v++ {
+		fmt.Fprintf(&b, "raa_serve_admission_total{verdict=%q} %d\n", v.String(), s.verdicts[v])
+	}
+	gauge(&b, "raa_serve_draining", "1 while the server drains.", b2f(s.draining))
+	gauge(&b, "raa_serve_jobs_running", "Jobs launched into the pool and not yet terminal.", float64(s.runningJobs))
+	gauge(&b, "raa_serve_jobs_pending", "Admitted jobs still waiting in tenant queues.", float64(s.pendingJobs))
+
+	head(&b, "raa_serve_tenant_queue_depth", "Queued jobs, by tenant.", "gauge")
+	for _, tn := range s.order {
+		fmt.Fprintf(&b, "raa_serve_tenant_queue_depth{tenant=%q} %d\n", labelEscape(tn.id), tn.q.depth)
+	}
+	head(&b, "raa_serve_tenant_backpressured", "1 while the tenant's high watermark is latched.", "gauge")
+	for _, tn := range s.order {
+		fmt.Fprintf(&b, "raa_serve_tenant_backpressured{tenant=%q} %g\n", labelEscape(tn.id), b2f(tn.q.backpressured()))
+	}
+	head(&b, "raa_serve_tenant_inflight_tokens", "Quota tokens held by admitted jobs, by tenant.", "gauge")
+	for _, tn := range s.order {
+		fmt.Fprintf(&b, "raa_serve_tenant_inflight_tokens{tenant=%q} %d\n", labelEscape(tn.id), tn.inFlight)
+	}
+	head(&b, "raa_serve_tenant_admission_total", "Admission verdicts, by tenant and outcome.", "counter")
+	for _, tn := range s.order {
+		for v := VerdictAdmit; v <= VerdictUnavailable; v++ {
+			fmt.Fprintf(&b, "raa_serve_tenant_admission_total{tenant=%q,verdict=%q} %d\n",
+				labelEscape(tn.id), v.String(), tn.verdicts[v])
+		}
+	}
+	head(&b, "raa_serve_tenant_jobs_total", "Terminal jobs, by tenant and state.", "counter")
+	for _, tn := range s.order {
+		for _, sc := range [...]struct {
+			state string
+			n     uint64
+		}{
+			{"done", tn.jobsDone},
+			{"failed", tn.jobsFailed},
+			{"cancelled", tn.jobsCancelled},
+		} {
+			fmt.Fprintf(&b, "raa_serve_tenant_jobs_total{tenant=%q,state=%q} %d\n",
+				labelEscape(tn.id), sc.state, sc.n)
+		}
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// head writes a metric's HELP/TYPE preamble.
+func head(b *strings.Builder, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// counter writes a labelless counter with its preamble.
+func counter(b *strings.Builder, name, help string, v float64) {
+	head(b, name, help, "counter")
+	fmt.Fprintf(b, "%s %g\n", name, v)
+}
+
+// gauge writes a labelless gauge with its preamble.
+func gauge(b *strings.Builder, name, help string, v float64) {
+	head(b, name, help, "gauge")
+	fmt.Fprintf(b, "%s %g\n", name, v)
+}
+
+// b2f renders a bool as the 0/1 Prometheus convention.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// labelEscape escapes a label value per the exposition format; %q in the
+// callers adds the quotes and escapes quotes and backslashes, so only
+// newlines need flattening first.
+func labelEscape(v string) string {
+	return strings.ReplaceAll(v, "\n", "\\n")
+}

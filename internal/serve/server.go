@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	stdruntime "runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/flightrec"
+	"repro/internal/runtime"
+)
+
+// Config sizes a Server and its shared runtime pool. The zero value is
+// usable: every field has a production-shaped default.
+type Config struct {
+	// Workers sizes the shared runtime pool (default GOMAXPROCS).
+	Workers int
+	// Scheduler names the runtime scheduler (default "cats" — the lanes'
+	// priority hints need a criticality-aware scheduler to mean anything).
+	Scheduler string
+	// Adaptive enables the runtime's online adaptive controller.
+	Adaptive bool
+	// FlightRecorder enables the runtime's flight recorder; the server
+	// then stamps request-scoped timeline markers (admit/launch/done) so
+	// a merged timeline can be cut along job boundaries.
+	FlightRecorder bool
+	// TenantQuota is each tenant's token quota; an admitted job holds
+	// one token per task until it reaches a terminal state (default 256).
+	TenantQuota int64
+	// QueueCap bounds each tenant's queued-job count (default 64).
+	QueueCap int
+	// QueueLowWater / QueueHighWater are the backpressure hysteresis
+	// thresholds over the tenant queue depth (defaults cap/4 and
+	// 3*cap/4). Crossing high latches deferral for data and telemetry
+	// submissions until the depth falls back to low.
+	QueueLowWater, QueueHighWater int
+	// SoftBacklog / HardBacklog are pool-backlog thresholds (outstanding
+	// tasks) for load shedding: at soft, telemetry defers; at hard,
+	// telemetry rejects and data defers (defaults 64× and 256× Workers).
+	SoftBacklog, HardBacklog int64
+	// MaxRunningJobs caps jobs submitted into the pool concurrently;
+	// admitted jobs beyond it wait in their tenant queues, which is what
+	// makes cross-tenant dispatch fairness meaningful (default 4×Workers,
+	// minimum 2).
+	MaxRunningJobs int
+	// MaxGraphTasks bounds one graph's task count (default 1024).
+	MaxGraphTasks int
+	// RetryAfter is the delay advertised with deferred verdicts
+	// (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// JobHistory bounds how many terminal jobs stay queryable through
+	// GET /v1/jobs/{id} (default 4096; oldest evicted first).
+	JobHistory int
+	// Ops registers extra operations (or overrides built-ins) by name;
+	// tests inject gate-style ops here.
+	Ops map[string]Op
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "cats"
+	}
+	if c.TenantQuota <= 0 {
+		c.TenantQuota = 256
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.QueueHighWater <= 0 {
+		c.QueueHighWater = 3 * c.QueueCap / 4
+	}
+	if c.QueueHighWater < 1 {
+		c.QueueHighWater = 1
+	}
+	if c.QueueLowWater <= 0 {
+		c.QueueLowWater = c.QueueCap / 4
+	}
+	if c.QueueLowWater >= c.QueueHighWater {
+		c.QueueLowWater = c.QueueHighWater - 1
+	}
+	if c.SoftBacklog <= 0 {
+		c.SoftBacklog = int64(64 * c.Workers)
+	}
+	if c.HardBacklog <= 0 {
+		c.HardBacklog = int64(256 * c.Workers)
+	}
+	if c.HardBacklog <= c.SoftBacklog {
+		c.HardBacklog = c.SoftBacklog * 4
+	}
+	if c.MaxRunningJobs <= 0 {
+		// Derived default only: an explicit 1 (serialise jobs) is honoured.
+		c.MaxRunningJobs = 4 * c.Workers
+		if c.MaxRunningJobs < 2 {
+			c.MaxRunningJobs = 2
+		}
+	}
+	if c.MaxGraphTasks <= 0 {
+		c.MaxGraphTasks = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	return c
+}
+
+// Server is the multi-tenant task service: per-tenant sessions with
+// token quotas and bounded queues in front of one shared runtime pool,
+// an admission controller at the door, a fair dispatcher between the
+// two, and drain/metrics/health endpoints around them. Create with New,
+// expose Handler over any http.Server, stop with Drain then Close.
+type Server struct {
+	cfg Config
+	rt  *runtime.Runtime
+	ops map[string]Op
+	mux *http.ServeMux
+
+	mu   sync.Mutex
+	cond *sync.Cond // wakes the dispatcher: admits, completions, drain
+	// tenants by id, plus the stable rotation order for fair dispatch.
+	tenants map[string]*tenant
+	order   []*tenant
+	rr      int // rotation cursor into order
+	jobs    map[string]*job
+	history []*job // terminal jobs in completion order, for eviction
+	jobSeq  uint64
+	doneSeq uint64
+	// runningJobs counts launched, non-terminal jobs; pendingJobs counts
+	// queue entries not yet popped (including cancel-reaped ones).
+	runningJobs, pendingJobs int
+	draining                 bool
+	closed                   bool          // Close already ran the teardown
+	idle                     chan struct{} // closed when the dispatcher exits drained
+	// verdicts counts admission outcomes by Verdict, across tenants.
+	verdicts [4]uint64
+	// statsBuf backs /metrics' StatsInto snapshots.
+	statsBuf runtime.Stats
+}
+
+// New builds a Server and its runtime pool and starts the dispatcher.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	kind, err := runtime.SchedulerByName(cfg.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	opts := []runtime.Option{
+		runtime.WithWorkers(cfg.Workers),
+		runtime.WithScheduler(kind),
+	}
+	if cfg.Adaptive {
+		opts = append(opts, runtime.WithAdaptive(runtime.AdaptiveOptions{}))
+	}
+	if cfg.FlightRecorder {
+		opts = append(opts, runtime.WithFlightRecorder(flightrec.Options{}))
+	}
+	ops := builtinOps()
+	for name, op := range cfg.Ops {
+		ops[name] = op
+	}
+	s := &Server{
+		cfg:     cfg,
+		rt:      runtime.New(opts...),
+		ops:     ops,
+		tenants: make(map[string]*tenant),
+		jobs:    make(map[string]*job),
+		idle:    make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/graphs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	go s.dispatchLoop()
+	return s, nil
+}
+
+// Handler is the server's HTTP surface, for mounting on an http.Server
+// or an httptest.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runtime exposes the shared pool (read-only use: stats, recorder).
+func (s *Server) Runtime() *runtime.Runtime { return s.rt }
+
+// Drain begins a graceful drain and waits for it to finish: admission
+// switches to 503 immediately, already-admitted jobs (queued and
+// running) run to completion, and the dispatcher exits once nothing is
+// left. Drain returns ctx.Err if the context expires first — the drain
+// itself keeps going; a later call observes it. Safe to call more than
+// once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.cond.Broadcast()
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the server: any jobs still live are cancelled, the
+// dispatcher is drained, and the runtime pool is shut down. A graceful
+// stop is Drain followed by Close; Close alone is the fast path for
+// tests and error exits.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if !s.draining {
+		s.draining = true
+	}
+	for _, j := range s.jobs {
+		if !j.state.terminal() {
+			if j.state == jobQueued {
+				j.cancelRequested = true
+				s.finishLocked(j, jobCancelled)
+			} else {
+				j.cancelRequested = true
+				j.cancel()
+			}
+		}
+	}
+	s.cond.Broadcast()
+	idle := s.idle
+	s.mu.Unlock()
+	<-idle
+	s.rt.Shutdown()
+}
+
+// tenantLocked returns (creating on first use) the tenant session.
+func (s *Server) tenantLocked(id string) *tenant {
+	tn := s.tenants[id]
+	if tn == nil {
+		tn = &tenant{
+			id:   id,
+			hash: tenantHash(id),
+			q:    newTenantQueue(s.cfg.QueueCap, s.cfg.QueueLowWater, s.cfg.QueueHighWater),
+		}
+		s.tenants[id] = tn
+		s.order = append(s.order, tn)
+	}
+	return tn
+}
+
+// marker stamps a request-scoped timeline marker when the pool runs a
+// flight recorder: job number, phase, and the tenant hash as the
+// correlation word.
+func (s *Server) marker(j *job, phase uint64) {
+	if rec := s.rt.FlightRecorder(); rec != nil {
+		rec.RecordExternal(flightrec.KindMarker, j.num, phase, j.tenant.hash)
+	}
+}
+
+// admitJob runs the admission ladder for one compiled graph and, on
+// admit, creates + enqueues the job. Exactly one verdict counter is
+// bumped per call.
+func (s *Server) admitJob(tenantID string, lane Lane, specs []runtime.TaskSpec) (*job, decision) {
+	cost := int64(len(specs))
+	s.mu.Lock()
+	tn := s.tenantLocked(tenantID)
+	d := decide(admissionInputs{
+		draining:      s.draining,
+		lane:          lane,
+		cost:          cost,
+		quota:         s.cfg.TenantQuota,
+		inFlight:      tn.inFlight,
+		queueDepth:    tn.q.depth,
+		queueCap:      tn.q.cap,
+		backpressured: tn.q.backpressured(),
+		poolBacklog:   s.rt.Backlog(),
+		softBacklog:   s.cfg.SoftBacklog,
+		hardBacklog:   s.cfg.HardBacklog,
+	})
+	tn.verdicts[d.verdict]++
+	s.verdicts[d.verdict]++
+	if d.verdict != VerdictAdmit {
+		s.mu.Unlock()
+		return nil, d
+	}
+	s.jobSeq++
+	j := &job{
+		id:         "j-" + strconv.FormatUint(s.jobSeq, 10),
+		num:        s.jobSeq,
+		tenant:     tn,
+		lane:       lane,
+		specs:      specs,
+		cost:       cost,
+		admittedAt: time.Now(),
+		done:       make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.remaining.Store(int32(len(specs)))
+	stampJobKeys(specs, j.num)
+	tn.inFlight += cost
+	tn.q.push(j)
+	s.pendingJobs++
+	s.jobs[j.id] = j
+	s.cond.Signal()
+	s.mu.Unlock()
+	s.marker(j, flightrec.MarkerAdmit)
+	return j, d
+}
+
+// finishLocked moves a job to a terminal state exactly once: releases
+// its tokens, stamps the completion order, wakes the dispatcher, and
+// evicts history past the bound. Caller holds s.mu.
+func (s *Server) finishLocked(j *job, state jobState) {
+	if j.state.terminal() {
+		return
+	}
+	wasRunning := j.state == jobRunning
+	j.state = state
+	j.doneAt = time.Now()
+	s.doneSeq++
+	j.doneSeq = s.doneSeq
+	j.tenant.inFlight -= j.cost
+	switch state {
+	case jobDone:
+		j.tenant.jobsDone++
+	case jobFailed:
+		j.tenant.jobsFailed++
+	case jobCancelled:
+		j.tenant.jobsCancelled++
+	}
+	if wasRunning {
+		s.runningJobs--
+	}
+	j.cancel() // release the context's resources
+	close(j.done)
+	s.history = append(s.history, j)
+	for len(s.history) > s.cfg.JobHistory {
+		old := s.history[0]
+		s.history[0] = nil
+		s.history = s.history[1:]
+		delete(s.jobs, old.id)
+	}
+	s.cond.Broadcast()
+	s.marker(j, flightrec.MarkerDone)
+}
+
+// jobFinished is called by the last task's OnDone hook (on a pool
+// worker): it classifies the outcome and finishes the job.
+func (s *Server) jobFinished(j *job) {
+	var errp *error
+	if p := j.firstErr.Load(); p != nil {
+		errp = p
+	}
+	s.mu.Lock()
+	state := jobDone
+	switch {
+	case j.cancelRequested:
+		state = jobCancelled
+	case errp != nil && errors.Is(*errp, context.Canceled):
+		state = jobCancelled
+	case errp != nil:
+		state = jobFailed
+	}
+	s.finishLocked(j, state)
+	s.mu.Unlock()
+}
+
+// --- HTTP handlers ---
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// handleSubmit is POST /v1/graphs: decode, compile, admit, enqueue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req GraphRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	tenantID := r.Header.Get("X-RAA-Tenant")
+	if tenantID == "" {
+		tenantID = req.Tenant
+	}
+	if tenantID == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing tenant (X-RAA-Tenant header or tenant field)"})
+		return
+	}
+	lane, err := ParseLane(req.Lane)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	specs, err := s.compileGraph(&req, lane)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	j, d := s.admitJob(tenantID, lane, specs)
+	switch d.verdict {
+	case VerdictAdmit:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{Job: j.id, Status: "queued"})
+	case VerdictDefer:
+		retry := s.cfg.RetryAfter
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retry)))
+		writeJSON(w, http.StatusServiceUnavailable, SubmitResponse{
+			Status: "deferred", Reason: d.reason, RetryAfterMS: retry.Milliseconds(),
+		})
+	case VerdictReject:
+		writeJSON(w, http.StatusTooManyRequests, SubmitResponse{Status: "rejected", Reason: d.reason})
+	default: // VerdictUnavailable: draining
+		writeJSON(w, http.StatusServiceUnavailable, SubmitResponse{Status: "rejected", Reason: d.reason})
+	}
+}
+
+// retrySeconds rounds a Retry-After delay up to whole seconds (the
+// header's unit), with a floor of 1.
+func retrySeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// statusLocked renders a job's status. Caller holds s.mu.
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		Job:    j.id,
+		Tenant: j.tenant.id,
+		Lane:   j.lane.String(),
+		State:  j.state.String(),
+		Tasks:  int(j.cost),
+	}
+	if j.state == jobFailed {
+		if p := j.firstErr.Load(); p != nil {
+			st.Error = (*p).Error()
+		}
+	}
+	if j.state.terminal() {
+		st.DoneSeq = j.doneSeq
+		st.LatencyMS = float64(j.doneAt.Sub(j.admittedAt)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// handleJob is GET /v1/jobs/{id}, with optional long-poll:
+// ?wait=500ms blocks until the job is terminal or the wait expires,
+// then reports the current state either way.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown job"})
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad wait duration"})
+			return
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+	}
+	s.mu.Lock()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancel is POST /v1/jobs/{id}/cancel. Cancelling a queued job
+// finishes it immediately (the dispatcher reaps its queue entry);
+// cancelling a running job cancels its context — tasks not yet started
+// are skipped, in-flight ops observe the cancellation, and the job
+// reaches "cancelled" when its last task accounts itself. Cancelling a
+// terminal job is a no-op.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	if j == nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown job"})
+		return
+	}
+	switch j.state {
+	case jobQueued:
+		j.cancelRequested = true
+		s.finishLocked(j, jobCancelled)
+	case jobRunning:
+		j.cancelRequested = true
+		j.cancel()
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// defaultWorkers is GOMAXPROCS at config time.
+func defaultWorkers() int { return stdruntime.GOMAXPROCS(0) }

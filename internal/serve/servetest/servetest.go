@@ -1,0 +1,222 @@
+// Package servetest is the end-to-end harness for the serve front end:
+// it boots a serve.Server behind an httptest listener and wraps the wire
+// API in a typed client, so the serve test battery, the CI smoke, and
+// the benchmark snapshot all drive the service through the same real
+// HTTP round-trips.
+package servetest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Harness is one booted server plus its HTTP front door.
+type Harness struct {
+	// Server is the serve.Server under test.
+	Server *serve.Server
+	// HTTP is the httptest listener serving Server.Handler.
+	HTTP *httptest.Server
+}
+
+// New boots a server with the given config behind an httptest listener.
+// The caller owns shutdown: Close, or DrainAndClose for the graceful
+// path.
+func New(cfg serve.Config) (*Harness, error) {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{Server: s, HTTP: httptest.NewServer(s.Handler())}, nil
+}
+
+// Start is New for tests: boot or fail the test, and register cleanup.
+func Start(t testing.TB, cfg serve.Config) *Harness {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatalf("servetest: boot: %v", err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+// Close tears the harness down without draining: live jobs are
+// cancelled. Safe to call twice.
+func (h *Harness) Close() {
+	h.HTTP.Close()
+	h.Server.Close()
+}
+
+// DrainAndClose is the graceful path: stop admitting, let every
+// admitted job finish, then tear everything down. The drain's outcome
+// is returned; the teardown happens regardless.
+func (h *Harness) DrainAndClose(ctx context.Context) error {
+	err := h.Server.Drain(ctx)
+	h.Close()
+	return err
+}
+
+// Client returns a typed client for one tenant.
+func (h *Harness) Client(tenant string) *Client {
+	return &Client{Base: h.HTTP.URL, Tenant: tenant, HTTP: h.HTTP.Client()}
+}
+
+// Client drives the serve wire API for one tenant.
+type Client struct {
+	// Base is the server's URL, Tenant the X-RAA-Tenant header value.
+	Base   string
+	Tenant string
+	// HTTP is the underlying client.
+	HTTP *http.Client
+}
+
+// Submission is one submit round-trip's outcome: the HTTP status plus
+// the decoded response body, whatever the verdict was.
+type Submission struct {
+	// Code is the HTTP status: 202 admitted, 503 deferred/draining,
+	// 429 rejected, 400 malformed.
+	Code int
+	// Response is the decoded body (zero on a 400, whose body is an
+	// ErrorResponse).
+	Response serve.SubmitResponse
+	// RetryAfter is the Retry-After header, seconds (0 when absent).
+	RetryAfter int
+}
+
+// Admitted reports whether the submission was accepted.
+func (s Submission) Admitted() bool { return s.Code == http.StatusAccepted }
+
+// Submit posts one graph and decodes the verdict.
+func (c *Client) Submit(g serve.GraphRequest) (Submission, error) {
+	body, err := json.Marshal(g)
+	if err != nil {
+		return Submission{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/graphs", strings.NewReader(string(body)))
+	if err != nil {
+		return Submission{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-RAA-Tenant", c.Tenant)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return Submission{}, err
+	}
+	defer resp.Body.Close()
+	sub := Submission{Code: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		fmt.Sscanf(ra, "%d", &sub.RetryAfter)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		if err := json.NewDecoder(resp.Body).Decode(&sub.Response); err != nil {
+			return sub, fmt.Errorf("decode submit response (status %d): %w", resp.StatusCode, err)
+		}
+	}
+	return sub, nil
+}
+
+// MustSubmit submits and fails the test unless the graph was admitted;
+// it returns the job id.
+func (c *Client) MustSubmit(t testing.TB, g serve.GraphRequest) string {
+	t.Helper()
+	sub, err := c.Submit(g)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !sub.Admitted() {
+		t.Fatalf("submit: not admitted: status %d, verdict %s/%s",
+			sub.Code, sub.Response.Status, sub.Response.Reason)
+	}
+	return sub.Response.Job
+}
+
+// Job fetches a job's status, optionally long-polling (wait > 0) until
+// the job is terminal or the wait expires.
+func (c *Client) Job(id string, wait time.Duration) (serve.JobStatus, error) {
+	url := c.Base + "/v1/jobs/" + id
+	if wait > 0 {
+		url += "?wait=" + wait.String()
+	}
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.JobStatus{}, fmt.Errorf("job %s: status %d", id, resp.StatusCode)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Await long-polls until the job is terminal or the deadline passes.
+func (c *Client) Await(id string, deadline time.Duration) (serve.JobStatus, error) {
+	end := time.Now().Add(deadline)
+	for {
+		left := time.Until(end)
+		if left <= 0 {
+			return serve.JobStatus{}, fmt.Errorf("job %s: not terminal after %v", id, deadline)
+		}
+		if left > time.Second {
+			left = time.Second
+		}
+		st, err := c.Job(id, left)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st, nil
+		}
+	}
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(id string) (serve.JobStatus, error) {
+	resp, err := c.HTTP.Post(c.Base+"/v1/jobs/"+id+"/cancel", "application/json", nil)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.JobStatus{}, fmt.Errorf("cancel %s: status %d", id, resp.StatusCode)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Metrics fetches the /metrics page.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.HTTP.Get(c.Base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Healthz fetches /healthz and returns the status code.
+func (c *Client) Healthz() (int, error) {
+	resp, err := c.HTTP.Get(c.Base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
