@@ -76,6 +76,15 @@ type benchSnapshot struct {
 	// p99 round-trip of POST /v1/graphs (encode → admission → queue → 202)
 	// over a loopback httptest server, in nanoseconds (see servebench.go).
 	ServeSubmitP99NS float64 `json:"serve_submit_p99_ns"`
+	// ChaosOverhead is the chaos scenario's verdict from the registered
+	// throughput experiment: faulty-arm over clean-arm elapsed (median of
+	// per-round paired ratios) with seeded panic/error/delay injection plus
+	// per-task retry budgets and deadlines — the price of surviving faults.
+	ChaosOverhead float64 `json:"chaos_overhead"`
+	// ChaosSurvival is the faulty arm's accounting closure: (executed +
+	// skipped) / submitted. 1.0 means every task under injected faults
+	// reached exactly one terminal state — the robustness gate.
+	ChaosSurvival float64 `json:"chaos_survival"`
 }
 
 // record runs one benchmark function and files its result. It honours
@@ -288,6 +297,15 @@ func runBenchJSON(ctx context.Context, path string) error {
 	}
 	snap.ServeSubmitP99NS = p99
 
+	// The fault-tolerance verdicts from the chaos scenario: what injected
+	// faults cost, and whether the accounting still closed.
+	chaosOver, chaosSurv, err := chaosVerdict(ctx)
+	if err != nil {
+		return err
+	}
+	snap.ChaosOverhead = chaosOver
+	snap.ChaosSurvival = chaosSurv
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -301,9 +319,9 @@ func runBenchJSON(ctx context.Context, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx, topology %.2fx, cross-domain %.1f%%, adaptive %.2fx/%.0f decisions, serve p99 %.0fµs)\n",
+	fmt.Printf("wrote %s (%d benchmarks, crit_on_fast %.2f, locality %.2fx, topology %.2fx, cross-domain %.1f%%, adaptive %.2fx/%.0f decisions, serve p99 %.0fµs, chaos %.2fx @ survival %.3f)\n",
 		path, len(snap.Benchmarks), snap.CritOnFast, snap.LocalitySpeedup, snap.TopologySpeedup, snap.TopologyCrossFrac*100,
-		snap.AdaptiveSpeedup, snap.AdaptiveDecisions, snap.ServeSubmitP99NS/1e3)
+		snap.AdaptiveSpeedup, snap.AdaptiveDecisions, snap.ServeSubmitP99NS/1e3, snap.ChaosOverhead, snap.ChaosSurvival)
 	return nil
 }
 
@@ -327,6 +345,28 @@ func adaptiveVerdict(ctx context.Context) (speedup, decisions float64, _ error) 
 		}
 	}
 	return speedup, decisions, nil
+}
+
+// chaosVerdict runs the throughput experiment's chaos scenario at quick
+// scale and extracts the faulty arm's overhead ratio and its accounting
+// survival. Overhead takes the worst (largest) cell; survival takes the
+// worst (smallest) so a single leaked task anywhere shows up.
+func chaosVerdict(ctx context.Context) (overhead, survival float64, _ error) {
+	res, err := raa.RunQuick(ctx, "throughput",
+		[]byte(`{"scenarios": ["chaos"], "schedulers": ["worksteal"], "shards": [1]}`))
+	if err != nil {
+		return 0, 0, err
+	}
+	survival = 1
+	for k, v := range res.Metrics {
+		if strings.HasSuffix(k, "_chaos_overhead") && v > overhead {
+			overhead = v
+		}
+		if strings.HasSuffix(k, "_chaos_survival") && v < survival {
+			survival = v
+		}
+	}
+	return overhead, survival, nil
 }
 
 // heteroCritOnFast runs the throughput experiment's hetero scenario under

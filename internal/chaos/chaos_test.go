@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDeterministic: the same seed assigns the same fault classes to the
+// same keys, run after run.
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, PanicRate: 0.05, ErrorRate: 0.05, DelayRate: 0.05, StickyRate: 0.5}
+	a, b := New(cfg), New(cfg)
+	for key := uint64(0); key < 4096; key++ {
+		ca, sa := a.plan(key)
+		cb, sb := b.plan(key)
+		if ca != cb || sa != sb {
+			t.Fatalf("key %d: plan diverged between identical injectors: (%d,%v) vs (%d,%v)", key, ca, sa, cb, sb)
+		}
+	}
+}
+
+// TestRatesRoughlyHonoured: over many keys each class fires near its
+// configured rate (loose bounds; the schedule is hashed, not sampled).
+func TestRatesRoughlyHonoured(t *testing.T) {
+	in := New(Config{Seed: 7, PanicRate: 0.1, ErrorRate: 0.1, DelayRate: 0.1})
+	counts := map[faultClass]int{}
+	const n = 20000
+	for key := uint64(0); key < n; key++ {
+		c, _ := in.plan(key)
+		counts[c]++
+	}
+	for _, c := range []faultClass{faultPanic, faultError, faultDelay} {
+		frac := float64(counts[c]) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("class %d fired at %.3f, want ~0.10", c, frac)
+		}
+	}
+}
+
+// TestTransientVsSticky: a non-sticky fault fires only on attempt 0; a
+// sticky one fires on every attempt.
+func TestTransientVsSticky(t *testing.T) {
+	// StickyRate 0: every fault is transient.
+	in := New(Config{Seed: 1, ErrorRate: 1})
+	body := in.Wrap(9, func(context.Context) error { return nil })
+	if err := body(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempt 0: got %v, want injected error", err)
+	}
+	if err := body(context.Background()); err != nil {
+		t.Fatalf("attempt 1 of transient fault: got %v, want nil", err)
+	}
+
+	// StickyRate 1: every fault repeats.
+	in = New(Config{Seed: 1, ErrorRate: 1, StickyRate: 1})
+	body = in.Wrap(9, func(context.Context) error { return nil })
+	for i := 0; i < 3; i++ {
+		if err := body(context.Background()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sticky attempt %d: got %v, want injected error", i, err)
+		}
+	}
+	if st := in.Stats(); st.Errors != 3 || st.Sticky != 2 {
+		t.Fatalf("sticky stats: %+v, want 3 errors / 2 sticky firings", st)
+	}
+}
+
+// TestPanicInjection: a panic-classed body panics with a recognisable value.
+func TestPanicInjection(t *testing.T) {
+	in := New(Config{Seed: 3, PanicRate: 1})
+	body := in.Wrap(1, func(context.Context) error { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrapped body did not panic")
+		}
+		if in.Stats().Panics != 1 {
+			t.Fatalf("panic counter = %d, want 1", in.Stats().Panics)
+		}
+	}()
+	_ = body(context.Background())
+}
+
+// TestDelayHonoursContext: a delay-classed body aborts at its context
+// deadline instead of sleeping the full stall.
+func TestDelayHonoursContext(t *testing.T) {
+	in := New(Config{Seed: 5, DelayRate: 1, Delay: time.Minute})
+	body := in.Wrap(1, func(context.Context) error { return nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := body(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("delay ignored the context")
+	}
+}
+
+// TestNilInjector: a nil injector is a transparent wrapper.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	body := in.Wrap(1, func(context.Context) error { return nil })
+	if err := body(context.Background()); err != nil {
+		t.Fatalf("nil injector altered the body: %v", err)
+	}
+}

@@ -52,6 +52,20 @@ const (
 	// serve layer packs a tenant hash). The invariant checker ignores
 	// markers — they carry provenance, not scheduler state.
 	KindMarker
+	// KindFault: a task-body attempt failed — it returned an error,
+	// panicked (recovered by the worker), or overran its deadline. Arg is
+	// the claim word at the failure, Arg2 a PackFault word (fault class
+	// plus the attempt index that failed). Every fault must resolve: a
+	// re-armed attempt records KindRetry, a terminal failure proceeds to
+	// KindComplete — the verifier's fault-resolution invariant checks that
+	// neither a fault nor its worker silently vanishes mid-recovery.
+	KindFault
+	// KindRetry: a failed attempt was re-armed under the task's
+	// RetryPolicy and will re-enter the scheduler after its backoff. Arg
+	// is the claim word, Arg2 a PackRetry word (new attempt count and the
+	// policy's Max); the verifier checks attempt ≤ Max (the retry-budget
+	// invariant) and re-admits a later ready event for the task.
+	KindRetry
 )
 
 // Marker phase codes carried in a KindMarker event's Arg word.
@@ -101,6 +115,10 @@ func (k Kind) String() string {
 		return "adapt"
 	case KindMarker:
 		return "marker"
+	case KindFault:
+		return "fault"
+	case KindRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -216,6 +234,66 @@ func PackDispatchDomains(v uint64, home, exec int) uint64 {
 func DispatchDomains(arg2 uint64) (home, exec int) {
 	return int((arg2>>dispatchHomeDomShift)&dispatchDomMask) - 1,
 		int((arg2>>dispatchExecDomShift)&dispatchDomMask) - 1
+}
+
+// The fault classes carried in a KindFault event's PackFault word.
+const (
+	// FaultPanic: the body panicked and the worker recovered it.
+	FaultPanic = 1 + iota
+	// FaultError: the body returned a non-nil error.
+	FaultError
+	// FaultDeadline: the body overran its TaskSpec.Deadline.
+	FaultDeadline
+)
+
+// FaultClassName renders a fault class for dumps.
+func FaultClassName(class int) string {
+	switch class {
+	case FaultPanic:
+		return "panic"
+	case FaultError:
+		return "error"
+	case FaultDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("fault(%d)", class)
+	}
+}
+
+// Fault/retry Arg2 layout: class (or max) in the low byte range, attempt
+// above it.
+const (
+	faultClassMask    = 0xff
+	faultAttemptShift = 8
+	faultAttemptMask  = 0xffff
+	retryMaxShift     = 24
+)
+
+// PackFault encodes a failed attempt into Event.Arg2: the fault class
+// (FaultPanic/FaultError/FaultDeadline) and the 0-based attempt index that
+// failed.
+func PackFault(class, attempt int) uint64 {
+	return uint64(class)&faultClassMask |
+		(uint64(attempt)&faultAttemptMask)<<faultAttemptShift
+}
+
+// FaultInfo decodes a PackFault word.
+func FaultInfo(arg2 uint64) (class, attempt int) {
+	return int(arg2 & faultClassMask), int((arg2 >> faultAttemptShift) & faultAttemptMask)
+}
+
+// PackRetry encodes a re-arm into Event.Arg2: the new attempt count
+// (1-based: the number of failed attempts consumed so far) and the
+// policy's Max.
+func PackRetry(attempt, max int) uint64 {
+	return (uint64(attempt)&faultAttemptMask)<<faultAttemptShift |
+		(uint64(max)&faultAttemptMask)<<retryMaxShift
+}
+
+// RetryInfo decodes a PackRetry word.
+func RetryInfo(arg2 uint64) (attempt, max int) {
+	return int((arg2 >> faultAttemptShift) & faultAttemptMask),
+		int((arg2 >> retryMaxShift) & faultAttemptMask)
 }
 
 // The adaptive-controller rule identifiers carried in KindAdapt events.

@@ -9,6 +9,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -47,6 +48,18 @@ const (
 	// applied a policy change it cannot account for with a sample, or the
 	// signals event was lost without a ring gap.
 	AdaptProvenance
+	// FaultResolution: a task recorded a fault (panic, body error, or
+	// deadline overrun) that was never resolved by a retry or a completion
+	// within a full subsequent sweep — the recovery path lost the task, or
+	// the worker died mid-recovery. This doubles as the worker liveness
+	// check: a worker that vanishes between a fault and its resolution
+	// leaves exactly this signature.
+	FaultResolution
+	// RetryBudget: a retry event's attempt count exceeded its policy's
+	// Max — the runtime re-armed a task more times than the spec allowed
+	// (the poison-quarantine rule requires exhausted tasks to fail
+	// terminally, never spin).
+	RetryBudget
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +77,10 @@ func (i Invariant) String() string {
 		return "domain-gating"
 	case AdaptProvenance:
 		return "adapt-provenance"
+	case FaultResolution:
+		return "fault-resolution"
+	case RetryBudget:
+		return "retry-budget"
 	default:
 		return fmt.Sprintf("Invariant(%d)", int(i))
 	}
@@ -165,6 +182,14 @@ type Stats struct {
 	// AdaptDecisions counts adaptive-controller decision events consumed —
 	// context for the provenance counter, not a violation.
 	AdaptDecisions uint64
+	// FaultResolution counts FaultResolution violations.
+	FaultResolution uint64
+	// RetryBudget counts RetryBudget violations.
+	RetryBudget uint64
+	// Faults and Retries count fault and retry events consumed — context
+	// for the fault invariants, not violations.
+	Faults  uint64
+	Retries uint64
 	// Total is the sum of all violation counters.
 	Total uint64
 }
@@ -191,6 +216,27 @@ type Checker struct {
 	// would have surfaced by then), flagged by expireAwaits.
 	epoch    uint64
 	awaiting map[uint64]uint64
+	// pendingFault maps task ID → the epoch of its unresolved fault event.
+	// A fault is resolved by the task's retry or completion; one that
+	// survives a full subsequent sweep is a FaultResolution violation
+	// (same two-epoch discipline as awaiting — the resolving event may
+	// ride a later snapshot).
+	pendingFault map[uint64]uint64
+	// held defers judgement on the newest snapshot by one sweep. Collect's
+	// cut is torn — rings are swept one by one, so a causally-later event
+	// (a re-arm's ready on the external ring, say) can surface one batch
+	// BEFORE its predecessors (the fault/retry pair on a not-yet-swept
+	// worker ring). Any predecessor of a held event is guaranteed to be
+	// collected by the next sweep (its ring write completed strictly before
+	// the held event was recorded), so processing the held batch merged in
+	// global sequence order with the next batch's at-or-below-watermark
+	// prefix restores causal order. The retry path made multi-event chains
+	// inside one sweep window the norm, which is what forced this from the
+	// narrow per-case deferrals (taskInfo.await) to a general reorder
+	// stage; await remains as the backstop for the residual late-publish
+	// window (a worker preempted between sequence acquisition and its ring
+	// store).
+	held, merge []flightrec.Event
 
 	// Domain-gating state (armed by Options.DomainOf): domains lists each
 	// domain's workers; parkSeq maps a worker to the sequence number of its
@@ -224,7 +270,8 @@ func New(opts Options) *Checker {
 	if opts.MaxTracked <= 0 {
 		opts.MaxTracked = 1 << 16
 	}
-	c := &Checker{opts: opts, tasks: make(map[uint64]*taskInfo), awaiting: make(map[uint64]uint64)}
+	c := &Checker{opts: opts, tasks: make(map[uint64]*taskInfo),
+		awaiting: make(map[uint64]uint64), pendingFault: make(map[uint64]uint64)}
 	if len(opts.DomainOf) > 0 {
 		nd := 0
 		for _, d := range opts.DomainOf {
@@ -259,7 +306,8 @@ func (c *Checker) Stats() Stats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Tracked = len(c.tasks)
-	s.Total = s.DispatchNotReady + s.ClaimRegressions + s.ClassGating + s.Starvations + s.DomainGating + s.AdaptProvenance
+	s.Total = s.DispatchNotReady + s.ClaimRegressions + s.ClassGating + s.Starvations +
+		s.DomainGating + s.AdaptProvenance + s.FaultResolution + s.RetryBudget
 	return s
 }
 
@@ -278,6 +326,10 @@ func (c *Checker) report(v Violation) {
 		c.stats.DomainGating++
 	case AdaptProvenance:
 		c.stats.AdaptProvenance++
+	case FaultResolution:
+		c.stats.FaultResolution++
+	case RetryBudget:
+		c.stats.RetryBudget++
 	}
 	if c.opts.OnViolation != nil {
 		c.opts.OnViolation(v)
@@ -293,6 +345,12 @@ func (c *Checker) Feed(events []flightrec.Event, gap bool) {
 	defer c.mu.Unlock()
 	c.epoch++
 	if gap {
+		// The held batch predates the loss window: judge it under the
+		// pre-gap state before the gap handling resets that state.
+		for i := range c.held {
+			c.consume(&c.held[i])
+		}
+		c.held = c.held[:0]
 		c.stats.Gaps++
 		c.lax = true
 		// The evidence that would reconcile deferred dispatches may be in
@@ -305,18 +363,48 @@ func (c *Checker) Feed(events []flightrec.Event, gap bool) {
 			clear(c.parkSeq)
 			clear(c.domSusp)
 		}
+		// The retry or completion resolving a pending fault may be in the
+		// lost window too.
+		clear(c.pendingFault)
 		// The signals event a post-gap decision refers to may be in the lost
 		// window.
 		c.haveSig = false
 	}
 	c.expireAwaits()
 	c.expireDomSusp()
-	for i := range events {
-		c.consume(&events[i])
+	c.expireFaults()
+	// Reorder stage (see the held field): release the previous sweep's
+	// batch plus this sweep's events at or below its watermark, merged in
+	// global sequence order; the remainder becomes the new held batch.
+	var wm uint64
+	if n := len(c.held); n > 0 {
+		wm = c.held[n-1].Seq
 	}
+	cut := sort.Search(len(events), func(i int) bool { return events[i].Seq > wm })
+	c.merge = mergeBySeq(c.merge[:0], c.held, events[:cut])
+	for i := range c.merge {
+		c.consume(&c.merge[i])
+	}
+	c.held = append(c.held[:0], events[cut:]...)
 	if b := c.opts.StarveBound; b > 0 {
 		c.sweepStarved(b)
 	}
+}
+
+// mergeBySeq merges two sequence-sorted event slices into dst.
+func mergeBySeq(dst, a, b []flightrec.Event) []flightrec.Event {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Seq <= b[j].Seq {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }
 
 // resolveAwait clears task id's deferred-dispatch marker without judgement,
@@ -365,17 +453,41 @@ func (c *Checker) expireDomSusp() {
 	}
 }
 
+// expireFaults flags faults that a full subsequent sweep failed to resolve
+// with a retry or completion: the resolving event — written to the same
+// worker ring strictly after the fault, or causally ordered behind the
+// re-arm — would have surfaced by then, so the task (or its worker) was
+// lost mid-recovery. Caller holds mu.
+func (c *Checker) expireFaults() {
+	for id, ep := range c.pendingFault {
+		if ep+2 > c.epoch {
+			continue
+		}
+		c.report(Violation{Invariant: FaultResolution, Task: id, Worker: flightrec.ExternalWorker,
+			Detail: fmt.Sprintf("task %d faulted with no retry or completion ever recorded (worker died mid-recovery?)", id)})
+		delete(c.pendingFault, id)
+	}
+}
+
 // Flush settles every still-deferred dispatch as if the stream had ended:
 // a ready that has not arrived by now never will, so each outstanding
 // deferral is a dispatch-before-ready violation (and each unresolved
-// domain-gating suspicion a missing wake). Call it after the final Feed of
-// a drained recorder (Online.Stop does).
+// domain-gating suspicion a missing wake, each unresolved fault a lost
+// recovery). Call it after the final Feed of a drained recorder
+// (Online.Stop does).
 func (c *Checker) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// The stream has ended: the held batch has no next sweep coming, so
+	// release it now — its predecessors either arrived or never will.
+	for i := range c.held {
+		c.consume(&c.held[i])
+	}
+	c.held = c.held[:0]
 	c.epoch += 2 // everything outstanding is expired by definition
 	c.expireAwaits()
 	c.expireDomSusp()
+	c.expireFaults()
 }
 
 // AdvanceTime tells the checker wall time has reached now even if no new
@@ -465,6 +577,9 @@ func (c *Checker) consume(e *flightrec.Event) {
 			ti.state = stRunning
 		}
 	case flightrec.KindComplete:
+		// A completion resolves any pending fault: a terminal failure's
+		// lifecycle ends in a complete like any other task's.
+		delete(c.pendingFault, e.Task)
 		ti := c.tasks[e.Task]
 		if ti == nil {
 			return // pre-window task; nothing to verify
@@ -498,6 +613,32 @@ func (c *Checker) consume(e *flightrec.Event) {
 			if d := c.workerDomain(e.Worker); d >= 0 {
 				delete(c.domSusp, d)
 			}
+		}
+	case flightrec.KindFault:
+		c.stats.Faults++
+		c.pendingFault[e.Task] = c.epoch
+		if ti := c.tasks[e.Task]; ti != nil {
+			c.checkGen(ti, e)
+		} else {
+			// Pre-window task (its dispatch handling already judged the
+			// missing history); track it so the resolution can be verified.
+			c.adopt(e, stRunning)
+		}
+	case flightrec.KindRetry:
+		c.stats.Retries++
+		delete(c.pendingFault, e.Task)
+		attempt, max := flightrec.RetryInfo(e.Arg2)
+		if attempt > max {
+			c.report(Violation{Invariant: RetryBudget, Task: e.Task, Worker: e.Worker, Seq: e.Seq,
+				Detail: fmt.Sprintf("task %d re-armed for attempt %d past its retry budget of %d", e.Task, attempt, max)})
+		}
+		if ti := c.tasks[e.Task]; ti != nil {
+			c.checkGen(ti, e)
+			// The re-arm legalises the task's next ready event: the record
+			// returns to the scheduler as if freshly published.
+			ti.state = stSubmitted
+		} else {
+			c.adopt(e, stSubmitted)
 		}
 	case flightrec.KindSteal:
 		// Timeline marker: no per-task invariant.
@@ -569,6 +710,7 @@ func (c *Checker) adopt(e *flightrec.Event, state uint8) {
 		// Bound the table: drop everything and restart conservatively.
 		c.tasks = make(map[uint64]*taskInfo)
 		c.awaiting = make(map[uint64]uint64)
+		c.pendingFault = make(map[uint64]uint64)
 		c.stats.Resets++
 		c.lax = true
 	}

@@ -38,6 +38,7 @@ func TestCleanLifecycleNoViolations(t *testing.T) {
 	s.add(flightrec.KindWake, 0, 0, 0, 0)
 	c := New(Options{})
 	c.Feed(s.evs, false)
+	c.Feed(nil, false) // judgement on a batch is deferred one sweep
 	if st := c.Stats(); st.Total != 0 || st.Events != 10 || st.Tracked != 0 {
 		t.Fatalf("clean stream: %+v", st)
 	}
@@ -53,6 +54,7 @@ func TestSelfDispatchElision(t *testing.T) {
 	s.add(flightrec.KindComplete, 0, 1, 0, flightrec.CompleteSelfDispatch)
 	c := New(Options{})
 	c.Feed(s.evs, false)
+	c.Feed(nil, false)
 	if st := c.Stats(); st.Total != 0 || st.Tracked != 0 {
 		t.Fatalf("flagged elided hand-off: %+v", st)
 	}
@@ -63,6 +65,7 @@ func TestSelfDispatchElision(t *testing.T) {
 	s2.add(flightrec.KindComplete, 0, 2, 0, 0)
 	c2 := New(Options{})
 	c2.Feed(s2.evs, false)
+	c2.Feed(nil, false)
 	if st := c2.Stats(); st.DispatchNotReady != 1 {
 		t.Fatalf("unflagged ready→complete not caught: %+v", st)
 	}
@@ -72,6 +75,7 @@ func TestSelfDispatchElision(t *testing.T) {
 	s3.add(flightrec.KindComplete, 0, 3, 0, flightrec.CompleteSelfDispatch)
 	c3 := New(Options{})
 	c3.Feed(s3.evs, false)
+	c3.Feed(nil, false)
 	if st := c3.Stats(); st.DispatchNotReady != 1 {
 		t.Fatalf("flagged complete from submitted state not caught: %+v", st)
 	}
@@ -88,7 +92,9 @@ func TestDispatchWithoutReadyFlagged(t *testing.T) {
 	if st := c.Stats(); st.DispatchNotReady != 0 {
 		t.Fatalf("deferred dispatch flagged immediately: %+v", st)
 	}
-	// …but no ready arrives, so two later sweeps settle it.
+	// …but no ready arrives, so later sweeps settle it (one sweep to
+	// release the held batch, two more of deferral grace).
+	c.Feed(nil, false)
 	c.Feed(nil, false)
 	c.Feed(nil, false)
 	if st := c.Stats(); st.DispatchNotReady != 1 {
@@ -107,11 +113,13 @@ func TestDispatchWithoutReadyFlagged(t *testing.T) {
 	s2.add(flightrec.KindDispatch, 0, 9, 0, 0)
 	c4 := New(Options{})
 	c4.Feed(s2.evs, false)
+	c4.Feed(nil, false)
 	if st := c4.Stats(); st.DispatchNotReady != 1 {
 		t.Fatalf("unknown dispatch not flagged: %+v", st)
 	}
 	c3 := New(Options{})
 	c3.Feed(s2.evs, true) // same stream after a gap: conservatively adopted
+	c3.Feed(nil, false)
 	if st := c3.Stats(); st.Total != 0 || st.Gaps != 1 {
 		t.Fatalf("gapped unknown dispatch should not flag: %+v", st)
 	}
@@ -143,6 +151,7 @@ func TestSnapshotSkewTolerated(t *testing.T) {
 		{Seq: 2, Kind: flightrec.KindDispatch, Worker: 1, Task: 1},
 		{Seq: 4, Kind: flightrec.KindReady, Worker: 0, Task: 1},
 	}, false)
+	c2.Feed(nil, false)
 	if st := c2.Stats(); st.DispatchNotReady != 1 {
 		t.Fatalf("true early dispatch not flagged: %+v", st)
 	}
@@ -156,6 +165,7 @@ func TestDoubleDispatchFlagged(t *testing.T) {
 	var got []Violation
 	c := New(Options{OnViolation: func(v Violation) { got = append(got, v) }})
 	c.Feed(s.evs, false)
+	c.Feed(nil, false)
 	if st := c.Stats(); st.DispatchNotReady != 1 || st.Total != 1 {
 		t.Fatalf("double dispatch: %+v", st)
 	}
@@ -172,6 +182,7 @@ func TestClaimGenerationRegressionFlagged(t *testing.T) {
 	s.add(flightrec.KindDispatch, 0, 1, gen2, 0) // an entry from a previous record life
 	c := New(Options{})
 	c.Feed(s.evs, false)
+	c.Feed(nil, false)
 	if st := c.Stats(); st.ClaimRegressions != 1 {
 		t.Fatalf("gen regression: %+v", st)
 	}
@@ -189,18 +200,21 @@ func TestClassGatingFlagged(t *testing.T) {
 	// Slow worker (id >= fastN) takes crit work below saturation: violation.
 	c := New(Options{})
 	c.Feed(mk(3, 1), false)
+	c.Feed(nil, false)
 	if st := c.Stats(); st.ClassGating != 1 {
 		t.Fatalf("ungated crit dispatch: %+v", st)
 	}
 	// At saturation it is the sanctioned spill.
 	c = New(Options{})
 	c.Feed(mk(3, fastN), false)
+	c.Feed(nil, false)
 	if st := c.Stats(); st.Total != 0 {
 		t.Fatalf("saturated crit dispatch flagged: %+v", st)
 	}
 	// A fast worker takes crit work unconditionally.
 	c = New(Options{})
 	c.Feed(mk(0, 0), false)
+	c.Feed(nil, false)
 	if st := c.Stats(); st.Total != 0 {
 		t.Fatalf("fast crit dispatch flagged: %+v", st)
 	}
@@ -221,6 +235,7 @@ func TestStarvationFlagged(t *testing.T) {
 	s2.time = 3_000_000_000
 	s2.add(flightrec.KindReady, flightrec.ExternalWorker, 2, 0, 0)
 	c.Feed(s2.evs, false)
+	c.Feed(nil, false) // the held batch carries the clock forward on consume
 	st := c.Stats()
 	if st.Starvations != 1 {
 		t.Fatalf("starvation not flagged: %+v", st)
@@ -233,6 +248,7 @@ func TestStarvationFlagged(t *testing.T) {
 	// An idle pool with a stuck ready task trips via AdvanceTime.
 	c2 := New(Options{StarveBound: time.Second})
 	c2.Feed(s.evs, false)
+	c2.Feed(nil, false)
 	c2.AdvanceTime(9_000_000_000)
 	if st := c2.Stats(); st.Starvations != 1 {
 		t.Fatalf("idle starvation not flagged: %+v", st)
@@ -246,6 +262,7 @@ func TestTaskTableBounded(t *testing.T) {
 		s.add(flightrec.KindSubmit, flightrec.ExternalWorker, uint64(i+1), 0, 0)
 	}
 	c.Feed(s.evs, false)
+	c.Feed(nil, false)
 	st := c.Stats()
 	if st.Tracked > 64 {
 		t.Fatalf("table unbounded: %+v", st)
@@ -355,12 +372,14 @@ func replayPublishWindow(snapshotReady bool) []flightrec.Event {
 func TestPublishWindowRegressionInjection(t *testing.T) {
 	fixed := New(Options{})
 	fixed.Feed(replayPublishWindow(true), false)
+	fixed.Feed(nil, false)
 	if st := fixed.Stats(); st.Total != 0 {
 		t.Fatalf("fixed protocol flagged: %+v", st)
 	}
 
 	broken := New(Options{})
 	broken.Feed(replayPublishWindow(false), false)
+	broken.Feed(nil, false)
 	st := broken.Stats()
 	if st.DispatchNotReady == 0 {
 		t.Fatalf("reverted readyClaim fix not flagged: %+v", st)
@@ -405,6 +424,7 @@ func TestDomainGatingFlagged(t *testing.T) {
 	if st := c.Stats(); st.DomainGating != 0 {
 		t.Fatalf("suspicion reported before the grace window closed: %+v", st)
 	}
+	c.Feed(nil, false) // the held batch is consumed here: the suspicion opens
 	c.Feed(nil, false) // grace sweep 1: suspicion still held
 	if st := c.Stats(); st.DomainGating != 0 {
 		t.Fatalf("suspicion reported one sweep early: %+v", st)
@@ -535,6 +555,7 @@ func TestAdaptProvenance(t *testing.T) {
 	s.add(flightrec.KindAdapt, flightrec.ExternalWorker, 0, 8, pack)
 	c := New(Options{})
 	c.Feed(s.evs, false)
+	c.Feed(nil, false)
 	if st := c.Stats(); st.Total != 0 || st.AdaptDecisions != 3 {
 		t.Fatalf("clean adapt stream flagged: %+v", st)
 	}
@@ -546,6 +567,7 @@ func TestAdaptProvenance(t *testing.T) {
 	s2.add(flightrec.KindAdapt, flightrec.ExternalWorker, 0, 7, pack)
 	c2 := New(Options{})
 	c2.Feed(s2.evs, false)
+	c2.Feed(nil, false)
 	if st := c2.Stats(); st.AdaptProvenance != 1 {
 		t.Fatalf("stale-epoch decision not flagged: %+v", st)
 	}
@@ -556,11 +578,13 @@ func TestAdaptProvenance(t *testing.T) {
 	s3.add(flightrec.KindAdapt, flightrec.ExternalWorker, 0, 7, pack)
 	c3 := New(Options{})
 	c3.Feed(s3.evs, false)
+	c3.Feed(nil, false)
 	if st := c3.Stats(); st.AdaptProvenance != 1 {
 		t.Fatalf("sample-less decision not flagged: %+v", st)
 	}
 	c4 := New(Options{})
 	c4.Feed(s3.evs, true)
+	c4.Feed(nil, false)
 	if st := c4.Stats(); st.Total != 0 {
 		t.Fatalf("post-gap decision should not flag: %+v", st)
 	}

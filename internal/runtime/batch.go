@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/flightrec"
 )
@@ -32,6 +33,16 @@ type TaskSpec struct {
 	// it for per-graph completion accounting over a shared pool, where the
 	// global Wait is the wrong granularity.
 	OnDone func(error)
+	// Retry re-enqueues failed (error-returning, panicking, or
+	// deadline-overrunning) attempts through the scheduler with capped
+	// exponential backoff. The zero value disables retry. The current
+	// attempt count is visible to the body via TaskPlacement.
+	Retry RetryPolicy
+	// Deadline, when positive, bounds each body attempt: the body's
+	// context is cancelled at the bound, and an attempt that overruns it
+	// fails with a *DeadlineError without blocking its worker (the
+	// overrunning body is abandoned, so it should honour its context).
+	Deadline time.Duration
 }
 
 // SubmitBatch submits a slice of tasks in one registration pass and
@@ -111,6 +122,8 @@ func (r *Runtime) SubmitBatchCtx(ctx context.Context, specs []TaskSpec) ([]TaskI
 		// Set before linkPreds can publish the task: a predecessor completing
 		// right after the shard section may release (and execute) it.
 		t.onDone = sp.OnDone
+		t.retry = sp.Retry
+		t.deadline = sp.Deadline
 		tasks[i] = t
 		ids[i] = t.id
 		mask |= r.shardPlan(t)

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math/bits"
 	"reflect"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/flightrec"
 	"repro/internal/tdg"
@@ -191,6 +193,19 @@ type task struct {
 	// record can be recycled. Only the dispatching worker reads it, so plain
 	// access suffices.
 	onDone func(error)
+	// retry and deadline are the spec's fault-tolerance knobs; attempt is
+	// the number of failed attempts already consumed (0 on the first run).
+	// Only the dispatching worker and the backoff re-arm touch attempt, and
+	// the scheduler hand-off orders them, so plain access suffices.
+	retry    RetryPolicy
+	deadline time.Duration
+	attempt  int32
+	// skipCause, when non-nil, poisons the task: a predecessor terminally
+	// panicked, so the body is skipped with a SkipError wrapping the root
+	// cause (and the poison propagates to this task's own successors).
+	// Written by completing predecessors and read at dispatch, both under
+	// t.mu.
+	skipCause error
 
 	mu    sync.Mutex
 	state taskState
@@ -335,8 +350,20 @@ type Stats struct {
 	Submitted uint64
 	Executed  uint64
 	Steals    uint64
-	// Skipped counts tasks whose context was cancelled before they started.
+	// Skipped counts tasks whose context was cancelled before they started,
+	// plus tasks skip-poisoned by a terminally panicked predecessor.
 	Skipped uint64
+	// Panics counts recovered task-body (and OnDone-hook) panics — every
+	// occurrence, including attempts that were subsequently retried.
+	Panics uint64
+	// Retries counts re-armed attempts under TaskSpec.Retry.
+	Retries uint64
+	// DeadlineMisses counts body attempts that overran TaskSpec.Deadline.
+	DeadlineMisses uint64
+	// Quarantined counts tasks terminally failed by a panic (the retry
+	// budget, if any, never produced a clean run) plus the skip-poisoned
+	// successors they took down with them.
+	Quarantined uint64
 	// PerWorker counts tasks executed by each worker.
 	PerWorker []uint64
 	// PerClass aggregates PerWorker by worker class, in WorkerClasses()
@@ -371,6 +398,10 @@ type Placement struct {
 	// order — workloads that model domain-sized data use it to count
 	// cross-domain handoffs.
 	Domain int
+	// Attempt is the number of failed attempts this task consumed before
+	// the current run: 0 on the first attempt, n on the n-th retry (see
+	// TaskSpec.Retry).
+	Attempt int
 }
 
 // placementKey is the context key TaskPlacement looks up.
@@ -777,6 +808,10 @@ func (r *Runtime) newTask(ctx context.Context, name string, cost float64, priori
 	t.plainFn = plain
 	t.ctx = ctx
 	t.onDone = nil // recycled records must not inherit a hook
+	t.retry = RetryPolicy{}
+	t.deadline = 0
+	t.attempt = 0
+	t.skipCause = nil
 	t.state = statePending
 	t.home = -1
 	// Atomic: a late scheduler push for the task that previously occupied
@@ -1064,18 +1099,43 @@ func (r *Runtime) worker(id int) {
 		atomic.StoreInt32(&t.exec, int32(id))
 		t.mu.Lock()
 		t.state = stateRunning
+		poison := t.skipCause
 		t.mu.Unlock()
 		var taskErr error
-		if err := t.ctx.Err(); err != nil {
+		// propagate is the poison handed to complete for the successors:
+		// non-nil only for terminal panics and the skips they caused.
+		var propagate error
+		// faultPack, when non-zero, is the terminal fault complete must
+		// record paired with the completion event (fault classes start at
+		// 1, so zero always means "no fault").
+		var faultPack uint64
+		if poison != nil {
+			// Poisoned: a predecessor terminally panicked, so this task's
+			// inputs were never produced. Skip the body, fail the task with
+			// a SkipError carrying the root cause, keep poisoning downstream.
+			atomic.AddUint64(&mySig.skipped, 1)
+			r.sig.quarantined.Add(1)
+			taskErr = &SkipError{TaskName: t.name, Cause: poison}
+			r.setErr(taskErr)
+			propagate = poison
+		} else if err := t.ctx.Err(); err != nil {
 			// Cancelled before starting: skip the body, record why.
 			atomic.AddUint64(&mySig.skipped, 1)
 			r.setErr(err)
 			taskErr = err
 		} else {
-			switch {
-			case t.fn != nil:
-				var pc *placementCtx
-				if t.ctx == context.Background() {
+			var pc context.Context
+			if t.fn != nil {
+				if t.attempt > 0 {
+					// Retried attempts are rare and must surface their
+					// attempt count through TaskPlacement: a fresh uncached
+					// wrapper keeps the shared cached wrappers (and the
+					// fault-free fast path's zero-allocation guarantee)
+					// attempt-free.
+					w := where
+					w.Attempt = int(t.attempt)
+					pc = &placementCtx{Context: t.ctx, rt: r, where: w}
+				} else if t.ctx == context.Background() {
 					pc = bgWrap
 					// Release the cached request-scoped context: a worker
 					// must not pin a dead request's values past the next
@@ -1084,9 +1144,10 @@ func (r *Runtime) worker(id int) {
 				} else if curWrap != nil && t.ctx == curCtx {
 					pc = curWrap // same submission scope as the last task
 				} else {
-					pc = &placementCtx{Context: t.ctx, rt: r, where: where}
+					w := &placementCtx{Context: t.ctx, rt: r, where: where}
+					pc = w
 					if reflect.TypeOf(t.ctx).Comparable() {
-						curCtx, curWrap = t.ctx, pc
+						curCtx, curWrap = t.ctx, w
 					} else {
 						// Never cache a context of uncomparable dynamic
 						// type: a later identity check against another
@@ -1094,27 +1155,212 @@ func (r *Runtime) worker(id int) {
 						curCtx, curWrap = nil, nil
 					}
 				}
-				if err := t.fn(pc); err != nil {
-					r.setErr(fmt.Errorf("task %s: %w", t.name, err))
-					taskErr = err
+			}
+			var bodyErr error
+			if t.deadline > 0 {
+				bodyErr = r.runWithDeadline(t, pc)
+			} else {
+				bodyErr = execBody(t.name, t.fn, t.plainFn, pc)
+			}
+			if bodyErr != nil {
+				switch bodyErr.(type) {
+				case *PanicError:
+					r.sig.panics.Add(1)
+				case *DeadlineError:
+					r.sig.deadlineMiss.Add(1)
 				}
-			case t.plainFn != nil:
-				t.plainFn()
+				if r.maybeRetry(t, id, bodyErr) {
+					// Re-armed: the task stays outstanding and re-enters the
+					// scheduler after its backoff. OnDone and complete wait
+					// for the terminal attempt.
+					continue
+				}
 			}
 			atomic.AddUint64(&mySig.executed, 1)
+			if bodyErr != nil {
+				taskErr = bodyErr
+				switch bodyErr.(type) {
+				case *PanicError, *DeadlineError:
+					// Already task-labelled by construction.
+					r.setErr(bodyErr)
+				default:
+					r.setErr(fmt.Errorf("task %s: %w", t.name, bodyErr))
+				}
+				if pe, ok := bodyErr.(*PanicError); ok {
+					// Terminal panic: quarantine the task and poison its
+					// successors — a panicked producer's outputs don't exist,
+					// so running consumers against them compounds the damage.
+					r.sig.quarantined.Add(1)
+					propagate = pe
+				}
+				// The fault event itself is recorded by complete, in one
+				// paired ring write with the completion: the verifier's
+				// FaultResolution window is measured in collector sweeps,
+				// and any daylight between the two records (the OnDone hook
+				// would otherwise run in it) reads as a lost recovery.
+				faultPack = flightrec.PackFault(faultCode(bodyErr), int(t.attempt))
+			}
 		}
 		// The per-task completion hook fires here — after the body (or the
 		// skip decision) and before complete() can recycle the record — so
 		// a service layer can account for every admitted task exactly once,
-		// executed and skipped alike.
+		// executed and skipped alike. It runs under panic isolation: a
+		// panicking hook is the submitting layer's bug, but it must not take
+		// the worker (and every tenant on the pool) down with it.
 		if t.onDone != nil {
-			t.onDone(taskErr)
+			r.callOnDone(t.onDone, taskErr, t.name)
 		}
 		if obs != nil {
 			obs.taskDone(id)
 		}
-		r.complete(t, id, &sc)
+		r.complete(t, id, &sc, propagate, faultPack)
 	}
+}
+
+// execBody invokes a task body under panic isolation: a panicking body is
+// recovered into a typed *PanicError carrying the panic value and the
+// goroutine stack, and the task fails like any error-returning body instead
+// of unwinding the worker. The body's identity is passed as plain values —
+// never the task record — so the deadline path can keep running an
+// abandoned body after the record has been recycled.
+func execBody(name string, fn Body, plain func(), pc context.Context) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{TaskName: name, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if fn != nil {
+		return fn(pc)
+	}
+	if plain != nil {
+		plain()
+	}
+	return nil
+}
+
+// runWithDeadline runs the body under its per-task deadline without ever
+// blocking the worker: the body runs on its own goroutine against a
+// deadline-bounded context, and when the bound passes first the task fails
+// with a *DeadlineError immediately. The overrunning body is abandoned —
+// its goroutine holds only the body closure and context (never the task
+// record, which complete may recycle at any moment after this returns) and
+// is collected whenever the body honours the cancellation or returns.
+func (r *Runtime) runWithDeadline(t *task, pc context.Context) error {
+	base := pc
+	if base == nil {
+		base = t.ctx
+	}
+	dctx, cancel := context.WithTimeout(base, t.deadline)
+	done := make(chan error, 1)
+	name, fn, plain := t.name, t.fn, t.plainFn
+	go func() {
+		defer cancel()
+		done <- execBody(name, fn, plain, dctx)
+	}()
+	// A cooperative body that observes the bound returns ctx.Err() through
+	// done, racing the watchdog arm; normalise both paths to the same
+	// verdict so classification never depends on which select arm wins.
+	verdict := func(err error) error {
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && base.Err() == nil {
+			return &DeadlineError{TaskName: name, Limit: t.deadline}
+		}
+		return err
+	}
+	select {
+	case err := <-done:
+		return verdict(err)
+	case <-dctx.Done():
+		select {
+		case err := <-done:
+			// The body beat the bound observation: take its verdict.
+			return verdict(err)
+		default:
+		}
+		if err := base.Err(); err != nil {
+			// The submission context died, not the deadline: classify as a
+			// plain cancellation, like the pre-start skip path would.
+			return err
+		}
+		return &DeadlineError{TaskName: name, Limit: t.deadline}
+	}
+}
+
+// faultCode maps a failed attempt's error to its flight-recorder fault
+// class.
+func faultCode(err error) int {
+	switch err.(type) {
+	case *PanicError:
+		return flightrec.FaultPanic
+	case *DeadlineError:
+		return flightrec.FaultDeadline
+	default:
+		return flightrec.FaultError
+	}
+}
+
+// maybeRetry decides whether a failed attempt re-enters the scheduler
+// under the task's RetryPolicy. On re-arm it records the paired
+// fault+retry events, bumps the attempt count, and schedules the ready
+// transition after the capped exponential backoff; the task stays
+// outstanding throughout (complete never ran), so Wait and Shutdown drain
+// retries like any in-flight work. A cancelled submission context makes
+// the failure terminal: retrying work nobody is waiting for wastes the
+// pool.
+func (r *Runtime) maybeRetry(t *task, workerID int, cause error) bool {
+	if t.retry.Max <= 0 || int(t.attempt) >= t.retry.Max || t.ctx.Err() != nil {
+		return false
+	}
+	t.attempt++
+	n := int(t.attempt)
+	r.sig.retries.Add(1)
+	if r.rec != nil {
+		claim := atomic.LoadUint64(&t.claim)
+		r.rec.RecordWorker2(workerID,
+			flightrec.KindFault, uint64(t.id), claim, flightrec.PackFault(faultCode(cause), n-1),
+			flightrec.KindRetry, uint64(t.id), claim, flightrec.PackRetry(n, t.retry.Max))
+	}
+	if d := t.retry.delay(n); d > 0 {
+		time.AfterFunc(d, func() { r.rearm(t) })
+		return true
+	}
+	r.rearm(t)
+	return true
+}
+
+// rearm returns a failed attempt's task to the scheduler. The record is
+// still owned by the retry path — complete never ran, so the generation is
+// unchanged and no reference was invalidated; a retried task can therefore
+// never alias a recycled record. The ready transition mirrors submit's:
+// the ready event is recorded BEFORE the claim stores, because clearing
+// the dispatch-claim bit (set by a claiming scheduler like CATS at the
+// failed dispatch) is what re-arms concurrent dispatch through stale heap
+// entries — the stale entry and the fresh push then race on the same
+// claim CAS, so at most one dispatches.
+func (r *Runtime) rearm(t *task) {
+	t.mu.Lock()
+	t.state = stateReady
+	t.home = -1
+	rc := claimGen(atomic.LoadUint64(&t.claim)) << 1
+	if r.rec != nil {
+		r.rec.RecordExternal(flightrec.KindReady, uint64(t.id), rc, 0)
+	}
+	atomic.StoreUint64(&t.claim, rc)
+	atomic.StoreUint64(&t.readyClaim, rc)
+	t.mu.Unlock()
+	r.sched.push(t, -1)
+}
+
+// callOnDone fires the per-task completion hook under panic isolation: a
+// panicking hook must not take down the worker, so it is recovered,
+// counted, and surfaced through Err like a body panic.
+func (r *Runtime) callOnDone(hook func(error), taskErr error, name string) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.sig.panics.Add(1)
+			r.setErr(&PanicError{TaskName: name, Value: v, Stack: debug.Stack()})
+		}
+	}()
+	hook(taskErr)
 }
 
 // complete marks a task done, releases its successors, and drops the
@@ -1131,7 +1377,16 @@ func (r *Runtime) worker(id int) {
 // identity: the scheduler's locality path pushes them onto this worker's
 // own deque (LIFO, so the consumer reuses the producer's warm cache),
 // spilling to the shared injector past the locality window.
-func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
+//
+// poison, when non-nil, is the root panic failure this task propagates:
+// every successor is marked skipCause before its release, so it (and,
+// transitively, its own successors) skips instead of running against
+// inputs that were never produced.
+//
+// faultPack, when non-zero, is the terminal fault (PackFault word) this
+// completion resolves; it is recorded in the same paired ring write as the
+// completion event so the two can never be separated by a collector sweep.
+func (r *Runtime) complete(t *task, workerID int, sc *completionScratch, poison error, faultPack uint64) {
 	recycle := !r.opts.retainTrace
 	succs := sc.succs[:0]
 	// The complete event carries the pre-retirement claim word but is
@@ -1155,6 +1410,7 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 	t.plainFn = nil
 	t.ctx = nil
 	t.onDone = nil
+	t.skipCause = nil
 	if recycle {
 		t.name = ""
 		t.clearDeps()
@@ -1172,7 +1428,30 @@ func (r *Runtime) complete(t *task, workerID int, sc *completionScratch) {
 	// single wakeup instead of one signal per child.
 	ready := sc.ready[:0]
 	completeRecorded := r.rec == nil
+	if !completeRecorded && faultPack != 0 {
+		// A terminal fault rides one paired ring write with its completion
+		// so no goroutine pause can open a gap between them: the verifier
+		// expires an unresolved fault after one full collector sweep, and
+		// the resolving event must be adjacent by construction (exactly as
+		// maybeRetry pairs fault with retry).
+		completeRecorded = true
+		r.rec.RecordWorker2(workerID,
+			flightrec.KindFault, completedID, completedClaim, faultPack,
+			flightrec.KindComplete, completedID, completedClaim, completeFlags)
+	}
 	for _, s := range succs {
+		if poison != nil {
+			// Poison before the decrement: the final releaser (us or a
+			// concurrent predecessor, whose decrement is ordered after ours)
+			// publishes the store, and the dispatching worker reads it under
+			// s.mu after the release — so a poisoned successor can never
+			// observe a nil cause. First poison wins; one root is enough.
+			s.mu.Lock()
+			if s.skipCause == nil {
+				s.skipCause = poison
+			}
+			s.mu.Unlock()
+		}
 		if atomic.AddInt32(&s.npreds, -1) == 0 {
 			s.mu.Lock()
 			s.state = stateReady
@@ -1349,6 +1628,10 @@ func (r *Runtime) StatsInto(s *Stats) {
 	s.Executed = smp.Executed
 	s.Steals = smp.Steals
 	s.Skipped = smp.Skipped
+	s.Panics = r.sig.panics.Load()
+	s.Retries = r.sig.retries.Load()
+	s.DeadlineMisses = r.sig.deadlineMiss.Load()
+	s.Quarantined = r.sig.quarantined.Load()
 	s.FlightEvents = 0
 	if r.rec != nil {
 		s.FlightEvents = r.rec.EventCount()

@@ -43,6 +43,16 @@ type signals struct {
 	// critSubmit counts submissions carrying a positive priority hint —
 	// the phase signal for switching criticality-first placement on.
 	critSubmit atomic.Uint64
+	// The fault-tolerance counters are bumped on failure paths only, so
+	// the fault-free steady state never touches them: panics counts
+	// recovered body (and OnDone-hook) panics, retries re-armed attempts,
+	// deadlineMiss bodies that overran their TaskSpec.Deadline, and
+	// quarantined tasks terminally failed by a panic — poisoned tasks whose
+	// retry budget (if any) never produced a clean run.
+	panics       atomic.Uint64
+	retries      atomic.Uint64
+	deadlineMiss atomic.Uint64
+	quarantined  atomic.Uint64
 	// epoch numbers sampleSignals snapshots; the flight-recorder signals
 	// event carries it, and the verifier matches decision events to the
 	// sample epoch they were reasoned from.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,25 @@ type DepRequest struct {
 	Mode string `json:"mode"`
 }
 
+// RetrySpec is a task's retry policy on the wire. Zero/absent means no
+// retries; the runtime re-enqueues a failing task up to Max times with
+// capped exponential backoff.
+type RetrySpec struct {
+	// Max is the retry budget (re-executions after the first attempt),
+	// capped at MaxRetryBudget.
+	Max int `json:"max"`
+	// BackoffMS is the first retry's delay in milliseconds; it doubles per
+	// retry up to MaxBackoffMS. Zero re-enqueues immediately.
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
+	// MaxBackoffMS caps the doubling (0 = uncapped within Max retries).
+	MaxBackoffMS int64 `json:"max_backoff_ms,omitempty"`
+}
+
+// MaxRetryBudget bounds a task's wire-requested retry budget: a tenant
+// may not make the pool re-run one poisoned body more than this many
+// times.
+const MaxRetryBudget = 16
+
 // TaskRequest is one task of a submitted graph.
 type TaskRequest struct {
 	// Name is an optional task label (shows up in runtime errors).
@@ -93,6 +113,12 @@ type TaskRequest struct {
 	Cost float64 `json:"cost,omitempty"`
 	// Deps are the task's dependence annotations.
 	Deps []DepRequest `json:"deps,omitempty"`
+	// Retry is the task's optional retry policy.
+	Retry *RetrySpec `json:"retry,omitempty"`
+	// DeadlineMS bounds one execution attempt of the task body in
+	// milliseconds (0 = unbounded). An attempt past its deadline fails
+	// with a deadline error — and may then retry under Retry.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // GraphRequest is the body of POST /v1/graphs: one task graph to run on
@@ -103,6 +129,10 @@ type GraphRequest struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Lane is the graph's priority lane name (default "data").
 	Lane string `json:"lane,omitempty"`
+	// OnFailure is the job's failure policy: "continue" (default — the
+	// rest of the graph keeps running after a task fails) or "fail_fast"
+	// (the first task failure cancels the job's remaining tasks).
+	OnFailure string `json:"on_failure,omitempty"`
 	// Tasks is the graph, in submission (program) order.
 	Tasks []TaskRequest `json:"tasks"`
 }
@@ -141,6 +171,13 @@ type JobStatus struct {
 	DoneSeq uint64 `json:"done_seq,omitempty"`
 	// LatencyMS is admission-to-terminal latency, 0 while non-terminal.
 	LatencyMS float64 `json:"latency_ms,omitempty"`
+	// Attempts is the total task-body executions the job has burned,
+	// retries included — Attempts > Tasks means the retry machinery fired.
+	Attempts int64 `json:"attempts,omitempty"`
+	// FailureKind classifies a failed job's first error: "panic",
+	// "deadline", "skip" (a predecessor's terminal panic poisoned the
+	// task), or "error" (a plain body error). Empty on non-failed jobs.
+	FailureKind string `json:"failure_kind,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx error reply.
@@ -190,6 +227,19 @@ func builtinOps() map[string]Op {
 // spinSink defeats dead-code elimination of the spin op's loop.
 var spinSink atomic.Uint64
 
+// parseOnFailure validates a graph's failure policy and reports whether
+// it is fail-fast.
+func parseOnFailure(s string) (bool, error) {
+	switch s {
+	case "", "continue":
+		return false, nil
+	case "fail_fast":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown on_failure %q (want continue or fail_fast)", s)
+	}
+}
+
 // compileGraph validates a graph request and lowers it to runtime task
 // specs. Bodies are bound to ops here; the per-task OnDone completion
 // hooks are attached at launch time, when the job object exists.
@@ -226,6 +276,23 @@ func (s *Server) compileGraph(req *GraphRequest, lane Lane) ([]runtime.TaskSpec,
 				return nil, fmt.Errorf("task %d: dep %d has unknown mode %q (want in, out, or inout)", i, j, d.Mode)
 			}
 		}
+		var retry runtime.RetryPolicy
+		if r := tr.Retry; r != nil {
+			if r.Max < 0 || r.Max > MaxRetryBudget {
+				return nil, fmt.Errorf("task %d: retry max %d out of range [0, %d]", i, r.Max, MaxRetryBudget)
+			}
+			if r.BackoffMS < 0 || r.MaxBackoffMS < 0 {
+				return nil, fmt.Errorf("task %d: negative retry backoff", i)
+			}
+			retry = runtime.RetryPolicy{
+				Max:        r.Max,
+				Backoff:    time.Duration(r.BackoffMS) * time.Millisecond,
+				MaxBackoff: time.Duration(r.MaxBackoffMS) * time.Millisecond,
+			}
+		}
+		if tr.DeadlineMS < 0 {
+			return nil, fmt.Errorf("task %d: negative deadline", i)
+		}
 		amount := tr.Amount
 		body := op
 		specs[i] = runtime.TaskSpec{
@@ -235,10 +302,33 @@ func (s *Server) compileGraph(req *GraphRequest, lane Lane) ([]runtime.TaskSpec,
 			Body: func(ctx context.Context) error {
 				return body(ctx, amount)
 			},
-			Deps: deps,
+			Deps:     deps,
+			Retry:    retry,
+			Deadline: time.Duration(tr.DeadlineMS) * time.Millisecond,
 		}
 	}
 	return specs, nil
+}
+
+// failureKind classifies a failed job's first error for JobStatus. A
+// SkipError is checked first: it wraps its root cause, so the As-chain
+// would otherwise report the cause's kind for a task that never ran.
+func failureKind(err error) string {
+	var se *runtime.SkipError
+	var pe *runtime.PanicError
+	var de *runtime.DeadlineError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &se):
+		return "skip"
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.As(err, &de):
+		return "deadline"
+	default:
+		return "error"
+	}
 }
 
 // jobKey namespaces a graph's dependence keys per job, isolating tenants

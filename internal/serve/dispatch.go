@@ -81,13 +81,32 @@ func (s *Server) launch(j *job) {
 	// exactly once (executed or skipped), and the last one finishes the
 	// job. The hook runs on pool workers and must stay non-blocking —
 	// jobFinished's critical section is short and never waits on the pool.
+	// Under fail_fast the first failure also cancels the job's context, so
+	// tasks not yet dispatched skip instead of running.
 	hook := func(err error) {
-		j.noteErr(err)
+		if err != nil {
+			j.noteErr(err)
+			if j.failFast {
+				j.cancel()
+			}
+		}
 		if j.remaining.Add(-1) == 0 {
 			s.jobFinished(j)
 		}
 	}
 	for i := range j.specs {
+		// The attempts wrapper goes outermost (around any chaos injection),
+		// so JobStatus.Attempts counts every body execution, injected
+		// faults included. Wrapping happens once per task, here, because
+		// the chaos injector's transient/sticky schedule is per-wrapper.
+		body := j.specs[i].Body
+		if s.inj != nil {
+			body = s.inj.Wrap(j.num<<16|uint64(i), body)
+		}
+		j.specs[i].Body = func(ctx context.Context) error {
+			j.attempts.Add(1)
+			return body(ctx)
+		}
 		j.specs[i].OnDone = hook
 	}
 	s.marker(j, flightrec.MarkerLaunch)

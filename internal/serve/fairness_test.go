@@ -95,7 +95,12 @@ func TestFairnessGreedyCannotStarveLight(t *testing.T) {
 			maxLightSeq = st.DoneSeq
 		}
 	}
-	bound := uint64(2*lightJobs + 2 + 4) // rotation + plugs + dispatch slack
+	// Slack covers more than dispatch-order jitter: a light job dispatched
+	// on schedule can still complete late in sequence when the race
+	// detector (or a loaded box) deschedules its worker goroutine for
+	// several spin-durations while greedy jobs finish around it. A starved
+	// tenant lands at ~total (38+), far above this bound either way.
+	bound := uint64(2*lightJobs + 2 + 16) // rotation + plugs + dispatch/completion slack
 	if maxLightSeq > bound {
 		t.Errorf("light tenant's last completion index = %d, want ≤ %d (of %d total jobs)",
 			maxLightSeq, bound, greedyJobs+lightJobs+2)

@@ -22,6 +22,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter(&b, "raa_pool_executed_total", "Task bodies executed.", float64(st.Executed))
 	counter(&b, "raa_pool_steals_total", "Tasks dispatched through a steal.", float64(st.Steals))
 	counter(&b, "raa_pool_skipped_total", "Tasks skipped on cancelled contexts.", float64(st.Skipped))
+	counter(&b, "raa_pool_panics_total", "Task-body panics recovered by workers.", float64(st.Panics))
+	counter(&b, "raa_pool_retries_total", "Failed attempts re-enqueued under a retry policy.", float64(st.Retries))
+	counter(&b, "raa_pool_deadline_misses_total", "Task attempts that overran their deadline.", float64(st.DeadlineMisses))
+	counter(&b, "raa_pool_quarantined_total", "Tasks terminally failed by panic (or poisoned by one).", float64(st.Quarantined))
 	counter(&b, "raa_pool_flight_events_total", "Flight-recorder events captured.", float64(st.FlightEvents))
 	gauge(&b, "raa_pool_backlog", "Submitted tasks not yet finished.", float64(s.rt.Backlog()))
 	gauge(&b, "raa_pool_workers", "Workers in the shared pool.", float64(s.rt.Workers()))

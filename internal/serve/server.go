@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/flightrec"
 	"repro/internal/runtime"
 )
@@ -61,6 +62,12 @@ type Config struct {
 	// Ops registers extra operations (or overrides built-ins) by name;
 	// tests inject gate-style ops here.
 	Ops map[string]Op
+	// Chaos, when non-nil, wraps every launched task body with a
+	// deterministic fault injector (see internal/chaos): a seeded fraction
+	// of bodies panic, fail, or stall. Test-and-drill machinery — the
+	// service must stay alive and every job must still reach exactly one
+	// terminal state under the schedule.
+	Chaos *chaos.Config
 }
 
 // withDefaults fills unset fields.
@@ -130,6 +137,8 @@ type Server struct {
 	rt  *runtime.Runtime
 	ops map[string]Op
 	mux *http.ServeMux
+	// inj is the optional chaos injector wrapped around launched bodies.
+	inj *chaos.Injector
 
 	mu   sync.Mutex
 	cond *sync.Cond // wakes the dispatcher: admits, completions, drain
@@ -181,6 +190,9 @@ func New(cfg Config) (*Server, error) {
 		tenants: make(map[string]*tenant),
 		jobs:    make(map[string]*job),
 		idle:    make(chan struct{}),
+	}
+	if cfg.Chaos != nil {
+		s.inj = chaos.New(*cfg.Chaos)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mux = http.NewServeMux()
@@ -281,7 +293,7 @@ func (s *Server) marker(j *job, phase uint64) {
 // admitJob runs the admission ladder for one compiled graph and, on
 // admit, creates + enqueues the job. Exactly one verdict counter is
 // bumped per call.
-func (s *Server) admitJob(tenantID string, lane Lane, specs []runtime.TaskSpec) (*job, decision) {
+func (s *Server) admitJob(tenantID string, lane Lane, specs []runtime.TaskSpec, failFast bool) (*job, decision) {
 	cost := int64(len(specs))
 	s.mu.Lock()
 	tn := s.tenantLocked(tenantID)
@@ -312,6 +324,7 @@ func (s *Server) admitJob(tenantID string, lane Lane, specs []runtime.TaskSpec) 
 		lane:       lane,
 		specs:      specs,
 		cost:       cost,
+		failFast:   failFast,
 		admittedAt: time.Now(),
 		done:       make(chan struct{}),
 	}
@@ -416,12 +429,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
+	failFast, err := parseOnFailure(req.OnFailure)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
 	specs, err := s.compileGraph(&req, lane)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	j, d := s.admitJob(tenantID, lane, specs)
+	j, d := s.admitJob(tenantID, lane, specs, failFast)
 	switch d.verdict {
 	case VerdictAdmit:
 		writeJSON(w, http.StatusAccepted, SubmitResponse{Job: j.id, Status: "queued"})
@@ -457,9 +475,11 @@ func (s *Server) statusLocked(j *job) JobStatus {
 		State:  j.state.String(),
 		Tasks:  int(j.cost),
 	}
+	st.Attempts = j.attempts.Load()
 	if j.state == jobFailed {
 		if p := j.firstErr.Load(); p != nil {
 			st.Error = (*p).Error()
+			st.FailureKind = failureKind(*p)
 		}
 	}
 	if j.state.terminal() {

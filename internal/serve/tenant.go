@@ -88,12 +88,18 @@ type job struct {
 	// cancelRequested marks a cancel that arrived while the job was
 	// queued; the dispatcher reaps such jobs instead of launching them.
 	cancelRequested bool
+	// failFast makes the first task failure cancel the job's remaining
+	// tasks (the graph's on_failure policy).
+	failFast bool
 
 	// remaining is the count of tasks whose OnDone has not fired yet;
 	// the decrement to zero triggers jobDone.
 	remaining atomic.Int32
 	// firstErr records the first task error (body error or skip cause).
 	firstErr atomic.Pointer[error]
+	// attempts counts task-body executions, retries included; bodies are
+	// wrapped at launch to bump it.
+	attempts atomic.Int64
 
 	// ctx is the job's context; cancel skips tasks not yet started and
 	// is observed by in-flight sleep-style ops.

@@ -11,7 +11,7 @@ import (
 // Spec configures the throughput experiment through the raa registry.
 type Spec struct {
 	// Scenarios: parallel, fanout, chain, random, steal, longrun, hetero,
-	// locality, topology, adaptive; empty = all.
+	// locality, topology, adaptive, chaos; empty = all.
 	Scenarios []string `json:"scenarios,omitempty"`
 	// Schedulers: worksteal, fifo, cats; empty = all.
 	Schedulers []string `json:"schedulers,omitempty"`
@@ -140,6 +140,15 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 			// flat baseline, dom<N> the domain-aware variant.
 			key += fmt.Sprintf("_dom%d", p.Domains)
 		}
+		if p.Scenario == ScenarioChaos {
+			// The chaos scenario's axis is the fault schedule: clean is the
+			// injector-free baseline, faulty the injected arm.
+			if p.Faulty {
+				key += "_faulty"
+			} else {
+				key += "_clean"
+			}
+		}
 		res.Metrics[key+"_tasks_per_sec"] = p.TasksPerSec
 		// Executed is deterministic: it must always equal the task count,
 		// whatever the sharding and batching did.
@@ -175,6 +184,17 @@ func (e experiment) Run(ctx context.Context, spec raa.Spec) (*raa.Result, error)
 				res.Metrics[key+"_decisions"] = float64(p.AdaptiveDecisions)
 			}
 		}
+		if p.Scenario == ScenarioChaos {
+			res.Metrics[key+"_ns_per_task"] = p.NsPerTask
+			if p.Faulty {
+				// The robustness verdict pair: how much the fault schedule
+				// cost (median of per-round faulty/clean elapsed ratios) and
+				// whether every submitted task reached exactly one terminal
+				// state (1.0 is the only acceptable survival).
+				res.Metrics[key+"_chaos_overhead"] = p.ChaosOverhead
+				res.Metrics[key+"_chaos_survival"] = p.ChaosSurvival
+			}
+		}
 	}
 	for _, n := range summarize(pts) {
 		res.Notes = append(res.Notes, n)
@@ -201,11 +221,12 @@ func Table(pts []Point) *stats.Table {
 	type rowKey struct {
 		scenario, sched, mode string
 		window, domains       int
+		faulty                bool
 	}
 	cells := map[rowKey]map[int]float64{}
 	var order []rowKey
 	for _, p := range pts {
-		k := rowKey{p.Scenario, p.Scheduler, p.Mode, p.Window, p.Domains}
+		k := rowKey{p.Scenario, p.Scheduler, p.Mode, p.Window, p.Domains, p.Faulty}
 		if cells[k] == nil {
 			cells[k] = map[int]float64{}
 			order = append(order, k)
@@ -213,7 +234,7 @@ func Table(pts []Point) *stats.Table {
 		cells[k][p.Shards] = p.TasksPerSec
 	}
 	for _, k := range order {
-		row := []string{k.scenario, k.sched, k.mode, variantLabel(k.scenario, k.window, k.domains)}
+		row := []string{k.scenario, k.sched, k.mode, variantLabel(k.scenario, k.window, k.domains, k.faulty)}
 		for _, s := range shardCols {
 			if v, ok := cells[k][s]; ok {
 				row = append(row, fmt.Sprintf("%.0f", v/1e3))
@@ -229,10 +250,16 @@ func Table(pts []Point) *stats.Table {
 // variantLabel renders a table row's paired-measurement axis: the locality
 // scenario sweeps the window ("def" is the runtime default, "off" the
 // disabled central-injector baseline), the topology scenario the domain
-// count ("flat" is the single-domain baseline); other scenarios have no
-// variant axis.
-func variantLabel(scenario string, window, domains int) string {
+// count ("flat" is the single-domain baseline), the chaos scenario the
+// fault schedule ("clean" is the injector-free baseline); other scenarios
+// have no variant axis.
+func variantLabel(scenario string, window, domains int, faulty bool) string {
 	switch scenario {
+	case ScenarioChaos:
+		if faulty {
+			return "faulty"
+		}
+		return "clean"
 	case ScenarioLocality:
 		switch {
 		case window < 0:
@@ -259,23 +286,24 @@ func summarize(pts []Point) []string {
 	type cfg struct {
 		scenario, sched, mode   string
 		shards, window, domains int
+		faulty                  bool
 	}
 	rate := map[cfg]float64{}
 	for _, p := range pts {
-		rate[cfg{p.Scenario, p.Scheduler, p.Mode, p.Shards, p.Window, p.Domains}] = p.TasksPerSec
+		rate[cfg{p.Scenario, p.Scheduler, p.Mode, p.Shards, p.Window, p.Domains, p.Faulty}] = p.TasksPerSec
 	}
 	shardGain := map[string]float64{}
 	batchGain := map[string]float64{}
 	for c, v := range rate {
 		if c.shards > 1 {
-			if base := rate[cfg{c.scenario, c.sched, c.mode, 1, c.window, c.domains}]; base > 0 {
+			if base := rate[cfg{c.scenario, c.sched, c.mode, 1, c.window, c.domains, c.faulty}]; base > 0 {
 				if g := v / base; g > shardGain[c.scenario] {
 					shardGain[c.scenario] = g
 				}
 			}
 		}
 		if c.mode == "batch" {
-			if base := rate[cfg{c.scenario, c.sched, "single", c.shards, c.window, c.domains}]; base > 0 {
+			if base := rate[cfg{c.scenario, c.sched, "single", c.shards, c.window, c.domains, c.faulty}]; base > 0 {
 				if g := v / base; g > batchGain[c.scenario] {
 					batchGain[c.scenario] = g
 				}
@@ -295,7 +323,35 @@ func summarize(pts []Point) []string {
 	notes = append(notes, topologyNotes(pts)...)
 	notes = append(notes, heteroNotes(pts)...)
 	notes = append(notes, adaptiveNotes(pts)...)
+	notes = append(notes, chaosNotes(pts)...)
 	return notes
+}
+
+// chaosNotes summarises the chaos scenario: the worst (largest) per-cell
+// overhead of running under the fault schedule, and whether every faulty
+// cell kept full survival.
+func chaosNotes(pts []Point) []string {
+	var worst Point
+	survival := 1.0
+	seen := false
+	for _, p := range pts {
+		if p.Scenario != ScenarioChaos || !p.Faulty {
+			continue
+		}
+		seen = true
+		if p.ChaosOverhead > worst.ChaosOverhead {
+			worst = p
+		}
+		if p.ChaosSurvival < survival {
+			survival = p.ChaosSurvival
+		}
+	}
+	if !seen {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"chaos: survival %.3f across faulty cells; worst fault-load overhead %.2fx vs the clean arm (%s/%s, median of paired rounds)",
+		survival, worst.ChaosOverhead, worst.Scheduler, worst.Mode)}
 }
 
 // adaptiveNotes summarises the adaptive scenario: the controller arm's

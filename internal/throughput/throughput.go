@@ -16,6 +16,7 @@ package throughput
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/runtime"
 )
 
@@ -101,6 +103,18 @@ const (
 	// Unlike the other scenarios this one does not sweep the scheduler
 	// axis — the scheduler configurations are its arms.
 	ScenarioAdaptive = "adaptive"
+	// ScenarioChaos is throughput under faults: the same retry- and
+	// deadline-configured workload runs twice per paired round — a clean
+	// arm (no injector) against a faulty arm whose bodies are wrapped by a
+	// seeded chaos injector making a deterministic ~4% of them panic, fail,
+	// or stall. The faulty arm's Point carries ChaosOverhead (median of
+	// per-round faulty/clean elapsed ratios — the price of recovery under
+	// an active fault load) and ChaosSurvival (the fraction of submitted
+	// tasks that reached exactly one terminal state — 1.0 is the only
+	// acceptable verdict, and the leg errors out on any lost task). The
+	// clean arm doubles as the recovery-machinery-idle baseline: its
+	// tasks carry the same retry policies and deadlines, unexercised.
+	ScenarioChaos = "chaos"
 )
 
 // stealFan is the children-per-root fan-out of ScenarioSteal.
@@ -147,9 +161,27 @@ const (
 	defaultTopologyDomains = 2
 )
 
+// ScenarioChaos's fault schedule and fault-tolerance knobs. The rates sum
+// to 4% of bodies faulted; the stall is longer than the deadline some
+// tasks carry, so all three failure classes (panic, error, deadline
+// overrun) fire in every faulty leg.
+const (
+	chaosPanicRate   = 0.01
+	chaosErrorRate   = 0.02
+	chaosDelayRate   = 0.01
+	chaosStickyRate  = 0.25
+	chaosDelayStall  = 200 * time.Microsecond
+	chaosDeadline    = 100 * time.Microsecond
+	chaosRetryMax    = 2
+	chaosBackoff     = 50 * time.Microsecond
+	chaosMaxBackoff  = 500 * time.Microsecond
+	chaosChainStride = 4 // every 4th task joins a dependence chain
+	chaosDeadlineMod = 4 // every 4th task (offset 1) carries a deadline
+)
+
 // Scenarios lists every scenario in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero, ScenarioLocality, ScenarioTopology, ScenarioAdaptive}
+	return []string{ScenarioParallel, ScenarioFanOut, ScenarioChain, ScenarioRandom, ScenarioSteal, ScenarioLongRun, ScenarioHetero, ScenarioLocality, ScenarioTopology, ScenarioAdaptive, ScenarioChaos}
 }
 
 // Config parameterises a sweep.
@@ -250,6 +282,17 @@ type Point struct {
 	// NsPerTask is the headline latency view of the rate: Elapsed/Tasks in
 	// nanoseconds.
 	NsPerTask float64
+	// Faulty marks ScenarioChaos's injected arm; false on its clean
+	// baseline arm (and on every other scenario).
+	Faulty bool
+	// ChaosOverhead is ScenarioChaos's faulty-arm verdict: the median of
+	// per-round faulty/clean elapsed ratios — how much slower the same
+	// workload ran with the fault schedule active, recovery included.
+	ChaosOverhead float64
+	// ChaosSurvival is the fraction of the faulty arm's submitted tasks
+	// that reached exactly one terminal state (executed or skipped); the
+	// run is only reported at all if the pool stayed alive to the end.
+	ChaosSurvival float64
 }
 
 // sink defeats dead-code elimination of the spin bodies.
@@ -333,6 +376,16 @@ func Run(ctx context.Context, cfg Config) ([]Point, error) {
 					// variant; every other scenario is a single run.
 					if scenario == ScenarioLocality || scenario == ScenarioTopology {
 						ps, err := runPaired(ctx, scenario, kind, shards, mode, cfg, &st)
+						if err != nil {
+							return nil, err
+						}
+						out = append(out, ps...)
+						continue
+					}
+					// The chaos scenario compares a clean arm against a
+					// fault-injected arm, also as paired rounds.
+					if scenario == ScenarioChaos {
+						ps, err := runChaos(ctx, kind, shards, mode, cfg, &st)
 						if err != nil {
 							return nil, err
 						}
@@ -1227,4 +1280,204 @@ func taskBody(grain int) runtime.Body {
 		atomic.AddUint64(&sink, x)
 		return nil
 	}
+}
+
+// runChaos measures ScenarioChaos over one (scheduler, shards, mode) cell
+// as drift-cancelling paired rounds: a clean arm and a fault-injected arm
+// run the identical retry- and deadline-configured workload (the clean arm
+// simply has no injector), forward then reverse per round on fresh
+// runtimes, and the faulty arm's ChaosOverhead is the median of per-round
+// faulty/clean elapsed ratios. Each faulty leg gets a fresh injector with
+// the same seed, so every leg replays the same deterministic fault
+// schedule; the leg fails hard if any task is lost (terminal states must
+// account for every submission) or if no fault actually fired.
+func runChaos(ctx context.Context, kind runtime.SchedulerKind, shards int, mode string, cfg Config, st *runtime.Stats) ([]Point, error) {
+	type acc struct {
+		elapsed      time.Duration
+		roundElapsed time.Duration
+		executed     uint64
+		skipped      uint64
+		submitted    uint64
+		ratios       []float64
+	}
+	accs := make([]acc, 2) // 0 = clean baseline, 1 = faulty
+	resolved := 0
+	base := taskBody(cfg.Grain)
+	runLeg := func(vi, n int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var inj *chaos.Injector
+		if vi == 1 {
+			inj = chaos.New(chaos.Config{
+				Seed:       uint64(cfg.Seed),
+				PanicRate:  chaosPanicRate,
+				ErrorRate:  chaosErrorRate,
+				DelayRate:  chaosDelayRate,
+				StickyRate: chaosStickyRate,
+				Delay:      chaosDelayStall,
+			})
+		}
+		rt := runtime.New(
+			runtime.WithWorkers(cfg.Workers),
+			runtime.WithScheduler(kind),
+			runtime.WithShards(shards),
+		)
+		start := time.Now()
+		if err := submitChaos(ctx, rt, mode, n, inj, base, cfg); err != nil {
+			rt.Shutdown()
+			return err
+		}
+		// WaitCtx drains fully before surfacing task errors, so on the
+		// faulty arm a non-ctx error just means the fault schedule fired —
+		// which is the point. The clean arm must stay free of injected
+		// failure classes (panics, body errors) — but a deadline overrun is
+		// wall-clock, so on a loaded box (the race detector, a saturated CI
+		// runner) a deadline task can organically miss its bound with no
+		// injector at all; that is the workload behaving as specified, not
+		// fault leakage, and the accounting checks below still apply.
+		if err := rt.WaitCtx(ctx); err != nil {
+			var dl *runtime.DeadlineError
+			if ctx.Err() != nil || (vi == 0 && !errors.As(err, &dl)) {
+				rt.Shutdown()
+				return err
+			}
+		}
+		el := time.Since(start)
+		rt.StatsInto(st)
+		resolved = rt.Shards()
+		rt.Shutdown()
+		// Exactly one terminal state per submission: executed (including
+		// terminally failed) or skipped (poisoned / cancelled). On the
+		// clean arm skips would themselves be a bug.
+		if st.Executed+st.Skipped != uint64(n) {
+			return fmt.Errorf("throughput: chaos/%s shards=%d %s lost tasks: executed %d + skipped %d of %d",
+				kind, resolved, mode, st.Executed, st.Skipped, n)
+		}
+		if vi == 0 && st.Skipped != 0 {
+			return fmt.Errorf("throughput: chaos/%s clean arm skipped %d tasks", kind, st.Skipped)
+		}
+		if vi == 1 && n > 0 {
+			if cs := inj.Stats(); cs.Panics+cs.Errors+cs.Delays == 0 && n >= 256 {
+				return fmt.Errorf("throughput: chaos/%s faulty arm injected nothing over %d tasks", kind, n)
+			}
+		}
+		a := &accs[vi]
+		a.elapsed += el
+		a.roundElapsed += el
+		a.executed += st.Executed
+		a.skipped += st.Skipped
+		a.submitted += uint64(n)
+		return nil
+	}
+
+	rounds := cfg.PairRounds
+	if rounds <= 0 {
+		rounds = defaultPairRounds
+	}
+	if maxRounds := cfg.Tasks / 2; rounds > maxRounds {
+		rounds = maxRounds
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	remaining := cfg.Tasks
+	for r := 0; r < rounds; r++ {
+		roundTasks := remaining / (rounds - r)
+		remaining -= roundTasks
+		legA := roundTasks / 2
+		legB := roundTasks - legA
+		for i := range accs {
+			accs[i].roundElapsed = 0
+		}
+		for vi := 0; vi < len(accs); vi++ {
+			if err := runLeg(vi, legA); err != nil {
+				return nil, err
+			}
+		}
+		for vi := len(accs) - 1; vi >= 0; vi-- {
+			if err := runLeg(vi, legB); err != nil {
+				return nil, err
+			}
+		}
+		if base := accs[0].roundElapsed; base > 0 && accs[1].roundElapsed > 0 {
+			accs[1].ratios = append(accs[1].ratios, float64(accs[1].roundElapsed)/float64(base))
+		}
+	}
+
+	total := cfg.Tasks
+	pts := make([]Point, 0, 2)
+	for vi := range accs {
+		a := accs[vi]
+		p := Point{
+			Scenario:    ScenarioChaos,
+			Scheduler:   kind.String(),
+			Shards:      resolved,
+			Mode:        mode,
+			Tasks:       total,
+			Elapsed:     a.elapsed,
+			TasksPerSec: float64(total) / a.elapsed.Seconds(),
+			NsPerTask:   float64(a.elapsed.Nanoseconds()) / float64(total),
+			Executed:    a.executed,
+			Faulty:      vi == 1,
+		}
+		if vi == 1 {
+			p.ChaosOverhead = medianOf(a.ratios)
+			if a.submitted > 0 {
+				p.ChaosSurvival = float64(a.executed+a.skipped) / float64(a.submitted)
+			}
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// submitChaos submits ScenarioChaos's workload: n tasks with retry
+// policies, a dependence chain joined by every chaosChainStride-th task
+// (so a terminal panic must skip-propagate, not wedge the chain), and a
+// deadline shorter than the injected stall on every chaosDeadlineMod-th
+// task (so delay faults become deadline overruns). Bodies are wrapped by
+// inj keyed on the task index — a nil injector (the clean arm) runs them
+// bare. Retry and Deadline are TaskSpec-only knobs, so both modes go
+// through SubmitBatchCtx; "single" submits one-spec batches.
+func submitChaos(ctx context.Context, rt *runtime.Runtime, mode string, n int, inj *chaos.Injector, base runtime.Body, cfg Config) error {
+	chunk := 1
+	if mode == "batch" && cfg.Batch > 1 {
+		chunk = cfg.Batch
+	}
+	chains := cfg.Workers
+	if chains < 1 {
+		chains = 1
+	}
+	specs := make([]runtime.TaskSpec, 0, chunk)
+	flush := func() error {
+		if len(specs) == 0 {
+			return nil
+		}
+		_, err := rt.SubmitBatchCtx(ctx, specs)
+		specs = specs[:0]
+		return err
+	}
+	for i := 0; i < n; i++ {
+		sp := runtime.TaskSpec{
+			Name: "c", Cost: 1,
+			Body:  inj.Wrap(uint64(i), base),
+			Retry: runtime.RetryPolicy{Max: chaosRetryMax, Backoff: chaosBackoff, MaxBackoff: chaosMaxBackoff},
+		}
+		switch i % chaosChainStride {
+		case 0:
+			sp.Deps = []runtime.Dep{runtime.InOut(int64(i % chains))}
+		case 1:
+			if i%chaosDeadlineMod == 1 {
+				sp.Deadline = chaosDeadline
+			}
+		}
+		specs = append(specs, sp)
+		if len(specs) == chunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
 }

@@ -28,15 +28,23 @@ func TestRunAllScenarios(t *testing.T) {
 	}
 	// scenarios × schedulers × shards × modes(single, batch); the locality
 	// scenario additionally sweeps its two default window cells (off, on),
-	// the topology scenario its two variant cells (flat, domain-aware), and
-	// the adaptive scenario runs four arms per (shards, mode) cell instead
-	// of the scheduler axis (three extra rows at one configured scheduler).
-	want := (len(Scenarios()) + 2 + 3) * 1 * 2 * 2
+	// the topology scenario its two variant cells (flat, domain-aware), the
+	// chaos scenario its two arms (clean, faulty), and the adaptive
+	// scenario runs four arms per (shards, mode) cell instead of the
+	// scheduler axis (three extra rows at one configured scheduler).
+	want := (len(Scenarios()) + 2 + 1 + 3) * 1 * 2 * 2
 	if len(pts) != want {
 		t.Fatalf("got %d points, want %d", len(pts), want)
 	}
 	for _, p := range pts {
-		if p.Executed != uint64(cfg.Tasks) {
+		if p.Faulty {
+			// The faulty chaos arm terminally fails some tasks by design:
+			// its accounting check is full survival, not Executed == Tasks.
+			if p.ChaosSurvival != 1 {
+				t.Errorf("chaos faulty arm shards=%d %s: survival %v, want 1",
+					p.Shards, p.Mode, p.ChaosSurvival)
+			}
+		} else if p.Executed != uint64(cfg.Tasks) {
 			t.Errorf("%s/%s shards=%d %s: executed %d, want %d",
 				p.Scenario, p.Scheduler, p.Shards, p.Mode, p.Executed, cfg.Tasks)
 		}
@@ -171,9 +179,10 @@ func TestSummarizeNotes(t *testing.T) {
 	// Shard + batch gain per scenario, one locality on-vs-off note, one
 	// topology aware-vs-flat note, one hetero placement note per scheduler
 	// in the sweep (a single scheduler here, and no cats-vs-fifo speedup
-	// note without both in the sweep), plus the adaptive controller note.
-	if want := 2*len(Scenarios()) + 4; len(notes) != want {
-		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario + locality + topology + hetero placement + adaptive):\n%v",
+	// note without both in the sweep), the adaptive controller note, and
+	// the chaos survival/overhead note.
+	if want := 2*len(Scenarios()) + 5; len(notes) != want {
+		t.Fatalf("got %d notes, want %d (shard + batch gain per scenario + locality + topology + hetero placement + adaptive + chaos):\n%v",
 			len(notes), want, notes)
 	}
 	foundHetero, foundLocality := false, false
@@ -406,6 +415,43 @@ func TestHeteroScenarioRaggedCounts(t *testing.T) {
 			if p.Executed != uint64(tasks) {
 				t.Errorf("hetero tasks=%d %s: executed %d", tasks, p.Mode, p.Executed)
 			}
+		}
+	}
+}
+
+// The chaos scenario must produce a clean and a faulty point per cell;
+// the faulty one carries the overhead and survival verdicts, the clean
+// one executes every task.
+func TestChaosScenarioCells(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scenarios = []string{ScenarioChaos}
+	cfg.Shards = []int{1}
+	cfg.Tasks = 600
+	pts, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2; len(pts) != want { // 2 modes × (clean, faulty)
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if !p.Faulty {
+			if p.Executed != uint64(cfg.Tasks) {
+				t.Errorf("clean arm %s: executed %d, want %d", p.Mode, p.Executed, cfg.Tasks)
+			}
+			if p.ChaosOverhead != 0 || p.ChaosSurvival != 0 {
+				t.Errorf("clean arm %s carries faulty-arm verdicts: %+v", p.Mode, p)
+			}
+			continue
+		}
+		if p.ChaosSurvival != 1 {
+			t.Errorf("faulty arm %s: survival %v, want 1 (all tasks terminal)", p.Mode, p.ChaosSurvival)
+		}
+		if p.ChaosOverhead <= 0 {
+			t.Errorf("faulty arm %s: no overhead ratio measured", p.Mode)
+		}
+		if p.Executed > uint64(cfg.Tasks) {
+			t.Errorf("faulty arm %s: executed %d over the %d submitted", p.Mode, p.Executed, cfg.Tasks)
 		}
 	}
 }

@@ -169,10 +169,15 @@ func TestRunCancelledMidFlight(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("mid-flight cancel returned %v, want context.Canceled", err)
 		}
-		if elapsed := time.Since(start); elapsed > 30*time.Second {
+		// The bound is one kernel unit, not a constant: under the race
+		// detector with the whole module's test binaries sharing the box, a
+		// single unit can run tens of seconds, and the check must separate
+		// "finished the current unit then stopped" from "ran the rest of the
+		// suite" (minutes) without flaking on load.
+		if elapsed := time.Since(start); elapsed > 50*time.Second {
 			t.Fatalf("cancellation took %v — experiment did not stop early", elapsed)
 		}
-	case <-time.After(60 * time.Second):
+	case <-time.After(120 * time.Second):
 		t.Fatal("experiment ignored cancellation")
 	}
 }
